@@ -1,0 +1,99 @@
+"""Shared fixtures for the experiment benchmarks (E1-E8, M1-M4).
+
+Workloads and replayed systems are expensive, so they are session-scoped;
+benchmarks must not mutate them.  Each experiment prints the rows it
+reproduces (EXPERIMENTS.md records the numbers) and stores headline
+metrics in ``benchmark.extra_info`` so they also land in the
+pytest-benchmark JSON.
+"""
+
+import random
+from collections import defaultdict
+
+import pytest
+
+from repro.core import MemexSystem
+from repro.text import Vocabulary, text_vector
+from repro.webgen import (
+    Workload,
+    bookmark_challenge_workload,
+    build_workload,
+    labelled_bookmark_dataset,
+)
+
+
+@pytest.fixture(scope="session")
+def challenge_workload() -> Workload:
+    """The E1 regime: sparse front-page bookmarks, confusable folders."""
+    return bookmark_challenge_workload(seed=7, num_users=12)
+
+
+@pytest.fixture(scope="session")
+def default_workload() -> Workload:
+    """A normal community for the system-level experiments."""
+    return build_workload(
+        seed=21, num_users=10, days=30, pages_per_leaf=20,
+        bookmark_prob=0.2, community_core=6, community_fringe=2,
+    )
+
+
+@pytest.fixture(scope="session")
+def live_system(default_workload) -> MemexSystem:
+    system = MemexSystem.from_workload(default_workload)
+    system.replay(default_workload.events)
+    return system
+
+
+class ClassifierDataset:
+    """Per-user train/test splits plus shared graph and co-placement."""
+
+    def __init__(self, workload: Workload, *, seed: int = 0,
+                 min_folders: int = 4, min_items: int = 16):
+        self.workload = workload
+        self.vocab = Vocabulary()
+        self.vectors: dict[str, dict] = {}
+        triples = labelled_bookmark_dataset(workload, min_per_folder=4)
+        per_user: dict[str, dict[str, str]] = defaultdict(dict)
+        for uid, url, folder in triples:
+            per_user[uid][url] = folder
+        self.folder_contents: dict[tuple[str, str], list[str]] = defaultdict(list)
+        for uid, url, folder in triples:
+            self.folder_contents[(uid, folder)].append(url)
+        rng = random.Random(seed)
+        self.splits: dict[str, tuple[dict, dict]] = {}
+        for uid, seen in per_user.items():
+            items = list(seen.items())
+            folders = {f for _, f in items}
+            if len(folders) < min_folders or len(items) < min_items:
+                continue
+            rng.shuffle(items)
+            half = len(items) // 2
+            train = dict(items[:half])
+            test = {
+                u: f for u, f in items[half:]
+                if f in set(train.values())
+            }
+            if len(test) >= 6:
+                self.splits[uid] = (train, test)
+
+    def vector(self, url: str) -> dict:
+        if url not in self.vectors:
+            page = self.workload.corpus.pages[url]
+            self.vectors[url] = text_vector(
+                self.vocab, page.title + " " + page.text,
+            )
+        return self.vectors[url]
+
+    def coplacement_folders(self, exclude_user: str, train: dict) -> list[list[str]]:
+        out = [
+            urls for (uid, _f), urls in self.folder_contents.items()
+            if uid != exclude_user
+        ]
+        for folder in set(train.values()):
+            out.append([u for u, f in train.items() if f == folder])
+        return out
+
+
+@pytest.fixture(scope="session")
+def challenge_dataset(challenge_workload) -> ClassifierDataset:
+    return ClassifierDataset(challenge_workload)

@@ -1,0 +1,76 @@
+"""E2 — Figure 1: the folder tab's learning loop.
+
+"The user can correct or reinforce the classifier using cut/paste, thus
+continually improving Memex's models for the user's topics of interest."
+
+Reproduced as a supervision curve: train the enhanced classifier with
+growing fractions of each user's deliberate filings (simulating the user
+progressively confirming/correcting guesses) and measure held-out
+accuracy.  Expected shape: accuracy climbs with supervision.
+"""
+
+import pytest
+
+from repro.mining import EnhancedClassifier, accuracy, build_coplacement
+
+FRACTIONS = [0.25, 0.5, 0.75, 1.0]
+
+
+def accuracy_at_fraction(dataset, fraction: float) -> float:
+    graph = dataset.workload.graph
+    accs = []
+    for uid, (train, test) in dataset.splits.items():
+        keep = max(4, int(len(train) * fraction))
+        sub_train = dict(list(train.items())[:keep])
+        if len(set(sub_train.values())) < 2:
+            continue
+        test_sub = {u: f for u, f in test.items() if f in set(sub_train.values())}
+        if len(test_sub) < 6:
+            continue
+        vectors = {u: dataset.vector(u) for u in {**sub_train, **test_sub}}
+        cop = build_coplacement(dataset.coplacement_folders(uid, sub_train))
+        clf = EnhancedClassifier().fit(
+            {u: vectors[u] for u in sub_train}, sub_train, graph, cop,
+        )
+        preds = clf.predict_batch({u: vectors[u] for u in test_sub})
+        accs.append(accuracy(
+            [test_sub[u] for u in test_sub], [preds[u][0] for u in test_sub],
+        ))
+    return sum(accs) / len(accs)
+
+
+@pytest.fixture(scope="module")
+def curve(challenge_dataset):
+    results = {f: accuracy_at_fraction(challenge_dataset, f) for f in FRACTIONS}
+    print("\nE2: accuracy vs. fraction of user supervision (Figure 1 loop)")
+    for fraction, acc in results.items():
+        print(f"  {100 * fraction:3.0f}% of corrections  ->  {100 * acc:5.1f}%")
+    return results
+
+
+def test_e2_supervision_improves_accuracy(curve):
+    assert curve[1.0] > curve[0.25] + 0.05
+
+
+def test_e2_curve_is_broadly_monotone(curve):
+    values = [curve[f] for f in FRACTIONS]
+    # Allow small local dips, but each later point beats the start.
+    assert all(v >= values[0] - 0.03 for v in values[1:])
+    assert values[-1] == max(values)
+
+
+def test_e2_bench_incremental_retrain(benchmark, challenge_dataset, curve):
+    """Timing: one retrain cycle after a batch of user corrections."""
+    dataset = challenge_dataset
+    uid, (train, _test) = next(iter(dataset.splits.items()))
+    vectors = {u: dataset.vector(u) for u in train}
+    cop = build_coplacement(dataset.coplacement_folders(uid, train))
+    graph = dataset.workload.graph
+
+    def retrain():
+        return EnhancedClassifier().fit(vectors, train, graph, cop)
+
+    clf = benchmark(retrain)
+    benchmark.extra_info["training_docs"] = len(train)
+    benchmark.extra_info["curve"] = {str(k): round(v, 3) for k, v in curve.items()}
+    assert clf.classes

@@ -1,0 +1,109 @@
+"""E3 — Figure 2: the trail tab replays topical browsing context.
+
+"When the user selects a folder, Memex replays recently browsed pages
+which belong to the selected (or contained) topic(s), reminding the user
+of the latest topical context."
+
+Measured against ground truth: for each user's dominant folder, the
+replayed trail's precision (nodes whose true topic the folder covers) and
+recall (of the topic pages the user actually visited in the window).
+Context recall (the §1 'neighborhood' query) is measured alongside.
+"""
+
+import pytest
+
+DAY = 86_400.0
+
+
+def _trail_quality(system, workload):
+    rows = []
+    for profile in workload.profiles:
+        top_topic = max(profile.interests.items(), key=lambda kv: kv[1])[0]
+        folder = profile.folder_for_topic(top_topic)
+        covered = set(profile.folders[folder])
+        applet = system.connect(profile.user_id)
+        trail = applet.trail_view(folder, window_days=30)["trail"]
+        if not trail["nodes"]:
+            continue
+        urls = [n["url"] for n in trail["nodes"]]
+        on_topic = sum(1 for u in urls if workload.corpus.topic_of(u) in covered)
+        precision = on_topic / len(urls)
+        since = system.server.now - 30 * DAY
+        visited_topical = {
+            v["url"] for v in system.server.repo.user_visits(
+                profile.user_id, since=since,
+            )
+            if workload.corpus.topic_of(v["url"]) in covered
+        }
+        recall = (
+            len(visited_topical & set(urls)) / len(visited_topical)
+            if visited_topical else 1.0
+        )
+        rows.append((profile.user_id, folder, precision, recall, len(urls)))
+    return rows
+
+
+@pytest.fixture(scope="module")
+def trail_rows(live_system, default_workload):
+    rows = _trail_quality(live_system, default_workload)
+    print("\nE3: trail-tab replay quality (per user's dominant folder)")
+    print("  user     folder                     precision  recall  nodes")
+    for user, folder, precision, recall, n in rows:
+        print(f"  {user:<8} {folder:<26} {precision:9.2f} {recall:7.2f} {n:6d}")
+    return rows
+
+
+def test_e3_trails_exist_for_all_users(trail_rows, default_workload):
+    assert len(trail_rows) == len(default_workload.profiles)
+
+
+def test_e3_precision_beats_chance_by_an_order_of_magnitude(
+    trail_rows, default_workload,
+):
+    pages_per_topic = 20  # default_workload's pages_per_leaf
+    chance = pages_per_topic / len(default_workload.corpus)
+    mean_precision = sum(r[2] for r in trail_rows) / len(trail_rows)
+    assert mean_precision > 10 * chance
+
+
+def test_e3_recall_of_own_topical_pages(trail_rows):
+    mean_recall = sum(r[3] for r in trail_rows) / len(trail_rows)
+    assert mean_recall > 0.5
+
+
+def test_e3_context_recall_finds_real_sessions(live_system, default_workload):
+    """The §1 'what was I doing last time' query returns the user's own
+    most-recent topical session."""
+    found = 0
+    for profile in default_workload.profiles:
+        top_topic = max(profile.interests.items(), key=lambda kv: kv[1])[0]
+        folder = profile.folder_for_topic(top_topic)
+        view = live_system.connect(profile.user_id).context_view(folder)
+        if not view["found"]:
+            continue
+        found += 1
+        session = view["session"]
+        assert session["user_id"] == profile.user_id
+        # The recalled session genuinely touches the topic.
+        topics = {
+            default_workload.corpus.topic_of(u) for u in session["on_topic"]
+        }
+        assert topics
+    assert found >= len(default_workload.profiles) - 1
+
+
+def test_e3_bench_trail_query(benchmark, live_system, default_workload, trail_rows):
+    """Timing: one trail-tab replay query (the interactive operation)."""
+    profile = default_workload.profiles[0]
+    folder = profile.folder_for_topic(
+        max(profile.interests.items(), key=lambda kv: kv[1])[0]
+    )
+    applet = live_system.connect(profile.user_id)
+    result = benchmark(lambda: applet.trail_view(folder, window_days=30))
+    benchmark.extra_info["mean_precision"] = round(
+        sum(r[2] for r in trail_rows) / len(trail_rows), 3,
+    )
+    benchmark.extra_info["mean_recall"] = round(
+        sum(r[3] for r in trail_rows) / len(trail_rows), 3,
+    )
+    assert result["trail"]["nodes"]

@@ -1,0 +1,124 @@
+"""E4 — Figure 3: the server architecture's asynchrony and robustness.
+
+The claims reproduced:
+
+* UI events get "guaranteed immediate processing" while mining runs in
+  the background — visit-servlet latency must not grow with the mining
+  backlog;
+* the loosely-consistent versioning keeps consumers on consistent
+  prefixes while they lag the producer arbitrarily;
+* the server "recovers from network and programming errors quickly" —
+  a poisoned event stream and a crashing daemon leave the pipeline
+  functional.
+"""
+
+import pytest
+
+from repro.core import MemexSystem
+from repro.server.events import VisitEvent
+from repro.webgen import build_workload
+
+
+@pytest.fixture(scope="module")
+def pipeline_workload():
+    return build_workload(seed=77, num_users=8, days=15, pages_per_leaf=12)
+
+
+def test_e4_ingest_without_ticks_builds_backlog(pipeline_workload):
+    """Servlets accept events while daemons are off: the backlog grows,
+    proving UI work is decoupled from mining work."""
+    system = MemexSystem.from_workload(pipeline_workload)
+    visits = [e for e in pipeline_workload.events if isinstance(e, VisitEvent)]
+    system.replay(visits[:500], tick_every=0, finish=False)
+    assert system.server.crawler.backlog > 0
+    assert system.server.index.num_docs == 0
+    # Consumers are consistent (at version 0), just stale.
+    assert system.server.repo.versions.staleness("indexer") == 0
+    system.server.process_background_work()
+    assert system.server.crawler.backlog == 0
+    assert system.server.index.num_docs > 0
+
+
+def test_e4_consumer_staleness_bounded_by_versioning(pipeline_workload):
+    """While the producer runs, consumers only ever see published
+    prefixes; after quiescence everyone converges."""
+    system = MemexSystem.from_workload(pipeline_workload)
+    server = system.server
+    max_staleness = 0
+    visits = [e for e in pipeline_workload.events if isinstance(e, VisitEvent)]
+    for i, event in enumerate(visits[:600]):
+        system.connect(event.user_id).record_visit(
+            event.url, at=event.at, referrer=event.referrer,
+            session_id=event.session_id,
+        )
+        if i % 50 == 0:
+            server.tick()
+            max_staleness = max(
+                max_staleness, server.repo.versions.staleness("indexer"),
+            )
+    server.process_background_work()
+    assert server.repo.versions.staleness("indexer") == 0
+    assert server.repo.versions.staleness("classifier") == 0
+    # GC reclaims acked versions.
+    reclaimed = server.repo.versions.gc()
+    assert server.repo.versions.live_versions() <= 1
+    assert reclaimed >= 0
+
+
+def test_e4_poisoned_events_do_not_stop_the_server(pipeline_workload):
+    system = MemexSystem.from_workload(pipeline_workload)
+    server = system.server
+    ok = server.registry.dispatch({
+        "servlet": "visit", "user_id": "user00",
+        "url": "http://fine/", "at": 1.0, "session_id": 1,
+    })
+    assert ok["status"] == "ok"
+    poison = [
+        {"servlet": "visit", "user_id": "nobody", "url": "http://x/", "at": 1.0},
+        {"servlet": "visit", "user_id": "user00"},  # missing url
+        {"servlet": "bookmark", "user_id": "user00", "url": 42, "folder_path": 7, "at": "x"},
+        {"servlet": None},
+        {},
+    ]
+    for request in poison:
+        response = server.registry.dispatch(request)
+        assert response["status"] == "error"
+    after = server.registry.dispatch({
+        "servlet": "visit", "user_id": "user00",
+        "url": "http://still-fine/", "at": 2.0, "session_id": 1,
+    })
+    assert after["status"] == "ok"
+    assert server.registry.stats()["failed"] == len(poison)
+
+
+def test_e4_bench_visit_servlet_latency(benchmark, pipeline_workload):
+    """Timing: the guaranteed-immediate path (one visit archive) while a
+    large mining backlog exists."""
+    system = MemexSystem.from_workload(pipeline_workload)
+    visits = [e for e in pipeline_workload.events if isinstance(e, VisitEvent)]
+    system.replay(visits[:800], tick_every=0, finish=False)  # big backlog
+    applet = system.connect(pipeline_workload.profiles[0].user_id)
+    counter = [0]
+
+    def archive_one():
+        counter[0] += 1
+        applet.record_visit(
+            f"http://bench/{counter[0]}", at=10_000.0 + counter[0],
+        )
+
+    benchmark(archive_one)
+    benchmark.extra_info["backlog_during_bench"] = system.server.crawler.backlog
+
+
+def test_e4_bench_event_ingest_throughput(benchmark, pipeline_workload):
+    """Timing: full online replay (servlets + interleaved daemons)."""
+    visits = [e for e in pipeline_workload.events if isinstance(e, VisitEvent)][:300]
+
+    def ingest():
+        system = MemexSystem.from_workload(pipeline_workload)
+        system.replay(visits, tick_every=100, finish=False)
+        return system
+
+    system = benchmark.pedantic(ingest, rounds=3, iterations=1)
+    benchmark.extra_info["events"] = len(visits)
+    assert len(system.server.repo.db.table("visits")) == len(visits)

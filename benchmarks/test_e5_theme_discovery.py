@@ -1,0 +1,151 @@
+"""E5 — Figure 4: community theme discovery.
+
+"The taxonomy consists of themes which capture common factors in people's
+interests when they can, while maintaining individuality when they must
+... refining topics where needed and coarsening where possible."
+
+Measured properties:
+
+* shared themes exist (folders of >= 2 users grouped together) AND
+  single-user folders survive as their own themes;
+* the taxonomy refines where the community is deep: themes covering the
+  community's core interests sit deeper / split more than fringe ones;
+* the tailored taxonomy fits the community's folder documents better
+  than a fixed 'universal directory' (PowerBookmarks-style, §5).
+"""
+
+import pytest
+
+from repro.core.community import consolidate
+from repro.mining.themes import universal_baseline
+from repro.text.tokenize import porter_stem
+from repro.text.vectorize import tfidf
+
+
+@pytest.fixture(scope="module")
+def report(live_system):
+    rep = consolidate(live_system.server)
+    assert rep is not None
+    return rep
+
+
+@pytest.fixture(scope="module")
+def universal(live_system, default_workload):
+    vocab = live_system.server.vectorizer.vocab
+    topic_vectors = {}
+    for leaf in default_workload.root.leaves():
+        counts = {}
+        for term in leaf.seed_terms:
+            tid = vocab.id(porter_stem(term))
+            if tid is not None:
+                counts[tid] = counts.get(tid, 0.0) + 1.0
+        if counts:
+            topic_vectors[leaf.name] = tfidf(vocab, counts)
+    return universal_baseline(topic_vectors)
+
+
+def test_e5_common_factors_and_individuality(report):
+    shared = report.shared_themes()
+    assert shared, "no shared themes found in a focused community"
+    print(f"\nE5: {len(shared)} shared themes, "
+          f"{len(report.individual_themes())} single-user themes, "
+          f"taxonomy depth {report.taxonomy_depth}")
+    print(report.render(max_themes=15))
+
+
+def test_e5_refines_deep_interests(live_system, default_workload):
+    """Core community interests (many folders) get refined into subtrees;
+    the taxonomy's deep nodes must over-represent core-topic folders."""
+    taxonomy = live_system.server.themes.taxonomy
+    core_topics = {
+        t for t, w in default_workload.community.items() if w > 0.1
+    }
+    # Which (user, folder) pairs correspond to core topics?
+    core_folders = set()
+    for profile in default_workload.profiles:
+        for path, topics in profile.folders.items():
+            if any(t in core_topics for t in topics):
+                core_folders.add((profile.user_id, path))
+
+    def depth_of(theme, target, depth=0):
+        if target in theme.folders and theme.is_leaf:
+            return depth
+        best = None
+        for child in theme.children:
+            d = depth_of(child, target, depth + 1)
+            if d is not None:
+                best = d if best is None else max(best, d)
+        return best
+
+    core_depths, other_depths = [], []
+    for root in taxonomy.roots:
+        for user, path in root.walk()[0].folders:
+            d = depth_of(root, (user, path))
+            if d is None:
+                continue
+            (core_depths if (user, path) in core_folders else other_depths).append(d)
+    assert core_depths
+    mean_core = sum(core_depths) / len(core_depths)
+    print(f"\nE5: mean leaf depth — core-interest folders {mean_core:.2f}, "
+          f"other folders "
+          f"{(sum(other_depths) / len(other_depths)) if other_depths else 0:.2f}")
+    if other_depths:
+        assert mean_core >= sum(other_depths) / len(other_depths) - 0.5
+
+
+def test_e5_tailored_beats_universal(live_system, universal):
+    taxonomy = live_system.server.themes.taxonomy
+    folder_docs = live_system.server.themes.folder_documents()
+    tailored_fit = taxonomy.fit(folder_docs)
+    universal_fit = universal.fit(folder_docs)
+    print(f"\nE5: taxonomy fit — tailored {tailored_fit:.3f} "
+          f"vs universal {universal_fit:.3f}")
+    assert tailored_fit > universal_fit
+
+
+def test_e5_profiles_normalize_users(live_system, default_workload):
+    """'A user profile is a set of weights associated with each node of a
+    theme hierarchy' — profiles exist, are normalized, and users with
+    similar ground-truth interests have similar profiles."""
+    profiles = live_system.server.current_profiles()
+    for profile in profiles.values():
+        if profile.weights:
+            assert sum(profile.weights.values()) == pytest.approx(1.0)
+    # Ground-truth most-similar pair should rank high by profile cosine.
+    from repro.core.profiles import profile_similarity
+    gt = {
+        p.user_id: p.interests for p in default_workload.profiles
+    }
+
+    def gt_sim(a, b):
+        keys = set(gt[a]) | set(gt[b])
+        import math
+        dot = sum(gt[a].get(k, 0) * gt[b].get(k, 0) for k in keys)
+        na = math.sqrt(sum(v * v for v in gt[a].values()))
+        nb = math.sqrt(sum(v * v for v in gt[b].values()))
+        return dot / (na * nb)
+
+    users = sorted(gt)
+    pairs = [(a, b) for i, a in enumerate(users) for b in users[i + 1:]]
+    gt_ranked = sorted(pairs, key=lambda p: -gt_sim(*p))
+    prof_ranked = sorted(
+        pairs, key=lambda p: -profile_similarity(profiles[p[0]], profiles[p[1]]),
+    )
+    # Top-3 ground-truth pairs appear in the top half by profile similarity.
+    top_half = set(prof_ranked[: len(pairs) // 2])
+    overlap = sum(1 for p in gt_ranked[:3] if p in top_half)
+    assert overlap >= 2
+
+
+def test_e5_bench_theme_discovery(benchmark, live_system):
+    """Timing: one full community consolidation (the periodic daemon job)."""
+    daemon = live_system.server.themes
+    docs = daemon.folder_documents()
+
+    def discover():
+        return daemon.discovery.discover(docs, live_system.server.vectorizer.vocab)
+
+    taxonomy = benchmark(discover)
+    benchmark.extra_info["folder_documents"] = len(docs)
+    benchmark.extra_info["themes"] = len(taxonomy.all_themes())
+    assert taxonomy.leaves()

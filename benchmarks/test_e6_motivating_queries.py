@@ -1,0 +1,100 @@
+"""E6 — the six motivating queries of §1, answered on a live community.
+
+The demo paper's promise is that "assisted by a Memex for the Web, a
+surfer can ask" six kinds of questions.  Each test poses one against the
+replayed community and checks the answer against simulator ground truth;
+the benchmark times the full six-pack (the interactive demo loop).
+"""
+
+import pytest
+
+from repro.core.queries import MotivatingQueries
+
+DAY = 86_400.0
+
+
+@pytest.fixture(scope="module")
+def queries(live_system):
+    return MotivatingQueries(live_system.server)
+
+
+@pytest.fixture(scope="module")
+def subject(default_workload):
+    profile = default_workload.profiles[0]
+    topic = max(profile.interests.items(), key=lambda kv: kv[1])[0]
+    leaf = default_workload.root.find(topic)
+    return {
+        "profile": profile,
+        "user": profile.user_id,
+        "topic": topic,
+        "folder": profile.folder_for_topic(topic),
+        "query": " ".join(leaf.seed_terms[:3]),
+    }
+
+
+def test_e6_q1_temporal_url_recall(queries, subject, live_system, default_workload):
+    repo = live_system.server.repo
+    topical = [
+        v for v in repo.user_visits(subject["user"])
+        if default_workload.corpus.topic_of(v["url"]) == subject["topic"]
+    ]
+    target = topical[len(topical) // 2]
+    days_ago = (live_system.server.now - target["at"]) / DAY
+    answer = queries.url_from_memory(
+        subject["user"], subject["query"],
+        about_days_ago=days_ago, tolerance_days=4.0,
+    )
+    assert answer.found
+    topics = {default_workload.corpus.topic_of(h["url"]) for h in answer.results[:3]}
+    assert subject["topic"] in topics
+
+
+def test_e6_q2_context_recall(queries, subject):
+    answer = queries.last_neighborhood(subject["user"], subject["folder"])
+    assert answer.found
+    assert answer.extra["session"]["on_topic"]
+
+
+def test_e6_q3_fresh_resources(queries, subject, default_workload):
+    answer = queries.fresh_popular_sites(subject["user"], subject["query"])
+    assert answer.found
+    parent = subject["topic"].rsplit("/", 1)[0]
+    topics = [default_workload.corpus.topic_of(r["url"]) for r in answer.results[:3]]
+    assert any(t.startswith(parent) for t in topics)
+
+
+def test_e6_q4_bill(queries, subject):
+    answer = queries.bill_division(subject["user"], days=30.0, monthly_rate=20.0)
+    assert answer.found
+    assert sum(l["amount"] for l in answer.results) == pytest.approx(20.0)
+
+
+def test_e6_q5_topic_map(queries, subject):
+    answer = queries.community_topic_map(subject["user"])
+    assert answer.found
+    assert answer.extra["my_top_themes"]
+
+
+def test_e6_q6_interest_mates(queries, subject, default_workload):
+    answer = queries.interest_mates(subject["user"], subject["query"], k=3)
+    assert answer.found
+    parent = subject["topic"].rsplit("/", 1)[0]
+    mate = answer.results[0]["user_id"]
+    mate_interests = default_workload.result.profiles[mate].interests
+    assert any(t.startswith(parent) for t in mate_interests)
+
+
+def test_e6_bench_all_six(benchmark, queries, subject):
+    """Timing: the whole demo — all six questions for one user."""
+    def demo():
+        return queries.answer_all(
+            subject["user"],
+            topical_query=subject["query"],
+            folder_path=subject["folder"],
+        )
+
+    answers = benchmark(demo)
+    benchmark.extra_info["answered"] = sum(
+        1 for a in answers.values() if a.found
+    )
+    assert len(answers) == 6

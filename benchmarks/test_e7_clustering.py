@@ -1,0 +1,128 @@
+"""E7 — §4's clustering: proposing topic hierarchies over unorganized links.
+
+"Memex also uses unsupervised clustering to propose a topic hierarchy
+over a set of links that the user may want to reorganize" — the
+Scatter/Gather lineage of reference [6].
+
+Measured: cluster purity/NMI against ground-truth topics for a user-sized
+pile of unorganized links, across linkages (the design ablation), plus
+buckshot's constant-interaction-time behaviour versus full HAC.
+"""
+
+import random
+
+import pytest
+
+from repro.mining import (
+    buckshot,
+    cluster_vectors,
+    hac,
+    normalized_mutual_information,
+    purity,
+)
+from repro.text import Vocabulary, text_vector
+
+
+@pytest.fixture(scope="module")
+def link_pile(default_workload):
+    """~120 'unorganized links' drawn from 6 topics, as TF-IDF vectors."""
+    rng = random.Random(9)
+    topics = sorted(default_workload.community, key=default_workload.community.get)[-6:]
+    vocab = Vocabulary()
+    vectors, labels = [], []
+    for topic in topics:
+        for page in default_workload.corpus.by_topic(topic)[:20]:
+            vectors.append(text_vector(vocab, page.title + " " + page.text))
+            labels.append(topic)
+    order = list(range(len(vectors)))
+    rng.shuffle(order)
+    return [vectors[i] for i in order], [labels[i] for i in order], topics
+
+
+@pytest.fixture(scope="module")
+def linkage_table(link_pile):
+    vectors, labels, topics = link_pile
+    k = len(topics)
+    rows = {}
+    for linkage in ["group-average", "single", "complete"]:
+        clusters = cluster_vectors(vectors, k, linkage=linkage)
+        rows[linkage] = (
+            purity(clusters, labels),
+            normalized_mutual_information(clusters, labels),
+        )
+    rng = random.Random(0)
+    b = buckshot(vectors, k, rng)
+    rows["buckshot"] = (
+        purity([c.members for c in b], labels),
+        normalized_mutual_information([c.members for c in b], labels),
+    )
+    # Random assignment baseline.
+    rng2 = random.Random(1)
+    rand = [[] for _ in range(k)]
+    for i in range(len(vectors)):
+        rand[rng2.randrange(k)].append(i)
+    rows["random baseline"] = (
+        purity(rand, labels),
+        normalized_mutual_information(rand, labels),
+    )
+    print("\nE7: clustering unorganized links into a topic hierarchy")
+    print("  method            purity    NMI")
+    for name, (p, nmi) in rows.items():
+        print(f"  {name:<16} {p:7.2f} {nmi:7.2f}")
+    return rows
+
+
+def test_e7_group_average_beats_random(linkage_table):
+    # ~30% of the pile are near-noise front pages, so purity tops out
+    # well below 1.0; NMI separates real structure from chance sharply.
+    p, nmi = linkage_table["group-average"]
+    rp, rnmi = linkage_table["random baseline"]
+    assert p > rp + 0.15
+    assert nmi > rnmi + 0.3
+
+
+def test_e7_group_average_is_competitive(linkage_table):
+    """Group-average (the paper's choice) should not lose badly to the
+    other linkages — single linkage in particular chains badly on text."""
+    p_ga, _ = linkage_table["group-average"]
+    p_single, _ = linkage_table["single"]
+    assert p_ga >= p_single - 0.05
+
+
+def test_e7_buckshot_matches_full_hac(linkage_table):
+    p_buck, _ = linkage_table["buckshot"]
+    p_ga, _ = linkage_table["group-average"]
+    assert p_buck >= p_ga - 0.15
+
+
+def test_e7_dendrogram_proposes_hierarchy(link_pile):
+    """Cutting the same dendrogram at several levels yields nested
+    partitions — the 'topic hierarchy' the user can adopt."""
+    vectors, labels, topics = link_pile
+    dendro = hac(vectors)
+    coarse = dendro.cut(2)
+    fine = dendro.cut(len(topics))
+    # Nesting: every fine cluster is inside one coarse cluster.
+    coarse_of = {}
+    for ci, members in enumerate(coarse):
+        for m in members:
+            coarse_of[m] = ci
+    for members in fine:
+        assert len({coarse_of[m] for m in members}) == 1
+    assert purity(fine, labels) > purity(coarse, labels) - 0.05
+
+
+def test_e7_bench_full_hac(benchmark, link_pile, linkage_table):
+    vectors, _labels, topics = link_pile
+    result = benchmark(lambda: cluster_vectors(vectors, len(topics)))
+    benchmark.extra_info["n_links"] = len(vectors)
+    benchmark.extra_info["purity"] = round(linkage_table["group-average"][0], 3)
+    assert len(result) == len(topics)
+
+
+def test_e7_bench_buckshot(benchmark, link_pile):
+    vectors, _labels, topics = link_pile
+    rng = random.Random(0)
+    result = benchmark(lambda: buckshot(vectors, len(topics), rng))
+    benchmark.extra_info["n_links"] = len(vectors)
+    assert result

@@ -1,0 +1,78 @@
+"""Scale behaviour: how the server grows with community size.
+
+The paper positions Memex from "department" up to "ISP, nation or the
+world" (§2) — that ambition is untestable, but the *scaling shape* at
+laptop scale is: ingest cost per event should stay near-flat as users and
+pages grow, and the mining daemons' cost should grow roughly linearly
+with the archive.
+"""
+
+import pytest
+
+from repro.core import MemexSystem
+from repro.server.events import VisitEvent
+from repro.webgen import build_workload
+
+SIZES = [4, 8, 16]
+
+
+@pytest.fixture(scope="module")
+def scale_rows():
+    import time
+    rows = []
+    for users in SIZES:
+        workload = build_workload(
+            seed=13, num_users=users, days=10, pages_per_leaf=10,
+        )
+        visits = [e for e in workload.events if isinstance(e, VisitEvent)]
+        system = MemexSystem.from_workload(workload)
+        start = time.perf_counter()
+        system.replay(visits, tick_every=100, finish=False)
+        ingest = time.perf_counter() - start
+        start = time.perf_counter()
+        system.server.process_background_work()
+        drain = time.perf_counter() - start
+        rows.append({
+            "users": users,
+            "events": len(visits),
+            "ingest_s": ingest,
+            "per_event_us": 1e6 * ingest / len(visits),
+            "drain_s": drain,
+            "pages": len(system.server.repo.db.table("pages")),
+        })
+    print("\nScale: ingest cost vs community size")
+    print("  users  events  ingest(s)  us/event  drain(s)  pages")
+    for r in rows:
+        print(f"  {r['users']:5d} {r['events']:7d} {r['ingest_s']:10.2f} "
+              f"{r['per_event_us']:9.0f} {r['drain_s']:9.2f} {r['pages']:6d}")
+    return rows
+
+
+def test_scale_per_event_cost_stays_bounded(scale_rows):
+    """4x the users must not blow up per-event cost by more than ~4x
+    (the servlet path is index-backed, not scan-backed)."""
+    first = scale_rows[0]["per_event_us"]
+    last = scale_rows[-1]["per_event_us"]
+    assert last < 4 * first + 200
+
+
+def test_scale_events_grow_with_users(scale_rows):
+    events = [r["events"] for r in scale_rows]
+    assert events == sorted(events)
+    assert events[-1] > 2 * events[0]
+
+
+def test_scale_bench_replay_midsize(benchmark, scale_rows):
+    """Timing anchor: replay of the mid-size community, recorded next to
+    the scale table for EXPERIMENTS.md."""
+    workload = build_workload(seed=13, num_users=8, days=10, pages_per_leaf=10)
+    visits = [e for e in workload.events if isinstance(e, VisitEvent)][:400]
+
+    def run():
+        system = MemexSystem.from_workload(workload)
+        system.replay(visits, tick_every=100, finish=False)
+        return system
+
+    system = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["rows"] = scale_rows
+    assert len(system.server.repo.db.table("visits")) == len(visits)

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Privacy controls and the browser tap (Figures 1-3 plumbing).
+
+Shows the client-side mechanics the other examples gloss over:
+
+* a simulated browser whose transient 1-D history is exactly why Memex
+  exists (clear it and the context is gone — unless Memex archived it);
+* the three archive modes (off / private / community) and what each
+  means for the user and for the community;
+* encrypted HTTP tunneling for a privacy-conscious user;
+* server robustness: a malformed request and a crashing daemon do not
+  take the service down.
+
+Run:  python examples/archive_modes.py
+"""
+
+import random
+
+from repro.client.browser import Browser
+from repro.core import MemexSystem
+from repro.webgen import generate_corpus, generate_links, master_taxonomy
+
+
+def main() -> None:
+    rng = random.Random(5)
+    root = master_taxonomy()
+    corpus = generate_corpus(root, rng, pages_per_leaf=10)
+    generate_links(corpus, rng)
+    system = MemexSystem.from_corpus(corpus)
+    server = system.server
+
+    cycling = [p.url for p in corpus.by_topic("Recreation/Cycling")][:6]
+    physics = [p.url for p in corpus.by_topic("Science/Physics")][:3]
+
+    # -- alice: community mode, browser tapped ------------------------------
+    browser = Browser()
+    system.register_user("alice", community="demo")
+    alice = system.connect("alice", browser=browser)
+    t = 0.0
+    for url in cycling[:4]:
+        t += 60.0
+        browser.navigate(url, at=t)
+    print("alice's transient browser history:", len(browser.history()), "entries")
+    browser.clear_history()
+    print("...cleared by the browser; but Memex archived",
+          len(server.repo.user_visits("alice")), "visits")
+
+    # -- bob: private mode — archived for himself, invisible to others ------
+    bob = system.register_user("bob", community="demo")
+    bob.set_archive_mode("private")
+    for i, url in enumerate(physics):
+        bob.record_visit(url, at=500.0 + i * 60.0)
+    print("\nbob archived", len(server.repo.user_visits("bob")),
+          "visits privately")
+    print("community-visible visits overall:",
+          len(server.repo.community_visits()))
+
+    # -- carol: off mode — nothing leaves the machine ------------------------
+    carol = system.register_user("carol", community="demo")
+    carol.set_archive_mode("off")
+    for url in cycling[4:]:
+        carol.record_visit(url, at=900.0)
+    print(f"\ncarol surfed with archiving off: "
+          f"{carol.dropped_events} events dropped client-side, "
+          f"{len(server.repo.user_visits('carol'))} reached the server")
+
+    # -- dave: encrypted tunnel ------------------------------------------------
+    dave = system.register_user("dave", community="demo", cipher_key=b"hush-key")
+    dave.record_visit(cycling[0], at=1200.0)
+    print("\ndave's requests travel RC4-encrypted;",
+          len(server.repo.user_visits("dave")), "visit archived")
+    print(f"tunnel traffic so far: {server.transport.bytes_out} bytes out, "
+          f"{server.transport.bytes_in} bytes in")
+
+    # -- robustness: bad requests and crashing daemons ---------------------------
+    bad = server.registry.dispatch({"servlet": "no-such-servlet"})
+    print("\nmalformed request ->", bad["status"], "-", bad["error"])
+
+    class FaultyDaemon:
+        name = "faulty"
+
+        def run_once(self) -> int:
+            raise RuntimeError("simulated daemon bug")
+
+    server.scheduler.register(FaultyDaemon(), period=1)
+    server.process_background_work()
+    stats = server.scheduler.stats()["faulty"]
+    print(f"faulty daemon: {stats['failures']} failures, "
+          f"quarantined={stats['quarantined']}; "
+          "the rest of the server kept running")
+    print("crawler stats:", server.scheduler.stats()["crawler"])
+
+    print("\nDone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Bookmark interchange: Netscape in, Memex mining, Explorer out.
+
+Reproduces §2's workflow: "Existing bookmarks from Netscape or Explorer
+can be imported into Memex's editable tree-structured topic view;
+conversely Memex can export back to these browsers."
+
+The script writes a realistic Netscape ``bookmarks.html``, imports it into
+a Memex account, surfs a little so the classifier daemon starts filing new
+pages into the imported folders, corrects one guess (the Figure 1
+cut/paste gesture), and finally exports the enriched folder tree both as
+``bookmarks.html`` and as an IE Favorites directory.
+
+Run:  python examples/bookmark_import.py
+"""
+
+import random
+import tempfile
+from pathlib import Path
+
+from repro.core import MemexSystem
+from repro.folders import (
+    export_explorer_favorites,
+    import_netscape_file,
+    tree_to_bookmarks,
+    write_bookmarks,
+)
+from repro.folders.tree import FolderTree, ITEM_GUESS
+from repro.webgen import generate_corpus, generate_links, master_taxonomy
+
+
+def fabricate_netscape_file(corpus, path: Path) -> None:
+    """Write a plausible 1999-vintage bookmarks.html from corpus pages."""
+    tree = FolderTree()
+    picks = {
+        "Music/Classical": "Arts/Music/Classical",
+        "Music/Jazz": "Arts/Music/Jazz",
+        "Work/Compilers": "Computers/Programming/Compilers",
+        "Fun/Cycling": "Recreation/Cycling",
+    }
+    for folder, topic in picks.items():
+        for page in corpus.by_topic(topic)[:4]:
+            tree.add_item(folder, page.url, title=page.title, added_at=9.4e8)
+    path.write_text(write_bookmarks(tree_to_bookmarks(tree)), encoding="utf-8")
+
+
+def main() -> None:
+    rng = random.Random(3)
+    root = master_taxonomy()
+    corpus = generate_corpus(root, rng, pages_per_leaf=15)
+    generate_links(corpus, rng)
+
+    workdir = Path(tempfile.mkdtemp(prefix="memex-bookmarks-"))
+    netscape_in = workdir / "bookmarks.html"
+    fabricate_netscape_file(corpus, netscape_in)
+    print(f"Wrote a Netscape bookmark file: {netscape_in}")
+
+    # Parse it and push it into a fresh Memex account.
+    tree = import_netscape_file(netscape_in, owner="alice")
+    print(f"Parsed {tree.num_items()} bookmarks in "
+          f"{len(tree.paths())} folders")
+
+    system = MemexSystem.from_corpus(corpus)
+    applet = system.register_user("alice")
+    payload = {
+        folder.path: [
+            {"url": item.url, "title": item.title, "added_at": item.added_at}
+            for item in folder.items
+        ]
+        for folder in tree.folders()
+        if folder.items
+    }
+    imported = applet.import_bookmarks(payload, at=0.0)
+    print(f"Imported {imported} bookmarks into Memex")
+
+    # Surf a few topical pages the classifier has never seen bookmarked.
+    t = 1000.0
+    for topic in ["Arts/Music/Classical", "Arts/Music/Jazz",
+                  "Computers/Programming/Compilers", "Recreation/Cycling"]:
+        for page in corpus.by_topic(topic)[6:10]:
+            applet.record_visit(page.url, at=t)
+            t += 60.0
+    system.server.process_background_work()
+
+    view = applet.folder_view()
+    print("\nFolder tab after the classifier daemon ran "
+          "('?' marks its guesses):")
+    mistakes = []
+    for folder in view["folders"]:
+        if not folder["items"]:
+            continue
+        print(f"  [{folder['path']}]")
+        for item in folder["items"]:
+            marker = "? " if item["guess"] else "  "
+            print(f"    {marker}{item['url']}")
+            if item["guess"] and corpus.topic_of(item["url"]) not in (
+                "Arts/Music/Classical", "Arts/Music/Jazz",
+                "Computers/Programming/Compilers", "Recreation/Cycling",
+            ):
+                mistakes.append((folder["path"], item["url"]))
+
+    # Correct one guess with cut/paste (reinforces the classifier).
+    guesses = [
+        (f["path"], i["url"])
+        for f in view["folders"] for i in f["items"] if i["guess"]
+    ]
+    if guesses:
+        from_path, url = guesses[0]
+        applet.move_bookmark(url, None, from_path, at=t)
+        print(f"\nConfirmed the guess for {url} into [{from_path}] "
+              "(cut/paste correction)")
+
+    # Export the enriched tree both ways.
+    server = system.server
+    enriched = FolderTree(owner="alice")
+    for folder in applet.folder_view()["folders"]:
+        enriched.ensure(folder["path"])
+        for item in folder["items"]:
+            enriched.add_item(
+                folder["path"], item["url"],
+                source=ITEM_GUESS if item["guess"] else "bookmark",
+            )
+    netscape_out = workdir / "exported.html"
+    netscape_out.write_text(
+        write_bookmarks(tree_to_bookmarks(enriched)), encoding="utf-8",
+    )
+    favorites_dir = workdir / "Favorites"
+    count = export_explorer_favorites(enriched, favorites_dir)
+    print(f"\nExported {count} deliberate bookmarks to {favorites_dir}")
+    print(f"Exported Netscape file: {netscape_out}")
+    print("Done.")
+
+
+if __name__ == "__main__":
+    main()

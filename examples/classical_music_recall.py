@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""The paper's running example: recalling a classical-music browsing context.
+
+Section 1 asks: "What was the Web neighborhood I was surfing the last time
+I was looking for resources on classical music?" and "Are there any
+popular sites, related to my experience on classical music, that have
+appeared recently?"
+
+This script builds a community whose star user surfs Western classical
+music among other things, then answers all six motivating queries for
+that user — the live demo the paper proposed, end to end.
+
+Run:  python examples/classical_music_recall.py
+"""
+
+import random
+
+from repro.core import MemexSystem, MotivatingQueries
+from repro.webgen import (
+    generate_corpus,
+    generate_links,
+    make_profile,
+    master_taxonomy,
+    simulate_surfers,
+)
+
+CLASSICAL = "Arts/Music/Classical"
+
+
+def main() -> None:
+    rng = random.Random(7)
+    root = master_taxonomy()
+    corpus = generate_corpus(root, rng, pages_per_leaf=20)
+    graph = generate_links(corpus, rng)
+
+    # Our protagonist loves classical music; peers share it to varying
+    # degrees (that's what makes community trails and themes useful).
+    me = make_profile("soumen", root, rng, num_core=3, num_fringe=2)
+    me.interests = {
+        CLASSICAL: 0.5,
+        "Computers/Programming/Compilers": 0.3,
+        "Recreation/Cycling": 0.15,
+        "News/Weather": 0.05,
+    }
+    me.folders = {
+        "Music/Western Classical": [CLASSICAL],
+        "Work/Compilers": ["Computers/Programming/Compilers"],
+        "Cycling": ["Recreation/Cycling"],
+    }
+    peers = []
+    for i in range(5):
+        p = make_profile(f"volunteer{i}", root, rng, num_core=3, num_fringe=1)
+        # Ensure a shared classical interest across the community.
+        p.interests = dict(p.interests)
+        p.interests[CLASSICAL] = 0.4
+        total = sum(p.interests.values())
+        p.interests = {t: w / total for t, w in p.interests.items()}
+        p.folders = dict(p.folders)
+        p.folders.setdefault(f"my classical {i}", [CLASSICAL])
+        peers.append(p)
+
+    result = simulate_surfers(corpus, graph, [me] + peers, rng, days=45)
+    print(f"Simulated {len(result.events)} surf events over 45 days "
+          f"for {1 + len(peers)} volunteers")
+
+    system = MemexSystem.from_corpus(corpus)
+    for profile in [me] + peers:
+        system.register_user(profile.user_id, community="iitb")
+    system.replay(result.events)
+    queries = MotivatingQueries(system.server)
+
+    print("\nQ1. What was that URL about symphonies I visited ~3 weeks back?")
+    a1 = queries.url_from_memory(
+        "soumen", "symphony orchestra concerto",
+        about_days_ago=21.0, tolerance_days=10.0,
+    )
+    for hit in a1.results[:3]:
+        days = (system.server.now - hit["visited_at"]) / 86_400.0
+        print(f"   {hit['url']}  (visited {days:.0f} days ago)")
+
+    print("\nQ2. What was I surfing last time I was on Western Classical?")
+    a2 = queries.last_neighborhood("soumen", "Music/Western Classical")
+    if a2.found:
+        session = a2.extra["session"]
+        print(f"   session #{session['session_id']}: "
+              f"{len(session['trail'])} pages, "
+              f"{len(a2.results)} pages in the neighborhood")
+        for url in session["on_topic"][:4]:
+            print(f"     {url}")
+
+    print("\nQ3. Fresh, popular classical-music sites?")
+    a3 = queries.fresh_popular_sites("soumen", "classical symphony opera")
+    for res in a3.results[:4]:
+        print(f"   score={res['score']:.2f} authority={res['authority']:.2f} "
+              f"{res['url']}")
+
+    print("\nQ4. How does my ISP bill split by topic?")
+    a4 = queries.bill_division("soumen", days=45.0, monthly_rate=20.0)
+    for line in a4.results:
+        print(f"   ${line['amount']:5.2f}  {line['category']:<22} "
+              f"({line['visits']} visits, {100 * line['share']:.0f}%)")
+
+    print("\nQ5. The community topic map, and my place in it:")
+    a5 = queries.community_topic_map("soumen")
+
+    def show(node, depth=0):
+        me_part = f"  <-- me: {node['my_weight']:.2f}" if node["my_weight"] > 0.05 else ""
+        print("   " + "  " * depth +
+              f"- {node['label']} ({node['num_users']} users){me_part}")
+        for child in node["children"]:
+            show(child, depth + 1)
+
+    for theme in a5.results:
+        show(theme)
+
+    print("\nQ6. Who shares my classical-music interest "
+          "(excluding compiler folk)?")
+    a6 = queries.interest_mates(
+        "soumen", "classical symphony opera",
+        exclude_query="compiler optimization parser",
+    )
+    for row in a6.results:
+        print(f"   {row['user_id']}  interest={row['interest']:.2f}")
+
+    print("\nDone.")
+
+
+if __name__ == "__main__":
+    main()

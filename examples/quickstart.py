@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Quickstart: stand up a Memex community and poke at every tab.
+
+Generates a small synthetic Web with simulated surfers, replays a month of
+their browsing through real client applets, lets the mining daemons run,
+and then exercises the main features: full-text search, the folder tab
+(with the classifier's '?' guesses), the trail tab, and community themes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import MemexSystem
+from repro.webgen import build_workload
+
+
+def main() -> None:
+    print("== Generating a synthetic Web and a month of community surfing ==")
+    workload = build_workload(seed=42, num_users=8, days=30, pages_per_leaf=15)
+    print(f"   pages: {len(workload.corpus)}, "
+          f"links: {workload.graph.number_of_edges()}, "
+          f"events: {len(workload.events)}")
+
+    print("== Replaying events through the client-server pipeline ==")
+    system = MemexSystem.from_workload(workload)
+    counts = system.replay(workload.events)
+    print(f"   replayed: {counts}")
+
+    server = system.server
+    stats = server.registry.dispatch(
+        {"servlet": "stats", "user_id": workload.profiles[0].user_id}
+    )
+    print(f"   archived {stats['visits']} visits over {stats['pages']} pages; "
+          f"{stats['indexed']} pages indexed")
+
+    user = workload.profiles[0]
+    applet = system.connect(user.user_id)
+    top_topic = max(user.interests.items(), key=lambda kv: kv[1])[0]
+    leaf = workload.root.find(top_topic)
+    query = " ".join(leaf.seed_terms[:2])
+
+    print(f"\n== Full-text search: {query!r} ==")
+    for hit in applet.search(query, k=5):
+        print(f"   {hit['score']:6.2f}  {hit['url']}  ({hit['title']})")
+
+    print(f"\n== Folder tab for {user.user_id} ('?' = classifier guess) ==")
+    view = applet.folder_view()
+    for folder in view["folders"]:
+        guesses = sum(1 for i in folder["items"] if i["guess"])
+        deliberate = len(folder["items"]) - guesses
+        print(f"   [{folder['path']}]  {deliberate} bookmarks, {guesses} guesses")
+        for item in folder["items"][:3]:
+            marker = "? " if item["guess"] else "  "
+            print(f"     {marker}{item['url']}")
+
+    folder_path = user.folder_for_topic(top_topic)
+    print(f"\n== Trail tab: recent community trail for {folder_path!r} ==")
+    trail = applet.trail_view(folder_path, window_days=30)["trail"]
+    for node in trail["nodes"][:6]:
+        print(f"   score={node['score']:5.2f} visits={node['visits']} "
+              f"{node['url']}")
+    print(f"   ({len(trail['nodes'])} pages, {len(trail['edges'])} edges)")
+
+    print("\n== Community themes (Figure 4) ==")
+    def show(theme, depth=0):
+        print("   " + "  " * depth +
+              f"- {theme['label']}  ({theme['num_users']} users, "
+              f"{len(theme['folders'])} folders)")
+        for child in theme["children"]:
+            show(child, depth + 1)
+    for theme in applet.themes():
+        show(theme)
+
+    print("\n== Who surfs like me? ==")
+    for row in applet.similar_users(k=3):
+        print(f"   {row['user_id']}  similarity={row['similarity']:.2f}")
+
+    print("\nDone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Environments without the ``wheel`` package cannot do PEP 660 editable
+installs; this file lets ``pip install -e . --no-use-pep517
+--no-build-isolation`` (or plain ``python setup.py develop``) work there.
+Metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,173 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``
+    Generate a community, replay it, and print a tour of every feature
+    (what the VLDB demo session would have shown).
+``generate``
+    Generate a workload and print its statistics (corpus, graph, events).
+``queries``
+    Answer the six §1 motivating queries for one simulated user.
+``experiments``
+    Print the experiment index (what each benchmark reproduces).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import MemexSystem, MotivatingQueries
+from .core.community import consolidate
+from .webgen import build_workload, link_topic_locality
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--users", type=int, default=8)
+    parser.add_argument("--days", type=float, default=30.0)
+    parser.add_argument("--pages-per-leaf", type=int, default=15)
+
+
+def _build(args: argparse.Namespace):
+    return build_workload(
+        seed=args.seed, num_users=args.users, days=args.days,
+        pages_per_leaf=args.pages_per_leaf,
+    )
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    workload = _build(args)
+    print(f"taxonomy leaves : {len(workload.root.leaves())}")
+    print(f"pages           : {len(workload.corpus)}")
+    fronts = sum(1 for p in workload.corpus.pages.values() if p.front_page)
+    print(f"  front pages   : {fronts}")
+    print(f"links           : {workload.graph.number_of_edges()}")
+    print(f"  topic locality: {link_topic_locality(workload.corpus, workload.graph):.2f}")
+    print(f"users           : {len(workload.profiles)}")
+    print(f"events          : {len(workload.events)}")
+    from .server.events import BookmarkEvent, VisitEvent
+    visits = sum(1 for e in workload.events if isinstance(e, VisitEvent))
+    bms = sum(1 for e in workload.events if isinstance(e, BookmarkEvent))
+    print(f"  visits        : {visits}")
+    print(f"  bookmarks     : {bms}")
+    return 0
+
+
+def _replayed_system(args: argparse.Namespace):
+    workload = _build(args)
+    system = MemexSystem.from_workload(workload)
+    print(f"replaying {len(workload.events)} events ...", file=sys.stderr)
+    system.replay(workload.events)
+    return workload, system
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    workload, system = _replayed_system(args)
+    user = workload.profiles[0]
+    applet = system.connect(user.user_id)
+    top_topic = max(user.interests.items(), key=lambda kv: kv[1])[0]
+    leaf = workload.root.find(top_topic)
+    query = " ".join(leaf.seed_terms[:2])
+
+    print(f"\n# search {query!r}")
+    for hit in applet.search(query, k=5):
+        print(f"  {hit['score']:6.2f}  {hit['url']}")
+
+    folder = user.folder_for_topic(top_topic)
+    print(f"\n# trail tab for [{folder}]")
+    trail = applet.trail_view(folder)["trail"]
+    for node in trail["nodes"][:5]:
+        print(f"  score={node['score']:5.2f}  {node['url']}")
+
+    print("\n# community themes")
+    report = consolidate(system.server)
+    if report is not None:
+        print(report.render(max_themes=12))
+
+    print("\n# similar users")
+    for row in applet.similar_users(k=3):
+        print(f"  {row['user_id']}  {row['similarity']:.2f}")
+    return 0
+
+
+def cmd_queries(args: argparse.Namespace) -> int:
+    workload, system = _replayed_system(args)
+    profile = next(
+        (p for p in workload.profiles if p.user_id == args.user),
+        workload.profiles[0],
+    )
+    top_topic = max(profile.interests.items(), key=lambda kv: kv[1])[0]
+    leaf = workload.root.find(top_topic)
+    queries = MotivatingQueries(system.server)
+    answers = queries.answer_all(
+        profile.user_id,
+        topical_query=" ".join(leaf.seed_terms[:3]),
+        folder_path=profile.folder_for_topic(top_topic),
+    )
+    for name, answer in answers.items():
+        print(f"\n== {name}: {answer.question}")
+        for row in answer.results[:3]:
+            print(f"   {row}")
+    return 0
+
+
+EXPERIMENTS = [
+    ("E1", "benchmarks/test_e1_classifier_accuracy.py",
+     "Text-only 40% -> enhanced 80% classification (the §4 claim)"),
+    ("E2", "benchmarks/test_e2_folder_learning.py",
+     "Figure 1: corrections improve the classifier"),
+    ("E3", "benchmarks/test_e3_trail_replay.py",
+     "Figure 2: trail-tab replay precision/recall"),
+    ("E4", "benchmarks/test_e4_server_pipeline.py",
+     "Figure 3: async daemons, versioning, robustness, latency"),
+    ("E5", "benchmarks/test_e5_theme_discovery.py",
+     "Figure 4: community theme taxonomy, refine/coarsen, fit"),
+    ("E6", "benchmarks/test_e6_motivating_queries.py",
+     "§1: the six motivating queries"),
+    ("E7", "benchmarks/test_e7_clustering.py",
+     "§4: HAC / scatter-gather link clustering"),
+    ("E8", "benchmarks/test_e8_baselines.py",
+     "§5: PowerBookmarks-style and URL-overlap baselines"),
+    ("M*", "benchmarks/test_micro_*.py",
+     "storage and text substrate microbenchmarks"),
+]
+
+
+def cmd_experiments(_args: argparse.Namespace) -> int:
+    for exp_id, path, desc in EXPERIMENTS:
+        print(f"{exp_id:<4} {path:<44} {desc}")
+    print("\nRun them all:  pytest benchmarks/ --benchmark-only")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Memex (VLDB 2000) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a workload and print stats")
+    _add_workload_args(p)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("demo", help="replay a community and tour the features")
+    _add_workload_args(p)
+    p.set_defaults(func=cmd_demo)
+
+    p = sub.add_parser("queries", help="answer the six motivating queries")
+    _add_workload_args(p)
+    p.add_argument("--user", default="user00")
+    p.set_defaults(func=cmd_queries)
+
+    p = sub.add_parser("experiments", help="print the experiment index")
+    p.set_defaults(func=cmd_experiments)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

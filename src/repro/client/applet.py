@@ -1,0 +1,267 @@
+"""The Memex client applet.
+
+§2's client: it taps the browser for the current location, respects the
+user's archive mode locally (an ``off`` mode means the URL never leaves
+the machine), and exposes the function tabs — folder management, trail
+replay, search — as methods that tunnel requests to the server.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import AuthError, MemexError
+from ..server.transport import HttpTunnelTransport
+from .browser import Browser
+
+ARCHIVE_OFF = "off"
+ARCHIVE_PRIVATE = "private"
+ARCHIVE_COMMUNITY = "community"
+
+
+class MemexApplet:
+    """One user's client session.
+
+    Parameters
+    ----------
+    transport:
+        The HTTP tunnel to a Memex server.
+    user_id:
+        Who is logged in.
+    browser:
+        The browser being tapped; may be None for headless replay.
+    """
+
+    def __init__(
+        self,
+        transport: HttpTunnelTransport,
+        user_id: str,
+        *,
+        browser: Browser | None = None,
+        session_id: int = 1,
+    ) -> None:
+        self.transport = transport
+        self.user_id = user_id
+        self.browser = browser
+        self.archive_mode = ARCHIVE_COMMUNITY
+        self.session_id = session_id
+        self.dropped_events = 0  # visits not archived because mode was off
+        if browser is not None:
+            browser.add_listener(self._on_navigate)
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _call(self, servlet: str, **kwargs: Any) -> dict[str, Any]:
+        response = self.transport.request(
+            self.user_id, {"servlet": servlet, **kwargs},
+        )
+        if response.get("status") != "ok":
+            error = response.get("error", "unknown server error")
+            if "unknown user" in error:
+                raise AuthError(error)
+            raise MemexError(f"servlet {servlet!r} failed: {error}")
+        return response
+
+    # -- archive-mode control (Figure 1's three choices) -----------------------------
+
+    def set_archive_mode(self, mode: str) -> None:
+        if mode not in (ARCHIVE_OFF, ARCHIVE_PRIVATE, ARCHIVE_COMMUNITY):
+            raise MemexError(f"unknown archive mode {mode!r}")
+        self.archive_mode = mode
+        if mode != ARCHIVE_OFF:
+            self._call("set_archive_mode", mode=mode)
+
+    # -- browser tap ---------------------------------------------------------------------
+
+    def _on_navigate(self, url: str, referrer: str | None, at: float) -> None:
+        self.record_visit(url, referrer=referrer, at=at)
+
+    def record_visit(
+        self,
+        url: str,
+        *,
+        at: float,
+        referrer: str | None = None,
+        session_id: int | None = None,
+    ) -> bool:
+        """Archive one visit; returns False when mode is off (nothing sent)."""
+        if self.archive_mode == ARCHIVE_OFF:
+            self.dropped_events += 1
+            return False
+        self._call(
+            "visit",
+            url=url,
+            at=at,
+            referrer=referrer,
+            session_id=session_id if session_id is not None else self.session_id,
+        )
+        return True
+
+    def new_session(self) -> int:
+        self.session_id += 1
+        return self.session_id
+
+    def import_history(self, entries: list[dict[str, Any]]) -> dict[str, int]:
+        """Bulk-import a raw browser history (``[{url, at, referrer?}]``).
+
+        The server reconstructs sessions with the 30-minute gap rule so
+        context recall works on pre-Memex history.  Respects archive-off.
+        """
+        if self.archive_mode == ARCHIVE_OFF:
+            self.dropped_events += len(entries)
+            return {"imported": 0, "sessions_assigned": 0}
+        response = self._call("import_history", entries=entries)
+        return {
+            "imported": response["imported"],
+            "sessions_assigned": response["sessions_assigned"],
+        }
+
+    # -- folder tab -----------------------------------------------------------------------
+
+    def create_folder(self, path: str, *, at: float = 0.0) -> None:
+        self._call("folder_create", path=path, at=at)
+
+    def bookmark(self, url: str, folder_path: str, *, at: float) -> None:
+        """Deliberately file the URL into a folder while surfing."""
+        if self.archive_mode == ARCHIVE_OFF:
+            self.dropped_events += 1
+            return
+        self._call("bookmark", url=url, folder_path=folder_path, at=at)
+
+    def move_bookmark(
+        self, url: str, from_folder: str | None, to_folder: str, *, at: float
+    ) -> None:
+        """Cut/paste correction — reinforces or corrects the classifier."""
+        self._call(
+            "folder_move", url=url,
+            from_folder=from_folder, to_folder=to_folder, at=at,
+        )
+
+    def folder_view(self) -> dict[str, Any]:
+        """The folder tab's data: folders, items, and '?' guesses."""
+        return self._call("folders_get")
+
+    def import_bookmarks(self, folders: dict[str, list[dict]], *, at: float = 0.0) -> int:
+        """Push an imported browser bookmark structure to the server.
+
+        *folders* maps folder path -> list of ``{url, title}`` dicts (use
+        :mod:`repro.folders.importer` to produce it from real files).
+        """
+        count = 0
+        for path, entries in folders.items():
+            self.create_folder(path, at=at)
+            for entry in entries:
+                self._call(
+                    "bookmark", url=entry["url"],
+                    folder_path=path, at=entry.get("added_at", at),
+                )
+                count += 1
+        return count
+
+    # -- trail tab --------------------------------------------------------------------------
+
+    def trail_view(
+        self, folder_path: str, *, window_days: float = 14.0,
+    ) -> dict[str, Any]:
+        """Replay the community's recent trail graph for a topic folder."""
+        return self._call("trail", folder_path=folder_path, window_days=window_days)
+
+    def context_view(self, folder_path: str) -> dict[str, Any]:
+        """'What was I doing last time I surfed about this topic?'"""
+        return self._call("context", folder_path=folder_path)
+
+    # -- search tab --------------------------------------------------------------------------
+
+    def search(
+        self,
+        query: str,
+        *,
+        k: int = 10,
+        scope: str = "all",
+        mode: str = "ranked",
+    ) -> list[dict[str, Any]]:
+        """Full-text search over archived pages.
+
+        ``scope``: all | mine | community.  ``mode``: ranked (BM25) or
+        boolean (AND/OR/NOT with parentheses, BM25-ranked matches).
+        Each hit carries a query-biased ``snippet`` with [marked] terms.
+        """
+        return self._call(
+            "search", query=query, k=k, scope=scope, mode=mode,
+        )["hits"]
+
+    def recall_url(
+        self,
+        query: str,
+        *,
+        around_days_ago: float,
+        tolerance_days: float = 45.0,
+        k: int = 5,
+    ) -> list[dict[str, Any]]:
+        """Temporal recall: 'the URL I visited about six months back
+        regarding ...'."""
+        return self._call(
+            "recall", query=query,
+            around_days_ago=around_days_ago,
+            tolerance_days=tolerance_days, k=k,
+        )["hits"]
+
+    # -- community views ----------------------------------------------------------------------
+
+    def themes(self) -> list[dict[str, Any]]:
+        return self._call("themes_get")["themes"]
+
+    def resources(self, query: str, *, k: int = 10, since_days: float | None = None) -> list[dict[str, Any]]:
+        """Fresh/authoritative pages for a topic, from the discovery daemon."""
+        return self._call(
+            "resources", query=query, k=k, since_days=since_days,
+        )["resources"]
+
+    def bill(self, *, days: float, monthly_rate: float = 20.0) -> dict[str, Any]:
+        """ISP bill decomposition by topic."""
+        return self._call("bill", days=days, monthly_rate=monthly_rate)
+
+    def similar_users(self, *, k: int = 5) -> list[dict[str, Any]]:
+        return self._call("profile_similar", k=k)["users"]
+
+    def interest_mates(
+        self, query: str, *, k: int = 5, exclude_query: str | None = None,
+    ) -> list[dict[str, Any]]:
+        """'Who shares my interest in X (and is not likely a Y)?'"""
+        return self._call(
+            "interest_mates", query=query, k=k, exclude_query=exclude_query,
+        )["users"]
+
+    def recommendations(self, *, k: int = 10) -> list[dict[str, Any]]:
+        return self._call("recommend", k=k)["pages"]
+
+    # -- reorganization (§2's proposed topic hierarchies) -------------------------------------
+
+    def propose_organization(
+        self, folder_path: str, *, min_cluster: int = 3, max_depth: int = 3,
+    ) -> dict[str, Any] | None:
+        """Ask the server to propose a topic hierarchy over a folder's
+        links; returns the proposal payload (or None for empty folders)."""
+        return self._call(
+            "propose_hierarchy", folder_path=folder_path,
+            min_cluster=min_cluster, max_depth=max_depth,
+        )["proposal"]
+
+    def apply_organization(
+        self, folder_path: str, proposal: dict[str, Any], *, at: float,
+    ) -> int:
+        """Accept a proposal: subfolders are created, items re-filed."""
+        return self._call(
+            "apply_hierarchy", folder_path=folder_path,
+            proposal=proposal, at=at,
+        )["moved"]
+
+    def popular_near_trail(
+        self, folder_path: str, *, k: int = 10, window_days: float = 30.0,
+    ) -> list[dict[str, Any]]:
+        """'Popular pages in or near my community's recent trail graph'
+        (HITS authorities on the trail neighborhood)."""
+        return self._call(
+            "popular_near_trail", folder_path=folder_path,
+            k=k, window_days=window_days,
+        )["pages"]

@@ -1,0 +1,161 @@
+"""Top-level facade: build a Memex system, connect clients, replay surfing.
+
+This is the entry point examples and benchmarks use::
+
+    workload = build_workload(seed=1)
+    system = MemexSystem.from_workload(workload)
+    system.replay(workload.events)
+    applet = system.connect("user00")
+    applet.search("classical symphonies")
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..client.applet import MemexApplet
+from ..client.browser import Browser
+from ..server.daemons import FetchedPage, FetchFn
+from ..server.events import (
+    ArchiveModeEvent,
+    BookmarkEvent,
+    FolderCreateEvent,
+    FolderMoveEvent,
+    SurfEvent,
+    VisitEvent,
+)
+from ..webgen.corpus import WebCorpus
+from ..webgen.workload import Workload
+from .memex import MemexServer
+
+
+def corpus_fetcher(corpus: WebCorpus) -> FetchFn:
+    """The crawler's view of the simulated Web: URLs resolve to corpus
+    pages; anything else is a dead link (returns None)."""
+
+    def fetch(url: str) -> FetchedPage | None:
+        page = corpus.pages.get(url)
+        if page is None:
+            return None
+        return FetchedPage(
+            url=page.url,
+            title=page.title,
+            text=page.text,
+            out_links=tuple(page.out_links),
+            front_page=page.front_page,
+        )
+
+    return fetch
+
+
+class MemexSystem:
+    """A Memex server plus its connected clients."""
+
+    def __init__(self, server: MemexServer) -> None:
+        self.server = server
+        self._applets: dict[str, MemexApplet] = {}
+
+    def close(self) -> None:
+        self.server.close()
+
+    def __enter__(self) -> "MemexSystem":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    @classmethod
+    def from_corpus(cls, corpus: WebCorpus, **server_kwargs) -> "MemexSystem":
+        return cls(MemexServer(corpus_fetcher(corpus), **server_kwargs))
+
+    @classmethod
+    def from_workload(
+        cls,
+        workload: Workload,
+        *,
+        register_users: bool = True,
+        community: str | None = None,
+        **server_kwargs,
+    ) -> "MemexSystem":
+        """Build a system over the workload's corpus and (optionally)
+        pre-register every simulated surfer."""
+        system = cls.from_corpus(workload.corpus, **server_kwargs)
+        if register_users:
+            for profile in workload.profiles:
+                system.register_user(
+                    profile.user_id,
+                    community=community or workload.name,
+                )
+        return system
+
+    # -- accounts ---------------------------------------------------------------
+
+    def register_user(
+        self,
+        user_id: str,
+        *,
+        community: str | None = None,
+        archive_mode: str = "community",
+        cipher_key: bytes | None = None,
+    ) -> MemexApplet:
+        """Create the account and return a connected applet."""
+        if cipher_key is not None:
+            self.server.transport.set_key(user_id, cipher_key)
+        self.server.transport.request(user_id, {
+            "servlet": "register_user",
+            "community": community,
+            "archive_mode": archive_mode,
+        })
+        return self.connect(user_id)
+
+    def connect(self, user_id: str, *, browser: Browser | None = None) -> MemexApplet:
+        """An applet session for an existing user (cached per user unless a
+        browser is supplied)."""
+        if browser is not None:
+            return MemexApplet(self.server.transport, user_id, browser=browser)
+        if user_id not in self._applets:
+            self._applets[user_id] = MemexApplet(self.server.transport, user_id)
+        return self._applets[user_id]
+
+    # -- replay -------------------------------------------------------------------
+
+    def replay(
+        self,
+        events: Iterable[SurfEvent],
+        *,
+        tick_every: int = 100,
+        finish: bool = True,
+    ) -> dict[str, int]:
+        """Feed simulated surf events through real client applets,
+        interleaving daemon work every *tick_every* events — the online
+        regime of the deployed system.  Returns event counts."""
+        counts = {"visit": 0, "bookmark": 0, "folder": 0, "move": 0, "mode": 0}
+        processed = 0
+        for event in events:
+            applet = self.connect(event.user_id)
+            if isinstance(event, VisitEvent):
+                applet.record_visit(
+                    event.url, at=event.at,
+                    referrer=event.referrer, session_id=event.session_id,
+                )
+                counts["visit"] += 1
+            elif isinstance(event, BookmarkEvent):
+                applet.bookmark(event.url, event.folder_path, at=event.at)
+                counts["bookmark"] += 1
+            elif isinstance(event, FolderCreateEvent):
+                applet.create_folder(event.folder_path, at=event.at)
+                counts["folder"] += 1
+            elif isinstance(event, FolderMoveEvent):
+                applet.move_bookmark(
+                    event.url, event.from_folder, event.to_folder, at=event.at,
+                )
+                counts["move"] += 1
+            elif isinstance(event, ArchiveModeEvent):
+                applet.set_archive_mode(event.mode)
+                counts["mode"] += 1
+            processed += 1
+            if tick_every and processed % tick_every == 0:
+                self.server.tick()
+        if finish:
+            self.server.process_background_work()
+        return counts

@@ -1,0 +1,744 @@
+"""MemexServer: the full server wired together.
+
+One object owning the repositories (Figure 3's data stores), the daemon
+fleet, and the servlet registry the HTTP tunnel dispatches into.  UI
+servlets run synchronously (the "guaranteed immediate processing" class of
+events); mining happens when the host ticks the daemon scheduler.
+
+Time is simulation time: the server's clock advances to the latest event
+timestamp it has seen, so replays are deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import AuthError, NotFitted
+from ..mining.themes import ThemeDiscovery
+from ..server.daemons import (
+    ClassifierDaemon,
+    CrawlerDaemon,
+    DiscoveryDaemon,
+    FetchFn,
+    IndexerDaemon,
+    PageVectorizer,
+    ThemeDaemon,
+)
+from ..server.scheduler import DaemonScheduler
+from ..server.servlets import ServletRegistry
+from ..server.transport import HttpTunnelTransport
+from ..storage.repository import MemexRepository
+from ..storage.schema import (
+    ARCHIVE_COMMUNITY,
+    ARCHIVE_OFF,
+    ASSOC_BOOKMARK,
+    ASSOC_CORRECTION,
+    ASSOC_GUESS,
+)
+from ..text.index import InvertedIndex
+from ..text.search import SearchEngine
+from ..text.vectorize import cosine, text_vector
+from .billing import bill_breakdown
+from .context import context_neighborhood, recall_session
+from .profiles import UserProfile, build_profile, similar_users
+from .recommend import recommend_pages
+from .trails import build_trail_graph, folder_and_descendants
+
+DAY = 86_400.0
+
+
+class MemexServer:
+    """The Memex service for one community.
+
+    Parameters
+    ----------
+    fetch:
+        The crawler's view of the Web (see
+        :func:`repro.core.api.corpus_fetcher` for the simulated one).
+    root:
+        Directory for persistent state; None keeps everything in memory.
+    theme_discovery:
+        Tuning for the theme daemon.
+    """
+
+    def __init__(
+        self,
+        fetch: FetchFn,
+        *,
+        root: str | None = None,
+        theme_discovery: ThemeDiscovery | None = None,
+        crawler_batch: int = 64,
+    ) -> None:
+        self.repo = MemexRepository(root)
+        self.vectorizer = PageVectorizer(self.repo)
+        self.index = InvertedIndex(self.repo.kv)
+        self.search_engine = SearchEngine(self.index)
+        self._now = 0.0
+
+        clock = lambda: self._now  # noqa: E731 - tiny closure over sim time
+        self.crawler = CrawlerDaemon(
+            self.repo, fetch, batch_size=crawler_batch, clock=clock,
+        )
+        self.indexer = IndexerDaemon(self.repo, self.index)
+        self.classifier = ClassifierDaemon(self.repo, self.vectorizer, clock=clock)
+        self.themes = ThemeDaemon(
+            self.repo, self.vectorizer, discovery=theme_discovery,
+        )
+        self.discovery = DiscoveryDaemon(
+            self.repo, self.vectorizer, self.themes,
+            crawler=self.crawler, clock=clock,
+        )
+        self.scheduler = DaemonScheduler()
+        self.scheduler.register(self.crawler, period=1)
+        self.scheduler.register(self.indexer, period=1)
+        self.scheduler.register(self.classifier, period=2)
+        self.scheduler.register(self.themes, period=8)
+        self.scheduler.register(self.discovery, period=8)
+
+        self.registry = ServletRegistry()
+        self._register_servlets()
+        self.transport = HttpTunnelTransport(self.registry)
+
+        self._profiles: dict[str, UserProfile] = {}
+        self._profiles_built_at = (-1, -1)  # (visit count, theme rebuilds)
+
+    # ------------------------------------------------------------------ time
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def _advance(self, at: float | None) -> float:
+        if at is not None:
+            self._now = max(self._now, float(at))
+        return self._now
+
+    # ------------------------------------------------------------- daemon API
+
+    def process_background_work(self, *, max_rounds: int = 1000) -> int:
+        """Run daemons until quiescent (tests and examples call this)."""
+        return self.scheduler.run_until_idle(max_rounds=max_rounds)
+
+    def tick(self, rounds: int = 1) -> int:
+        return self.scheduler.tick(rounds)
+
+    # ---------------------------------------------------------------- helpers
+
+    def _require_user(self, request: dict[str, Any]) -> dict[str, Any]:
+        user_id = request.get("user_id")
+        user = self.repo.get_user(user_id) if isinstance(user_id, str) else None
+        if user is None:
+            raise AuthError(f"unknown user {user_id!r}")
+        return user
+
+    def folder_id(self, owner: str, path: str) -> str:
+        canonical = "/".join(p for p in path.split("/") if p)
+        return f"{owner}:{canonical}"
+
+    def _ensure_folder(self, owner: str, path: str, at: float) -> str:
+        parts = [p for p in path.split("/") if p]
+        parent: str | None = None
+        built: list[str] = []
+        for part in parts:
+            built.append(part)
+            fid = self.folder_id(owner, "/".join(built))
+            if self.repo.db.table("folders").get(fid) is None:
+                self.repo.add_folder(fid, owner, part, parent, now=at)
+            parent = fid
+        if parent is None:
+            raise ValueError("empty folder path")
+        return parent
+
+    def _folder_path(self, folder_id: str) -> str:
+        return folder_id.split(":", 1)[1] if ":" in folder_id else folder_id
+
+    def _user_folder_ids(self, owner: str, path: str) -> list[str]:
+        fid = self.folder_id(owner, path)
+        if self.repo.db.table("folders").get(fid) is None:
+            return []
+        return folder_and_descendants(self.repo, fid)
+
+    def _query_vector(self, query: str):
+        return text_vector(self.vectorizer.vocab, query)
+
+    def _match_theme(self, query: str):
+        """Best (theme, similarity) for a free-text topic query."""
+        taxonomy = self.themes.taxonomy
+        if taxonomy is None:
+            return None, 0.0
+        qvec = self._query_vector(query)
+        if not qvec:
+            return None, 0.0
+        best, best_sim = None, 0.0
+        for theme in taxonomy.leaves():
+            sim = cosine(qvec, theme.center)
+            if sim > best_sim:
+                best, best_sim = theme, sim
+        return best, best_sim
+
+    def current_profiles(self) -> dict[str, UserProfile]:
+        """Per-user theme profiles, rebuilt lazily when state moved on."""
+        taxonomy = self.themes.taxonomy
+        if taxonomy is None:
+            return {}
+        key = (len(self.repo.db.table("visits")), self.themes.rebuild_count)
+        if key != self._profiles_built_at:
+            self._profiles = {
+                row["user_id"]: build_profile(
+                    self.repo, self.vectorizer, taxonomy, row["user_id"],
+                )
+                for row in self.repo.db.table("users").scan()
+            }
+            self._profiles_built_at = key
+        return self._profiles
+
+    # ---------------------------------------------------------------- servlets
+
+    def _register_servlets(self) -> None:
+        handlers = {
+            "register_user": self._sv_register_user,
+            "set_archive_mode": self._sv_set_archive_mode,
+            "visit": self._sv_visit,
+            "import_history": self._sv_import_history,
+            "bookmark": self._sv_bookmark,
+            "folder_create": self._sv_folder_create,
+            "folder_move": self._sv_folder_move,
+            "folders_get": self._sv_folders_get,
+            "search": self._sv_search,
+            "recall": self._sv_recall,
+            "trail": self._sv_trail,
+            "context": self._sv_context,
+            "themes_get": self._sv_themes_get,
+            "resources": self._sv_resources,
+            "bill": self._sv_bill,
+            "profile_similar": self._sv_profile_similar,
+            "interest_mates": self._sv_interest_mates,
+            "recommend": self._sv_recommend,
+            "propose_hierarchy": self._sv_propose_hierarchy,
+            "apply_hierarchy": self._sv_apply_hierarchy,
+            "popular_near_trail": self._sv_popular_near_trail,
+            "stats": self._sv_stats,
+        }
+        for name, handler in handlers.items():
+            self.registry.register(name, handler)
+
+    # -- account management ----------------------------------------------------
+
+    def _sv_register_user(self, request: dict[str, Any]) -> dict[str, Any]:
+        user_id = request["user_id"]
+        if self.repo.get_user(user_id) is not None:
+            return {"created": False}
+        self._advance(request.get("at"))
+        self.repo.add_user(
+            user_id,
+            name=request.get("name"),
+            community=request.get("community"),
+            archive_mode=request.get("archive_mode", ARCHIVE_COMMUNITY),
+            now=self._now,
+        )
+        return {"created": True}
+
+    def _sv_set_archive_mode(self, request: dict[str, Any]) -> dict[str, Any]:
+        user = self._require_user(request)
+        self.repo.set_archive_mode(user["user_id"], request["mode"])
+        return {"mode": request["mode"]}
+
+    # -- archiving ---------------------------------------------------------------
+
+    def _sv_visit(self, request: dict[str, Any]) -> dict[str, Any]:
+        user = self._require_user(request)
+        mode = user["archive_mode"]
+        if mode == ARCHIVE_OFF:
+            return {"archived": False}
+        at = self._advance(request.get("at"))
+        url = request["url"]
+        self.repo.upsert_page(url, now=at)
+        visit_id = self.repo.record_visit(
+            user["user_id"], url,
+            at=at,
+            session_id=int(request.get("session_id", 0)),
+            referrer=request.get("referrer"),
+            archive_mode=mode,
+        )
+        self.crawler.enqueue(url)
+        return {"archived": True, "visit_id": visit_id}
+
+    def _sv_import_history(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Bulk-import a raw browser history: timestamped URLs with no
+        session structure.  Visits are archived with ``session_id = 0``,
+        then the 30-minute gap rule (core.sessions) reconstructs sessions
+        so the trail/context tabs work on pre-Memex history too."""
+        from .sessions import assign_session_ids
+
+        user = self._require_user(request)
+        mode = user["archive_mode"]
+        if mode == ARCHIVE_OFF:
+            return {"imported": 0, "sessions_assigned": 0}
+        entries = request["entries"]
+        imported = 0
+        for entry in entries:
+            url = entry["url"]
+            at = self._advance(entry["at"])
+            self.repo.upsert_page(url, now=at)
+            self.repo.record_visit(
+                user["user_id"], url,
+                at=at, session_id=0,
+                referrer=entry.get("referrer"),
+                archive_mode=mode,
+            )
+            self.crawler.enqueue(url)
+            imported += 1
+        assigned = assign_session_ids(self.repo, user["user_id"])
+        return {"imported": imported, "sessions_assigned": assigned}
+
+    def _sv_bookmark(self, request: dict[str, Any]) -> dict[str, Any]:
+        user = self._require_user(request)
+        at = self._advance(request.get("at"))
+        url = request["url"]
+        folder = self._ensure_folder(user["user_id"], request["folder_path"], at)
+        self.repo.upsert_page(url, now=at)
+        # A deliberate bookmark supersedes any guess for this user+url.
+        for row in self.repo.page_folders(url):
+            if row["source"] == ASSOC_GUESS:
+                owner = self.repo.db.table("folders").get(row["folder_id"])
+                if owner is not None and owner["owner"] == user["user_id"]:
+                    self.repo.db.delete("folder_pages", row["assoc_id"])
+        assoc_id = self.repo.associate(folder, url, ASSOC_BOOKMARK, now=at)
+        self.crawler.enqueue(url)
+        return {"assoc_id": assoc_id, "folder_id": folder}
+
+    def _sv_folder_create(self, request: dict[str, Any]) -> dict[str, Any]:
+        user = self._require_user(request)
+        at = self._advance(request.get("at"))
+        folder = self._ensure_folder(user["user_id"], request["path"], at)
+        return {"folder_id": folder}
+
+    def _sv_folder_move(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Cut/paste correction: strongest supervision for the classifier."""
+        user = self._require_user(request)
+        at = self._advance(request.get("at"))
+        url = request["url"]
+        owner = user["user_id"]
+        removed = 0
+        if request.get("from_folder"):
+            src = self.folder_id(owner, request["from_folder"])
+            removed = self.repo.dissociate(src, url)
+        else:
+            # Remove this user's guesses wherever they are.
+            for row in self.repo.page_folders(url):
+                folder = self.repo.db.table("folders").get(row["folder_id"])
+                if (
+                    folder is not None
+                    and folder["owner"] == owner
+                    and row["source"] == ASSOC_GUESS
+                ):
+                    self.repo.db.delete("folder_pages", row["assoc_id"])
+                    removed += 1
+        dst = self._ensure_folder(owner, request["to_folder"], at)
+        assoc_id = self.repo.associate(dst, url, ASSOC_CORRECTION, now=at)
+        # Corrections also relabel this user's visits of the page.
+        for visit in self.repo.db.table("visits").select(
+            {"user_id": owner, "url": url}
+        ):
+            self.repo.classify_visit(visit["visit_id"], dst, 1.0)
+        return {"assoc_id": assoc_id, "removed": removed, "folder_id": dst}
+
+    def _sv_folders_get(self, request: dict[str, Any]) -> dict[str, Any]:
+        user = self._require_user(request)
+        owner = user["user_id"]
+        folders = []
+        for row in sorted(
+            self.repo.user_folders(owner), key=lambda r: r["folder_id"]
+        ):
+            items = [
+                {
+                    "url": assoc["url"],
+                    "source": assoc["source"],
+                    "confidence": assoc["confidence"],
+                    "guess": assoc["source"] == ASSOC_GUESS,
+                }
+                for assoc in sorted(
+                    self.repo.folder_pages(row["folder_id"]),
+                    key=lambda a: a["assoc_id"],
+                )
+            ]
+            folders.append({
+                "path": self._folder_path(row["folder_id"]),
+                "name": row["name"],
+                "items": items,
+            })
+        return {"folders": folders}
+
+    # -- search and recall ----------------------------------------------------------
+
+    def _sv_search(self, request: dict[str, Any]) -> dict[str, Any]:
+        user = self._require_user(request)
+        query = request["query"]
+        k = int(request.get("k", 10))
+        scope = request.get("scope", "all")
+        mode = request.get("mode", "ranked")
+        candidates: set[str] | None = None
+        if scope == "mine":
+            candidates = {
+                v["url"] for v in self.repo.user_visits(user["user_id"])
+            }
+        elif scope == "community":
+            candidates = {v["url"] for v in self.repo.community_visits()}
+        if mode == "boolean":
+            from ..text.query import ranked_boolean_search
+
+            hits = ranked_boolean_search(self.search_engine, query, k=k * 4)
+            if candidates is not None:
+                hits = [h for h in hits if h.doc_id in candidates]
+            hits = hits[:k]
+        else:
+            hits = self.search_engine.search(query, k=k, candidates=candidates)
+        payloads = []
+        for hit in hits:
+            payload = self._hit_payload(hit.doc_id, hit.score)
+            payload["snippet"] = self._snippet_for(hit.doc_id, query)
+            payloads.append(payload)
+        return {"hits": payloads}
+
+    def _snippet_for(self, url: str, query: str) -> str | None:
+        from ..text.snippets import make_snippet
+
+        text = self.repo.page_text(url)
+        if text is None:
+            return None
+        return make_snippet(text, query).marked()
+
+    def _sv_recall(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Temporal recall: full-text search over MY visits around a time."""
+        user = self._require_user(request)
+        query = request["query"]
+        around = self._now - float(request["around_days_ago"]) * DAY
+        tolerance = float(request.get("tolerance_days", 45.0)) * DAY
+        k = int(request.get("k", 5))
+        window = {
+            v["url"]: v["at"]
+            for v in self.repo.user_visits(
+                user["user_id"], since=around - tolerance, until=around + tolerance,
+            )
+        }
+        hits = self.search_engine.search(query, k=k * 3, candidates=set(window))
+        ranked = []
+        for hit in hits:
+            # Prefer hits whose visit time is nearest the asked-about time.
+            nearness = 1.0 / (1.0 + abs(window[hit.doc_id] - around) / DAY)
+            ranked.append((hit.doc_id, hit.score * (0.5 + nearness)))
+        ranked.sort(key=lambda kv: (-kv[1], kv[0]))
+        return {
+            "hits": [
+                {**self._hit_payload(url, score), "visited_at": window[url]}
+                for url, score in ranked[:k]
+            ]
+        }
+
+    def _hit_payload(self, url: str, score: float) -> dict[str, Any]:
+        page = self.repo.db.table("pages").get(url)
+        return {"url": url, "score": score, "title": (page or {}).get("title")}
+
+    # -- trail and context -------------------------------------------------------------
+
+    def _sv_trail(self, request: dict[str, Any]) -> dict[str, Any]:
+        user = self._require_user(request)
+        owner = user["user_id"]
+        path = request["folder_path"]
+        window_days = float(request.get("window_days", 14.0))
+        folder_ids = self._user_folder_ids(owner, path)
+        since = self._now - window_days * DAY
+        include = self._community_pages_for_folder(owner, folder_ids, since=since)
+        graph = build_trail_graph(
+            self.repo, folder_ids,
+            folder_paths=[path],
+            since=since,
+            user_id=owner,
+            include_urls=include,
+        )
+        return {"trail": graph.to_payload()}
+
+    def _community_pages_for_folder(
+        self,
+        owner: str,
+        folder_ids: list[str],
+        *,
+        since: float | None = None,
+        similarity_quantile: float = 0.25,
+    ) -> set[str]:
+        """Community-visited pages 'most likely to belong to the selected
+        topic': other users' public pages run through MY folder model,
+        with a calibrated absolute-similarity floor.
+
+        The classifier alone cannot reject out-of-domain pages (it has no
+        reject class, and naive-Bayes posteriors saturate on long
+        documents), so a page must ALSO be at least as similar to the
+        folder's centroid as the folder's own *similarity_quantile*-worst
+        deliberate member — a per-folder calibration with no magic
+        constants.
+        """
+        from ..text.vectorize import centroid as _centroid
+
+        try:
+            model = self.classifier.model_for(owner)
+        except NotFitted:
+            return set()
+        folder_set = set(folder_ids)
+        member_vecs = []
+        for fid in folder_ids:
+            for row in self.repo.folder_pages(
+                fid, sources=(ASSOC_BOOKMARK, ASSOC_CORRECTION),
+            ):
+                vec = self.vectorizer.tfidf_vector(row["url"])
+                if vec is not None:
+                    member_vecs.append(vec)
+        if not member_vecs:
+            return set()
+        center = _centroid(member_vecs)
+        member_sims = sorted(cosine(v, center) for v in member_vecs)
+        floor = member_sims[int(similarity_quantile * (len(member_sims) - 1))]
+
+        out: set[str] = set()
+        seen: set[str] = set()
+        for visit in self.repo.community_visits(since=since):
+            if visit["user_id"] == owner or visit["url"] in seen:
+                continue
+            seen.add(visit["url"])
+            vec = self.vectorizer.vector(visit["url"])
+            if vec is None:
+                continue
+            tvec = self.vectorizer.tfidf_vector(visit["url"])
+            if tvec is None or cosine(tvec, center) < floor:
+                continue
+            # Independent per-page prediction: batch relaxation would let
+            # confidently-wrong labels cascade through off-topic clusters.
+            folder, _conf = model.predict(visit["url"], vec)
+            if folder in folder_set:
+                out.add(visit["url"])
+        return out
+
+    def _sv_context(self, request: dict[str, Any]) -> dict[str, Any]:
+        user = self._require_user(request)
+        owner = user["user_id"]
+        folder_ids = self._user_folder_ids(owner, request["folder_path"])
+        session = recall_session(self.repo, owner, folder_ids)
+        if session is None:
+            return {"found": False, "session": None, "neighborhood": None}
+        graph = context_neighborhood(self.repo, session)
+        return {
+            "found": True,
+            "session": session.to_payload(),
+            "neighborhood": graph.to_payload(),
+        }
+
+    # -- community mining views -----------------------------------------------------------
+
+    def _sv_themes_get(self, request: dict[str, Any]) -> dict[str, Any]:
+        self._require_user(request)
+        taxonomy = self.themes.taxonomy
+        if taxonomy is None:
+            return {"themes": []}
+
+        def payload(theme, depth: int) -> dict[str, Any]:
+            return {
+                "theme_id": theme.theme_id,
+                "label": theme.label,
+                "depth": depth,
+                "folders": [list(f) for f in theme.folders],
+                "num_users": theme.num_users,
+                "weight": theme.weight,
+                "children": [payload(c, depth + 1) for c in theme.children],
+            }
+
+        return {"themes": [payload(t, 0) for t in taxonomy.roots]}
+
+    def _sv_resources(self, request: dict[str, Any]) -> dict[str, Any]:
+        self._require_user(request)
+        theme, sim = self._match_theme(request["query"])
+        if theme is None or sim <= 0.0:
+            return {"resources": [], "theme": None}
+        k = int(request.get("k", 10))
+        since_days = request.get("since_days")
+        out = []
+        for res in self.discovery.for_theme(theme.theme_id):
+            if since_days is not None and res.first_seen < self._now - float(since_days) * DAY:
+                continue
+            page = self.repo.db.table("pages").get(res.url)
+            out.append({
+                "url": res.url,
+                "title": (page or {}).get("title"),
+                "score": res.score,
+                "authority": res.authority,
+                "similarity": res.similarity,
+                "first_seen": res.first_seen,
+            })
+            if len(out) >= k:
+                break
+        return {"resources": out, "theme": theme.theme_id, "theme_label": theme.label}
+
+    def _sv_bill(self, request: dict[str, Any]) -> dict[str, Any]:
+        user = self._require_user(request)
+        days = float(request["days"])
+        lines = bill_breakdown(
+            self.repo, user["user_id"],
+            since=self._now - days * DAY,
+            monthly_rate=float(request.get("monthly_rate", 20.0)),
+        )
+        return {"lines": [l.to_payload() for l in lines]}
+
+    def _sv_profile_similar(self, request: dict[str, Any]) -> dict[str, Any]:
+        user = self._require_user(request)
+        profiles = self.current_profiles()
+        ranked = similar_users(
+            profiles, user["user_id"], k=int(request.get("k", 5)),
+        )
+        return {"users": [{"user_id": u, "similarity": s} for u, s in ranked]}
+
+    def _sv_interest_mates(self, request: dict[str, Any]) -> dict[str, Any]:
+        user = self._require_user(request)
+        theme, sim = self._match_theme(request["query"])
+        if theme is None or sim <= 0.0:
+            return {"users": [], "theme": None}
+        exclude_theme = None
+        if request.get("exclude_query"):
+            exclude_theme, ex_sim = self._match_theme(request["exclude_query"])
+            if ex_sim <= 0.0:
+                exclude_theme = None
+        profiles = self.current_profiles()
+        scored = []
+        for other, profile in profiles.items():
+            if other == user["user_id"]:
+                continue
+            weight = profile.weights.get(theme.theme_id, 0.0)
+            if weight <= 0.0:
+                continue
+            if (
+                exclude_theme is not None
+                and profile.weights.get(exclude_theme.theme_id, 0.0) > 0.2
+            ):
+                continue
+            scored.append({"user_id": other, "interest": weight})
+        scored.sort(key=lambda d: (-d["interest"], d["user_id"]))
+        return {
+            "users": scored[: int(request.get("k", 5))],
+            "theme": theme.theme_id,
+            "theme_label": theme.label,
+        }
+
+    def _sv_recommend(self, request: dict[str, Any]) -> dict[str, Any]:
+        user = self._require_user(request)
+        profiles = self.current_profiles()
+        recs = recommend_pages(
+            self.repo, self.vectorizer, self.themes.taxonomy,
+            profiles, user["user_id"], k=int(request.get("k", 10)),
+        )
+        return {"pages": [r.to_payload() for r in recs]}
+
+    def _sv_propose_hierarchy(self, request: dict[str, Any]) -> dict[str, Any]:
+        """§2: propose a topic hierarchy over one folder's links."""
+        from .organize import propose_hierarchy
+
+        user = self._require_user(request)
+        folder_ids = self._user_folder_ids(user["user_id"], request["folder_path"])
+        urls = sorted({
+            row["url"] for fid in folder_ids for row in self.repo.folder_pages(fid)
+        })
+        if not urls:
+            return {"proposal": None, "reason": "folder is empty"}
+        proposal = propose_hierarchy(
+            self.vectorizer, urls,
+            min_cluster=int(request.get("min_cluster", 3)),
+            max_depth=int(request.get("max_depth", 3)),
+        )
+        return {"proposal": proposal.to_payload()}
+
+    def _sv_apply_hierarchy(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Accept a proposed reorganization: folders created, items moved."""
+        from .organize import ProposedFolder, apply_proposal
+
+        user = self._require_user(request)
+        at = self._advance(request.get("at"))
+        proposal = ProposedFolder.from_payload(request["proposal"])
+        moved = apply_proposal(
+            self, user["user_id"], request["folder_path"], proposal, at=at,
+        )
+        return {"moved": moved}
+
+    def _sv_popular_near_trail(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Abstract's query: 'popular pages in or near my community's
+        recent trail graph related to <topic>' — HITS authorities on the
+        trail neighborhood."""
+        from ..mining.linkanalysis import popular_near
+        from ..server.daemons import link_graph
+
+        user = self._require_user(request)
+        owner = user["user_id"]
+        path = request["folder_path"]
+        window_days = float(request.get("window_days", 30.0))
+        folder_ids = self._user_folder_ids(owner, path)
+        since = self._now - window_days * DAY
+        include = self._community_pages_for_folder(owner, folder_ids, since=since)
+        trail = build_trail_graph(
+            self.repo, folder_ids,
+            folder_paths=[path], since=since,
+            user_id=owner, include_urls=include,
+        )
+        seeds = set(trail.nodes)
+        if not seeds:
+            return {"pages": []}
+        ranked = popular_near(
+            link_graph(self.repo), seeds,
+            k=int(request.get("k", 10)), hops=int(request.get("hops", 1)),
+        )
+        return {
+            "pages": [
+                {**self._hit_payload(url, score), "in_trail": url in seeds}
+                for url, score in ranked
+            ]
+        }
+
+    def _sv_stats(self, request: dict[str, Any]) -> dict[str, Any]:
+        self._require_user(request)
+        return {
+            "pages": len(self.repo.db.table("pages")),
+            "visits": len(self.repo.db.table("visits")),
+            "links": len(self.repo.db.table("links")),
+            "indexed": self.index.num_docs,
+            "crawl_backlog": self.crawler.backlog,
+            "daemons": self.scheduler.stats(),
+            "servlets": self.registry.stats(),
+            "versions": self.repo.versions.consumers(),
+        }
+
+    # ---------------------------------------------------------------- lifecycle
+
+    def save_state(self) -> dict[str, int]:
+        """Persist mined state (per-user classifier models, vocabulary)
+        into the repository's model store.  Catalog and index already
+        persist through their own write paths when a root was given."""
+        saved_models = self.classifier.persist_models()
+        self.repo.save_model("vocabulary", self.vectorizer.vocab.to_dict())
+        self.repo.save_model("server_clock", {"now": self._now})
+        return {"models": saved_models}
+
+    def restore_state(self) -> dict[str, int]:
+        """Reload mined state saved by :meth:`save_state`."""
+        from ..text.vocabulary import Vocabulary
+
+        vocab_payload = self.repo.load_model("vocabulary")
+        if vocab_payload is not None:
+            self.vectorizer.vocab = Vocabulary.from_dict(vocab_payload)
+        clock = self.repo.load_model("server_clock")
+        if clock is not None:
+            self._now = max(self._now, float(clock["now"]))
+        restored = self.classifier.restore_models()
+        return {"models": restored}
+
+    def close(self) -> None:
+        self.repo.close()
+
+    def __enter__(self) -> "MemexServer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,211 @@
+"""Proposing topic hierarchies over unorganized links (§2).
+
+"Memex also uses unsupervised clustering to propose a topic hierarchy
+over a set of links that the user may want to reorganize."
+
+Given the URLs piled up in one folder (typically a fat ``Imported`` folder
+straight from a browser), :func:`propose_hierarchy` clusters their pages
+with HAC, recursively splitting big incoherent clusters, and labels each
+proposed subfolder from its distinctive terms.  The user reviews the
+proposal in the folder tab; :func:`apply_proposal` then materializes the
+accepted structure as real subfolders with the items re-filed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import EmptyCorpus
+from ..mining.hac import hac
+from ..server.daemons import PageVectorizer
+from ..text.vectorize import SparseVector, centroid, normalize, top_terms
+
+
+@dataclass
+class ProposedFolder:
+    """One node of a proposed reorganization."""
+
+    name: str
+    urls: list[str] = field(default_factory=list)      # direct members
+    children: list["ProposedFolder"] = field(default_factory=list)
+    cohesion: float = 1.0
+
+    def all_urls(self) -> list[str]:
+        out = list(self.urls)
+        for child in self.children:
+            out.extend(child.all_urls())
+        return out
+
+    def num_folders(self) -> int:
+        return 1 + sum(c.num_folders() for c in self.children)
+
+    def to_payload(self) -> dict:
+        return {
+            "name": self.name,
+            "urls": self.urls,
+            "cohesion": self.cohesion,
+            "children": [c.to_payload() for c in self.children],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ProposedFolder":
+        return cls(
+            name=payload["name"],
+            urls=list(payload["urls"]),
+            cohesion=payload.get("cohesion", 1.0),
+            children=[cls.from_payload(c) for c in payload["children"]],
+        )
+
+    def render(self, depth: int = 0) -> str:
+        lines = ["  " * depth + f"[{self.name}]  ({len(self.urls)} links)"]
+        for url in self.urls[:3]:
+            lines.append("  " * (depth + 1) + url)
+        if len(self.urls) > 3:
+            lines.append("  " * (depth + 1) + f"... {len(self.urls) - 3} more")
+        for child in self.children:
+            lines.append(child.render(depth + 1))
+        return "\n".join(lines)
+
+
+def propose_hierarchy(
+    vectorizer: PageVectorizer,
+    urls: list[str],
+    *,
+    min_cluster: int = 3,
+    cohesion_threshold: float = 0.5,
+    max_depth: int = 3,
+    label_terms: int = 2,
+) -> ProposedFolder:
+    """Cluster *urls* into a proposed folder hierarchy.
+
+    URLs without fetched text stay at the root (the proposal never hides
+    anything).  Splitting recurses while a cluster is big (>=
+    2*min_cluster) and incoherent (merge similarity below
+    *cohesion_threshold*), down to *max_depth*.
+    """
+    usable: list[str] = []
+    stranded: list[str] = []
+    vectors: list[SparseVector] = []
+    for url in urls:
+        vec = vectorizer.tfidf_vector(url)
+        if vec:
+            usable.append(url)
+            vectors.append(normalize(vec))
+        else:
+            stranded.append(url)
+    if not usable:
+        raise EmptyCorpus("no fetched pages among the given urls")
+
+    dendro = hac(vectors, linkage="group-average")
+    children: dict[int, tuple[int, int]] = {}
+    sim_at: dict[int, float] = {}
+    for left, right, new, sim in dendro.merges:
+        children[new] = (left, right)
+        sim_at[new] = sim
+    root_id = dendro.merges[-1][2] if dendro.merges else 0
+
+    vocab = vectorizer.vocab
+    used_names: set[str] = set()
+
+    def leaves_under(node: int) -> list[int]:
+        if node < len(usable):
+            return [node]
+        l, r = children[node]
+        return leaves_under(l) + leaves_under(r)
+
+    def label_for(member_idx: list[int]) -> str:
+        center = centroid([vectors[i] for i in member_idx])
+        cutoff = max(2, int(0.25 * max(vocab.num_docs, 1)))
+        distinctive = {
+            t: w for t, w in center.items() if vocab.doc_freq(t) <= cutoff
+        } or center
+        base = " ".join(top_terms(vocab, distinctive, k=label_terms)) or "misc"
+        name = base
+        n = 2
+        while name in used_names:
+            name = f"{base} ({n})"
+            n += 1
+        used_names.add(name)
+        return name
+
+    def build(node: int, depth: int) -> ProposedFolder:
+        # Peel outliers: unbalanced dendrograms merge stragglers one at a
+        # time near the top; rather than nesting a chain of near-identical
+        # folders, absorb each tiny side here and descend into the bulk.
+        absorbed: list[int] = []
+        while node >= len(usable):
+            l, r = children[node]
+            size_l, size_r = len(leaves_under(l)), len(leaves_under(r))
+            if size_l < min_cluster and size_r >= min_cluster:
+                absorbed.extend(leaves_under(l))
+                node = r
+            elif size_r < min_cluster and size_l >= min_cluster:
+                absorbed.extend(leaves_under(r))
+                node = l
+            else:
+                break
+        member_idx = absorbed + leaves_under(node)
+        folder = ProposedFolder(
+            name=label_for(member_idx),
+            cohesion=sim_at.get(node, 1.0),
+        )
+        folder.urls = [usable[i] for i in absorbed]
+        split = (
+            node >= len(usable)
+            and depth < max_depth
+            and len(member_idx) >= 2 * min_cluster
+            and sim_at[node] < cohesion_threshold
+        )
+        if split:
+            l, r = children[node]
+            folder.children = [build(l, depth + 1), build(r, depth + 1)]
+        else:
+            folder.urls.extend(usable[i] for i in leaves_under(node))
+        return folder
+
+    root = build(root_id, 0)
+    root.name = "Proposed organization"
+    root.urls.extend(stranded)
+    return root
+
+
+def apply_proposal(
+    server,
+    owner: str,
+    base_path: str,
+    proposal: ProposedFolder,
+    *,
+    at: float,
+) -> int:
+    """Materialize an accepted proposal under *base_path*.
+
+    Creates the proposed subfolders and re-files each URL from the base
+    folder into its proposed home as a *correction* (it is a deliberate
+    user gesture, the strongest supervision).  Returns how many items
+    moved.  ``server`` is a :class:`repro.core.memex.MemexServer`.
+    """
+    from ..storage.schema import ASSOC_CORRECTION
+
+    base_id = server.folder_id(owner, base_path)
+    moved = 0
+
+    def place(folder: ProposedFolder, path: str) -> None:
+        nonlocal moved
+        for url in folder.urls:
+            if path:
+                target_path = f"{base_path}/{path}"
+            else:
+                target_path = base_path
+            target_id = server._ensure_folder(owner, target_path, at)
+            if target_id != base_id:
+                server.repo.dissociate(base_id, url)
+                server.repo.associate(
+                    target_id, url, ASSOC_CORRECTION, now=at,
+                )
+                moved += 1
+        for child in folder.children:
+            child_path = f"{path}/{child.name}" if path else child.name
+            place(child, child_path)
+
+    place(proposal, "")
+    return moved

@@ -1,0 +1,201 @@
+"""Trail graphs: the data behind the trail tab (Figure 2).
+
+A *trail graph* is a hypertext graph over recently surfed pages: nodes are
+visited URLs, edges come from (a) observed referrer transitions — the
+actual click trail — and (b) hyperlinks between visited pages, which fill
+in "where you are able to go" around "where you are" (the spatial metaphor
+of §2 / reference [9]).  Selecting a folder in the trail tab replays the
+subgraph of recent community pages most likely to belong to that topic.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..storage.repository import MemexRepository
+from ..storage.schema import (
+    ARCHIVE_COMMUNITY,
+    ASSOC_BOOKMARK,
+    ASSOC_CORRECTION,
+)
+
+
+@dataclass
+class TrailNode:
+    """One page in a trail graph."""
+
+    url: str
+    title: str | None = None
+    visits: int = 0
+    visitors: set[str] = field(default_factory=set)
+    last_visit: float = 0.0
+    confidence: float = 0.0    # best topic confidence seen
+    score: float = 0.0         # recency x popularity rank used for trimming
+
+
+@dataclass
+class TrailEdge:
+    src: str
+    dst: str
+    clicks: int = 0            # observed referrer transitions
+    hyperlink: bool = False    # structural link between trail pages
+
+
+@dataclass
+class TrailGraph:
+    """The replayable browsing context for a topic."""
+
+    folder_paths: list[str]
+    nodes: dict[str, TrailNode] = field(default_factory=dict)
+    edges: list[TrailEdge] = field(default_factory=list)
+
+    def top_pages(self, k: int = 10) -> list[TrailNode]:
+        return sorted(self.nodes.values(), key=lambda n: (-n.score, n.url))[:k]
+
+    def to_payload(self) -> dict:
+        """JSON-friendly form for the servlet response."""
+        return {
+            "folders": self.folder_paths,
+            "nodes": [
+                {
+                    "url": n.url,
+                    "title": n.title,
+                    "visits": n.visits,
+                    "visitors": sorted(n.visitors),
+                    "last_visit": n.last_visit,
+                    "score": n.score,
+                }
+                for n in sorted(self.nodes.values(), key=lambda n: (-n.score, n.url))
+            ],
+            "edges": [
+                {
+                    "src": e.src, "dst": e.dst,
+                    "clicks": e.clicks, "hyperlink": e.hyperlink,
+                }
+                for e in self.edges
+            ],
+        }
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def folder_and_descendants(repo: MemexRepository, folder_id: str) -> list[str]:
+    """The folder id plus every descendant folder id."""
+    out = [folder_id]
+    frontier = [folder_id]
+    while frontier:
+        parent = frontier.pop()
+        for row in repo.db.table("folders").select({"parent": parent}):
+            out.append(row["folder_id"])
+            frontier.append(row["folder_id"])
+    return out
+
+
+def build_trail_graph(
+    repo: MemexRepository,
+    folder_ids: list[str],
+    *,
+    folder_paths: list[str] | None = None,
+    since: float | None = None,
+    until: float | None = None,
+    public_only: bool = True,
+    user_id: str | None = None,
+    include_urls: set[str] | None = None,
+    min_confidence: float = 0.5,
+    max_nodes: int = 40,
+    half_life: float = 7 * 86400.0,
+) -> TrailGraph:
+    """Assemble the trail graph for a set of topic folders.
+
+    Visits qualify when the classifier filed them into one of
+    *folder_ids*, a user deliberately did, or the URL is in
+    *include_urls* (the caller's own judgment of topical membership —
+    MemexServer passes community pages "most likely to belong to the
+    selected topic" this way).  With *public_only*, only
+    community-archived visits from other users are included — plus all of
+    the asking user's own visits, matching the paper's privacy model.
+    Node scores decay exponentially with age (*half_life*) and grow with
+    visit counts, and the graph is trimmed to *max_nodes* best nodes.
+    """
+    folder_set = set(folder_ids)
+    extra = include_urls or set()
+    # Only deliberate filings count here; classifier guesses already flow
+    # in through the visits' topic_folder (confidence-gated below).
+    deliberate_urls = {
+        row["url"]
+        for fid in folder_ids
+        for row in repo.folder_pages(
+            fid, sources=(ASSOC_BOOKMARK, ASSOC_CORRECTION),
+        )
+    }
+
+    def qualifies(row: dict) -> bool:
+        if public_only and row["archive_mode"] != ARCHIVE_COMMUNITY:
+            if user_id is None or row["user_id"] != user_id:
+                return False
+        if since is not None and row["at"] < since:
+            return False
+        if until is not None and row["at"] > until:
+            return False
+        if row["url"] in deliberate_urls or row["url"] in extra:
+            return True
+        # Classifier guesses qualify only when confident: the model has no
+        # reject class, so low-confidence labels are mostly shrugs.
+        return (
+            row["topic_folder"] in folder_set
+            and (row["topic_confidence"] or 0.0) >= min_confidence
+        )
+
+    visits = repo.db.table("visits").select(qualifies, order_by="at")
+    if not visits:
+        return TrailGraph(folder_paths=folder_paths or [])
+
+    now = max(v["at"] for v in visits)
+    nodes: dict[str, TrailNode] = {}
+    clicks: dict[tuple[str, str], int] = defaultdict(int)
+    for v in visits:
+        node = nodes.get(v["url"])
+        if node is None:
+            page = repo.db.table("pages").get(v["url"])
+            node = TrailNode(url=v["url"], title=(page or {}).get("title"))
+            nodes[v["url"]] = node
+        node.visits += 1
+        node.visitors.add(v["user_id"])
+        node.last_visit = max(node.last_visit, v["at"])
+        if v["topic_confidence"]:
+            node.confidence = max(node.confidence, v["topic_confidence"])
+        if v["referrer"]:
+            clicks[(v["referrer"], v["url"])] += 1
+
+    for node in nodes.values():
+        age = max(0.0, now - node.last_visit)
+        recency = math.exp(-age * math.log(2.0) / half_life)
+        node.score = recency * (1.0 + math.log1p(node.visits)) * (
+            1.0 + 0.5 * math.log1p(len(node.visitors))
+        )
+
+    keep = {
+        n.url
+        for n in sorted(nodes.values(), key=lambda n: (-n.score, n.url))[:max_nodes]
+    }
+    nodes = {url: n for url, n in nodes.items() if url in keep}
+
+    edges: list[TrailEdge] = []
+    for (src, dst), count in sorted(clicks.items()):
+        if src in nodes and dst in nodes:
+            edges.append(TrailEdge(src=src, dst=dst, clicks=count))
+    # Structural hyperlinks among kept pages (beyond observed clicks).
+    clicked = {(e.src, e.dst) for e in edges}
+    for url in sorted(nodes):
+        for dst in repo.out_links(url):
+            if dst in nodes and (url, dst) not in clicked:
+                edges.append(TrailEdge(src=url, dst=dst, hyperlink=True))
+
+    return TrailGraph(
+        folder_paths=folder_paths or [],
+        nodes=nodes,
+        edges=edges,
+    )

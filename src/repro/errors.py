@@ -1,0 +1,142 @@
+"""Exception hierarchy for the Memex reproduction.
+
+Every error raised by this package derives from :class:`MemexError`, so
+applications can catch one base class at the API boundary.  Subsystems get
+their own subtree (storage, mining, protocol, ...) mirroring the package
+layout.
+"""
+
+from __future__ import annotations
+
+
+class MemexError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+# ---------------------------------------------------------------------------
+# Storage subsystem
+# ---------------------------------------------------------------------------
+
+class StorageError(MemexError):
+    """Base class for storage-layer failures."""
+
+
+class KVStoreError(StorageError):
+    """A key-value store operation failed."""
+
+
+class KeyNotFound(KVStoreError):
+    """Lookup of a key that is not present in the store."""
+
+
+class StoreClosed(KVStoreError):
+    """Operation attempted on a store after :meth:`close`."""
+
+
+class CorruptLog(StorageError):
+    """The write-ahead log or data log failed a checksum or framing check."""
+
+
+class RelationalError(StorageError):
+    """Base class for errors from the in-process relational engine."""
+
+
+class NoSuchTable(RelationalError):
+    """Query referenced a table that does not exist."""
+
+
+class NoSuchColumn(RelationalError):
+    """Query referenced a column that does not exist in the table."""
+
+
+class DuplicateKey(RelationalError):
+    """Insert violated a primary-key or unique-index constraint."""
+
+
+class SchemaError(RelationalError):
+    """Row shape or types do not match the table schema."""
+
+
+class TransactionError(RelationalError):
+    """Illegal transaction state transition (e.g. commit after abort)."""
+
+
+class VersioningError(StorageError):
+    """Violation of the loosely-consistent versioning protocol."""
+
+
+class StaleSnapshot(VersioningError):
+    """A consumer tried to read from a snapshot that has been reclaimed."""
+
+
+# ---------------------------------------------------------------------------
+# Text / indexing subsystem
+# ---------------------------------------------------------------------------
+
+class TextError(MemexError):
+    """Base class for tokenizer / vocabulary / index errors."""
+
+
+class VocabularyFrozen(TextError):
+    """Attempt to add terms to a vocabulary after it was frozen."""
+
+
+class IndexError_(TextError):
+    """Inverted-index failure (named with a trailing underscore to avoid
+    shadowing the builtin :class:`IndexError`)."""
+
+
+# ---------------------------------------------------------------------------
+# Mining subsystem
+# ---------------------------------------------------------------------------
+
+class MiningError(MemexError):
+    """Base class for classifier / clustering / theme-discovery errors."""
+
+
+class NotFitted(MiningError):
+    """Model used before :meth:`fit` (or with no training data)."""
+
+
+class EmptyCorpus(MiningError):
+    """An algorithm was handed zero documents."""
+
+
+# ---------------------------------------------------------------------------
+# Client / server subsystem
+# ---------------------------------------------------------------------------
+
+class ProtocolError(MemexError):
+    """Malformed message or illegal request at the client-server boundary."""
+
+
+class AuthError(ProtocolError):
+    """Unknown user or bad credentials."""
+
+
+class ServletError(MemexError):
+    """A servlet failed while handling a request."""
+
+
+class DaemonError(MemexError):
+    """A background daemon failed irrecoverably."""
+
+
+# ---------------------------------------------------------------------------
+# Folder / bookmark subsystem
+# ---------------------------------------------------------------------------
+
+class FolderError(MemexError):
+    """Base class for folder-tree manipulation errors."""
+
+
+class NoSuchFolder(FolderError):
+    """A folder path or id did not resolve."""
+
+
+class FolderCycle(FolderError):
+    """A move would have created a cycle in the folder tree."""
+
+
+class BookmarkFormatError(FolderError):
+    """A Netscape/Explorer bookmark file could not be parsed."""

@@ -1,0 +1,95 @@
+"""Internet Explorer Favorites parser and writer.
+
+IE stores each bookmark as a ``.url`` file (INI syntax with an
+``[InternetShortcut]`` section) inside a directory tree whose directories
+are the folders.  We read and write that layout on a real filesystem path,
+converting to/from the browser-neutral :class:`BookmarkNode` tree shared
+with the Netscape codec.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from ..errors import BookmarkFormatError
+from .netscape import BookmarkEntry, BookmarkNode
+
+_URL_LINE = re.compile(r"^\s*URL\s*=\s*(.+?)\s*$", re.IGNORECASE | re.MULTILINE)
+_SECTION = re.compile(r"^\s*\[InternetShortcut\]\s*$", re.IGNORECASE | re.MULTILINE)
+
+# Characters Windows forbids in file names; replaced on export.
+_BAD_FILENAME_CHARS = re.compile(r'[<>:"/\\|?*]')
+
+
+def parse_url_file(text: str) -> str:
+    """Extract the URL from one ``.url`` file's contents."""
+    if not _SECTION.search(text):
+        raise BookmarkFormatError("missing [InternetShortcut] section")
+    match = _URL_LINE.search(text)
+    if not match:
+        raise BookmarkFormatError("missing URL= line")
+    return match.group(1)
+
+
+def write_url_file(url: str) -> str:
+    return f"[InternetShortcut]\r\nURL={url}\r\n"
+
+
+def import_favorites(root_dir: str | Path) -> BookmarkNode:
+    """Read an IE Favorites directory tree into a bookmark tree.
+
+    Unreadable/malformed ``.url`` files are skipped (real Favorites
+    folders accumulate junk); directories map to folders.
+    """
+    root_dir = Path(root_dir)
+    if not root_dir.is_dir():
+        raise BookmarkFormatError(f"{root_dir} is not a directory")
+
+    def load(directory: Path, name: str) -> BookmarkNode:
+        node = BookmarkNode(name=name)
+        for child in sorted(directory.iterdir()):
+            if child.is_dir():
+                node.folders.append(load(child, child.name))
+            elif child.suffix.lower() == ".url":
+                try:
+                    url = parse_url_file(child.read_text(encoding="utf-8", errors="replace"))
+                except BookmarkFormatError:
+                    continue
+                node.bookmarks.append(
+                    BookmarkEntry(url=url, title=child.stem)
+                )
+        return node
+
+    return load(root_dir, "")
+
+
+def export_favorites(root: BookmarkNode, target_dir: str | Path) -> int:
+    """Write a bookmark tree as an IE Favorites directory; returns the
+    number of ``.url`` files written."""
+    target_dir = Path(target_dir)
+    target_dir.mkdir(parents=True, exist_ok=True)
+    written = 0
+
+    def dump(node: BookmarkNode, directory: Path) -> None:
+        nonlocal written
+        directory.mkdir(parents=True, exist_ok=True)
+        used: set[str] = set()
+        for entry in node.bookmarks:
+            stem = _BAD_FILENAME_CHARS.sub("_", entry.title or "bookmark") or "bookmark"
+            candidate = stem
+            n = 1
+            while candidate.lower() in used:
+                n += 1
+                candidate = f"{stem} ({n})"
+            used.add(candidate.lower())
+            (directory / f"{candidate}.url").write_text(
+                write_url_file(entry.url), encoding="utf-8",
+            )
+            written += 1
+        for child in node.folders:
+            safe = _BAD_FILENAME_CHARS.sub("_", child.name) or "folder"
+            dump(child, directory / safe)
+
+    dump(root, target_dir)
+    return written

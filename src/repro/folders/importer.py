@@ -1,0 +1,85 @@
+"""Import/export between browser bookmark trees and Memex folder trees."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .explorer import export_favorites, import_favorites
+from .netscape import BookmarkEntry, BookmarkNode, parse_bookmarks, write_bookmarks
+from .tree import ITEM_BOOKMARK, Folder, FolderTree
+
+
+def bookmarks_to_tree(
+    root: BookmarkNode,
+    *,
+    owner: str = "",
+    into: FolderTree | None = None,
+    prefix: str = "",
+) -> FolderTree:
+    """Merge a parsed browser bookmark tree into a :class:`FolderTree`.
+
+    Top-level loose bookmarks (outside any folder) land in ``Imported``.
+    """
+    tree = into if into is not None else FolderTree(owner=owner)
+
+    def visit(node: BookmarkNode, path: str) -> None:
+        target = path if path else "Imported"
+        for entry in node.bookmarks:
+            tree.add_item(
+                target, entry.url,
+                title=entry.title,
+                added_at=entry.add_date,
+                source=ITEM_BOOKMARK,
+            )
+        for child in node.folders:
+            child_path = f"{path}/{child.name}" if path else child.name
+            tree.ensure(child_path)
+            visit(child, child_path)
+
+    base = prefix.strip("/")
+    if base:
+        tree.ensure(base)
+    visit(root, base)
+    return tree
+
+
+def tree_to_bookmarks(tree: FolderTree, *, include_guesses: bool = False) -> BookmarkNode:
+    """Convert a folder tree back to a browser-neutral bookmark tree.
+
+    Classifier guesses are excluded by default: exports should carry only
+    deliberate bookmarks unless the caller opts in.
+    """
+    def convert(folder: Folder) -> BookmarkNode:
+        node = BookmarkNode(name=folder.name)
+        for item in folder.items:
+            if item.is_guess and not include_guesses:
+                continue
+            node.bookmarks.append(
+                BookmarkEntry(url=item.url, title=item.title, add_date=item.added_at)
+            )
+        for name in sorted(folder.children):
+            node.folders.append(convert(folder.children[name]))
+        return node
+
+    root = convert(tree.root)
+    root.name = ""
+    return root
+
+
+def import_netscape_file(path: str | Path, *, owner: str = "") -> FolderTree:
+    """Parse a bookmarks.html file straight into a folder tree."""
+    text = Path(path).read_text(encoding="utf-8", errors="replace")
+    return bookmarks_to_tree(parse_bookmarks(text), owner=owner)
+
+
+def export_netscape_file(tree: FolderTree, path: str | Path) -> None:
+    Path(path).write_text(write_bookmarks(tree_to_bookmarks(tree)), encoding="utf-8")
+
+
+def import_explorer_favorites(directory: str | Path, *, owner: str = "") -> FolderTree:
+    """Read an IE Favorites directory straight into a folder tree."""
+    return bookmarks_to_tree(import_favorites(directory), owner=owner)
+
+
+def export_explorer_favorites(tree: FolderTree, directory: str | Path) -> int:
+    return export_favorites(tree_to_bookmarks(tree), directory)

@@ -1,0 +1,131 @@
+"""Netscape ``bookmarks.html`` parser and writer.
+
+"Existing bookmarks from Netscape or Explorer can be imported into
+Memex's editable tree-structured topic view; conversely Memex can export
+back to these browsers" (§2).  The format is the venerable
+NETSCAPE-Bookmark-file-1: nested ``<DL><p>`` lists where ``<DT><H3>``
+opens a folder and ``<DT><A HREF=...>`` is a bookmark.  The parser is
+tolerant of the tag-soup real exports contain (unclosed ``<DT>``, mixed
+case, stray ``<p>``).
+"""
+
+from __future__ import annotations
+
+import html
+import re
+from dataclasses import dataclass, field
+
+from ..errors import BookmarkFormatError
+
+
+@dataclass
+class BookmarkNode:
+    """Parsed folder with bookmarks and subfolders (browser-neutral)."""
+
+    name: str
+    add_date: float = 0.0
+    bookmarks: list["BookmarkEntry"] = field(default_factory=list)
+    folders: list["BookmarkNode"] = field(default_factory=list)
+
+    def walk(self) -> list["BookmarkNode"]:
+        out = [self]
+        for child in self.folders:
+            out.extend(child.walk())
+        return out
+
+    def total_bookmarks(self) -> int:
+        return sum(len(node.bookmarks) for node in self.walk())
+
+
+@dataclass
+class BookmarkEntry:
+    url: str
+    title: str = ""
+    add_date: float = 0.0
+
+
+_TOKEN_RE = re.compile(
+    r"<h3[^>]*>(?P<folder>.*?)</h3>"
+    r"|<a\s+(?P<attrs>[^>]*)>(?P<title>.*?)</a>"
+    r"|(?P<open><dl[^>]*>)"
+    r"|(?P<close></dl>)",
+    re.IGNORECASE | re.DOTALL,
+)
+_HREF_RE = re.compile(r"""href\s*=\s*["']([^"']*)["']""", re.IGNORECASE)
+_ADD_DATE_RE = re.compile(r"""add_date\s*=\s*["']?(\d+)["']?""", re.IGNORECASE)
+_H3_DATE_RE = re.compile(r"""<h3[^>]*add_date\s*=\s*["']?(\d+)["']?""", re.IGNORECASE)
+
+HEADER = (
+    "<!DOCTYPE NETSCAPE-Bookmark-file-1>\n"
+    "<!-- This is an automatically generated file. -->\n"
+    "<TITLE>Bookmarks</TITLE>\n"
+    "<H1>Bookmarks</H1>\n"
+)
+
+
+def parse_bookmarks(text: str) -> BookmarkNode:
+    """Parse a bookmarks.html document into a :class:`BookmarkNode` tree."""
+    if "netscape-bookmark-file" not in text.lower() and "<dl" not in text.lower():
+        raise BookmarkFormatError("not a Netscape bookmark file")
+    root = BookmarkNode(name="")
+    stack: list[BookmarkNode] = [root]
+    pending_folder: BookmarkNode | None = None
+
+    for match in _TOKEN_RE.finditer(text):
+        if match.group("folder") is not None:
+            name = html.unescape(match.group("folder")).strip()
+            node = BookmarkNode(name=name)
+            date = _H3_DATE_RE.search(match.group(0))
+            if date:
+                node.add_date = float(date.group(1))
+            stack[-1].folders.append(node)
+            pending_folder = node
+        elif match.group("attrs") is not None:
+            attrs = match.group("attrs")
+            href = _HREF_RE.search(attrs)
+            if not href:
+                continue
+            entry = BookmarkEntry(
+                url=html.unescape(href.group(1)),
+                title=html.unescape(match.group("title")).strip(),
+            )
+            date = _ADD_DATE_RE.search(attrs)
+            if date:
+                entry.add_date = float(date.group(1))
+            stack[-1].bookmarks.append(entry)
+        elif match.group("open") is not None:
+            # The first <DL> is the root's own list; later ones belong to
+            # the folder whose <H3> immediately preceded them.
+            if pending_folder is not None:
+                stack.append(pending_folder)
+                pending_folder = None
+            elif len(stack) == 1 and not stack[0].bookmarks and not stack[0].folders:
+                pass  # root-level <DL>
+            else:
+                stack.append(stack[-1])  # anonymous list: stay put
+        elif match.group("close") is not None:
+            if len(stack) > 1:
+                stack.pop()
+    return root
+
+
+def write_bookmarks(root: BookmarkNode) -> str:
+    """Serialize a tree back to NETSCAPE-Bookmark-file-1 HTML."""
+    lines: list[str] = [HEADER, "<DL><p>"]
+
+    def emit(node: BookmarkNode, depth: int) -> None:
+        pad = "    " * depth
+        for entry in node.bookmarks:
+            date = f' ADD_DATE="{int(entry.add_date)}"' if entry.add_date else ""
+            title = html.escape(entry.title or entry.url)
+            lines.append(f'{pad}<DT><A HREF="{html.escape(entry.url, quote=True)}"{date}>{title}</A>')
+        for child in node.folders:
+            date = f' ADD_DATE="{int(child.add_date)}"' if child.add_date else ""
+            lines.append(f"{pad}<DT><H3{date}>{html.escape(child.name)}</H3>")
+            lines.append(f"{pad}<DL><p>")
+            emit(child, depth + 1)
+            lines.append(f"{pad}</DL><p>")
+
+    emit(root, 1)
+    lines.append("</DL><p>")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,267 @@
+"""The editable folder tree: each user's personal topic space.
+
+Figure 1's folder tab: a tree of named folders holding bookmarked URLs,
+plus the classifier daemon's guesses "marked by '?'".  The tree is pure
+data structure — server-side persistence goes through the catalog; the
+client applet and the importer both manipulate this form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import FolderCycle, NoSuchFolder
+
+# Item provenance, mirroring storage.schema.ASSOC_* at the client level.
+ITEM_BOOKMARK = "bookmark"
+ITEM_GUESS = "guess"          # rendered with a '?' in the folder tab
+ITEM_CORRECTION = "correction"
+
+
+@dataclass
+class FolderItem:
+    """One URL filed in a folder."""
+
+    url: str
+    title: str = ""
+    added_at: float = 0.0
+    source: str = ITEM_BOOKMARK
+    confidence: float | None = None
+
+    @property
+    def is_guess(self) -> bool:
+        return self.source == ITEM_GUESS
+
+    def display(self) -> str:
+        """Folder-tab rendering: guesses carry the paper's '?' marker."""
+        name = self.title or self.url
+        return f"? {name}" if self.is_guess else name
+
+
+@dataclass
+class Folder:
+    """One folder node."""
+
+    name: str
+    parent: "Folder | None" = None
+    children: dict[str, "Folder"] = field(default_factory=dict)
+    items: list[FolderItem] = field(default_factory=list)
+
+    @property
+    def path(self) -> str:
+        parts: list[str] = []
+        node: Folder | None = self
+        while node is not None and node.parent is not None:
+            parts.append(node.name)
+            node = node.parent
+        return "/".join(reversed(parts))
+
+    def walk(self) -> list["Folder"]:
+        out = [self]
+        for child in self.children.values():
+            out.extend(child.walk())
+        return out
+
+    def all_items(self) -> list[FolderItem]:
+        """Items of this folder and every descendant."""
+        out = list(self.items)
+        for child in self.children.values():
+            out.extend(child.all_items())
+        return out
+
+    def is_ancestor_of(self, other: "Folder") -> bool:
+        node: Folder | None = other
+        while node is not None:
+            if node is self:
+                return True
+            node = node.parent
+        return False
+
+
+class FolderTree:
+    """A user's folder hierarchy with path-based addressing.
+
+    Paths are ``/``-separated (``Music/Western Classical``); the root is
+    the empty path and never holds items directly visible in the UI.
+    """
+
+    def __init__(self, owner: str = "") -> None:
+        self.owner = owner
+        self.root = Folder(name="")
+
+    # -- folder management ----------------------------------------------------
+
+    def ensure(self, path: str) -> Folder:
+        """Create (if needed) and return the folder at *path*."""
+        node = self.root
+        for part in self._parts(path):
+            if part not in node.children:
+                node.children[part] = Folder(name=part, parent=node)
+            node = node.children[part]
+        return node
+
+    def get(self, path: str) -> Folder:
+        node = self.root
+        for part in self._parts(path):
+            try:
+                node = node.children[part]
+            except KeyError:
+                raise NoSuchFolder(path) from None
+        return node
+
+    def exists(self, path: str) -> bool:
+        try:
+            self.get(path)
+            return True
+        except NoSuchFolder:
+            return False
+
+    def remove(self, path: str) -> Folder:
+        """Detach and return the folder at *path* (and its subtree)."""
+        node = self.get(path)
+        if node is self.root:
+            raise NoSuchFolder("cannot remove the root")
+        assert node.parent is not None
+        del node.parent.children[node.name]
+        node.parent = None
+        return node
+
+    def move_folder(self, src_path: str, dst_parent_path: str) -> Folder:
+        """Re-parent a folder (cut/paste of a whole subtree)."""
+        node = self.get(src_path)
+        if node is self.root:
+            raise FolderCycle("cannot move the root")
+        dst = self.get(dst_parent_path) if dst_parent_path else self.root
+        if node.is_ancestor_of(dst):
+            raise FolderCycle(f"{src_path!r} is an ancestor of {dst_parent_path!r}")
+        if node.name in dst.children:
+            raise FolderCycle(
+                f"destination already has a folder named {node.name!r}"
+            )
+        assert node.parent is not None
+        del node.parent.children[node.name]
+        node.parent = dst
+        dst.children[node.name] = node
+        return node
+
+    def rename(self, path: str, new_name: str) -> Folder:
+        node = self.get(path)
+        if node is self.root:
+            raise NoSuchFolder("cannot rename the root")
+        assert node.parent is not None
+        if new_name in node.parent.children:
+            raise FolderCycle(f"sibling named {new_name!r} already exists")
+        del node.parent.children[node.name]
+        node.name = new_name
+        node.parent.children[new_name] = node
+        return node
+
+    # -- item management -----------------------------------------------------------
+
+    def add_item(
+        self,
+        path: str,
+        url: str,
+        *,
+        title: str = "",
+        added_at: float = 0.0,
+        source: str = ITEM_BOOKMARK,
+        confidence: float | None = None,
+    ) -> FolderItem:
+        """File *url* into the folder at *path* (created if absent).
+
+        Re-filing a URL already in that folder updates it in place; a
+        deliberate source (bookmark/correction) always overrides a guess.
+        """
+        folder = self.ensure(path)
+        for item in folder.items:
+            if item.url == url:
+                if item.source == ITEM_GUESS or source != ITEM_GUESS:
+                    item.title = title or item.title
+                    item.source = source
+                    item.confidence = confidence
+                    if added_at:
+                        item.added_at = added_at
+                return item
+        item = FolderItem(
+            url=url, title=title, added_at=added_at,
+            source=source, confidence=confidence,
+        )
+        folder.items.append(item)
+        return item
+
+    def remove_item(self, path: str, url: str) -> bool:
+        folder = self.get(path)
+        before = len(folder.items)
+        folder.items = [i for i in folder.items if i.url != url]
+        return len(folder.items) < before
+
+    def move_item(self, url: str, from_path: str, to_path: str) -> FolderItem:
+        """Cut/paste a URL between folders — Figure 1's correction gesture.
+
+        The moved item becomes a *correction* (the strongest supervision
+        the classifier receives).
+        """
+        folder = self.get(from_path)
+        found = None
+        for item in folder.items:
+            if item.url == url:
+                found = item
+                break
+        if found is None:
+            raise NoSuchFolder(f"{url!r} not in folder {from_path!r}")
+        folder.items.remove(found)
+        return self.add_item(
+            to_path, url,
+            title=found.title, added_at=found.added_at,
+            source=ITEM_CORRECTION, confidence=None,
+        )
+
+    # -- queries ----------------------------------------------------------------------
+
+    def folders(self) -> list[Folder]:
+        """All folders except the root, pre-order."""
+        return self.root.walk()[1:]
+
+    def paths(self) -> list[str]:
+        return [f.path for f in self.folders()]
+
+    def find_url(self, url: str) -> list[tuple[str, FolderItem]]:
+        """Every (folder path, item) where *url* is filed."""
+        out: list[tuple[str, FolderItem]] = []
+        for folder in self.folders():
+            for item in folder.items:
+                if item.url == url:
+                    out.append((folder.path, item))
+        return out
+
+    def guesses(self) -> list[tuple[str, FolderItem]]:
+        """All classifier guesses awaiting confirmation ('?' items)."""
+        return [
+            (folder.path, item)
+            for folder in self.folders()
+            for item in folder.items
+            if item.is_guess
+        ]
+
+    def num_items(self) -> int:
+        return sum(len(f.items) for f in self.folders())
+
+    @staticmethod
+    def _parts(path: str) -> list[str]:
+        return [p for p in path.split("/") if p]
+
+    def render(self) -> str:
+        """ASCII rendering of the folder tab (tests and examples use it)."""
+        lines: list[str] = []
+
+        def emit(folder: Folder, depth: int) -> None:
+            if folder.parent is not None:
+                lines.append("  " * (depth - 1) + f"[{folder.name}]")
+            for item in folder.items:
+                lines.append("  " * depth + item.display())
+            for name in sorted(folder.children):
+                emit(folder.children[name], depth + 1)
+
+        emit(self.root, 0)
+        return "\n".join(lines)

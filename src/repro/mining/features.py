@@ -1,0 +1,75 @@
+"""Fisher-index feature selection.
+
+Reference [3] of the paper (Chakrabarti, Dom, Agrawal, Raghavan, VLDB
+Journal 1998) selects discriminating terms with the Fisher index: the
+ratio of between-class to within-class scatter of a term's relative
+frequency.  Terms that appear uniformly across folders score near zero;
+terms concentrated in one folder score high.  Both classifiers accept a
+feature budget and train on the top-scoring terms only — an ablation
+benchmark measures what this buys.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..text.vectorize import SparseVector
+
+
+def fisher_scores(
+    docs: list[SparseVector],
+    labels: list[str],
+) -> dict[int, float]:
+    """Fisher discriminant score per term id.
+
+    For term t with per-class mean relative frequencies mu_c and global
+    mean mu: ``sum_c n_c (mu_c - mu)^2  /  (sum_c sum_{d in c} (f_dt -
+    mu_c)^2 + eps)``.
+    """
+    if len(docs) != len(labels):
+        raise ValueError("docs and labels must align")
+    # Relative frequencies per doc.
+    rel: list[SparseVector] = []
+    for vec in docs:
+        total = sum(vec.values()) or 1.0
+        rel.append({t: v / total for t, v in vec.items()})
+
+    by_class: dict[str, list[SparseVector]] = defaultdict(list)
+    for vec, label in zip(rel, labels):
+        by_class[label].append(vec)
+
+    terms: set[int] = set()
+    for vec in rel:
+        terms.update(vec)
+
+    n_total = len(rel)
+    scores: dict[int, float] = {}
+    eps = 1e-9
+    for term in terms:
+        global_mean = sum(vec.get(term, 0.0) for vec in rel) / n_total
+        between = 0.0
+        within = 0.0
+        for members in by_class.values():
+            n_c = len(members)
+            mu_c = sum(vec.get(term, 0.0) for vec in members) / n_c
+            between += n_c * (mu_c - global_mean) ** 2
+            within += sum((vec.get(term, 0.0) - mu_c) ** 2 for vec in members)
+        scores[term] = between / (within + eps)
+    return scores
+
+
+def select_features(
+    docs: list[SparseVector],
+    labels: list[str],
+    *,
+    budget: int,
+) -> set[int]:
+    """Ids of the *budget* highest-Fisher-score terms."""
+    scores = fisher_scores(docs, labels)
+    ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+    return {term for term, _ in ranked[:budget]}
+
+
+def project(vec: SparseVector, feature_set: set[int]) -> SparseVector:
+    """Restrict a vector to the selected features."""
+    return {t: v for t, v in vec.items() if t in feature_set}

@@ -1,0 +1,136 @@
+"""Hyperlink analysis: HITS hubs/authorities and a PageRank variant.
+
+The motivating query "are there any popular sites ... ?" (§1) and the
+resource-discovery daemon's "authoritative sources" (§4) need a notion of
+link-endorsed popularity.  This module supplies the two classics of the
+paper's era and research lineage:
+
+* **HITS** (Kleinberg 1998) on a focused subgraph — exactly how
+  Chakrabarti et al.'s earlier systems scored topical authority;
+* **PageRank** with damping, for a query-independent score.
+
+Both operate on plain ``networkx`` digraphs, so they apply equally to the
+full crawl graph and to a trail-tab neighborhood.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+
+
+def hits(
+    graph: nx.DiGraph,
+    *,
+    max_iterations: int = 50,
+    tolerance: float = 1e-8,
+) -> tuple[dict[str, float], dict[str, float]]:
+    """Hub and authority scores, L2-normalized, via power iteration.
+
+    Returns ``(hubs, authorities)``.  Isolated nodes get score 0.  An
+    empty graph returns two empty dicts.
+    """
+    nodes = list(graph.nodes())
+    if not nodes:
+        return {}, {}
+    hubs = {n: 1.0 for n in nodes}
+    auths = {n: 1.0 for n in nodes}
+    for _ in range(max_iterations):
+        new_auths = {
+            n: sum(hubs[p] for p in graph.predecessors(n)) for n in nodes
+        }
+        _l2_normalize(new_auths)
+        new_hubs = {
+            n: sum(new_auths[s] for s in graph.successors(n)) for n in nodes
+        }
+        _l2_normalize(new_hubs)
+        delta = sum(abs(new_auths[n] - auths[n]) for n in nodes) + sum(
+            abs(new_hubs[n] - hubs[n]) for n in nodes
+        )
+        hubs, auths = new_hubs, new_auths
+        if delta < tolerance:
+            break
+    return hubs, auths
+
+
+def _l2_normalize(scores: dict[str, float]) -> None:
+    norm = math.sqrt(sum(v * v for v in scores.values()))
+    if norm > 0:
+        for k in scores:
+            scores[k] /= norm
+
+
+def pagerank(
+    graph: nx.DiGraph,
+    *,
+    damping: float = 0.85,
+    max_iterations: int = 100,
+    tolerance: float = 1e-10,
+    personalization: dict[str, float] | None = None,
+) -> dict[str, float]:
+    """PageRank by power iteration; scores sum to 1.
+
+    ``personalization`` biases the teleport vector (used for topical
+    'popularity near my trail': teleport to the trail's pages).
+    """
+    nodes = list(graph.nodes())
+    n = len(nodes)
+    if n == 0:
+        return {}
+    if personalization:
+        total = sum(personalization.values())
+        if total <= 0:
+            raise ValueError("personalization weights must sum > 0")
+        teleport = {node: personalization.get(node, 0.0) / total for node in nodes}
+    else:
+        teleport = {node: 1.0 / n for node in nodes}
+    rank = dict(teleport)
+    out_degree = {node: graph.out_degree(node) for node in nodes}
+    for _ in range(max_iterations):
+        sink_mass = sum(rank[node] for node in nodes if out_degree[node] == 0)
+        new_rank = {}
+        for node in nodes:
+            incoming = sum(
+                rank[p] / out_degree[p] for p in graph.predecessors(node)
+            )
+            new_rank[node] = (
+                (1.0 - damping) * teleport[node]
+                + damping * (incoming + sink_mass * teleport[node])
+            )
+        delta = sum(abs(new_rank[node] - rank[node]) for node in nodes)
+        rank = new_rank
+        if delta < tolerance:
+            break
+    return rank
+
+
+def popular_near(
+    graph: nx.DiGraph,
+    seed_urls: set[str],
+    *,
+    k: int = 10,
+    hops: int = 1,
+) -> list[tuple[str, float]]:
+    """'Popular pages in or near' a seed set (§1's community-trail query).
+
+    Builds the *hops*-neighborhood of the seeds (both link directions),
+    runs HITS on it, and returns the top-k by authority.
+    """
+    present = {u for u in seed_urls if u in graph}
+    if not present:
+        return []
+    frontier = set(present)
+    neighborhood = set(present)
+    for _ in range(hops):
+        nxt: set[str] = set()
+        for url in frontier:
+            nxt.update(graph.successors(url))
+            nxt.update(graph.predecessors(url))
+        nxt -= neighborhood
+        neighborhood |= nxt
+        frontier = nxt
+    sub = graph.subgraph(neighborhood)
+    _, auths = hits(nx.DiGraph(sub))
+    ranked = sorted(auths.items(), key=lambda kv: (-kv[1], kv[0]))
+    return ranked[:k]

@@ -1,0 +1,53 @@
+"""Server substrate: events, protocol, transport, servlets, daemons."""
+
+from .daemons import (
+    ClassifierDaemon,
+    CrawlerDaemon,
+    DiscoveryDaemon,
+    FetchedPage,
+    IndexerDaemon,
+    PageVectorizer,
+    Resource,
+    ThemeDaemon,
+    link_graph,
+)
+from .events import (
+    ArchiveModeEvent,
+    BookmarkEvent,
+    Event,
+    FolderCreateEvent,
+    FolderMoveEvent,
+    SurfEvent,
+    VisitEvent,
+)
+from .protocol import decode_message, encode_message, rc4_stream
+from .scheduler import Daemon, DaemonScheduler
+from .servlets import Handler, ServletRegistry
+from .transport import HttpTunnelTransport
+
+__all__ = [
+    "ArchiveModeEvent",
+    "BookmarkEvent",
+    "ClassifierDaemon",
+    "CrawlerDaemon",
+    "Daemon",
+    "DaemonScheduler",
+    "DiscoveryDaemon",
+    "Event",
+    "FetchedPage",
+    "FolderCreateEvent",
+    "FolderMoveEvent",
+    "Handler",
+    "HttpTunnelTransport",
+    "IndexerDaemon",
+    "PageVectorizer",
+    "Resource",
+    "ServletRegistry",
+    "SurfEvent",
+    "ThemeDaemon",
+    "VisitEvent",
+    "decode_message",
+    "encode_message",
+    "link_graph",
+    "rc4_stream",
+]

@@ -1,0 +1,635 @@
+"""Background daemons: crawler, indexer, classifier, theme analyzer,
+resource discovery.
+
+Figure 3's mining demons.  Each daemon implements the scheduler's
+:class:`~repro.server.scheduler.Daemon` protocol (bounded ``run_once``),
+reads through the repository façade, and coordinates with the others
+through the loosely-consistent versioning layer: the **crawler** is the
+single producer; the **indexer** and the **classifier** are registered
+consumers that each see consistent published prefixes of the crawl.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from ..errors import NotFitted
+from ..mining.linkfolder import EnhancedClassifier, build_coplacement
+from ..mining.themes import FolderDoc, ThemeDiscovery, ThemeTaxonomy
+from ..storage.repository import MemexRepository
+from ..storage.schema import ASSOC_BOOKMARK, ASSOC_CORRECTION, ASSOC_GUESS
+from ..text.index import InvertedIndex
+from ..text.tokenize import tokenize
+from ..text.vectorize import SparseVector, tfidf
+from ..text.vocabulary import Vocabulary
+
+
+@dataclass(frozen=True)
+class FetchedPage:
+    """What the crawler gets back for one URL."""
+
+    url: str
+    title: str
+    text: str
+    out_links: tuple[str, ...] = ()
+    front_page: bool = False
+
+
+# The crawler's view of the Web: URL -> page or None (dead link).
+FetchFn = Callable[[str], FetchedPage | None]
+
+
+class PageVectorizer:
+    """Shared page -> sparse-vector service with caching.
+
+    All mining daemons must agree on one vocabulary and one vector per
+    page; this object is that agreement.
+    """
+
+    def __init__(self, repo: MemexRepository, vocab: Vocabulary | None = None) -> None:
+        self.repo = repo
+        self.vocab = vocab if vocab is not None else Vocabulary()
+        self._cache: dict[str, SparseVector] = {}
+
+    def vector(self, url: str) -> SparseVector | None:
+        """Term-count vector of a fetched page (None when not fetched)."""
+        if url in self._cache:
+            return self._cache[url]
+        text = self.repo.page_text(url)
+        if text is None:
+            return None
+        page = self.repo.db.table("pages").get(url)
+        title = (page or {}).get("title") or ""
+        # add_document (not plain counting) so the vocabulary accumulates
+        # document frequencies — IDF weighting and label filtering need it.
+        counts = self.vocab.add_document(tokenize(f"{title} {text}"))
+        vec: SparseVector = {t: float(c) for t, c in counts.items()}
+        self._cache[url] = vec
+        return vec
+
+    def tfidf_vector(self, url: str) -> SparseVector | None:
+        vec = self.vector(url)
+        if vec is None:
+            return None
+        return tfidf(self.vocab, vec)
+
+    def invalidate(self, url: str) -> None:
+        self._cache.pop(url, None)
+
+
+def link_graph(repo: MemexRepository) -> nx.DiGraph:
+    """Materialize the catalog's links table as a directed graph."""
+    graph = nx.DiGraph()
+    for row in repo.db.table("pages").scan():
+        graph.add_node(row["url"])
+    for row in repo.db.table("links").scan():
+        graph.add_edge(row["src"], row["dst"])
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Crawler
+# ---------------------------------------------------------------------------
+
+class CrawlerDaemon:
+    """Single producer: fetches queued URLs, stores text + links, and
+    publishes each batch as one version."""
+
+    name = "crawler"
+
+    def __init__(
+        self,
+        repo: MemexRepository,
+        fetch: FetchFn,
+        *,
+        batch_size: int = 32,
+        clock: Callable[[], float] = lambda: 0.0,
+    ) -> None:
+        self.repo = repo
+        self.fetch = fetch
+        self.batch_size = batch_size
+        self.clock = clock
+        self._queue: list[str] = []
+        self._queued: set[str] = set()
+        self._seen_links: set[tuple[str, str]] = set()
+        self.fetched_count = 0
+        self.dead_count = 0
+
+    def enqueue(self, url: str) -> None:
+        """Request a fetch (visit handlers and discovery both call this)."""
+        if url in self._queued:
+            return
+        page = self.repo.db.table("pages").get(url)
+        if page is not None and page["fetched"]:
+            return
+        self._queued.add(url)
+        self._queue.append(url)
+
+    @property
+    def backlog(self) -> int:
+        return len(self._queue)
+
+    def run_once(self) -> int:
+        if not self._queue:
+            return 0
+        batch = self._queue[: self.batch_size]
+        del self._queue[: len(batch)]
+        now = self.clock()
+        version = self.repo.versions.open_version()
+        done = 0
+        try:
+            for url in batch:
+                self._queued.discard(url)
+                fetched = self.fetch(url)
+                if fetched is None:
+                    self.dead_count += 1
+                    continue
+                self.repo.upsert_page(
+                    url,
+                    title=fetched.title,
+                    text=fetched.text,
+                    front_page=fetched.front_page,
+                    now=now,
+                    produced_version=version,
+                )
+                for dst in fetched.out_links:
+                    if (url, dst) not in self._seen_links:
+                        self._seen_links.add((url, dst))
+                        self.repo.upsert_page(dst, now=now)
+                        self.repo.add_link(url, dst, now=now)
+                self.repo.versions.add_item(url)
+                self.fetched_count += 1
+                done += 1
+        except Exception:
+            # Producer crash path: the half-built version must never
+            # become visible — abort it so the next run can open a fresh
+            # one ("the server recovers ... even if it has to discard a
+            # few client events", §3) — and the unprocessed tail of the
+            # batch (including the URL that crashed: the scheduler's
+            # quarantine guards against permanent poison) goes back on
+            # the queue so transient faults lose no work.
+            self.repo.versions.abort_version()
+            # The whole batch retries: items fetched before the crash were
+            # only in the aborted version, so they must be re-published
+            # (upserts are idempotent; a little duplicate fetch work beats
+            # pages that consumers never see).
+            self._queue = list(batch) + self._queue
+            self._queued.update(batch)
+            raise
+        self.repo.versions.publish()
+        return done
+
+
+# ---------------------------------------------------------------------------
+# Indexer
+# ---------------------------------------------------------------------------
+
+class IndexerDaemon:
+    """Consumer: pulls published pages into the inverted index."""
+
+    name = "indexer"
+
+    def __init__(self, repo: MemexRepository, index: InvertedIndex) -> None:
+        self.repo = repo
+        self.index = index
+        repo.versions.register_consumer(self.name)
+        self.indexed_count = 0
+
+    def run_once(self) -> int:
+        watermark, urls = self.repo.versions.poll(self.name)
+        done = 0
+        for url in urls:
+            text = self.repo.page_text(url)
+            if text is None:
+                continue
+            page = self.repo.db.table("pages").get(url)
+            title = (page or {}).get("title") or ""
+            self.index.add_document(url, f"{title} {text}")
+            done += 1
+        self.repo.versions.ack(self.name, watermark)
+        self.indexed_count += done
+        return done
+
+
+# ---------------------------------------------------------------------------
+# Classifier
+# ---------------------------------------------------------------------------
+
+class ClassifierDaemon:
+    """Consumer: files surfed pages into each user's folders.
+
+    Retrains a per-user :class:`EnhancedClassifier` whenever that user has
+    accumulated enough new supervision (bookmarks or corrections), then
+    classifies the user's unlabelled visits, writing 'guess' associations
+    (Figure 1's '?') and annotating the visit rows.
+    """
+
+    name = "classifier"
+
+    def __init__(
+        self,
+        repo: MemexRepository,
+        vectorizer: PageVectorizer,
+        *,
+        min_training_per_class: int = 2,
+        min_classes: int = 2,
+        retrain_after: int = 5,
+        batch_size: int = 64,
+        clock: Callable[[], float] = lambda: 0.0,
+        classifier_factory: Callable[[], EnhancedClassifier] = EnhancedClassifier,
+    ) -> None:
+        self.repo = repo
+        self.vectorizer = vectorizer
+        self.min_training_per_class = min_training_per_class
+        self.min_classes = min_classes
+        self.retrain_after = retrain_after
+        self.batch_size = batch_size
+        self.clock = clock
+        self.classifier_factory = classifier_factory
+        repo.versions.register_consumer(self.name)
+        self._models: dict[str, EnhancedClassifier] = {}
+        self._trained_on: dict[str, int] = defaultdict(int)
+        self._graph: nx.DiGraph | None = None
+        self._graph_links = -1
+        self.classified_count = 0
+
+    # -- training -------------------------------------------------------------
+
+    def _supervision(self, user_id: str) -> dict[str, str]:
+        """url -> folder_id from the user's deliberate actions."""
+        out: dict[str, str] = {}
+        for row in self.repo.db.table("folder_pages").select(
+            lambda r: r["source"] in (ASSOC_BOOKMARK, ASSOC_CORRECTION)
+        ):
+            folder = self.repo.db.table("folders").get(row["folder_id"])
+            if folder is not None and folder["owner"] == user_id:
+                out[row["url"]] = row["folder_id"]
+        return out
+
+    def _community_folders(self, exclude_user: str) -> list[list[str]]:
+        """Folder contents across the rest of the community (co-placement)."""
+        contents: dict[str, list[str]] = defaultdict(list)
+        for row in self.repo.db.table("folder_pages").select(
+            lambda r: r["source"] in (ASSOC_BOOKMARK, ASSOC_CORRECTION)
+        ):
+            folder = self.repo.db.table("folders").get(row["folder_id"])
+            if folder is not None and folder["owner"] != exclude_user:
+                contents[row["folder_id"]].append(row["url"])
+        return list(contents.values())
+
+    def _current_graph(self) -> nx.DiGraph:
+        n_links = len(self.repo.db.table("links"))
+        if self._graph is None or n_links != self._graph_links:
+            self._graph = link_graph(self.repo)
+            self._graph_links = n_links
+        return self._graph
+
+    def _maybe_train(self, user_id: str) -> EnhancedClassifier | None:
+        supervision = self._supervision(user_id)
+        usable = {
+            url: folder for url, folder in supervision.items()
+            if self.vectorizer.vector(url) is not None
+        }
+        per_class: dict[str, int] = defaultdict(int)
+        for folder in usable.values():
+            per_class[folder] += 1
+        classes = [
+            c for c, n in per_class.items() if n >= self.min_training_per_class
+        ]
+        if len(classes) < self.min_classes:
+            return None
+        usable = {u: f for u, f in usable.items() if f in classes}
+        have = self._models.get(user_id)
+        if have is not None and len(usable) - self._trained_on[user_id] < self.retrain_after:
+            return have
+        vectors = {u: self.vectorizer.vector(u) for u in usable}
+        coplacement = build_coplacement(
+            self._community_folders(user_id)
+            + [[u for u, f in usable.items() if f == c] for c in classes]
+        )
+        model = self.classifier_factory().fit(
+            vectors, usable, self._current_graph(), coplacement,
+        )
+        self._models[user_id] = model
+        self._trained_on[user_id] = len(usable)
+        return model
+
+    # -- classification -----------------------------------------------------------
+
+    def run_once(self) -> int:
+        watermark, _ = self.repo.versions.poll(self.name)
+        pending = self.repo.db.table("visits").select(
+            lambda r: r["topic_folder"] is None, order_by="visit_id",
+            limit=self.batch_size * 4,
+        )
+        done = 0
+        now = self.clock()
+        by_user: dict[str, list[dict]] = defaultdict(list)
+        for visit in pending:
+            by_user[visit["user_id"]].append(visit)
+        for user_id, visits in by_user.items():
+            model = self._maybe_train(user_id)
+            if model is None:
+                continue
+            batch: dict[str, SparseVector] = {}
+            visit_for_url: dict[str, list[dict]] = defaultdict(list)
+            for visit in visits[: self.batch_size]:
+                vec = self.vectorizer.vector(visit["url"])
+                if vec is None:
+                    continue  # not crawled/published yet; later tick
+                batch[visit["url"]] = vec
+                visit_for_url[visit["url"]].append(visit)
+            if not batch:
+                continue
+            predictions = model.predict_batch(batch)
+            for url, (folder_id, confidence) in predictions.items():
+                for visit in visit_for_url[url]:
+                    self.repo.classify_visit(visit["visit_id"], folder_id, confidence)
+                    done += 1
+                self._ensure_guess(folder_id, url, confidence, now)
+        self.repo.versions.ack(self.name, watermark)
+        self.classified_count += done
+        return done
+
+    def _ensure_guess(
+        self, folder_id: str, url: str, confidence: float, now: float
+    ) -> None:
+        existing = self.repo.page_folders(url)
+        for row in existing:
+            if row["folder_id"] == folder_id:
+                return  # already filed (deliberately or as a guess)
+            if row["source"] == ASSOC_GUESS:
+                owner_existing = self.repo.db.table("folders").get(row["folder_id"])
+                owner_new = self.repo.db.table("folders").get(folder_id)
+                if (
+                    owner_existing is not None
+                    and owner_new is not None
+                    and owner_existing["owner"] == owner_new["owner"]
+                ):
+                    # Re-guess for the same user: replace the old guess.
+                    self.repo.db.delete("folder_pages", row["assoc_id"])
+        self.repo.associate(folder_id, url, ASSOC_GUESS, confidence=confidence, now=now)
+
+    def model_for(self, user_id: str) -> EnhancedClassifier:
+        model = self._models.get(user_id)
+        if model is None:
+            raise NotFitted(f"no trained model for {user_id!r} yet")
+        return model
+
+    # -- model persistence (the repo's model store) -------------------------
+
+    def persist_models(self) -> int:
+        """Save every trained per-user model; returns how many."""
+        for user_id, model in self._models.items():
+            self.repo.save_model(f"classifier:{user_id}", {
+                "model": model.to_dict(),
+                "trained_on": self._trained_on[user_id],
+            })
+        return len(self._models)
+
+    def restore_models(self) -> int:
+        """Reload persisted models against the current link graph."""
+        graph = self._current_graph()
+        restored = 0
+        for row in self.repo.db.table("users").scan():
+            payload = self.repo.load_model(f"classifier:{row['user_id']}")
+            if payload is None:
+                continue
+            self._models[row["user_id"]] = EnhancedClassifier.from_dict(
+                payload["model"], graph,
+            )
+            self._trained_on[row["user_id"]] = payload["trained_on"]
+            restored += 1
+        return restored
+
+
+# ---------------------------------------------------------------------------
+# Theme analyzer
+# ---------------------------------------------------------------------------
+
+class ThemeDaemon:
+    """Periodically consolidates all users' public folders into the
+    community theme taxonomy (Figure 4)."""
+
+    name = "themes"
+
+    def __init__(
+        self,
+        repo: MemexRepository,
+        vectorizer: PageVectorizer,
+        *,
+        discovery: ThemeDiscovery | None = None,
+        min_pages_per_folder: int = 2,
+        rebuild_after: int = 10,
+    ) -> None:
+        self.repo = repo
+        self.vectorizer = vectorizer
+        self.discovery = discovery if discovery is not None else ThemeDiscovery()
+        self.min_pages_per_folder = min_pages_per_folder
+        self.rebuild_after = rebuild_after
+        self.taxonomy: ThemeTaxonomy | None = None
+        self._built_on = 0
+        self.rebuild_count = 0
+
+    def folder_documents(self) -> list[FolderDoc]:
+        """One :class:`FolderDoc` per (user, folder) with enough fetched pages."""
+        contents: dict[str, list[str]] = defaultdict(list)
+        for row in self.repo.db.table("folder_pages").select(
+            lambda r: r["source"] in (ASSOC_BOOKMARK, ASSOC_CORRECTION)
+        ):
+            contents[row["folder_id"]].append(row["url"])
+        docs: list[FolderDoc] = []
+        for folder_id, urls in contents.items():
+            folder = self.repo.db.table("folders").get(folder_id)
+            if folder is None:
+                continue
+            vectors = []
+            for url in urls:
+                vec = self.vectorizer.tfidf_vector(url)
+                if vec is not None:
+                    vectors.append(vec)
+            if len(vectors) < self.min_pages_per_folder:
+                continue
+            total: SparseVector = {}
+            for vec in vectors:
+                for t, w in vec.items():
+                    total[t] = total.get(t, 0.0) + w
+            docs.append(FolderDoc(
+                user_id=folder["owner"],
+                folder_path=self._folder_path(folder),
+                vector=total,
+                num_pages=len(vectors),
+            ))
+        return docs
+
+    def _folder_path(self, folder: dict) -> str:
+        parts = [folder["name"]]
+        seen = {folder["folder_id"]}
+        while folder.get("parent"):
+            folder = self.repo.db.table("folders").get(folder["parent"]) or {}
+            if not folder or folder["folder_id"] in seen:
+                break
+            seen.add(folder["folder_id"])
+            parts.append(folder["name"])
+        return "/".join(reversed(parts))
+
+    def run_once(self) -> int:
+        n_assocs = self.repo.db.table("folder_pages").count(
+            lambda r: r["source"] in (ASSOC_BOOKMARK, ASSOC_CORRECTION)
+        )
+        if self.taxonomy is not None and n_assocs - self._built_on < self.rebuild_after:
+            return 0
+        docs = self.folder_documents()
+        if len(docs) < 2:
+            return 0
+        self.taxonomy = self.discovery.discover(docs, self.vectorizer.vocab)
+        self._built_on = n_assocs
+        self.rebuild_count += 1
+        return len(docs)
+
+
+# ---------------------------------------------------------------------------
+# Resource discovery
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Resource:
+    """One recommended page for a theme."""
+
+    url: str
+    score: float
+    authority: float
+    similarity: float
+    first_seen: float
+
+
+class DiscoveryDaemon:
+    """Topic-driven resource discovery (§4 / reference [5]).
+
+    For every current theme, ranks fetched pages by a blend of topical
+    similarity to the theme centroid, link authority (in-degree, the
+    citation signal focused crawling uses), and freshness — surfacing
+    "recent and/or authoritative sources, organized by topic".
+
+    When wired to the crawler, it also does the *focused crawling* move of
+    reference [5]: un-fetched out-links of the most topical pages get
+    enqueued (bounded per run), so discovery actively expands beyond what
+    users happened to visit.
+    """
+
+    name = "discovery"
+
+    def __init__(
+        self,
+        repo: MemexRepository,
+        vectorizer: PageVectorizer,
+        themes: ThemeDaemon,
+        *,
+        crawler: "CrawlerDaemon | None" = None,
+        frontier_per_run: int = 16,
+        per_theme: int = 10,
+        similarity_weight: float = 1.0,
+        authority_weight: float = 0.5,
+        freshness_weight: float = 0.3,
+        freshness_horizon: float = 30 * 86400.0,
+        clock: Callable[[], float] = lambda: 0.0,
+    ) -> None:
+        self.repo = repo
+        self.vectorizer = vectorizer
+        self.themes = themes
+        self.crawler = crawler
+        self.frontier_per_run = frontier_per_run
+        self.per_theme = per_theme
+        self.similarity_weight = similarity_weight
+        self.authority_weight = authority_weight
+        self.freshness_weight = freshness_weight
+        self.freshness_horizon = freshness_horizon
+        self.clock = clock
+        self.recommendations: dict[str, list[Resource]] = {}
+        self.frontier_enqueued = 0
+        self._computed_for: tuple[int, int] = (-1, -1)
+
+    def run_once(self) -> int:
+        taxonomy = self.themes.taxonomy
+        if taxonomy is None:
+            return 0
+        fetched = self.repo.db.table("pages").count(lambda r: r["fetched"])
+        key = (self.themes.rebuild_count, fetched)
+        if key == self._computed_for:
+            return 0  # nothing new to discover
+        self._computed_for = key
+        from ..text.vectorize import cosine  # local to avoid cycle at import
+
+        pages = [
+            row for row in self.repo.db.table("pages").scan() if row["fetched"]
+        ]
+        if not pages:
+            return 0
+        in_deg: dict[str, int] = defaultdict(int)
+        for row in self.repo.db.table("links").scan():
+            in_deg[row["dst"]] += 1
+        max_deg = max(in_deg.values(), default=1) or 1
+        now = self.clock()
+
+        produced = 0
+        recommendations: dict[str, list[Resource]] = {}
+        for theme in taxonomy.leaves():
+            scored: list[Resource] = []
+            for row in pages:
+                vec = self.vectorizer.tfidf_vector(row["url"])
+                if vec is None:
+                    continue
+                sim = cosine(vec, theme.center)
+                if sim <= 0.0:
+                    continue
+                authority = math.log1p(in_deg[row["url"]]) / math.log1p(max_deg)
+                age = max(0.0, now - row["first_seen"])
+                freshness = max(0.0, 1.0 - age / self.freshness_horizon)
+                score = (
+                    self.similarity_weight * sim
+                    + self.authority_weight * authority
+                    + self.freshness_weight * freshness
+                )
+                scored.append(Resource(
+                    url=row["url"], score=score, authority=authority,
+                    similarity=sim, first_seen=row["first_seen"],
+                ))
+            scored.sort(key=lambda r: (-r.score, r.url))
+            recommendations[theme.theme_id] = scored[: self.per_theme]
+            produced += len(recommendations[theme.theme_id])
+        self.recommendations = recommendations
+        produced += self._expand_frontier(recommendations)
+        return produced
+
+    def _expand_frontier(
+        self, recommendations: dict[str, list[Resource]]
+    ) -> int:
+        """Focused crawling: enqueue un-fetched out-links of top resources.
+
+        Topic locality makes pages linked from highly topical pages likely
+        topical themselves — the core bet of reference [5].
+        """
+        if self.crawler is None:
+            return 0
+        budget = self.frontier_per_run
+        enqueued = 0
+        for resources in recommendations.values():
+            for res in resources[:3]:
+                for dst in self.repo.out_links(res.url):
+                    page = self.repo.db.table("pages").get(dst)
+                    if page is not None and page["fetched"]:
+                        continue
+                    if enqueued >= budget:
+                        return enqueued
+                    self.crawler.enqueue(dst)
+                    enqueued += 1
+                    self.frontier_enqueued += 1
+        return enqueued
+
+    def for_theme(self, theme_id: str) -> list[Resource]:
+        return list(self.recommendations.get(theme_id, ()))

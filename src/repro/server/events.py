@@ -1,0 +1,70 @@
+"""Client-to-server event model.
+
+These are the "complex objects" the client and the servlets exchange (§3).
+Every user action the paper archives becomes one event: visiting a page,
+bookmarking it into a folder, editing the folder tree, correcting the
+classifier, or flipping the archive mode.  Events are immutable and carry
+the simulation timestamp, so the whole system is replayable and
+deterministic under test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class SurfEvent:
+    """Base class: something a user did at a point in time."""
+
+    user_id: str
+    at: float  # seconds since simulation epoch
+
+
+@dataclass(frozen=True)
+class VisitEvent(SurfEvent):
+    """The user's browser displayed *url* (the tap on the location bar)."""
+
+    url: str
+    referrer: str | None = None
+    session_id: int = 0
+    # Ground-truth annotations from the simulator; the server never reads
+    # these, only evaluation code does.
+    truth: dict[str, Any] = field(default_factory=dict, compare=False)
+
+
+@dataclass(frozen=True)
+class BookmarkEvent(SurfEvent):
+    """The user deliberately bookmarked *url* into a folder."""
+
+    url: str
+    folder_path: str = ""
+    truth: dict[str, Any] = field(default_factory=dict, compare=False)
+
+
+@dataclass(frozen=True)
+class FolderCreateEvent(SurfEvent):
+    """The user created a folder in the editable folder tab."""
+
+    folder_path: str = ""
+
+
+@dataclass(frozen=True)
+class FolderMoveEvent(SurfEvent):
+    """Cut/paste of a URL between folders — the correction gesture of
+    Figure 1 ("the user can correct or reinforce the classifier")."""
+
+    url: str
+    from_folder: str | None = None
+    to_folder: str = ""
+
+
+@dataclass(frozen=True)
+class ArchiveModeEvent(SurfEvent):
+    """The user changed how their surfing is archived (off/private/community)."""
+
+    mode: str = "community"
+
+
+Event = SurfEvent

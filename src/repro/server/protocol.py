@@ -1,0 +1,84 @@
+"""Message framing and optional encryption for client-server exchange.
+
+§2: "the client should communicate with the server over HTTP.  The data
+transfered should be encrypted, if desired, to preserve privacy."  We
+reproduce the *discipline* without sockets: requests and responses are
+JSON objects framed as length-prefixed byte messages (the HTTP-tunneled
+POST body), optionally encrypted with an RC4-style stream cipher keyed
+per user.
+
+The cipher is the period-appropriate choice (SSL 3.0 deployments of 1999
+ran RC4-128) and is implemented here for fidelity of the code path — it
+must not be mistaken for modern transport security.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any
+
+from ..errors import ProtocolError
+
+_LEN = struct.Struct("<I")
+MAX_MESSAGE_BYTES = 16 * 1024 * 1024
+
+
+def rc4_stream(key: bytes, data: bytes) -> bytes:
+    """RC4 keystream XOR (encryption == decryption)."""
+    if not key:
+        raise ProtocolError("cipher key must be non-empty")
+    s = list(range(256))
+    j = 0
+    for i in range(256):
+        j = (j + s[i] + key[i % len(key)]) % 256
+        s[i], s[j] = s[j], s[i]
+    out = bytearray(len(data))
+    i = j = 0
+    for n, byte in enumerate(data):
+        i = (i + 1) % 256
+        j = (j + s[i]) % 256
+        s[i], s[j] = s[j], s[i]
+        out[n] = byte ^ s[(s[i] + s[j]) % 256]
+    return bytes(out)
+
+
+def encode_message(payload: dict[str, Any], *, key: bytes | None = None) -> bytes:
+    """Frame *payload* as ``length || flags || body``.
+
+    ``flags`` is 1 when the body is encrypted.
+    """
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    flags = 0
+    if key is not None:
+        body = rc4_stream(key, body)
+        flags = 1
+    if len(body) + 1 > MAX_MESSAGE_BYTES:
+        raise ProtocolError("message too large")
+    return _LEN.pack(len(body) + 1) + bytes([flags]) + body
+
+
+def decode_message(data: bytes, *, key: bytes | None = None) -> dict[str, Any]:
+    """Parse one framed message; raises :class:`ProtocolError` on garbage."""
+    if len(data) < _LEN.size + 1:
+        raise ProtocolError("short message")
+    (length,) = _LEN.unpack_from(data)
+    if length > MAX_MESSAGE_BYTES:
+        raise ProtocolError("declared length too large")
+    if len(data) != _LEN.size + length:
+        raise ProtocolError(
+            f"length mismatch: declared {length}, got {len(data) - _LEN.size}"
+        )
+    flags = data[_LEN.size]
+    body = data[_LEN.size + 1:]
+    if flags & 1:
+        if key is None:
+            raise ProtocolError("encrypted message but no key supplied")
+        body = rc4_stream(key, body)
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable message body: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("message body must be a JSON object")
+    return payload

@@ -1,0 +1,121 @@
+"""Cooperative daemon scheduler.
+
+"Background demons continually fetch pages, index them, and analyze them
+w.r.t. topics and folders" (§3) while UI events get guaranteed immediate
+processing.  We reproduce that split deterministically: servlets run
+synchronously on request; daemons run when the host calls
+:meth:`DaemonScheduler.tick`, each at its own period, with failure
+isolation (a daemon that keeps throwing is quarantined, the server keeps
+going — the robustness requirement of §3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from ..errors import DaemonError
+
+
+class Daemon(Protocol):
+    """A background worker: one bounded unit of work per call."""
+
+    name: str
+
+    def run_once(self) -> int:
+        """Perform one batch; returns the number of items processed."""
+        ...
+
+
+@dataclass
+class _Entry:
+    daemon: Daemon
+    period: int
+    next_due: int
+    runs: int = 0
+    items: int = 0
+    failures: int = 0
+    consecutive_failures: int = 0
+    quarantined: bool = False
+    last_error: str | None = None
+
+
+@dataclass
+class DaemonScheduler:
+    """Round-based scheduler with per-daemon periods and quarantine."""
+
+    max_consecutive_failures: int = 3
+    _entries: dict[str, _Entry] = field(default_factory=dict)
+    _now: int = 0
+
+    def register(self, daemon: Daemon, *, period: int = 1) -> None:
+        if period < 1:
+            raise DaemonError("period must be >= 1")
+        if daemon.name in self._entries:
+            raise DaemonError(f"daemon {daemon.name!r} already registered")
+        self._entries[daemon.name] = _Entry(
+            daemon=daemon, period=period, next_due=self._now,
+        )
+
+    def tick(self, rounds: int = 1) -> int:
+        """Advance *rounds* scheduler rounds; returns items processed."""
+        total = 0
+        for _ in range(rounds):
+            for entry in self._entries.values():
+                if entry.quarantined or self._now < entry.next_due:
+                    continue
+                entry.next_due = self._now + entry.period
+                try:
+                    done = entry.daemon.run_once()
+                except Exception as exc:  # noqa: BLE001 - isolation boundary
+                    entry.failures += 1
+                    entry.consecutive_failures += 1
+                    entry.last_error = f"{type(exc).__name__}: {exc}"
+                    if entry.consecutive_failures >= self.max_consecutive_failures:
+                        entry.quarantined = True
+                    continue
+                entry.runs += 1
+                entry.items += done
+                entry.consecutive_failures = 0
+                total += done
+            self._now += 1
+        return total
+
+    def run_until_idle(self, *, max_rounds: int = 1000) -> int:
+        """Tick until a full cycle of every daemon processes nothing."""
+        total = 0
+        idle_run = 0
+        longest = max((e.period for e in self._entries.values()), default=1)
+        for _ in range(max_rounds):
+            done = self.tick()
+            total += done
+            idle_run = idle_run + 1 if done == 0 else 0
+            if idle_run >= longest:
+                return total
+        raise DaemonError(f"daemons still busy after {max_rounds} rounds")
+
+    # -- introspection ------------------------------------------------------------
+
+    def revive(self, name: str) -> None:
+        """Lift a quarantine (operator action after fixing the fault)."""
+        entry = self._entry(name)
+        entry.quarantined = False
+        entry.consecutive_failures = 0
+
+    def stats(self) -> dict[str, dict]:
+        return {
+            name: {
+                "runs": e.runs,
+                "items": e.items,
+                "failures": e.failures,
+                "quarantined": e.quarantined,
+                "last_error": e.last_error,
+            }
+            for name, e in self._entries.items()
+        }
+
+    def _entry(self, name: str) -> _Entry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise DaemonError(f"unknown daemon {name!r}") from None

@@ -1,0 +1,66 @@
+"""Servlet registry: named request handlers with state.
+
+"The server consists of servlets that perform various archiving and mining
+functions as triggered by client action" (§3).  A servlet is a callable
+taking the request dict and returning a response dict; the registry
+dispatches on the request's ``servlet`` field, turns exceptions into
+error responses (the robustness requirement: a failed request must not
+take the server down), and keeps per-servlet counters.
+"""
+
+from __future__ import annotations
+
+import traceback
+from collections.abc import Callable
+from typing import Any
+
+from ..errors import ServletError
+
+Handler = Callable[[dict[str, Any]], dict[str, Any]]
+
+
+class ServletRegistry:
+    """Dispatch table from servlet name to handler."""
+
+    def __init__(self) -> None:
+        self._handlers: dict[str, Handler] = {}
+        self.requests_served = 0
+        self.requests_failed = 0
+        self._counts: dict[str, int] = {}
+
+    def register(self, name: str, handler: Handler) -> None:
+        if name in self._handlers:
+            raise ServletError(f"servlet {name!r} already registered")
+        self._handlers[name] = handler
+
+    def names(self) -> list[str]:
+        return sorted(self._handlers)
+
+    def dispatch(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Route a request; never raises — errors become ``status: error``
+        responses so one bad request cannot kill the server loop."""
+        name = request.get("servlet")
+        if not isinstance(name, str) or name not in self._handlers:
+            self.requests_failed += 1
+            return {"status": "error", "error": f"unknown servlet {name!r}"}
+        try:
+            response = self._handlers[name](request)
+        except Exception as exc:  # noqa: BLE001 - servlet isolation boundary
+            self.requests_failed += 1
+            return {
+                "status": "error",
+                "error": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(limit=5),
+            }
+        self.requests_served += 1
+        self._counts[name] = self._counts.get(name, 0) + 1
+        if "status" not in response:
+            response["status"] = "ok"
+        return response
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "served": self.requests_served,
+            "failed": self.requests_failed,
+            "by_servlet": dict(self._counts),
+        }

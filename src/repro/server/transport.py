@@ -1,0 +1,62 @@
+"""In-process transport simulating the HTTP tunnel.
+
+The client applet serializes every request through the protocol codec
+(framing + optional per-user encryption) and the 'wire' hands the bytes to
+the servlet registry — so tests exercise the exact encode/decode path a
+firewalled deployment would, without sockets.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import ProtocolError
+from .protocol import decode_message, encode_message
+from .servlets import ServletRegistry
+
+
+class HttpTunnelTransport:
+    """Byte-level request/response channel to a servlet registry.
+
+    Per-user cipher keys are registered out of band (account setup); a
+    request from a user with a key on file MUST be encrypted with it.
+    """
+
+    def __init__(self, registry: ServletRegistry) -> None:
+        self.registry = registry
+        self._keys: dict[str, bytes] = {}
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    def set_key(self, user_id: str, key: bytes | None) -> None:
+        if key is None:
+            self._keys.pop(user_id, None)
+        else:
+            self._keys[user_id] = key
+
+    def key_for(self, user_id: str) -> bytes | None:
+        return self._keys.get(user_id)
+
+    # -- client side -----------------------------------------------------------
+
+    def request(self, user_id: str, payload: dict[str, Any]) -> dict[str, Any]:
+        """Send one request as *user_id*; returns the decoded response."""
+        key = self._keys.get(user_id)
+        wire = encode_message({**payload, "user_id": user_id}, key=key)
+        self.bytes_out += len(wire)
+        response_bytes = self._serve(wire, user_id)
+        self.bytes_in += len(response_bytes)
+        return decode_message(response_bytes, key=key)
+
+    # -- server side --------------------------------------------------------------
+
+    def _serve(self, wire: bytes, claimed_user: str) -> bytes:
+        key = self._keys.get(claimed_user)
+        try:
+            request = decode_message(wire, key=key)
+        except ProtocolError as exc:
+            return encode_message(
+                {"status": "error", "error": str(exc)}, key=key,
+            )
+        response = self.registry.dispatch(request)
+        return encode_message(response, key=key)

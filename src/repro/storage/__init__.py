@@ -1,0 +1,48 @@
+"""Storage substrate: relational engine, key-value store, WAL, versioning.
+
+See DESIGN.md §2-3.  The paper's server (§3) splits state between an RDBMS
+(metadata) and Berkeley DB (term-level statistics), coordinated by a
+loosely-consistent versioning layer; each of those has a module here.
+"""
+
+from .btree import BTree
+from .kvstore import KVStore, Namespace
+from .relational import Column, Database, Table, TableSchema, Transaction
+from .repository import MemexRepository, Sequence
+from .schema import (
+    ARCHIVE_COMMUNITY,
+    ARCHIVE_MODES,
+    ARCHIVE_OFF,
+    ARCHIVE_PRIVATE,
+    ASSOC_BOOKMARK,
+    ASSOC_CORRECTION,
+    ASSOC_GUESS,
+    COMMUNITY_OWNER,
+    create_catalog,
+)
+from .versioning import VersionCoordinator
+from .wal import WriteAheadLog
+
+__all__ = [
+    "ARCHIVE_COMMUNITY",
+    "ARCHIVE_MODES",
+    "ARCHIVE_OFF",
+    "ARCHIVE_PRIVATE",
+    "ASSOC_BOOKMARK",
+    "ASSOC_CORRECTION",
+    "ASSOC_GUESS",
+    "BTree",
+    "COMMUNITY_OWNER",
+    "Column",
+    "Database",
+    "KVStore",
+    "MemexRepository",
+    "Namespace",
+    "Sequence",
+    "Table",
+    "TableSchema",
+    "Transaction",
+    "VersionCoordinator",
+    "WriteAheadLog",
+    "create_catalog",
+]

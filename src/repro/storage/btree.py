@@ -1,0 +1,564 @@
+"""A disk-paged B+-tree: the Berkeley-DB-faithful storage engine.
+
+The default :class:`~repro.storage.kvstore.KVStore` replays its log into
+RAM — fine for Memex-per-community scale, but the paper's Berkeley DB was
+a *paged B-tree* whose working set lives on disk.  This module provides
+that engine: fixed-size pages in a single file, an LRU page cache with
+dirty-page write-back, leaf chaining for range scans, and a free list for
+reclaimed pages.
+
+Layout
+------
+Page 0 is the metadata page::
+
+    magic 'MBT1' | u32 page_size | u32 root | u32 npages | u32 free_head
+    | u64 count
+
+Every other page starts with a one-byte type tag:
+
+* **leaf** (0): ``u16 nrecs | u32 next_leaf`` then ``nrecs`` records of
+  ``u16 klen | u16 vlen | key | value``, key-sorted;
+* **internal** (1): ``u16 nkeys | u32 child0`` then ``nkeys`` entries of
+  ``u16 klen | key | u32 child`` — child_i holds keys >= key_i.
+
+Deletion removes records in place; a leaf that empties is unlinked from
+its parent and recycled through the free list (no rebalancing — pages may
+run underfull, the classic simplification, which costs space but never
+correctness).
+
+Durability: pages are flushed on :meth:`flush`/:meth:`close` (checkpoint
+semantics).  A torn checkpoint corrupts the file, so crash safety comes
+from layering — Memex logs through the WAL and treats the tree as a
+rebuildable index, exactly how its Berkeley DB indices were treated.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from bisect import bisect_left, bisect_right
+from collections import OrderedDict
+from collections.abc import Iterator
+from pathlib import Path
+
+from ..errors import CorruptLog, KeyNotFound, KVStoreError, StoreClosed
+
+MAGIC = b"MBT1"
+_META = struct.Struct("<4sIIIIQ")  # magic, page_size, root, npages, free_head, count
+_LEAF_HEAD = struct.Struct("<BHI")   # type, nrecs, next_leaf
+_INT_HEAD = struct.Struct("<BHI")    # type, nkeys, child0
+_REC = struct.Struct("<HH")          # klen, vlen
+_IKEY = struct.Struct("<HI")         # klen, child
+
+LEAF, INTERNAL = 0, 1
+NO_PAGE = 0  # page 0 is meta, so 0 doubles as the null pointer
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next_leaf")
+
+    def __init__(self) -> None:
+        self.keys: list[bytes] = []
+        self.values: list[bytes] = []
+        self.next_leaf: int = NO_PAGE
+
+    def encode(self) -> bytes:
+        parts = [_LEAF_HEAD.pack(LEAF, len(self.keys), self.next_leaf)]
+        for k, v in zip(self.keys, self.values):
+            parts.append(_REC.pack(len(k), len(v)))
+            parts.append(k)
+            parts.append(v)
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "_Leaf":
+        node = cls()
+        _type, nrecs, node.next_leaf = _LEAF_HEAD.unpack_from(data)
+        offset = _LEAF_HEAD.size
+        for _ in range(nrecs):
+            klen, vlen = _REC.unpack_from(data, offset)
+            offset += _REC.size
+            node.keys.append(data[offset:offset + klen])
+            offset += klen
+            node.values.append(data[offset:offset + vlen])
+            offset += vlen
+        return node
+
+    def nbytes(self) -> int:
+        return _LEAF_HEAD.size + sum(
+            _REC.size + len(k) + len(v)
+            for k, v in zip(self.keys, self.values)
+        )
+
+
+class _Internal:
+    __slots__ = ("keys", "children")
+
+    def __init__(self) -> None:
+        self.keys: list[bytes] = []
+        self.children: list[int] = []  # len(keys) + 1
+
+    def encode(self) -> bytes:
+        parts = [_INT_HEAD.pack(INTERNAL, len(self.keys), self.children[0])]
+        for key, child in zip(self.keys, self.children[1:]):
+            parts.append(_IKEY.pack(len(key), child))
+            parts.append(key)
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "_Internal":
+        node = cls()
+        _type, nkeys, child0 = _INT_HEAD.unpack_from(data)
+        node.children.append(child0)
+        offset = _INT_HEAD.size
+        for _ in range(nkeys):
+            klen, child = _IKEY.unpack_from(data, offset)
+            offset += _IKEY.size
+            node.keys.append(data[offset:offset + klen])
+            offset += klen
+            node.children.append(child)
+        return node
+
+    def nbytes(self) -> int:
+        return _INT_HEAD.size + sum(_IKEY.size + len(k) for k in self.keys)
+
+    def child_for(self, key: bytes) -> int:
+        return self.children[bisect_right(self.keys, key)]
+
+
+class BTree:
+    """Disk-paged B+-tree with bytes keys/values.
+
+    Parameters
+    ----------
+    path:
+        Backing file; created when missing.
+    page_size:
+        Bytes per page.  Keys+values must fit a quarter page so a split
+        always succeeds.
+    cache_pages:
+        LRU page-cache capacity.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        *,
+        page_size: int = 4096,
+        cache_pages: int = 256,
+    ) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._cache: OrderedDict[int, _Leaf | _Internal] = OrderedDict()
+        self._dirty: set[int] = set()
+        self._cache_pages = cache_pages
+        self._closed = False
+        exists = self.path.exists() and self.path.stat().st_size > 0
+        self._fh = open(self.path, "r+b" if exists else "w+b")
+        if exists:
+            self._load_meta()
+        else:
+            self.page_size = page_size
+            self._root = 1
+            self._npages = 2
+            self._free_head = NO_PAGE
+            self._count = 0
+            root = _Leaf()
+            self._cache[1] = root
+            self._dirty.add(1)
+            self._write_meta()
+            self.flush()
+        self.max_record = self.page_size // 4
+
+    # -- metadata --------------------------------------------------------------
+
+    def _load_meta(self) -> None:
+        self._fh.seek(0)
+        raw = self._fh.read(_META.size)
+        if len(raw) < _META.size:
+            raise CorruptLog(f"{self.path}: truncated meta page")
+        magic, page_size, root, npages, free_head, count = _META.unpack(raw)
+        if magic != MAGIC:
+            raise CorruptLog(f"{self.path}: bad magic {magic!r}")
+        self.page_size = page_size
+        self._root = root
+        self._npages = npages
+        self._free_head = free_head
+        self._count = count
+
+    def _write_meta(self) -> None:
+        self._fh.seek(0)
+        self._fh.write(_META.pack(
+            MAGIC, self.page_size, self._root,
+            self._npages, self._free_head, self._count,
+        ).ljust(self.page_size, b"\x00"))
+
+    # -- page I/O -------------------------------------------------------------------
+
+    def _read_page(self, page_id: int) -> _Leaf | _Internal:
+        if page_id in self._cache:
+            self._cache.move_to_end(page_id)
+            return self._cache[page_id]
+        self._fh.seek(page_id * self.page_size)
+        data = self._fh.read(self.page_size)
+        if len(data) < _LEAF_HEAD.size:
+            raise CorruptLog(f"{self.path}: short page {page_id}")
+        node: _Leaf | _Internal
+        node = _Leaf.decode(data) if data[0] == LEAF else _Internal.decode(data)
+        self._put_cache(page_id, node)
+        return node
+
+    def _put_cache(self, page_id: int, node: _Leaf | _Internal) -> None:
+        self._cache[page_id] = node
+        self._cache.move_to_end(page_id)
+        while len(self._cache) > self._cache_pages:
+            victim, vnode = self._cache.popitem(last=False)
+            if victim in self._dirty:
+                self._write_page(victim, vnode)
+                self._dirty.discard(victim)
+
+    def _write_page(self, page_id: int, node: _Leaf | _Internal) -> None:
+        data = node.encode()
+        if len(data) > self.page_size:
+            raise KVStoreError(
+                f"page {page_id} overflow: {len(data)} > {self.page_size}"
+            )
+        self._fh.seek(page_id * self.page_size)
+        self._fh.write(data.ljust(self.page_size, b"\x00"))
+
+    def _mark_dirty(self, page_id: int, node: _Leaf | _Internal) -> None:
+        self._put_cache(page_id, node)
+        self._dirty.add(page_id)
+
+    def _alloc_page(self) -> int:
+        if self._free_head != NO_PAGE:
+            page_id = self._free_head
+            self._fh.seek(page_id * self.page_size)
+            raw = self._fh.read(4)
+            self._free_head = struct.unpack("<I", raw)[0] if len(raw) == 4 else NO_PAGE
+            return page_id
+        page_id = self._npages
+        self._npages += 1
+        return page_id
+
+    def _free_page(self, page_id: int) -> None:
+        self._fh.seek(page_id * self.page_size)
+        self._fh.write(struct.pack("<I", self._free_head).ljust(self.page_size, b"\x00"))
+        self._free_head = page_id
+        self._cache.pop(page_id, None)
+        self._dirty.discard(page_id)
+
+    # -- lookup ------------------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreClosed("btree is closed")
+
+    def _descend(self, key: bytes) -> tuple[list[tuple[int, int]], int]:
+        """Path of (page_id, child_index) internal steps plus the leaf id."""
+        path: list[tuple[int, int]] = []
+        page_id = self._root
+        node = self._read_page(page_id)
+        while isinstance(node, _Internal):
+            idx = bisect_right(node.keys, key)
+            path.append((page_id, idx))
+            page_id = node.children[idx]
+            node = self._read_page(page_id)
+        return path, page_id
+
+    def get(self, key: bytes, default: bytes | None = None) -> bytes | None:
+        self._check_open()
+        _path, leaf_id = self._descend(key)
+        leaf = self._read_page(leaf_id)
+        assert isinstance(leaf, _Leaf)
+        i = bisect_left(leaf.keys, key)
+        if i < len(leaf.keys) and leaf.keys[i] == key:
+            return leaf.values[i]
+        return default
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get(key) is not None or self._has_exact(key)
+
+    def _has_exact(self, key: bytes) -> bool:
+        _path, leaf_id = self._descend(key)
+        leaf = self._read_page(leaf_id)
+        assert isinstance(leaf, _Leaf)
+        i = bisect_left(leaf.keys, key)
+        return i < len(leaf.keys) and leaf.keys[i] == key
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- insertion ----------------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._check_open()
+        if not isinstance(key, bytes) or not isinstance(value, bytes):
+            raise TypeError("btree keys and values must be bytes")
+        if not key:
+            raise KVStoreError("empty keys are not allowed")
+        if len(key) + len(value) + _REC.size > self.max_record:
+            raise KVStoreError(
+                f"record of {len(key) + len(value)} bytes exceeds the "
+                f"max of {self.max_record} for page size {self.page_size}"
+            )
+        path, leaf_id = self._descend(key)
+        leaf = self._read_page(leaf_id)
+        assert isinstance(leaf, _Leaf)
+        i = bisect_left(leaf.keys, key)
+        if i < len(leaf.keys) and leaf.keys[i] == key:
+            leaf.values[i] = value
+        else:
+            leaf.keys.insert(i, key)
+            leaf.values.insert(i, value)
+            self._count += 1
+        self._mark_dirty(leaf_id, leaf)
+        if leaf.nbytes() > self.page_size:
+            self._split_leaf(path, leaf_id, leaf)
+
+    def _split_leaf(
+        self, path: list[tuple[int, int]], leaf_id: int, leaf: _Leaf
+    ) -> None:
+        mid = len(leaf.keys) // 2
+        right = _Leaf()
+        right.keys = leaf.keys[mid:]
+        right.values = leaf.values[mid:]
+        right.next_leaf = leaf.next_leaf
+        leaf.keys = leaf.keys[:mid]
+        leaf.values = leaf.values[:mid]
+        right_id = self._alloc_page()
+        leaf.next_leaf = right_id
+        separator = right.keys[0]
+        self._mark_dirty(leaf_id, leaf)
+        self._mark_dirty(right_id, right)
+        self._insert_into_parent(path, leaf_id, separator, right_id)
+
+    def _insert_into_parent(
+        self,
+        path: list[tuple[int, int]],
+        left_id: int,
+        separator: bytes,
+        right_id: int,
+    ) -> None:
+        if not path:
+            new_root = _Internal()
+            new_root.children = [left_id, right_id]
+            new_root.keys = [separator]
+            root_id = self._alloc_page()
+            self._mark_dirty(root_id, new_root)
+            self._root = root_id
+            return
+        parent_id, idx = path[-1]
+        parent = self._read_page(parent_id)
+        assert isinstance(parent, _Internal)
+        parent.keys.insert(idx, separator)
+        parent.children.insert(idx + 1, right_id)
+        self._mark_dirty(parent_id, parent)
+        if parent.nbytes() > self.page_size:
+            self._split_internal(path[:-1], parent_id, parent)
+
+    def _split_internal(
+        self, path: list[tuple[int, int]], node_id: int, node: _Internal
+    ) -> None:
+        mid = len(node.keys) // 2
+        separator = node.keys[mid]
+        right = _Internal()
+        right.keys = node.keys[mid + 1:]
+        right.children = node.children[mid + 1:]
+        node.keys = node.keys[:mid]
+        node.children = node.children[:mid + 1]
+        right_id = self._alloc_page()
+        self._mark_dirty(node_id, node)
+        self._mark_dirty(right_id, right)
+        self._insert_into_parent(path, node_id, separator, right_id)
+
+    # -- deletion ------------------------------------------------------------------------
+
+    def delete(self, key: bytes) -> None:
+        self._check_open()
+        path, leaf_id = self._descend(key)
+        leaf = self._read_page(leaf_id)
+        assert isinstance(leaf, _Leaf)
+        i = bisect_left(leaf.keys, key)
+        if i >= len(leaf.keys) or leaf.keys[i] != key:
+            raise KeyNotFound(repr(key))
+        del leaf.keys[i]
+        del leaf.values[i]
+        self._count -= 1
+        self._mark_dirty(leaf_id, leaf)
+        if not leaf.keys and path:
+            self._unlink_empty_leaf(path, leaf_id)
+
+    def discard(self, key: bytes) -> bool:
+        try:
+            self.delete(key)
+            return True
+        except KeyNotFound:
+            return False
+
+    # Mapping sugar, matching KVStore's interface so Namespace (and
+    # therefore the inverted index) can run over either engine.
+
+    def __getitem__(self, key: bytes) -> bytes:
+        value = self.get(key)
+        if value is None and not self._has_exact(key):
+            raise KeyNotFound(repr(key))
+        return value if value is not None else b""
+
+    def __setitem__(self, key: bytes, value: bytes) -> None:
+        self.put(key, value)
+
+    def _unlink_empty_leaf(
+        self, path: list[tuple[int, int]], leaf_id: int
+    ) -> None:
+        # Fix the leaf chain: predecessor leaf (if any) skips us.  Finding
+        # the predecessor costs a walk along the level; empty leaves are
+        # rare enough (bulk deletes) that simplicity wins.
+        prev_id = self._find_previous_leaf(leaf_id)
+        leaf = self._read_page(leaf_id)
+        assert isinstance(leaf, _Leaf)
+        if prev_id is not None:
+            prev = self._read_page(prev_id)
+            assert isinstance(prev, _Leaf)
+            prev.next_leaf = leaf.next_leaf
+            self._mark_dirty(prev_id, prev)
+        parent_id, idx = path[-1]
+        parent = self._read_page(parent_id)
+        assert isinstance(parent, _Internal)
+        del parent.children[idx]
+        if parent.keys:
+            del parent.keys[max(0, idx - 1)]
+        self._mark_dirty(parent_id, parent)
+        self._free_page(leaf_id)
+        # Collapse chains of single-child internals up the path.
+        level = len(path) - 1
+        while level >= 0:
+            node_id, _ = path[level]
+            node = self._read_page(node_id)
+            assert isinstance(node, _Internal)
+            if len(node.children) == 1:
+                only = node.children[0]
+                if level == 0:
+                    self._root = only
+                    self._free_page(node_id)
+                else:
+                    up_id, up_idx = path[level - 1]
+                    up = self._read_page(up_id)
+                    assert isinstance(up, _Internal)
+                    up.children[up_idx] = only
+                    self._mark_dirty(up_id, up)
+                    self._free_page(node_id)
+            level -= 1
+
+    def _find_previous_leaf(self, leaf_id: int) -> int | None:
+        current = self._first_leaf_id()
+        if current == leaf_id:
+            return None
+        while current != NO_PAGE:
+            node = self._read_page(current)
+            assert isinstance(node, _Leaf)
+            if node.next_leaf == leaf_id:
+                return current
+            current = node.next_leaf
+        return None
+
+    def _first_leaf_id(self) -> int:
+        page_id = self._root
+        node = self._read_page(page_id)
+        while isinstance(node, _Internal):
+            page_id = node.children[0]
+            node = self._read_page(page_id)
+        return page_id
+
+    # -- scans --------------------------------------------------------------------------------
+
+    def cursor(
+        self,
+        start: bytes | None = None,
+        end: bytes | None = None,
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Iterate key-ordered pairs over ``[start, end)`` via the leaf chain."""
+        self._check_open()
+        if start is None:
+            leaf_id = self._first_leaf_id()
+            index = 0
+        else:
+            _path, leaf_id = self._descend(start)
+            leaf = self._read_page(leaf_id)
+            assert isinstance(leaf, _Leaf)
+            index = bisect_left(leaf.keys, start)
+        while leaf_id != NO_PAGE:
+            leaf = self._read_page(leaf_id)
+            assert isinstance(leaf, _Leaf)
+            while index < len(leaf.keys):
+                key = leaf.keys[index]
+                if end is not None and key >= end:
+                    return
+                yield key, leaf.values[index]
+                index += 1
+            leaf_id = leaf.next_leaf
+            index = 0
+
+    def prefix(self, prefix: bytes) -> Iterator[tuple[bytes, bytes]]:
+        if not prefix:
+            yield from self.cursor()
+            return
+        end = None
+        if prefix[-1] < 0xFF:
+            end = prefix[:-1] + bytes([prefix[-1] + 1])
+        for key, value in self.cursor(start=prefix, end=end):
+            if not key.startswith(prefix):
+                break
+            yield key, value
+
+    def keys(self) -> list[bytes]:
+        return [k for k, _ in self.cursor()]
+
+    # -- lifecycle ------------------------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Checkpoint: write every dirty page plus metadata."""
+        self._check_open()
+        for page_id in sorted(self._dirty):
+            node = self._cache.get(page_id)
+            if node is not None:
+                self._write_page(page_id, node)
+        self._dirty.clear()
+        self._write_meta()
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.flush()
+        self._fh.close()
+        self._closed = True
+
+    def __enter__(self) -> "BTree":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def stats(self) -> dict[str, int]:
+        self._check_open()
+        free = 0
+        head = self._free_head
+        while head != NO_PAGE:
+            free += 1
+            self._fh.seek(head * self.page_size)
+            raw = self._fh.read(4)
+            head = struct.unpack("<I", raw)[0] if len(raw) == 4 else NO_PAGE
+        depth = 1
+        node = self._read_page(self._root)
+        while isinstance(node, _Internal):
+            depth += 1
+            node = self._read_page(node.children[0])
+        return {
+            "entries": self._count,
+            "pages": self._npages,
+            "free_pages": free,
+            "depth": depth,
+            "cached_pages": len(self._cache),
+        }

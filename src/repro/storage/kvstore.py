@@ -1,0 +1,307 @@
+"""Lightweight Berkeley-DB-style key-value store.
+
+The paper stores "fine-grained term-level data" (term statistics, posting
+lists) in Berkeley DB because "storing term-level statistics in an RDBMS
+would have overwhelming space and time overheads" (§3).  This module is the
+stand-in: a persistent ordered key-value store with
+
+* byte-string keys and values,
+* ordered cursors and prefix scans (the access pattern posting lists need),
+* durability through the shared write-ahead log format,
+* background-free compaction triggered by a garbage ratio, and
+* an in-memory mode (``path=None``) for tests and simulations.
+
+The design is log-structured: every mutation is appended to the log, and an
+in-memory sorted index maps live keys to values.  On open, the log is
+replayed to rebuild the index; compaction rewrites the log to contain only
+live entries.
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_left, insort
+from collections.abc import Iterator
+from pathlib import Path
+
+from ..errors import CorruptLog, KeyNotFound, StoreClosed
+from .wal import WriteAheadLog
+
+_OP_PUT = 0
+_OP_DELETE = 1
+_REC = struct.Struct("<BI")  # opcode, key length
+
+
+def _encode(op: int, key: bytes, value: bytes = b"") -> bytes:
+    return _REC.pack(op, len(key)) + key + value
+
+
+def _decode(payload: bytes) -> tuple[int, bytes, bytes]:
+    if len(payload) < _REC.size:
+        raise CorruptLog("kvstore record shorter than its header")
+    op, klen = _REC.unpack_from(payload)
+    if _REC.size + klen > len(payload):
+        raise CorruptLog("kvstore record key overruns payload")
+    key = payload[_REC.size:_REC.size + klen]
+    value = payload[_REC.size + klen:]
+    return op, key, value
+
+
+class KVStore:
+    """Ordered, persistent key-value store.
+
+    Parameters
+    ----------
+    path:
+        Log file backing the store, or ``None`` for a purely in-memory
+        store.
+    compact_garbage_ratio:
+        When the fraction of dead log records exceeds this, :meth:`put`
+        and :meth:`delete` trigger a compaction.  Set above 1.0 to disable
+        automatic compaction.
+    sync:
+        Passed through to the write-ahead log.
+    """
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        *,
+        compact_garbage_ratio: float = 0.5,
+        sync: bool = False,
+    ) -> None:
+        self._data: dict[bytes, bytes] = {}
+        self._keys: list[bytes] = []          # sorted view of _data's keys
+        self._log: WriteAheadLog | None = None
+        self._log_records = 0                  # total records in the log
+        self._closed = False
+        self.compact_garbage_ratio = compact_garbage_ratio
+        if path is not None:
+            self._log = WriteAheadLog(path, sync=sync)
+            self._recover()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def _recover(self) -> None:
+        assert self._log is not None
+        for payload in self._log.replay():
+            op, key, value = _decode(payload)
+            if op == _OP_PUT:
+                self._data[key] = value
+            else:
+                self._data.pop(key, None)
+            self._log_records += 1
+        self._keys = sorted(self._data)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        if self._log is not None:
+            self._log.close()
+        self._closed = True
+
+    def __enter__(self) -> "KVStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreClosed("kvstore is closed")
+
+    # -- mutation ---------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite *key*."""
+        self._check_open()
+        if not isinstance(key, bytes) or not isinstance(value, bytes):
+            raise TypeError("kvstore keys and values must be bytes")
+        fresh = key not in self._data
+        self._data[key] = value
+        if fresh:
+            insort(self._keys, key)
+        if self._log is not None:
+            self._log.append(_encode(_OP_PUT, key, value))
+            self._log_records += 1
+            self._maybe_compact()
+
+    def delete(self, key: bytes) -> None:
+        """Remove *key*; raises :class:`KeyNotFound` if absent."""
+        self._check_open()
+        if key not in self._data:
+            raise KeyNotFound(repr(key))
+        del self._data[key]
+        i = bisect_left(self._keys, key)
+        del self._keys[i]
+        if self._log is not None:
+            self._log.append(_encode(_OP_DELETE, key))
+            self._log_records += 1
+            self._maybe_compact()
+
+    def discard(self, key: bytes) -> bool:
+        """Remove *key* if present; returns whether it was."""
+        try:
+            self.delete(key)
+            return True
+        except KeyNotFound:
+            return False
+
+    # -- lookup -------------------------------------------------------------------
+
+    def get(self, key: bytes, default: bytes | None = None) -> bytes | None:
+        """Return the value for *key*, or *default* when absent."""
+        self._check_open()
+        return self._data.get(key, default)
+
+    def __getitem__(self, key: bytes) -> bytes:
+        self._check_open()
+        try:
+            return self._data[key]
+        except KeyError:
+            raise KeyNotFound(repr(key)) from None
+
+    def __setitem__(self, key: bytes, value: bytes) -> None:
+        self.put(key, value)
+
+    def __contains__(self, key: bytes) -> bool:
+        self._check_open()
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    # -- scans ---------------------------------------------------------------------
+
+    def cursor(
+        self,
+        start: bytes | None = None,
+        end: bytes | None = None,
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Iterate ``(key, value)`` pairs in key order over ``[start, end)``.
+
+        The iteration works over a snapshot of the key set taken at call
+        time, so mutating the store during iteration is safe.
+        """
+        self._check_open()
+        lo = 0 if start is None else bisect_left(self._keys, start)
+        keys = self._keys[lo:]
+        if end is not None:
+            hi = bisect_left(keys, end)
+            keys = keys[:hi]
+        else:
+            keys = list(keys)
+        for key in keys:
+            value = self._data.get(key)
+            if value is not None:
+                yield key, value
+
+    def prefix(self, prefix: bytes) -> Iterator[tuple[bytes, bytes]]:
+        """Iterate all pairs whose key starts with *prefix*, in key order."""
+        if not prefix:
+            yield from self.cursor()
+            return
+        end = prefix[:-1] + bytes([prefix[-1] + 1]) if prefix[-1] < 0xFF else None
+        for key, value in self.cursor(start=prefix, end=end):
+            if not key.startswith(prefix):
+                break
+            yield key, value
+
+    def keys(self) -> list[bytes]:
+        """All live keys in sorted order (copy)."""
+        self._check_open()
+        return list(self._keys)
+
+    # -- maintenance -----------------------------------------------------------------
+
+    def _maybe_compact(self) -> None:
+        if self._log is None or self._log_records == 0:
+            return
+        dead = self._log_records - len(self._data)
+        if dead <= 16:
+            return
+        if dead / self._log_records > self.compact_garbage_ratio:
+            self.compact()
+
+    def compact(self) -> None:
+        """Rewrite the log to contain exactly the live entries."""
+        self._check_open()
+        if self._log is None:
+            return
+        self._log.rewrite(
+            _encode(_OP_PUT, key, self._data[key]) for key in self._keys
+        )
+        self._log_records = len(self._data)
+
+    def stats(self) -> dict[str, int]:
+        """Operational counters: live keys, log records, log bytes."""
+        self._check_open()
+        return {
+            "live_keys": len(self._data),
+            "log_records": self._log_records,
+            "log_bytes": self._log.size_bytes() if self._log is not None else 0,
+        }
+
+
+class Namespace:
+    """A keyspace slice of a :class:`KVStore`, like a BDB sub-database.
+
+    Keys are transparently prefixed with ``name + 0x00`` so multiple
+    logical tables (term stats, postings, document metadata, ...) can share
+    one physical store, mirroring how Memex packs several indices into
+    Berkeley DB.
+    """
+
+    SEPARATOR = b"\x00"
+
+    def __init__(self, store: KVStore, name: str) -> None:
+        if Namespace.SEPARATOR.decode("latin-1") in name:
+            raise ValueError("namespace name must not contain NUL")
+        self.store = store
+        self.name = name
+        self._prefix = name.encode("utf-8") + Namespace.SEPARATOR
+
+    def _wrap(self, key: bytes) -> bytes:
+        return self._prefix + key
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.store.put(self._wrap(key), value)
+
+    def get(self, key: bytes, default: bytes | None = None) -> bytes | None:
+        return self.store.get(self._wrap(key), default)
+
+    def delete(self, key: bytes) -> None:
+        self.store.delete(self._wrap(key))
+
+    def discard(self, key: bytes) -> bool:
+        return self.store.discard(self._wrap(key))
+
+    def __contains__(self, key: bytes) -> bool:
+        return self._wrap(key) in self.store
+
+    def __getitem__(self, key: bytes) -> bytes:
+        return self.store[self._wrap(key)]
+
+    def __setitem__(self, key: bytes, value: bytes) -> None:
+        self.put(key, value)
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        """All pairs in this namespace, unwrapped, in key order."""
+        plen = len(self._prefix)
+        for key, value in self.store.prefix(self._prefix):
+            yield key[plen:], value
+
+    def prefix(self, prefix: bytes) -> Iterator[tuple[bytes, bytes]]:
+        plen = len(self._prefix)
+        for key, value in self.store.prefix(self._prefix + prefix):
+            yield key[plen:], value
+
+    def clear(self) -> int:
+        """Delete every key in the namespace; returns how many."""
+        doomed = [key for key, _ in self.items()]
+        for key in doomed:
+            self.delete(key)
+        return len(doomed)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.items())

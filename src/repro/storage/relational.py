@@ -1,0 +1,611 @@
+"""In-process relational engine: the reproduction's Oracle/DB2 stand-in.
+
+The paper keeps "metadata about pages, links, users, and topics" (§3) in an
+RDBMS.  This module provides what that workload needs, in pure Python:
+
+* typed schemas with primary keys and nullable columns,
+* hash indexes for equality lookups and ordered indexes for range scans,
+* predicate selects, equi-joins, group-by aggregation,
+* transactions (begin / commit / abort) with WAL-based crash recovery,
+* unique-constraint enforcement.
+
+It is intentionally *not* a SQL parser — queries are expressed through a
+small fluent API — but the semantics (atomic multi-row transactions,
+secondary-index maintenance, recovery to the last committed transaction)
+match what Memex's servlets and daemons rely on.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left, bisect_right, insort
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..errors import (
+    DuplicateKey,
+    NoSuchColumn,
+    NoSuchTable,
+    SchemaError,
+    TransactionError,
+)
+from .wal import WriteAheadLog
+
+Row = dict[str, Any]
+
+_TYPES: dict[str, tuple[type, ...]] = {
+    "int": (int,),
+    "float": (int, float),
+    "str": (str,),
+    "bool": (bool,),
+    "json": (dict, list, str, int, float, bool, type(None)),
+}
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a table schema."""
+
+    name: str
+    type: str = "str"
+    nullable: bool = False
+
+    def __post_init__(self) -> None:
+        if self.type not in _TYPES:
+            raise SchemaError(f"unknown column type {self.type!r}")
+
+    def check(self, value: Any) -> None:
+        if value is None:
+            if not self.nullable:
+                raise SchemaError(f"column {self.name!r} is not nullable")
+            return
+        if self.type == "bool" and isinstance(value, int) and not isinstance(value, bool):
+            raise SchemaError(f"column {self.name!r} expects bool, got int")
+        if not isinstance(value, _TYPES[self.type]):
+            raise SchemaError(
+                f"column {self.name!r} expects {self.type}, got {type(value).__name__}"
+            )
+
+
+@dataclass
+class TableSchema:
+    """Schema: ordered columns, a primary key, and named secondary indexes."""
+
+    name: str
+    columns: Sequence[Column]
+    primary_key: str
+    indexes: Sequence[str] = field(default_factory=tuple)
+    unique: Sequence[str] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"table {self.name!r} has duplicate column names")
+        for col in (self.primary_key, *self.indexes, *self.unique):
+            if col not in names:
+                raise NoSuchColumn(f"{self.name}.{col}")
+        self._by_name = {c.name: c for c in self.columns}
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise NoSuchColumn(f"{self.name}.{name}") from None
+
+    def validate(self, row: Row) -> Row:
+        """Check a row against the schema, filling absent nullables with None."""
+        unknown = set(row) - set(self._by_name)
+        if unknown:
+            raise SchemaError(f"unknown columns for {self.name!r}: {sorted(unknown)}")
+        out: Row = {}
+        for col in self.columns:
+            value = row.get(col.name)
+            col.check(value)
+            out[col.name] = value
+        return out
+
+
+class _OrderedIndex:
+    """Sorted (value, pk) pairs supporting range scans. None values excluded."""
+
+    def __init__(self) -> None:
+        self._entries: list[tuple[Any, Any]] = []
+
+    def add(self, value: Any, pk: Any) -> None:
+        if value is not None:
+            insort(self._entries, (value, pk))
+
+    def remove(self, value: Any, pk: Any) -> None:
+        if value is None:
+            return
+        i = bisect_left(self._entries, (value, pk))
+        if i < len(self._entries) and self._entries[i] == (value, pk):
+            del self._entries[i]
+
+    def range(self, lo: Any = None, hi: Any = None) -> Iterator[Any]:
+        """Primary keys with ``lo <= value <= hi`` (either bound optional)."""
+        start = 0 if lo is None else bisect_left(self._entries, (lo,))
+        if hi is None:
+            stop = len(self._entries)
+        else:
+            # (hi, +inf) — every tuple with value == hi sorts before this
+            stop = bisect_right(self._entries, (hi, _INFINITY))
+        for _, pk in self._entries[start:stop]:
+            yield pk
+
+
+class _Infinity:
+    def __lt__(self, other: Any) -> bool:
+        return False
+
+    def __gt__(self, other: Any) -> bool:
+        return True
+
+
+_INFINITY = _Infinity()
+
+
+class Table:
+    """One heap table with its indexes.  Mutate through :class:`Database`."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: dict[Any, Row] = {}
+        self._hash: dict[str, dict[Any, set[Any]]] = {
+            col: {} for col in {*schema.indexes, *schema.unique}
+        }
+        self._ordered: dict[str, _OrderedIndex] = {
+            col: _OrderedIndex() for col in schema.indexes
+        }
+
+    # -- internal mutation (called by Database under a transaction) ---------
+
+    def _insert(self, row: Row) -> None:
+        row = self.schema.validate(row)
+        pk = row[self.schema.primary_key]
+        if pk is None:
+            raise SchemaError(f"{self.schema.name}: primary key may not be NULL")
+        if pk in self._rows:
+            raise DuplicateKey(f"{self.schema.name}.{self.schema.primary_key}={pk!r}")
+        for col in self.schema.unique:
+            value = row[col]
+            if value is not None and self._hash[col].get(value):
+                raise DuplicateKey(f"{self.schema.name}.{col}={value!r}")
+        self._rows[pk] = row
+        self._index_add(pk, row)
+
+    def _delete(self, pk: Any) -> Row:
+        row = self._rows.pop(pk)
+        self._index_remove(pk, row)
+        return row
+
+    def _update(self, pk: Any, changes: Row) -> Row:
+        old = self._rows[pk]
+        new = dict(old)
+        new.update(changes)
+        new = self.schema.validate(new)
+        if new[self.schema.primary_key] != pk:
+            raise SchemaError(f"{self.schema.name}: primary key is immutable")
+        for col in self.schema.unique:
+            value = new[col]
+            if value is not None and value != old[col]:
+                owners = self._hash[col].get(value, set())
+                if owners - {pk}:
+                    raise DuplicateKey(f"{self.schema.name}.{col}={value!r}")
+        self._index_remove(pk, old)
+        self._rows[pk] = new
+        self._index_add(pk, new)
+        return old
+
+    def _index_add(self, pk: Any, row: Row) -> None:
+        for col, buckets in self._hash.items():
+            buckets.setdefault(row[col], set()).add(pk)
+        for col, idx in self._ordered.items():
+            idx.add(row[col], pk)
+
+    def _index_remove(self, pk: Any, row: Row) -> None:
+        for col, buckets in self._hash.items():
+            bucket = buckets.get(row[col])
+            if bucket is not None:
+                bucket.discard(pk)
+                if not bucket:
+                    del buckets[row[col]]
+        for col, idx in self._ordered.items():
+            idx.remove(row[col], pk)
+
+    # -- reads ----------------------------------------------------------------
+
+    def get(self, pk: Any) -> Row | None:
+        """Primary-key point lookup; returns a copy or None."""
+        row = self._rows.get(pk)
+        return dict(row) if row is not None else None
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, pk: Any) -> bool:
+        return pk in self._rows
+
+    def scan(self) -> Iterator[Row]:
+        """Full scan; yields row copies."""
+        for row in list(self._rows.values()):
+            yield dict(row)
+
+    def select(
+        self,
+        where: Row | Callable[[Row], bool] | None = None,
+        *,
+        order_by: str | None = None,
+        descending: bool = False,
+        limit: int | None = None,
+    ) -> list[Row]:
+        """Filtered select.
+
+        *where* is either a dict of equality constraints (index-accelerated
+        when a constrained column is indexed) or an arbitrary predicate.
+        """
+        rows = self._candidates(where)
+        if isinstance(where, dict):
+            rows = [r for r in rows if all(r.get(k) == v for k, v in where.items())]
+        elif callable(where):
+            rows = [r for r in rows if where(r)]
+        else:
+            rows = list(rows)
+        if order_by is not None:
+            self.schema.column(order_by)
+            rows.sort(key=lambda r: (r[order_by] is None, r[order_by]), reverse=descending)
+        if limit is not None:
+            rows = rows[:limit]
+        return [dict(r) for r in rows]
+
+    def _candidates(self, where: Row | Callable[[Row], bool] | None) -> list[Row]:
+        if isinstance(where, dict):
+            for col in where:
+                self.schema.column(col)
+            if self.schema.primary_key in where:
+                row = self._rows.get(where[self.schema.primary_key])
+                return [row] if row is not None else []
+            for col in where:
+                if col in self._hash:
+                    pks = self._hash[col].get(where[col], set())
+                    return [self._rows[pk] for pk in pks]
+        return list(self._rows.values())
+
+    def range(self, column: str, lo: Any = None, hi: Any = None) -> list[Row]:
+        """Index range scan over ``lo <= column <= hi`` (inclusive bounds)."""
+        if column not in self._ordered:
+            self.schema.column(column)
+            rows = [
+                r for r in self._rows.values()
+                if r[column] is not None
+                and (lo is None or r[column] >= lo)
+                and (hi is None or r[column] <= hi)
+            ]
+            rows.sort(key=lambda r: r[column])
+            return [dict(r) for r in rows]
+        return [dict(self._rows[pk]) for pk in self._ordered[column].range(lo, hi)]
+
+    def count(self, where: Row | Callable[[Row], bool] | None = None) -> int:
+        if where is None:
+            return len(self._rows)
+        return len(self.select(where))
+
+    def aggregate(
+        self,
+        group_by: str,
+        column: str | None = None,
+        func: str = "count",
+        where: Row | Callable[[Row], bool] | None = None,
+    ) -> dict[Any, float]:
+        """Group rows by *group_by* and aggregate *column* with *func*.
+
+        ``func`` is one of ``count``, ``sum``, ``avg``, ``min``, ``max``.
+        """
+        self.schema.column(group_by)
+        if func != "count":
+            if column is None:
+                raise SchemaError(f"aggregate {func!r} needs a column")
+            self.schema.column(column)
+        groups: dict[Any, list[Any]] = {}
+        for row in self.select(where):
+            groups.setdefault(row[group_by], []).append(
+                1 if func == "count" else row[column]
+            )
+        reducers: dict[str, Callable[[list[Any]], float]] = {
+            "count": len,
+            "sum": sum,
+            "avg": lambda xs: sum(xs) / len(xs),
+            "min": min,
+            "max": max,
+        }
+        if func not in reducers:
+            raise SchemaError(f"unknown aggregate {func!r}")
+        return {key: reducers[func](values) for key, values in groups.items()}
+
+
+class Transaction:
+    """Staged mutations applied atomically at :meth:`commit`.
+
+    Reads inside a transaction see the *pre-transaction* state (the engine
+    stages writes rather than applying them eagerly); this matches the
+    read-committed discipline Memex's servlets use and keeps abort trivial.
+    """
+
+    def __init__(self, db: "Database", txn_id: int) -> None:
+        self._db = db
+        self.txn_id = txn_id
+        self._ops: list[tuple[str, str, Any, Any]] = []  # op, table, pk, payload
+        self._state = "active"
+
+    def _check_active(self) -> None:
+        if self._state != "active":
+            raise TransactionError(f"transaction is {self._state}")
+
+    def insert(self, table: str, row: Row) -> None:
+        self._check_active()
+        self._db._table(table)  # existence check
+        self._ops.append(("insert", table, None, dict(row)))
+
+    def update(self, table: str, pk: Any, changes: Row) -> None:
+        self._check_active()
+        self._db._table(table)
+        self._ops.append(("update", table, pk, dict(changes)))
+
+    def delete(self, table: str, pk: Any) -> None:
+        self._check_active()
+        self._db._table(table)
+        self._ops.append(("delete", table, pk, None))
+
+    def commit(self) -> None:
+        self._check_active()
+        self._db._commit(self)
+        self._state = "committed"
+
+    def abort(self) -> None:
+        self._check_active()
+        self._ops.clear()
+        self._state = "aborted"
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type: type | None, *exc: object) -> None:
+        if self._state != "active":
+            return
+        if exc_type is None:
+            self.commit()
+        else:
+            self.abort()
+
+
+class Database:
+    """A collection of tables with transactions and optional persistence.
+
+    With ``path=None`` the database is purely in-memory.  With a path, every
+    committed transaction (and every DDL statement) is logged to a
+    write-ahead log; reopening the same path replays the log, recovering all
+    committed work and discarding any uncommitted tail.
+    """
+
+    def __init__(self, path: str | Path | None = None, *, sync: bool = False) -> None:
+        self._tables: dict[str, Table] = {}
+        self._log: WriteAheadLog | None = None
+        self._next_txn = 1
+        self._recovering = False
+        if path is not None:
+            self._log = WriteAheadLog(path, sync=sync)
+            self._recover()
+
+    # -- DDL -------------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[Column | tuple[str, str] | str],
+        primary_key: str,
+        *,
+        indexes: Sequence[str] = (),
+        unique: Sequence[str] = (),
+        if_not_exists: bool = False,
+    ) -> Table:
+        """Create a table.  Columns may be Column objects, (name, type)
+        tuples, or bare names (defaulting to type ``str``)."""
+        if name in self._tables:
+            if if_not_exists:
+                return self._tables[name]
+            raise SchemaError(f"table {name!r} already exists")
+        cols = [self._as_column(c) for c in columns]
+        schema = TableSchema(name, cols, primary_key, tuple(indexes), tuple(unique))
+        self._tables[name] = Table(schema)
+        self._log_ddl(
+            "create_table",
+            {
+                "name": name,
+                "columns": [(c.name, c.type, c.nullable) for c in cols],
+                "primary_key": primary_key,
+                "indexes": list(indexes),
+                "unique": list(unique),
+            },
+        )
+        return self._tables[name]
+
+    @staticmethod
+    def _as_column(spec: Column | tuple[str, str] | str) -> Column:
+        if isinstance(spec, Column):
+            return spec
+        if isinstance(spec, tuple):
+            return Column(spec[0], spec[1])
+        return Column(spec)
+
+    def drop_table(self, name: str) -> None:
+        self._table(name)
+        del self._tables[name]
+        self._log_ddl("drop_table", {"name": name})
+
+    def table(self, name: str) -> Table:
+        """Read handle on a table."""
+        return self._table(name)
+
+    def _table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise NoSuchTable(name) from None
+
+    def tables(self) -> list[str]:
+        return sorted(self._tables)
+
+    # -- transactions ------------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        txn = Transaction(self, self._next_txn)
+        self._next_txn += 1
+        return txn
+
+    def _commit(self, txn: Transaction) -> None:
+        # Apply with rollback-on-failure so a constraint violation midway
+        # leaves the database unchanged (atomicity).
+        applied: list[tuple[str, str, Any, Row | None]] = []
+        try:
+            for op, tname, pk, payload in txn._ops:
+                table = self._table(tname)
+                if op == "insert":
+                    table._insert(payload)
+                    applied.append(("insert", tname, payload[table.schema.primary_key], None))
+                elif op == "update":
+                    old = table._update(pk, payload)
+                    applied.append(("update", tname, pk, old))
+                else:
+                    old = table._delete(pk)
+                    applied.append(("delete", tname, pk, old))
+        except Exception:
+            for op, tname, pk, old in reversed(applied):
+                table = self._table(tname)
+                if op == "insert":
+                    table._delete(pk)
+                elif op == "update":
+                    assert old is not None
+                    table._index_remove(pk, table._rows[pk])
+                    table._rows[pk] = old
+                    table._index_add(pk, old)
+                else:
+                    assert old is not None
+                    table._insert(old)
+            raise
+        if self._log is not None and not self._recovering and txn._ops:
+            record = {"kind": "txn", "ops": [
+                [op, tname, self._jsonable(pk), payload]
+                for op, tname, pk, payload in txn._ops
+            ]}
+            self._log.append(json.dumps(record).encode("utf-8"))
+
+    @staticmethod
+    def _jsonable(value: Any) -> Any:
+        return value
+
+    # -- convenience auto-commit operations ----------------------------------------
+
+    def insert(self, table: str, row: Row) -> None:
+        """Insert one row in its own transaction."""
+        with self.begin() as txn:
+            txn.insert(table, row)
+
+    def insert_many(self, table: str, rows: Iterable[Row]) -> int:
+        """Insert many rows atomically; returns the count."""
+        n = 0
+        with self.begin() as txn:
+            for row in rows:
+                txn.insert(table, row)
+                n += 1
+        return n
+
+    def update(self, table: str, pk: Any, changes: Row) -> None:
+        with self.begin() as txn:
+            txn.update(table, pk, changes)
+
+    def delete(self, table: str, pk: Any) -> None:
+        with self.begin() as txn:
+            txn.delete(table, pk)
+
+    def upsert(self, table: str, row: Row) -> None:
+        """Insert, or update in place when the primary key already exists."""
+        t = self._table(table)
+        pk = row.get(t.schema.primary_key)
+        if pk is not None and pk in t:
+            changes = {k: v for k, v in row.items() if k != t.schema.primary_key}
+            self.update(table, pk, changes)
+        else:
+            self.insert(table, row)
+
+    # -- joins ------------------------------------------------------------------------
+
+    def join(
+        self,
+        left: str,
+        right: str,
+        *,
+        on: tuple[str, str],
+        where: Callable[[Row, Row], bool] | None = None,
+    ) -> list[tuple[Row, Row]]:
+        """Hash equi-join of two tables on ``left.on[0] == right.on[1]``."""
+        lt, rt = self._table(left), self._table(right)
+        lcol, rcol = on
+        lt.schema.column(lcol)
+        rt.schema.column(rcol)
+        buckets: dict[Any, list[Row]] = {}
+        for row in rt.scan():
+            buckets.setdefault(row[rcol], []).append(row)
+        out: list[tuple[Row, Row]] = []
+        for lrow in lt.scan():
+            for rrow in buckets.get(lrow[lcol], ()):
+                if where is None or where(lrow, rrow):
+                    out.append((lrow, rrow))
+        return out
+
+    # -- persistence ---------------------------------------------------------------------
+
+    def _log_ddl(self, kind: str, payload: dict[str, Any]) -> None:
+        if self._log is not None and not self._recovering:
+            record = {"kind": kind, **payload}
+            self._log.append(json.dumps(record).encode("utf-8"))
+
+    def _recover(self) -> None:
+        assert self._log is not None
+        self._recovering = True
+        try:
+            for raw in self._log.replay():
+                record = json.loads(raw.decode("utf-8"))
+                kind = record.pop("kind")
+                if kind == "create_table":
+                    self.create_table(
+                        record["name"],
+                        [Column(n, t, nul) for n, t, nul in record["columns"]],
+                        record["primary_key"],
+                        indexes=record["indexes"],
+                        unique=record["unique"],
+                    )
+                elif kind == "drop_table":
+                    self.drop_table(record["name"])
+                elif kind == "txn":
+                    with self.begin() as txn:
+                        for op, tname, pk, payload in record["ops"]:
+                            if op == "insert":
+                                txn.insert(tname, payload)
+                            elif op == "update":
+                                txn.update(tname, pk, payload)
+                            else:
+                                txn.delete(tname, pk)
+        finally:
+            self._recovering = False
+
+    def close(self) -> None:
+        if self._log is not None:
+            self._log.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,330 @@
+"""The two-store repository façade the Memex server works against.
+
+Figure 3's "loosely synchronized data repositories": a relational database
+for metadata plus a lightweight key-value store for term-level data, tied
+together by the versioning coordinator.  Daemons and servlets never touch
+the raw stores; they go through this façade, which also hands out the
+monotone id sequences the catalog tables need.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from pathlib import Path
+from typing import Any
+
+from .kvstore import KVStore, Namespace
+from .relational import Database, Row
+from .schema import (
+    ARCHIVE_COMMUNITY,
+    ARCHIVE_MODES,
+    ASSOC_SOURCES,
+    create_catalog,
+)
+from .versioning import VersionCoordinator
+from ..errors import SchemaError
+
+
+class Sequence:
+    """Monotone integer id allocator persisted in the key-value store."""
+
+    def __init__(self, ns: Namespace, name: str) -> None:
+        self._ns = ns
+        self._key = name.encode("utf-8")
+        raw = ns.get(self._key)
+        self._next = int(raw) if raw is not None else 1
+
+    def next(self) -> int:
+        value = self._next
+        self._next += 1
+        self._ns.put(self._key, str(self._next).encode("utf-8"))
+        return value
+
+    def peek(self) -> int:
+        return self._next
+
+
+class MemexRepository:
+    """Owns the RDBMS, the KV store, the version coordinator and sequences.
+
+    Parameters
+    ----------
+    root:
+        Directory for persistent state, or ``None`` for a fully in-memory
+        repository (the default for simulations and tests).
+    """
+
+    def __init__(self, root: str | Path | None = None, *, sync: bool = False) -> None:
+        self.root = Path(root) if root is not None else None
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self.db = Database(self.root / "catalog.wal", sync=sync)
+            self.kv = KVStore(self.root / "terms.kv", sync=sync)
+        else:
+            self.db = Database()
+            self.kv = KVStore()
+        create_catalog(self.db)
+        self.versions = VersionCoordinator()
+        self._seq_ns = Namespace(self.kv, "_seq")
+        self._sequences: dict[str, Sequence] = {}
+        # Namespaces for term-level data, mirroring the paper's split of
+        # "several text-related indices in Berkeley DB".
+        self.postings = Namespace(self.kv, "postings")
+        self.doclen = Namespace(self.kv, "doclen")
+        self.termstats = Namespace(self.kv, "termstats")
+        self.rawtext = Namespace(self.kv, "rawtext")
+        self.models = Namespace(self.kv, "models")
+
+    # -- id allocation ------------------------------------------------------------
+
+    def sequence(self, name: str) -> Sequence:
+        if name not in self._sequences:
+            self._sequences[name] = Sequence(self._seq_ns, name)
+        return self._sequences[name]
+
+    # -- users -----------------------------------------------------------------------
+
+    def add_user(
+        self,
+        user_id: str,
+        *,
+        name: str | None = None,
+        community: str | None = None,
+        archive_mode: str = ARCHIVE_COMMUNITY,
+        now: float | None = None,
+    ) -> None:
+        if archive_mode not in ARCHIVE_MODES:
+            raise SchemaError(f"unknown archive mode {archive_mode!r}")
+        self.db.insert("users", {
+            "user_id": user_id,
+            "name": name or user_id,
+            "community": community,
+            "archive_mode": archive_mode,
+            "created_at": now if now is not None else time.time(),
+        })
+
+    def get_user(self, user_id: str) -> Row | None:
+        return self.db.table("users").get(user_id)
+
+    def set_archive_mode(self, user_id: str, mode: str) -> None:
+        if mode not in ARCHIVE_MODES:
+            raise SchemaError(f"unknown archive mode {mode!r}")
+        self.db.update("users", user_id, {"archive_mode": mode})
+
+    def community_users(self, community: str | None = None) -> list[Row]:
+        if community is None:
+            return self.db.table("users").select()
+        return self.db.table("users").select({"community": community})
+
+    # -- pages and links -------------------------------------------------------------
+
+    def upsert_page(
+        self,
+        url: str,
+        *,
+        title: str | None = None,
+        text: str | None = None,
+        front_page: bool = False,
+        now: float,
+        produced_version: int | None = None,
+    ) -> bool:
+        """Record a page; returns True when the URL was new.
+
+        Raw text is stashed in the KV store (``rawtext`` namespace) keyed by
+        URL, so term-level consumers never round-trip through the RDBMS.
+        """
+        pages = self.db.table("pages")
+        existing = pages.get(url)
+        content_hash = (
+            hashlib.sha1(text.encode("utf-8")).hexdigest() if text is not None else None
+        )
+        if existing is None:
+            self.db.insert("pages", {
+                "url": url,
+                "title": title,
+                "fetched": text is not None,
+                "content_hash": content_hash,
+                "first_seen": now,
+                "last_seen": now,
+                "produced_version": produced_version,
+                "front_page": front_page,
+            })
+            created = True
+        else:
+            changes: Row = {"last_seen": now}
+            if text is not None:
+                changes.update({
+                    "fetched": True,
+                    "content_hash": content_hash,
+                    "produced_version": produced_version,
+                })
+            if title is not None:
+                changes["title"] = title
+            self.db.update("pages", url, changes)
+            created = False
+        if text is not None:
+            self.rawtext.put(url.encode("utf-8"), text.encode("utf-8"))
+        return created
+
+    def page_text(self, url: str) -> str | None:
+        raw = self.rawtext.get(url.encode("utf-8"))
+        return raw.decode("utf-8") if raw is not None else None
+
+    def add_link(self, src: str, dst: str, *, now: float) -> int:
+        link_id = self.sequence("links").next()
+        self.db.insert("links", {
+            "link_id": link_id, "src": src, "dst": dst, "discovered_at": now,
+        })
+        return link_id
+
+    def out_links(self, url: str) -> list[str]:
+        return [r["dst"] for r in self.db.table("links").select({"src": url})]
+
+    def in_links(self, url: str) -> list[str]:
+        return [r["src"] for r in self.db.table("links").select({"dst": url})]
+
+    # -- visits -------------------------------------------------------------------------
+
+    def record_visit(
+        self,
+        user_id: str,
+        url: str,
+        *,
+        at: float,
+        session_id: int,
+        referrer: str | None,
+        archive_mode: str,
+    ) -> int:
+        visit_id = self.sequence("visits").next()
+        self.db.insert("visits", {
+            "visit_id": visit_id,
+            "user_id": user_id,
+            "url": url,
+            "at": at,
+            "session_id": session_id,
+            "referrer": referrer,
+            "archive_mode": archive_mode,
+            "topic_folder": None,
+            "topic_confidence": None,
+        })
+        return visit_id
+
+    def classify_visit(self, visit_id: int, folder_id: str, confidence: float) -> None:
+        self.db.update("visits", visit_id, {
+            "topic_folder": folder_id, "topic_confidence": confidence,
+        })
+
+    def user_visits(
+        self,
+        user_id: str,
+        *,
+        since: float | None = None,
+        until: float | None = None,
+    ) -> list[Row]:
+        rows = self.db.table("visits").select({"user_id": user_id}, order_by="at")
+        if since is not None:
+            rows = [r for r in rows if r["at"] >= since]
+        if until is not None:
+            rows = [r for r in rows if r["at"] <= until]
+        return rows
+
+    def community_visits(
+        self,
+        *,
+        since: float | None = None,
+        public_only: bool = True,
+    ) -> list[Row]:
+        """Visits archived for community use (optionally since a time)."""
+        def pred(r: Row) -> bool:
+            if public_only and r["archive_mode"] != ARCHIVE_COMMUNITY:
+                return False
+            return since is None or r["at"] >= since
+        return self.db.table("visits").select(pred, order_by="at")
+
+    # -- folders and associations ------------------------------------------------------------
+
+    def add_folder(
+        self,
+        folder_id: str,
+        owner: str,
+        name: str,
+        parent: str | None,
+        *,
+        now: float,
+    ) -> None:
+        self.db.insert("folders", {
+            "folder_id": folder_id, "owner": owner, "name": name,
+            "parent": parent, "created_at": now,
+        })
+
+    def user_folders(self, owner: str) -> list[Row]:
+        return self.db.table("folders").select({"owner": owner})
+
+    def remove_folder(self, folder_id: str) -> None:
+        for assoc in self.db.table("folder_pages").select({"folder_id": folder_id}):
+            self.db.delete("folder_pages", assoc["assoc_id"])
+        self.db.delete("folders", folder_id)
+
+    def associate(
+        self,
+        folder_id: str,
+        url: str,
+        source: str,
+        *,
+        confidence: float | None = None,
+        now: float,
+    ) -> int:
+        if source not in ASSOC_SOURCES:
+            raise SchemaError(f"unknown association source {source!r}")
+        assoc_id = self.sequence("assocs").next()
+        self.db.insert("folder_pages", {
+            "assoc_id": assoc_id,
+            "folder_id": folder_id,
+            "url": url,
+            "source": source,
+            "confidence": confidence,
+            "at": now,
+        })
+        return assoc_id
+
+    def folder_pages(self, folder_id: str, *, sources: tuple[str, ...] | None = None) -> list[Row]:
+        rows = self.db.table("folder_pages").select({"folder_id": folder_id})
+        if sources is not None:
+            rows = [r for r in rows if r["source"] in sources]
+        return rows
+
+    def page_folders(self, url: str) -> list[Row]:
+        return self.db.table("folder_pages").select({"url": url})
+
+    def dissociate(self, folder_id: str, url: str, *, sources: tuple[str, ...] | None = None) -> int:
+        """Remove folder-page associations; returns how many were removed."""
+        removed = 0
+        for row in self.folder_pages(folder_id, sources=sources):
+            if row["url"] == url:
+                self.db.delete("folder_pages", row["assoc_id"])
+                removed += 1
+        return removed
+
+    # -- model blobs -------------------------------------------------------------------------------
+
+    def save_model(self, name: str, payload: dict[str, Any]) -> None:
+        """Persist a mined model (classifier, themes) as JSON in the KV store."""
+        self.models.put(name.encode("utf-8"), json.dumps(payload).encode("utf-8"))
+
+    def load_model(self, name: str) -> dict[str, Any] | None:
+        raw = self.models.get(name.encode("utf-8"))
+        return json.loads(raw.decode("utf-8")) if raw is not None else None
+
+    # -- lifecycle -----------------------------------------------------------------------------------
+
+    def close(self) -> None:
+        self.db.close()
+        self.kv.close()
+
+    def __enter__(self) -> "MemexRepository":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

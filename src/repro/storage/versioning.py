@@ -1,0 +1,181 @@
+"""Loosely-consistent versioning between the RDBMS and the text indices.
+
+Section 3: "maintaining some form of coherence between the metadata in the
+RDBMS and several text-related indices in Berkeley DB required us to
+implement a loosely-consistent versioning system on top of the RDBMS, with
+a single producer (crawler) and several consumers (indexer and statistical
+analyzers)".
+
+The protocol reproduced here:
+
+* The **producer** (crawler) opens numbered versions, adds items (page
+  URLs it has fetched and stored), and **publishes** each version when its
+  contents are fully durable in both stores.
+* Each **consumer** (indexer, classifier, theme analyzer, ...) registers by
+  name and repeatedly calls :meth:`VersionCoordinator.poll`, which hands it
+  every published-but-unacknowledged item along with the version watermark.
+  While a consumer holds a poll result, those versions are *pinned*.
+* After processing, the consumer **acks** the watermark.  Items below the
+  minimum acked watermark of all consumers are reclaimable; :meth:`gc`
+  drops them.
+
+Consumers therefore see *consistent prefixes* of the producer's history —
+never a half-published version — but may lag arbitrarily, which is exactly
+the "loose" coherence the paper describes: UI reads hit the RDBMS
+immediately, while mined results catch up asynchronously.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import StaleSnapshot, VersioningError
+
+
+@dataclass
+class _Version:
+    number: int
+    items: list[Any] = field(default_factory=list)
+    published: bool = False
+
+
+class VersionCoordinator:
+    """Single-producer / multi-consumer version coordination.
+
+    Items are opaque to the coordinator (Memex uses page URLs).  The
+    coordinator tracks, per consumer, the highest version fully processed,
+    and exposes staleness metrics the benchmarks report.
+    """
+
+    def __init__(self) -> None:
+        self._versions: dict[int, _Version] = {}
+        self._open: _Version | None = None
+        self._next_number = 1
+        self._published_high = 0     # highest published version number
+        self._gc_floor = 0           # versions <= this have been reclaimed
+        self._consumers: dict[str, int] = {}  # name -> highest acked version
+
+    # -- producer side -----------------------------------------------------------
+
+    def open_version(self) -> int:
+        """Begin a new version; only one may be open at a time."""
+        if self._open is not None:
+            raise VersioningError(
+                f"version {self._open.number} is still open (single producer)"
+            )
+        v = _Version(self._next_number)
+        self._next_number += 1
+        self._versions[v.number] = v
+        self._open = v
+        return v.number
+
+    def add_item(self, item: Any) -> None:
+        """Attach an item to the currently open version."""
+        if self._open is None:
+            raise VersioningError("no version is open")
+        self._open.items.append(item)
+
+    def publish(self) -> int:
+        """Publish the open version, making it visible to consumers."""
+        if self._open is None:
+            raise VersioningError("no version is open")
+        self._open.published = True
+        number = self._open.number
+        self._published_high = number
+        self._open = None
+        return number
+
+    def abort_version(self) -> None:
+        """Discard the open version (producer crash / error path)."""
+        if self._open is None:
+            raise VersioningError("no version is open")
+        del self._versions[self._open.number]
+        self._open = None
+
+    def produce(self, items: Iterable[Any]) -> int:
+        """Convenience: open, fill, and publish a version in one call."""
+        self.open_version()
+        for item in items:
+            self.add_item(item)
+        return self.publish()
+
+    # -- consumer side ---------------------------------------------------------------
+
+    def register_consumer(self, name: str) -> None:
+        """Register a consumer; it starts at the current GC floor.
+
+        Registering an existing consumer is a no-op, so daemons can call
+        this idempotently on startup.
+        """
+        if name not in self._consumers:
+            self._consumers[name] = self._gc_floor
+
+    def poll(self, name: str) -> tuple[int, list[Any]]:
+        """Return ``(watermark, items)`` newly published since the
+        consumer's last ack.
+
+        The watermark is the highest published version included; acking it
+        marks everything up to it processed.  An empty poll returns the
+        consumer's current watermark and no items.
+        """
+        if name not in self._consumers:
+            raise VersioningError(f"unknown consumer {name!r}")
+        acked = self._consumers[name]
+        if acked < self._gc_floor:
+            raise StaleSnapshot(
+                f"consumer {name!r} acked {acked} but GC floor is {self._gc_floor}"
+            )
+        items: list[Any] = []
+        for number in range(acked + 1, self._published_high + 1):
+            v = self._versions.get(number)
+            if v is not None and v.published:
+                items.extend(v.items)
+        return self._published_high, items
+
+    def ack(self, name: str, watermark: int) -> None:
+        """Acknowledge processing of everything up to *watermark*."""
+        if name not in self._consumers:
+            raise VersioningError(f"unknown consumer {name!r}")
+        if watermark > self._published_high:
+            raise VersioningError(
+                f"cannot ack {watermark}: only {self._published_high} published"
+            )
+        if watermark < self._consumers[name]:
+            raise VersioningError("watermark may not move backwards")
+        self._consumers[name] = watermark
+
+    # -- reclamation --------------------------------------------------------------------
+
+    def gc(self) -> int:
+        """Reclaim versions every consumer has acked; returns #reclaimed."""
+        if not self._consumers:
+            return 0
+        floor = min(self._consumers.values())
+        reclaimed = 0
+        for number in list(self._versions):
+            v = self._versions[number]
+            if v.published and number <= floor:
+                del self._versions[number]
+                reclaimed += 1
+        self._gc_floor = max(self._gc_floor, floor)
+        return reclaimed
+
+    # -- introspection ---------------------------------------------------------------------
+
+    @property
+    def published_version(self) -> int:
+        return self._published_high
+
+    def staleness(self, name: str) -> int:
+        """How many published versions the consumer is behind."""
+        if name not in self._consumers:
+            raise VersioningError(f"unknown consumer {name!r}")
+        return self._published_high - self._consumers[name]
+
+    def consumers(self) -> dict[str, int]:
+        return dict(self._consumers)
+
+    def live_versions(self) -> int:
+        return len(self._versions)

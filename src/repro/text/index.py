@@ -1,0 +1,192 @@
+"""Inverted index stored in the lightweight key-value store.
+
+One posting list per term, keyed by the term string, exactly the
+"fine-grained term-level data" the paper pushes out of the RDBMS into
+Berkeley DB (§3).  Postings are ``doc_id -> term frequency`` maps stored as
+JSON; document lengths and corpus statistics live in sibling namespaces so
+the ranked-retrieval code never touches the relational side.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable
+
+from ..errors import IndexError_
+from ..storage.kvstore import KVStore, Namespace
+from .tokenize import tokenize
+
+
+class InvertedIndex:
+    """Incrementally maintained inverted index with removals.
+
+    Parameters
+    ----------
+    kv:
+        Backing store; a private in-memory one is created when omitted.
+    prefix:
+        Namespace prefix, letting several indices share one store (Memex
+        keeps "several text-related indices in Berkeley DB").
+    store_positions:
+        Also keep per-document term positions (costs space; enables
+        phrase queries like ``"register allocation"``).
+    """
+
+    def __init__(
+        self,
+        kv: KVStore | None = None,
+        *,
+        prefix: str = "idx",
+        store_positions: bool = False,
+    ) -> None:
+        self._kv = kv if kv is not None else KVStore()
+        self._post = Namespace(self._kv, prefix + ".post")
+        self._docs = Namespace(self._kv, prefix + ".docs")   # doc_id -> doc length
+        self._meta = Namespace(self._kv, prefix + ".meta")
+        self._pos = Namespace(self._kv, prefix + ".pos")
+        self.store_positions = store_positions
+
+    # -- documents ------------------------------------------------------------
+
+    def add_document(self, doc_id: str, text: str) -> int:
+        """Index *text* under *doc_id*; returns the token count.
+
+        Re-adding an existing doc_id replaces its previous content.
+        """
+        if self.has_document(doc_id):
+            self.remove_document(doc_id)
+        terms = tokenize(text)
+        counts: dict[str, int] = {}
+        positions: dict[str, list[int]] = {}
+        for i, term in enumerate(terms):
+            counts[term] = counts.get(term, 0) + 1
+            if self.store_positions:
+                positions.setdefault(term, []).append(i)
+        for term, tf in counts.items():
+            postings = self._load_postings(term)
+            postings[doc_id] = tf
+            self._store_postings(term, postings)
+        if self.store_positions:
+            for term, pos in positions.items():
+                table = self._load_positions(term)
+                table[doc_id] = pos
+                self._store_positions(term, table)
+        self._docs.put(doc_id.encode("utf-8"), str(len(terms)).encode("utf-8"))
+        return len(terms)
+
+    def remove_document(self, doc_id: str) -> bool:
+        """Remove a document from the index; returns whether it existed."""
+        raw = self._docs.get(doc_id.encode("utf-8"))
+        if raw is None:
+            return False
+        # Walk every posting list; laptop-scale corpora make this fine and
+        # it avoids a per-document forward index.
+        for key, value in list(self._post.items()):
+            postings = json.loads(value.decode("utf-8"))
+            if doc_id in postings:
+                del postings[doc_id]
+                term = key.decode("utf-8")
+                self._store_postings(term, postings)
+        for key, value in list(self._pos.items()):
+            table = json.loads(value.decode("utf-8"))
+            if doc_id in table:
+                del table[doc_id]
+                self._store_positions(key.decode("utf-8"), table)
+        self._docs.delete(doc_id.encode("utf-8"))
+        return True
+
+    def has_document(self, doc_id: str) -> bool:
+        return doc_id.encode("utf-8") in self._docs
+
+    def doc_length(self, doc_id: str) -> int:
+        raw = self._docs.get(doc_id.encode("utf-8"))
+        if raw is None:
+            raise IndexError_(f"document {doc_id!r} not indexed")
+        return int(raw)
+
+    @property
+    def num_docs(self) -> int:
+        return len(self._docs)
+
+    def avg_doc_length(self) -> float:
+        lengths = [int(v) for _, v in self._docs.items()]
+        if not lengths:
+            return 0.0
+        return sum(lengths) / len(lengths)
+
+    def document_ids(self) -> list[str]:
+        return [k.decode("utf-8") for k, _ in self._docs.items()]
+
+    # -- terms ------------------------------------------------------------------
+
+    def postings(self, term: str) -> dict[str, int]:
+        """``{doc_id: term frequency}`` for one (already-stemmed) term."""
+        return self._load_postings(term)
+
+    def doc_freq(self, term: str) -> int:
+        return len(self._load_postings(term))
+
+    def vocabulary_size(self) -> int:
+        return sum(1 for _ in self._post.items())
+
+    def terms(self) -> Iterable[str]:
+        for key, _ in self._post.items():
+            yield key.decode("utf-8")
+
+    # -- internals ------------------------------------------------------------------
+
+    def _load_postings(self, term: str) -> dict[str, int]:
+        raw = self._post.get(term.encode("utf-8"))
+        if raw is None:
+            return {}
+        return json.loads(raw.decode("utf-8"))
+
+    def _store_postings(self, term: str, postings: dict[str, int]) -> None:
+        key = term.encode("utf-8")
+        if postings:
+            self._post.put(key, json.dumps(postings).encode("utf-8"))
+        else:
+            self._post.discard(key)
+
+    # -- positions (phrase queries) ---------------------------------------------
+
+    def positions(self, term: str) -> dict[str, list[int]]:
+        """``{doc_id: [token positions]}`` (empty unless store_positions)."""
+        return self._load_positions(term)
+
+    def phrase_match(self, terms: list[str]) -> dict[str, int]:
+        """Documents containing *terms* consecutively; value = match count.
+
+        Requires ``store_positions=True`` (raises otherwise).
+        """
+        if not self.store_positions:
+            raise IndexError_("phrase queries need store_positions=True")
+        if not terms:
+            return {}
+        tables = [self._load_positions(t) for t in terms]
+        candidates = set(tables[0])
+        for table in tables[1:]:
+            candidates &= set(table)
+        out: dict[str, int] = {}
+        for doc_id in candidates:
+            starts = set(tables[0][doc_id])
+            for offset, table in enumerate(tables[1:], start=1):
+                starts &= {p - offset for p in table[doc_id]}
+                if not starts:
+                    break
+            if starts:
+                out[doc_id] = len(starts)
+        return out
+
+    def _load_positions(self, term: str) -> dict[str, list[int]]:
+        raw = self._pos.get(term.encode("utf-8"))
+        if raw is None:
+            return {}
+        return json.loads(raw.decode("utf-8"))
+
+    def _store_positions(self, term: str, table: dict[str, list[int]]) -> None:
+        key = term.encode("utf-8")
+        if table:
+            self._pos.put(key, json.dumps(table).encode("utf-8"))
+        else:
+            self._pos.discard(key)

@@ -1,0 +1,128 @@
+"""Ranked full-text search over the inverted index.
+
+Implements the "standard full-text search over all pages visited" (§2)
+with two ranking functions:
+
+* **BM25** (Robertson/Sparck Jones) — the default;
+* **TF-IDF cosine** — the classic vector-space ranking, kept both as a
+  baseline and because the clustering code shares its weighting.
+
+Queries go through the same tokenizer/stemmer as documents, so "optimizing
+compilers" matches "compiler optimization".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .index import InvertedIndex
+from .tokenize import tokenize
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One ranked result."""
+
+    doc_id: str
+    score: float
+
+
+class SearchEngine:
+    """Ranked retrieval on top of an :class:`InvertedIndex`."""
+
+    def __init__(
+        self,
+        index: InvertedIndex,
+        *,
+        k1: float = 1.5,
+        b: float = 0.75,
+    ) -> None:
+        self.index = index
+        self.k1 = k1
+        self.b = b
+
+    def search(
+        self,
+        query: str,
+        *,
+        k: int = 10,
+        method: str = "bm25",
+        candidates: set[str] | None = None,
+    ) -> list[SearchHit]:
+        """Top-*k* documents for *query*.
+
+        ``candidates`` restricts scoring to a given doc-id set — Memex uses
+        this to search within one user's trail or one topic's pages.
+        """
+        terms = tokenize(query)
+        if not terms:
+            return []
+        if method == "bm25":
+            scores = self._bm25(terms, candidates)
+        elif method == "tfidf":
+            scores = self._tfidf_cosine(terms, candidates)
+        else:
+            raise ValueError(f"unknown ranking method {method!r}")
+        ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [SearchHit(doc_id, score) for doc_id, score in ranked[:k]]
+
+    # -- rankers ------------------------------------------------------------------
+
+    def _bm25(
+        self, terms: list[str], candidates: set[str] | None
+    ) -> dict[str, float]:
+        n = self.index.num_docs
+        if n == 0:
+            return {}
+        avgdl = self.index.avg_doc_length() or 1.0
+        scores: dict[str, float] = {}
+        for term in terms:
+            postings = self.index.postings(term)
+            if not postings:
+                continue
+            df = len(postings)
+            idf = math.log(1.0 + (n - df + 0.5) / (df + 0.5))
+            for doc_id, tf in postings.items():
+                if candidates is not None and doc_id not in candidates:
+                    continue
+                dl = self.index.doc_length(doc_id)
+                denom = tf + self.k1 * (1.0 - self.b + self.b * dl / avgdl)
+                scores[doc_id] = scores.get(doc_id, 0.0) + idf * tf * (self.k1 + 1.0) / denom
+        return scores
+
+    def _tfidf_cosine(
+        self, terms: list[str], candidates: set[str] | None
+    ) -> dict[str, float]:
+        n = self.index.num_docs
+        if n == 0:
+            return {}
+        # Query vector.
+        qcounts: dict[str, int] = {}
+        for term in terms:
+            qcounts[term] = qcounts.get(term, 0) + 1
+        qvec: dict[str, float] = {}
+        for term, tf in qcounts.items():
+            df = self.index.doc_freq(term)
+            if df == 0:
+                continue
+            qvec[term] = (1.0 + math.log(tf)) * self._idf(df, n)
+        qnorm = math.sqrt(sum(w * w for w in qvec.values()))
+        if qnorm == 0.0:
+            return {}
+        # Accumulate dot products; normalize by document length proxy.
+        dots: dict[str, float] = {}
+        for term, qw in qvec.items():
+            for doc_id, tf in self.index.postings(term).items():
+                if candidates is not None and doc_id not in candidates:
+                    continue
+                dw = (1.0 + math.log(tf)) * self._idf(self.index.doc_freq(term), n)
+                dots[doc_id] = dots.get(doc_id, 0.0) + qw * dw
+        return {
+            doc_id: s / (qnorm * math.sqrt(max(self.index.doc_length(doc_id), 1)))
+            for doc_id, s in dots.items()
+        }
+
+    @staticmethod
+    def _idf(df: int, n: int) -> float:
+        return math.log((1 + n) / (1 + df)) + 1.0

@@ -1,0 +1,94 @@
+"""Query-biased result snippets for the search tab.
+
+A hit list of bare URLs is unusable; each result gets a short excerpt
+centered on the window of the page with the densest query-term
+coverage, with matched words marked.  Matching happens on stems, so
+"optimizing" highlights for the query "optimization".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .tokenize import porter_stem, tokenize, words
+
+
+@dataclass(frozen=True)
+class Snippet:
+    """An excerpt with highlight spans over its own text."""
+
+    text: str
+    highlights: tuple[tuple[int, int], ...]  # (start, end) char offsets
+    leading_ellipsis: bool
+    trailing_ellipsis: bool
+
+    def marked(self, open_mark: str = "[", close_mark: str = "]") -> str:
+        """The excerpt with highlight markers inserted (for terminals)."""
+        out: list[str] = []
+        cursor = 0
+        for start, end in self.highlights:
+            out.append(self.text[cursor:start])
+            out.append(open_mark + self.text[start:end] + close_mark)
+            cursor = end
+        out.append(self.text[cursor:])
+        body = "".join(out)
+        prefix = "... " if self.leading_ellipsis else ""
+        suffix = " ..." if self.trailing_ellipsis else ""
+        return prefix + body + suffix
+
+
+def make_snippet(
+    text: str,
+    query: str,
+    *,
+    window: int = 30,
+) -> Snippet:
+    """Build a query-biased snippet of about *window* words.
+
+    Falls back to the document head when no query term occurs.
+    """
+    query_stems = set(tokenize(query))
+    # Token spans over the original text.
+    spans: list[tuple[str, int, int]] = []
+    import re
+    for match in re.finditer(r"[A-Za-z0-9]+", text):
+        spans.append((match.group().lower(), match.start(), match.end()))
+    if not spans:
+        return Snippet(text[:200], (), False, len(text) > 200)
+
+    is_hit = [porter_stem(w) in query_stems for w, _s, _e in spans]
+
+    # Densest window of `window` tokens by hit count (earliest wins ties).
+    best_start, best_hits = 0, -1
+    running = sum(is_hit[:window])
+    best_hits = running
+    for start in range(1, max(1, len(spans) - window + 1)):
+        running += (is_hit[start + window - 1] if start + window - 1 < len(spans) else 0)
+        running -= is_hit[start - 1]
+        if running > best_hits:
+            best_hits, best_start = running, start
+
+    chunk = spans[best_start: best_start + window]
+    chunk_start = chunk[0][1]
+    chunk_end = chunk[-1][2]
+    excerpt = text[chunk_start:chunk_end]
+    highlights = tuple(
+        (s - chunk_start, e - chunk_start)
+        for (w, s, e), hit in zip(spans[best_start: best_start + window],
+                                  is_hit[best_start: best_start + window])
+        if hit
+    )
+    return Snippet(
+        text=excerpt,
+        highlights=highlights,
+        leading_ellipsis=best_start > 0,
+        trailing_ellipsis=best_start + window < len(spans),
+    )
+
+
+def title_or_url(title: str | None, url: str) -> str:
+    """Display line for a hit (mirrors what the applet's search tab shows)."""
+    return title if title else url
+
+
+__all__ = ["Snippet", "make_snippet", "title_or_url", "words"]

@@ -1,0 +1,93 @@
+"""Sparse document vectors: term counts, TF-IDF, cosine similarity.
+
+All mining code shares this one representation: a document is a dict
+``{term_id: weight}``.  Sparse dicts beat numpy arrays here because Web
+vocabularies are huge and bookmark pages are short — exactly the regime
+the paper's Berkeley-DB "term-level statistics" store targets.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from .tokenize import tokenize
+from .vocabulary import Vocabulary
+
+SparseVector = dict[int, float]
+
+
+def count_vector(vocab: Vocabulary, terms: Iterable[str]) -> SparseVector:
+    """Raw term-count vector; unseen terms on a frozen vocabulary are skipped."""
+    counts: SparseVector = {}
+    for term in terms:
+        tid = vocab.id(term) if vocab.frozen else vocab.add(term)
+        if tid is not None:
+            counts[tid] = counts.get(tid, 0.0) + 1.0
+    return counts
+
+
+def text_vector(vocab: Vocabulary, text: str) -> SparseVector:
+    """Tokenize *text* and return its count vector."""
+    return count_vector(vocab, tokenize(text))
+
+
+def tfidf(vocab: Vocabulary, counts: SparseVector) -> SparseVector:
+    """Log-TF x smoothed-IDF weighting."""
+    return {
+        tid: (1.0 + math.log(tf)) * vocab.idf(tid)
+        for tid, tf in counts.items()
+        if tf > 0
+    }
+
+
+def norm(vec: SparseVector) -> float:
+    return math.sqrt(sum(w * w for w in vec.values()))
+
+
+def normalize(vec: SparseVector) -> SparseVector:
+    """Unit-length copy of *vec* (empty vectors come back empty)."""
+    n = norm(vec)
+    if n == 0.0:
+        return {}
+    return {tid: w / n for tid, w in vec.items()}
+
+
+def dot(a: SparseVector, b: SparseVector) -> float:
+    if len(a) > len(b):
+        a, b = b, a
+    return sum(w * b[tid] for tid, w in a.items() if tid in b)
+
+
+def cosine(a: SparseVector, b: SparseVector) -> float:
+    """Cosine similarity in [0, 1] for non-negative vectors."""
+    na, nb = norm(a), norm(b)
+    if na == 0.0 or nb == 0.0:
+        return 0.0
+    return dot(a, b) / (na * nb)
+
+
+def add(a: SparseVector, b: SparseVector, *, scale: float = 1.0) -> SparseVector:
+    """Return ``a + scale * b`` as a new vector."""
+    out = dict(a)
+    for tid, w in b.items():
+        out[tid] = out.get(tid, 0.0) + scale * w
+    return out
+
+
+def centroid(vectors: list[SparseVector]) -> SparseVector:
+    """Arithmetic mean of sparse vectors (empty list -> empty vector)."""
+    if not vectors:
+        return {}
+    total: SparseVector = {}
+    for vec in vectors:
+        for tid, w in vec.items():
+            total[tid] = total.get(tid, 0.0) + w
+    k = float(len(vectors))
+    return {tid: w / k for tid, w in total.items()}
+
+
+def top_terms(vocab: Vocabulary, vec: SparseVector, k: int = 10) -> list[str]:
+    """The k highest-weighted terms of *vec*, as strings (for labels)."""
+    best = sorted(vec.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+    return [vocab.term(tid) for tid, _ in best]

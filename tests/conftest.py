@@ -1,0 +1,31 @@
+"""Shared fixtures: a small replayed Memex community, built once.
+
+Building and replaying a workload takes a few seconds, so integration
+tests share one session-scoped live system.  Tests must not mutate it
+destructively; anything that needs private state builds its own.
+"""
+
+import pytest
+
+from repro.core import MemexSystem
+from repro.webgen import build_workload
+
+
+@pytest.fixture(scope="session")
+def small_workload():
+    return build_workload(
+        seed=1234,
+        num_users=6,
+        days=21,
+        pages_per_leaf=10,
+        bookmark_prob=0.25,
+        community_core=6,
+        community_fringe=2,
+    )
+
+
+@pytest.fixture(scope="session")
+def live_system(small_workload):
+    system = MemexSystem.from_workload(small_workload)
+    system.replay(small_workload.events)
+    return system

@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_experiments_lists_all(capsys):
+    assert main(["experiments"]) == 0
+    out = capsys.readouterr().out
+    for exp in ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"]:
+        assert exp in out
+    assert "pytest benchmarks/" in out
+
+
+def test_generate_prints_stats(capsys):
+    assert main([
+        "generate", "--seed", "5", "--users", "2",
+        "--days", "3", "--pages-per-leaf", "3",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "pages" in out
+    assert "events" in out
+    assert "topic locality" in out
+
+
+def test_demo_runs_end_to_end(capsys):
+    assert main([
+        "demo", "--seed", "5", "--users", "4",
+        "--days", "8", "--pages-per-leaf", "6",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "# search" in out
+    assert "# trail tab" in out
+    assert "# similar users" in out
+
+
+def test_queries_runs_end_to_end(capsys):
+    assert main([
+        "queries", "--seed", "5", "--users", "4",
+        "--days", "8", "--pages-per-leaf", "6", "--user", "user01",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "q1_url_recall" in out
+    assert "q6_interest_mates" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_module_entry_point():
+    import subprocess
+    import sys
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "experiments"],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert proc.returncode == 0
+    assert "E1" in proc.stdout

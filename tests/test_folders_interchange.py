@@ -1,0 +1,194 @@
+"""Tests for Netscape / Explorer bookmark import-export."""
+
+import pytest
+
+from repro.errors import BookmarkFormatError
+from repro.folders import (
+    BookmarkEntry,
+    BookmarkNode,
+    FolderTree,
+    bookmarks_to_tree,
+    export_explorer_favorites,
+    export_favorites,
+    export_netscape_file,
+    import_explorer_favorites,
+    import_favorites,
+    import_netscape_file,
+    parse_bookmarks,
+    parse_url_file,
+    tree_to_bookmarks,
+    write_bookmarks,
+    write_url_file,
+)
+from repro.folders.tree import ITEM_GUESS
+
+NETSCAPE_SAMPLE = """<!DOCTYPE NETSCAPE-Bookmark-file-1>
+<!-- This is an automatically generated file. -->
+<TITLE>Bookmarks</TITLE>
+<H1>Bookmarks</H1>
+<DL><p>
+    <DT><A HREF="http://top.example/" ADD_DATE="940000000">Top-level link</A>
+    <DT><H3 ADD_DATE="940000001">Music</H3>
+    <DL><p>
+        <DT><A HREF="http://bach.example/" ADD_DATE="940000002">Bach &amp; Sons</A>
+        <DT><H3>Classical</H3>
+        <DL><p>
+            <DT><A HREF="http://mozart.example/">Mozart</A>
+        </DL><p>
+    </DL><p>
+    <DT><H3>Work</H3>
+    <DL><p>
+        <DT><A HREF="http://vldb.example/">VLDB</A>
+    </DL><p>
+</DL><p>
+"""
+
+
+def test_parse_netscape_structure():
+    root = parse_bookmarks(NETSCAPE_SAMPLE)
+    assert [b.url for b in root.bookmarks] == ["http://top.example/"]
+    assert [f.name for f in root.folders] == ["Music", "Work"]
+    music = root.folders[0]
+    assert music.add_date == 940000001
+    assert music.bookmarks[0].title == "Bach & Sons"
+    assert music.bookmarks[0].add_date == 940000002
+    classical = music.folders[0]
+    assert classical.name == "Classical"
+    assert classical.bookmarks[0].url == "http://mozart.example/"
+    assert root.total_bookmarks() == 4
+
+
+def test_parse_tolerates_tag_soup():
+    messy = """<dl><P>
+    <dt><h3>Messy</H3>
+    <DL>
+      <dt><a href='http://x/' Add_Date=123>X</a>
+      <dt><a>no href, skipped</a>
+    </dl>
+    </DL>"""
+    root = parse_bookmarks(messy)
+    assert root.folders[0].name == "Messy"
+    assert root.folders[0].bookmarks[0].url == "http://x/"
+    assert root.folders[0].bookmarks[0].add_date == 123
+    assert root.total_bookmarks() == 1
+
+
+def test_parse_rejects_non_bookmark_files():
+    with pytest.raises(BookmarkFormatError):
+        parse_bookmarks("just some <b>random</b> html")
+
+
+def test_netscape_roundtrip():
+    root = parse_bookmarks(NETSCAPE_SAMPLE)
+    text = write_bookmarks(root)
+    again = parse_bookmarks(text)
+    assert again.total_bookmarks() == root.total_bookmarks()
+    assert [f.name for f in again.folders] == ["Music", "Work"]
+    assert again.folders[0].folders[0].bookmarks[0].url == "http://mozart.example/"
+    # Escaping survives.
+    assert again.folders[0].bookmarks[0].title == "Bach & Sons"
+
+
+def test_bookmarks_to_tree_and_back():
+    root = parse_bookmarks(NETSCAPE_SAMPLE)
+    tree = bookmarks_to_tree(root, owner="alice")
+    assert tree.exists("Music/Classical")
+    # Loose top-level bookmark goes to 'Imported'.
+    assert tree.find_url("http://top.example/")[0][0] == "Imported"
+    back = tree_to_bookmarks(tree)
+    assert back.total_bookmarks() == 4
+    names = {f.name for f in back.folders}
+    assert {"Music", "Work", "Imported"} <= names
+
+
+def test_tree_to_bookmarks_excludes_guesses():
+    tree = FolderTree()
+    tree.add_item("F", "http://sure/")
+    tree.add_item("F", "http://maybe/", source=ITEM_GUESS)
+    out = tree_to_bookmarks(tree)
+    assert out.total_bookmarks() == 1
+    out_with = tree_to_bookmarks(tree, include_guesses=True)
+    assert out_with.total_bookmarks() == 2
+
+
+def test_netscape_file_roundtrip(tmp_path):
+    path = tmp_path / "bookmarks.html"
+    path.write_text(NETSCAPE_SAMPLE, encoding="utf-8")
+    tree = import_netscape_file(path, owner="alice")
+    assert tree.num_items() == 4
+    out = tmp_path / "exported.html"
+    export_netscape_file(tree, out)
+    tree2 = import_netscape_file(out)
+    assert tree2.num_items() == 4
+    assert tree2.exists("Music/Classical")
+
+
+# -- Explorer favorites --------------------------------------------------------
+
+def test_url_file_roundtrip():
+    text = write_url_file("http://example.com/page")
+    assert parse_url_file(text) == "http://example.com/page"
+
+
+def test_url_file_validation():
+    with pytest.raises(BookmarkFormatError):
+        parse_url_file("URL=http://no-section/")
+    with pytest.raises(BookmarkFormatError):
+        parse_url_file("[InternetShortcut]\nNothing=here")
+
+
+def test_favorites_roundtrip(tmp_path):
+    root = BookmarkNode(name="")
+    root.bookmarks.append(BookmarkEntry(url="http://loose/", title="Loose"))
+    music = BookmarkNode(name="Music")
+    music.bookmarks.append(BookmarkEntry(url="http://bach/", title="Bach: Works"))
+    nested = BookmarkNode(name="Classical")
+    nested.bookmarks.append(BookmarkEntry(url="http://mozart/", title="Mozart"))
+    music.folders.append(nested)
+    root.folders.append(music)
+
+    written = export_favorites(root, tmp_path / "fav")
+    assert written == 3
+    again = import_favorites(tmp_path / "fav")
+    assert again.total_bookmarks() == 3
+    assert [f.name for f in again.folders] == ["Music"]
+    assert again.folders[0].folders[0].bookmarks[0].url == "http://mozart/"
+    # Windows-hostile characters in titles were sanitized into filenames.
+    titles = [b.title for b in again.folders[0].bookmarks]
+    assert titles == ["Bach_ Works"]
+
+
+def test_favorites_name_collisions(tmp_path):
+    root = BookmarkNode(name="")
+    root.bookmarks.append(BookmarkEntry(url="http://a/", title="Same"))
+    root.bookmarks.append(BookmarkEntry(url="http://b/", title="Same"))
+    assert export_favorites(root, tmp_path / "fav") == 2
+    again = import_favorites(tmp_path / "fav")
+    assert again.total_bookmarks() == 2
+    assert {b.url for b in again.bookmarks} == {"http://a/", "http://b/"}
+
+
+def test_favorites_skips_junk(tmp_path):
+    fav = tmp_path / "fav"
+    fav.mkdir()
+    (fav / "good.url").write_text(write_url_file("http://good/"))
+    (fav / "broken.url").write_text("not a shortcut at all")
+    (fav / "desktop.ini").write_text("[junk]")
+    root = import_favorites(fav)
+    assert [b.url for b in root.bookmarks] == ["http://good/"]
+
+
+def test_import_favorites_requires_directory(tmp_path):
+    with pytest.raises(BookmarkFormatError):
+        import_favorites(tmp_path / "missing")
+
+
+def test_explorer_tree_integration(tmp_path):
+    tree = FolderTree(owner="bob")
+    tree.add_item("Cycling/Routes", "http://alps/", title="Alps")
+    tree.add_item("Cycling", "http://gear/", title="Gear")
+    count = export_explorer_favorites(tree, tmp_path / "fav")
+    assert count == 2
+    back = import_explorer_favorites(tmp_path / "fav", owner="bob")
+    assert back.exists("Cycling/Routes")
+    assert {p for p, _ in back.find_url("http://alps/")} == {"Cycling/Routes"}

@@ -1,0 +1,168 @@
+"""Tests for the editable folder tree."""
+
+import pytest
+
+from repro.errors import FolderCycle, NoSuchFolder
+from repro.folders.tree import (
+    ITEM_BOOKMARK,
+    ITEM_CORRECTION,
+    ITEM_GUESS,
+    FolderTree,
+)
+
+
+@pytest.fixture
+def tree():
+    t = FolderTree(owner="alice")
+    t.ensure("Music/Classical")
+    t.ensure("Music/Jazz")
+    t.ensure("Work/Compilers")
+    t.add_item("Music/Classical", "http://bach/", title="Bach", added_at=1.0)
+    t.add_item("Music/Jazz", "http://miles/", title="Miles")
+    return t
+
+
+def test_ensure_creates_path(tree):
+    assert tree.exists("Music/Classical")
+    assert tree.exists("Music")
+    assert not tree.exists("Music/Rock")
+    node = tree.get("Music/Classical")
+    assert node.path == "Music/Classical"
+    assert node.name == "Classical"
+    assert tree.get("").path == ""  # the root
+
+
+def test_ensure_is_idempotent(tree):
+    a = tree.ensure("Music/Classical")
+    b = tree.ensure("Music/Classical")
+    assert a is b
+    assert len(tree.get("Music").children) == 2
+
+
+def test_get_missing_raises(tree):
+    with pytest.raises(NoSuchFolder):
+        tree.get("Ghost/Path")
+
+
+def test_paths_listing(tree):
+    assert set(tree.paths()) == {
+        "Music", "Music/Classical", "Music/Jazz", "Work", "Work/Compilers",
+    }
+
+
+def test_add_item_and_find(tree):
+    hits = tree.find_url("http://bach/")
+    assert len(hits) == 1
+    path, item = hits[0]
+    assert path == "Music/Classical"
+    assert item.title == "Bach"
+    assert tree.num_items() == 2
+
+
+def test_add_item_updates_in_place(tree):
+    tree.add_item("Music/Classical", "http://bach/", title="J.S. Bach")
+    items = tree.get("Music/Classical").items
+    assert len(items) == 1
+    assert items[0].title == "J.S. Bach"
+
+
+def test_guess_does_not_override_bookmark(tree):
+    tree.add_item(
+        "Music/Classical", "http://bach/", source=ITEM_GUESS, confidence=0.3,
+    )
+    item = tree.get("Music/Classical").items[0]
+    assert item.source == ITEM_BOOKMARK
+
+
+def test_bookmark_overrides_guess(tree):
+    tree.add_item("Music/Jazz", "http://new/", source=ITEM_GUESS, confidence=0.4)
+    tree.add_item("Music/Jazz", "http://new/", source=ITEM_BOOKMARK)
+    hits = tree.find_url("http://new/")
+    assert hits[0][1].source == ITEM_BOOKMARK
+
+
+def test_guess_display_marker(tree):
+    tree.add_item("Music/Jazz", "http://maybe/", source=ITEM_GUESS, title="Maybe")
+    guesses = tree.guesses()
+    assert len(guesses) == 1
+    assert guesses[0][1].display() == "? Maybe"
+    assert "? Maybe" in tree.render()
+    assert tree.find_url("http://miles/")[0][1].display() == "Miles"
+
+
+def test_remove_item(tree):
+    assert tree.remove_item("Music/Classical", "http://bach/")
+    assert not tree.remove_item("Music/Classical", "http://bach/")
+    assert tree.num_items() == 1
+
+
+def test_move_item_is_correction(tree):
+    item = tree.move_item("http://bach/", "Music/Classical", "Music/Jazz")
+    assert item.source == ITEM_CORRECTION
+    assert tree.find_url("http://bach/")[0][0] == "Music/Jazz"
+    assert tree.get("Music/Classical").items == []
+    with pytest.raises(NoSuchFolder):
+        tree.move_item("http://bach/", "Music/Classical", "Music/Jazz")
+
+
+def test_move_folder(tree):
+    tree.move_folder("Work/Compilers", "Music")
+    assert tree.exists("Music/Compilers")
+    assert not tree.exists("Work/Compilers")
+    assert tree.get("Music/Compilers").path == "Music/Compilers"
+
+
+def test_move_folder_to_root(tree):
+    tree.move_folder("Music/Jazz", "")
+    assert tree.exists("Jazz")
+    assert tree.find_url("http://miles/")[0][0] == "Jazz"
+
+
+def test_move_folder_cycle_rejected(tree):
+    with pytest.raises(FolderCycle):
+        tree.move_folder("Music", "Music/Classical")
+    with pytest.raises(FolderCycle):
+        tree.move_folder("Music", "Music")
+
+
+def test_move_folder_name_collision(tree):
+    tree.ensure("Work/Jazz")
+    with pytest.raises(FolderCycle):
+        tree.move_folder("Music/Jazz", "Work")
+
+
+def test_rename(tree):
+    tree.rename("Music/Jazz", "Bebop")
+    assert tree.exists("Music/Bebop")
+    assert not tree.exists("Music/Jazz")
+    tree.ensure("Music/Jazz")
+    with pytest.raises(FolderCycle):
+        tree.rename("Music/Jazz", "Bebop")
+    with pytest.raises(NoSuchFolder):
+        tree.rename("", "Root")
+
+
+def test_remove_folder_subtree(tree):
+    removed = tree.remove("Music")
+    assert not tree.exists("Music")
+    assert not tree.exists("Music/Classical")
+    assert removed.all_items()  # subtree kept its items
+    with pytest.raises(NoSuchFolder):
+        tree.remove("")
+
+
+def test_all_items_recursive(tree):
+    music = tree.get("Music")
+    urls = {i.url for i in music.all_items()}
+    assert urls == {"http://bach/", "http://miles/"}
+
+
+def test_render_structure(tree):
+    text = tree.render()
+    assert "[Music]" in text
+    assert "[Classical]" in text
+    assert "Bach" in text
+    # Children indented under parents.
+    music_idx = text.index("[Music]")
+    classical_idx = text.index("[Classical]")
+    assert classical_idx > music_idx

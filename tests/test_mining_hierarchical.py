@@ -1,0 +1,168 @@
+"""Tests for the hierarchical (taxonomy-descent) classifier."""
+
+import random
+
+import pytest
+
+from repro.errors import NotFitted
+from repro.mining.hierarchical import HierarchicalClassifier
+from repro.mining.naive_bayes import NaiveBayesClassifier
+
+# Term ids: 0-1 music-general, 2-3 jazz, 4-5 classical,
+#           10-11 sport-general, 12-13 cycling, 14-15 chess.
+
+
+def _doc(rng, shared, specific, noise_weight=0.5):
+    doc = {}
+    for t in shared:
+        doc[t] = rng.uniform(1.0, 2.0)
+    for t in specific:
+        doc[t] = rng.uniform(1.5, 3.0)
+    doc[50 + rng.randrange(5)] = noise_weight
+    return doc
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = random.Random(4)
+    docs, labels = [], []
+    spec = {
+        "Music/Jazz": ([0, 1], [2, 3]),
+        "Music/Classical": ([0, 1], [4, 5]),
+        "Sport/Cycling": ([10, 11], [12, 13]),
+        "Sport/Chess": ([10, 11], [14, 15]),
+    }
+    for label, (shared, specific) in spec.items():
+        for _ in range(12):
+            docs.append(_doc(rng, shared, specific))
+            labels.append(label)
+    return docs, labels, spec
+
+
+@pytest.fixture(scope="module")
+def clf(dataset):
+    docs, labels, _ = dataset
+    return HierarchicalClassifier().fit(docs, labels)
+
+
+def test_classes_are_leaf_paths(clf):
+    assert clf.classes() == [
+        "Music/Classical", "Music/Jazz", "Sport/Chess", "Sport/Cycling",
+    ]
+
+
+def test_predicts_full_paths(clf, dataset):
+    docs, labels, spec = dataset
+    rng = random.Random(9)
+    for label, (shared, specific) in spec.items():
+        doc = _doc(rng, shared, specific)
+        prediction = clf.predict(doc)
+        assert prediction.path == label
+        assert not prediction.stopped_early
+        assert 0.0 < prediction.confidence <= 1.0
+        assert len(prediction.steps) == 2
+        # Steps record the descent: top level then leaf.
+        assert prediction.steps[0][0] == label.split("/")[0]
+
+
+def test_heldout_accuracy(clf, dataset):
+    _docs, _labels, spec = dataset
+    rng = random.Random(77)
+    correct = total = 0
+    for label, (shared, specific) in spec.items():
+        for _ in range(10):
+            path, _conf = clf.predict_path(_doc(rng, shared, specific))
+            total += 1
+            correct += path == label
+    assert correct / total > 0.9
+
+
+def test_level_accuracy_is_no_worse_than_leaf(clf, dataset):
+    docs, labels, spec = dataset
+    rng = random.Random(13)
+    test_docs, test_labels = [], []
+    for label, (shared, specific) in spec.items():
+        for _ in range(10):
+            test_docs.append(_doc(rng, shared, specific))
+            test_labels.append(label)
+    top = clf.level_accuracy(test_docs, test_labels, level=1)
+    leaf = clf.level_accuracy(test_docs, test_labels, level=2)
+    assert top >= leaf
+    assert top > 0.9
+
+
+def test_ambiguous_doc_stops_at_internal_node(dataset):
+    docs, labels, _ = dataset
+    clf = HierarchicalClassifier(ambiguity_threshold=0.8).fit(docs, labels)
+    rng = random.Random(21)
+    # Music-general terms only: which sub-genre is genuinely ambiguous.
+    doc = _doc(rng, [0, 1], [])
+    prediction = clf.predict(doc)
+    assert prediction.path == "Music"
+    assert prediction.stopped_early
+    # A clearly-jazz doc still reaches the leaf.
+    deep = clf.predict(_doc(rng, [0, 1], [2, 3]))
+    assert deep.path == "Music/Jazz"
+    assert not deep.stopped_early
+
+
+def test_matches_flat_nb_on_flat_labels(dataset):
+    """With single-component labels the descent degenerates to flat NB."""
+    docs, labels, spec = dataset
+    flat_labels = [l.replace("/", "_") for l in labels]
+    hier = HierarchicalClassifier().fit(docs, flat_labels)
+    flat = NaiveBayesClassifier().fit(docs, flat_labels)
+    rng = random.Random(31)
+    for label, (shared, specific) in spec.items():
+        doc = _doc(rng, shared, specific)
+        assert hier.predict_path(doc)[0] == flat.predict(doc)[0]
+
+
+def test_docs_at_internal_nodes_are_legal(dataset):
+    docs, labels, _ = dataset
+    mixed_labels = list(labels)
+    mixed_labels[0] = "Music"  # labeled at an internal node
+    clf = HierarchicalClassifier().fit(docs, mixed_labels)
+    assert "Music/Jazz" in clf.classes()
+
+
+def test_validation():
+    clf = HierarchicalClassifier()
+    with pytest.raises(NotFitted):
+        clf.predict({0: 1.0})
+    with pytest.raises(NotFitted):
+        clf.classes()
+    with pytest.raises(NotFitted):
+        HierarchicalClassifier().fit([], [])
+    with pytest.raises(ValueError):
+        HierarchicalClassifier().fit([{0: 1.0}], ["a", "b"])
+    with pytest.raises(ValueError):
+        HierarchicalClassifier().fit([{0: 1.0}], [""])
+
+
+def test_single_class_tree():
+    clf = HierarchicalClassifier().fit([{0: 2.0}] * 3, ["Only/Leaf"] * 3)
+    path, conf = clf.predict_path({0: 1.0})
+    assert path == "Only/Leaf"
+    assert conf == pytest.approx(1.0)
+
+
+def test_three_level_taxonomy():
+    rng = random.Random(8)
+    docs, labels = [], []
+    for label, terms in [
+        ("A/B/C", [0, 1, 2]),
+        ("A/B/D", [0, 1, 3]),
+        ("A/E", [0, 6]),
+        ("F", [9]),
+    ]:
+        for _ in range(8):
+            docs.append({t: rng.uniform(1, 3) for t in terms})
+            labels.append(label)
+    clf = HierarchicalClassifier().fit(docs, labels)
+    assert clf.predict_path({0: 2.0, 1: 2.0, 2: 2.0})[0] == "A/B/C"
+    assert clf.predict_path({0: 2.0, 6: 2.0})[0] == "A/E"
+    assert clf.predict_path({9: 2.0})[0] == "F"
+    prediction = clf.predict({0: 2.0, 1: 2.0, 3: 2.0})
+    assert prediction.path == "A/B/D"
+    assert len(prediction.steps) == 3

@@ -1,0 +1,132 @@
+"""Tests for HITS, PageRank, and the popular-near query."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mining.linkanalysis import hits, pagerank, popular_near
+
+
+def hub_authority_graph():
+    """Two hubs pointing at three authorities; one authority dominant."""
+    g = nx.DiGraph()
+    for hub in ["h1", "h2"]:
+        for auth in ["a1", "a2"]:
+            g.add_edge(hub, auth)
+    g.add_edge("h1", "a3")
+    g.add_node("isolated")
+    return g
+
+
+def test_hits_separates_hubs_and_authorities():
+    hubs, auths = hits(hub_authority_graph())
+    assert hubs["h1"] > auths["h1"]
+    assert auths["a1"] > hubs["a1"]
+    # a1/a2 (cited by both hubs) beat a3 (cited by one).
+    assert auths["a1"] > auths["a3"]
+    assert auths["a2"] > auths["a3"]
+    assert auths["isolated"] == 0.0
+    assert hubs["isolated"] == 0.0
+
+
+def test_hits_empty_graph():
+    assert hits(nx.DiGraph()) == ({}, {})
+
+
+def test_hits_scores_normalized():
+    hubs, auths = hits(hub_authority_graph())
+    l2 = lambda d: sum(v * v for v in d.values()) ** 0.5  # noqa: E731
+    assert l2(hubs) == pytest.approx(1.0)
+    assert l2(auths) == pytest.approx(1.0)
+
+
+def test_pagerank_sums_to_one_and_ranks_cited_pages():
+    g = nx.DiGraph()
+    g.add_edges_from([("a", "popular"), ("b", "popular"), ("c", "popular"),
+                      ("popular", "a"), ("c", "b")])
+    ranks = pagerank(g)
+    assert sum(ranks.values()) == pytest.approx(1.0)
+    assert ranks["popular"] == max(ranks.values())
+
+
+def test_pagerank_handles_sinks():
+    g = nx.DiGraph()
+    g.add_edge("a", "sink")
+    ranks = pagerank(g)
+    assert sum(ranks.values()) == pytest.approx(1.0)
+    assert ranks["sink"] > ranks["a"]
+
+
+def test_pagerank_personalization_biases_neighborhood():
+    g = nx.DiGraph()
+    # Two disconnected communities.
+    g.add_edges_from([("a1", "a2"), ("a2", "a1")])
+    g.add_edges_from([("b1", "b2"), ("b2", "b1")])
+    ranks = pagerank(g, personalization={"a1": 1.0})
+    assert ranks["a1"] + ranks["a2"] > 0.95
+    with pytest.raises(ValueError):
+        pagerank(g, personalization={"a1": 0.0})
+
+
+def test_pagerank_empty():
+    assert pagerank(nx.DiGraph()) == {}
+
+
+def test_popular_near_finds_neighborhood_authority():
+    g = nx.DiGraph()
+    # Seed s links to star; many outside pages also cite star.
+    g.add_edge("s", "star")
+    for i in range(5):
+        g.add_edge(f"fan{i}", "star")
+        g.add_edge("hubby", f"fan{i}")
+    ranked = popular_near(g, {"s"}, k=3, hops=1)
+    assert ranked
+    assert ranked[0][0] == "star"
+
+
+def test_popular_near_unknown_seeds():
+    g = nx.DiGraph()
+    g.add_edge("a", "b")
+    assert popular_near(g, {"zzz"}) == []
+    assert popular_near(g, set()) == []
+
+
+def test_popular_near_hops_widen_the_net():
+    g = nx.DiGraph()
+    g.add_edge("seed", "mid")
+    g.add_edge("mid", "far")
+    g.add_edge("x", "far")
+    one = dict(popular_near(g, {"seed"}, k=10, hops=1))
+    two = dict(popular_near(g, {"seed"}, k=10, hops=2))
+    assert "far" not in one
+    assert "far" in two
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12)), max_size=40,
+))
+def test_pagerank_properties_on_random_graphs(edges):
+    g = nx.DiGraph()
+    g.add_edges_from((f"n{a}", f"n{b}") for a, b in edges if a != b)
+    if len(g) == 0:
+        return
+    ranks = pagerank(g)
+    assert sum(ranks.values()) == pytest.approx(1.0, abs=1e-6)
+    assert all(v >= 0 for v in ranks.values())
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12)), max_size=40,
+))
+def test_hits_properties_on_random_graphs(edges):
+    g = nx.DiGraph()
+    g.add_edges_from((f"n{a}", f"n{b}") for a, b in edges if a != b)
+    hubs, auths = hits(g)
+    assert all(v >= 0 for v in hubs.values())
+    assert all(v >= 0 for v in auths.values())
+    if g.number_of_edges() > 0:
+        l2a = sum(v * v for v in auths.values()) ** 0.5
+        assert l2a == pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,256 @@
+"""Tests for the crawler/indexer/classifier/theme/discovery daemons."""
+
+import pytest
+
+from repro.errors import NotFitted
+from repro.server.daemons import (
+    ClassifierDaemon,
+    CrawlerDaemon,
+    DiscoveryDaemon,
+    FetchedPage,
+    IndexerDaemon,
+    PageVectorizer,
+    ThemeDaemon,
+    link_graph,
+)
+from repro.storage.repository import MemexRepository
+from repro.storage.schema import ARCHIVE_COMMUNITY, ASSOC_BOOKMARK, ASSOC_GUESS
+from repro.text.index import InvertedIndex
+
+PAGES = {
+    "http://c1/": ("Classical 1", "classical symphony orchestra bach mozart concert", ("http://c2/",)),
+    "http://c2/": ("Classical 2", "beethoven sonata violin symphony classical opera", ("http://c1/",)),
+    "http://c3/": ("Classical 3", "orchestra conductor philharmonic classical concerto", ()),
+    "http://j1/": ("Jazz 1", "jazz saxophone improvisation coltrane bebop swing", ("http://j2/",)),
+    "http://j2/": ("Jazz 2", "trumpet jazz quartet improvisation blues standards", ("http://j1/",)),
+    "http://j3/": ("Jazz 3", "saxophone bebop jazz swing club session", ()),
+    "http://front/": ("Front", "home links welcome", ("http://c1/", "http://c2/")),
+}
+
+
+def fetch(url):
+    if url not in PAGES:
+        return None
+    title, text, links = PAGES[url]
+    return FetchedPage(url=url, title=title, text=text, out_links=links,
+                       front_page=(url == "http://front/"))
+
+
+@pytest.fixture
+def repo():
+    r = MemexRepository()
+    r.add_user("u", now=0.0)
+    yield r
+    r.close()
+
+
+@pytest.fixture
+def crawler(repo):
+    return CrawlerDaemon(repo, fetch, batch_size=3, clock=lambda: 100.0)
+
+
+def test_crawler_fetches_and_publishes(repo, crawler):
+    repo.versions.register_consumer("probe")
+    for url in ["http://c1/", "http://j1/", "http://dead/"]:
+        crawler.enqueue(url)
+    assert crawler.backlog == 3
+    done = crawler.run_once()
+    assert done == 2
+    assert crawler.dead_count == 1
+    assert repo.page_text("http://c1/") is not None
+    # Links recorded, link targets exist as unfetched pages.
+    assert repo.out_links("http://c1/") == ["http://c2/"]
+    assert repo.db.table("pages").get("http://c2/")["fetched"] is False
+    # The batch was published as one version.
+    watermark, items = repo.versions.poll("probe")
+    assert watermark == 1
+    assert set(items) == {"http://c1/", "http://j1/"}
+
+
+def test_crawler_enqueue_dedup(repo, crawler):
+    crawler.enqueue("http://c1/")
+    crawler.enqueue("http://c1/")
+    assert crawler.backlog == 1
+    crawler.run_once()
+    crawler.enqueue("http://c1/")  # already fetched: ignored
+    assert crawler.backlog == 0
+
+
+def test_crawler_idle_run(repo, crawler):
+    assert crawler.run_once() == 0
+    assert repo.versions.published_version == 0  # no empty versions
+
+
+def test_indexer_follows_crawler(repo, crawler):
+    index = InvertedIndex(repo.kv)
+    indexer = IndexerDaemon(repo, index)
+    crawler.enqueue("http://c1/")
+    crawler.run_once()
+    assert indexer.run_once() == 1
+    assert index.has_document("http://c1/")
+    assert indexer.run_once() == 0  # acked; no re-indexing
+    crawler.enqueue("http://j1/")
+    crawler.run_once()
+    assert indexer.run_once() == 1
+
+
+def _bookmark(repo, user, folder, path, url, at=1.0):
+    fid = f"{user}:{path}"
+    if repo.db.table("folders").get(fid) is None:
+        repo.add_folder(fid, user, path, None, now=at)
+    repo.associate(fid, url, ASSOC_BOOKMARK, now=at)
+    return fid
+
+
+def _crawl_all(repo, crawler):
+    for url in PAGES:
+        crawler.enqueue(url)
+    while crawler.run_once():
+        pass
+
+
+def test_classifier_trains_and_guesses(repo, crawler):
+    vec = PageVectorizer(repo)
+    clf = ClassifierDaemon(repo, vec, min_training_per_class=2, clock=lambda: 50.0)
+    _crawl_all(repo, crawler)
+    cl_folder = _bookmark(repo, "u", "Classical", "Classical", "http://c1/")
+    _bookmark(repo, "u", "Classical", "Classical", "http://c2/")
+    jz_folder = _bookmark(repo, "u", "Jazz", "Jazz", "http://j1/")
+    _bookmark(repo, "u", "Jazz", "Jazz", "http://j2/")
+    # Unclassified visits to held-out pages.
+    repo.record_visit("u", "http://c3/", at=10.0, session_id=1,
+                      referrer=None, archive_mode=ARCHIVE_COMMUNITY)
+    repo.record_visit("u", "http://j3/", at=11.0, session_id=1,
+                      referrer=None, archive_mode=ARCHIVE_COMMUNITY)
+    done = clf.run_once()
+    assert done == 2
+    visits = repo.db.table("visits").select(order_by="at")
+    assert visits[0]["topic_folder"] == cl_folder
+    assert visits[1]["topic_folder"] == jz_folder
+    # Guess associations were written.
+    guesses = repo.folder_pages(cl_folder, sources=(ASSOC_GUESS,))
+    assert [g["url"] for g in guesses] == ["http://c3/"]
+    assert clf.model_for("u") is not None
+
+
+def test_classifier_needs_enough_supervision(repo, crawler):
+    vec = PageVectorizer(repo)
+    clf = ClassifierDaemon(repo, vec, min_training_per_class=2, min_classes=2)
+    _crawl_all(repo, crawler)
+    _bookmark(repo, "u", "Classical", "Classical", "http://c1/")
+    repo.record_visit("u", "http://c3/", at=1.0, session_id=1,
+                      referrer=None, archive_mode=ARCHIVE_COMMUNITY)
+    assert clf.run_once() == 0  # one class, one example: refuses to train
+    with pytest.raises(NotFitted):
+        clf.model_for("u")
+
+
+def test_classifier_skips_unfetched_pages(repo, crawler):
+    vec = PageVectorizer(repo)
+    clf = ClassifierDaemon(repo, vec, min_training_per_class=2)
+    _crawl_all(repo, crawler)
+    _bookmark(repo, "u", "Classical", "Classical", "http://c1/")
+    _bookmark(repo, "u", "Classical", "Classical", "http://c2/")
+    _bookmark(repo, "u", "Jazz", "Jazz", "http://j1/")
+    _bookmark(repo, "u", "Jazz", "Jazz", "http://j2/")
+    repo.upsert_page("http://never-fetched/", now=0.0)
+    repo.record_visit("u", "http://never-fetched/", at=1.0, session_id=1,
+                      referrer=None, archive_mode=ARCHIVE_COMMUNITY)
+    assert clf.run_once() == 0
+    visit = repo.db.table("visits").select()[0]
+    assert visit["topic_folder"] is None  # left pending, not misfiled
+
+
+def test_classifier_guess_replacement(repo, crawler):
+    vec = PageVectorizer(repo)
+    clf = ClassifierDaemon(repo, vec, min_training_per_class=2, retrain_after=1)
+    _crawl_all(repo, crawler)
+    cl = _bookmark(repo, "u", "Classical", "Classical", "http://c1/")
+    _bookmark(repo, "u", "Classical", "Classical", "http://c2/")
+    jz = _bookmark(repo, "u", "Jazz", "Jazz", "http://j1/")
+    _bookmark(repo, "u", "Jazz", "Jazz", "http://j2/")
+    repo.record_visit("u", "http://c3/", at=1.0, session_id=1,
+                      referrer=None, archive_mode=ARCHIVE_COMMUNITY)
+    clf.run_once()
+    # Same page classified again after the user corrected supervision:
+    # old guess must be replaced, not duplicated.
+    repo.record_visit("u", "http://c3/", at=2.0, session_id=2,
+                      referrer=None, archive_mode=ARCHIVE_COMMUNITY)
+    clf.run_once()
+    guesses = [
+        r for r in repo.page_folders("http://c3/") if r["source"] == ASSOC_GUESS
+    ]
+    assert len(guesses) == 1
+
+
+def test_link_graph_materialization(repo, crawler):
+    _crawl_all(repo, crawler)
+    graph = link_graph(repo)
+    assert graph.has_edge("http://c1/", "http://c2/")
+    assert graph.has_edge("http://front/", "http://c1/")
+    assert len(graph) == len(repo.db.table("pages"))
+
+
+def test_theme_daemon_builds_taxonomy(repo, crawler):
+    vec = PageVectorizer(repo)
+    themes = ThemeDaemon(repo, vec, rebuild_after=1)
+    _crawl_all(repo, crawler)
+    assert themes.run_once() == 0  # no folders yet
+    repo.add_user("v", now=0.0)
+    _bookmark(repo, "u", "Classical", "Classical", "http://c1/")
+    _bookmark(repo, "u", "Classical", "Classical", "http://c2/")
+    _bookmark(repo, "v", "Symphonies", "Symphonies", "http://c2/")
+    _bookmark(repo, "v", "Symphonies", "Symphonies", "http://c3/")
+    _bookmark(repo, "u", "Jazz", "Jazz", "http://j1/")
+    _bookmark(repo, "u", "Jazz", "Jazz", "http://j2/")
+    done = themes.run_once()
+    assert done == 3  # three folder documents
+    assert themes.taxonomy is not None
+    assert themes.rebuild_count == 1
+    # No new supervision -> no rebuild.
+    assert themes.run_once() == 0
+
+
+def test_discovery_daemon_ranks_resources(repo, crawler):
+    from repro.mining.themes import ThemeDiscovery
+    vec = PageVectorizer(repo)
+    themes = ThemeDaemon(
+        repo, vec, rebuild_after=1, min_pages_per_folder=2,
+        discovery=ThemeDiscovery(min_split_folders=2, cohesion_threshold=0.9),
+    )
+    discovery = DiscoveryDaemon(repo, vec, themes, per_theme=5, clock=lambda: 200.0)
+    _crawl_all(repo, crawler)
+    assert discovery.run_once() == 0  # no taxonomy yet
+    repo.add_user("v", now=0.0)
+    _bookmark(repo, "u", "Classical", "Classical", "http://c1/")
+    _bookmark(repo, "u", "Classical", "Classical", "http://c2/")
+    _bookmark(repo, "v", "Jazz", "Jazz", "http://j1/")
+    _bookmark(repo, "v", "Jazz", "Jazz", "http://j2/")
+    themes.run_once()
+    produced = discovery.run_once()
+    assert produced > 0
+    # Find the jazz-like theme and check its resources are jazz pages.
+    taxonomy = themes.taxonomy
+    jazz_theme = next(
+        t for t in taxonomy.leaves()
+        if any("Jazz" in p for _, p in t.folders)
+    )
+    urls = [r.url for r in discovery.for_theme(jazz_theme.theme_id)]
+    assert urls
+    assert all("j" in u or u == "http://front/" for u in urls[:2])
+    # Recomputation is skipped when nothing changed.
+    assert discovery.run_once() == 0
+
+
+def test_vectorizer_caches_and_invalidates(repo, crawler):
+    vec = PageVectorizer(repo)
+    assert vec.vector("http://c1/") is None  # not fetched yet
+    _crawl_all(repo, crawler)
+    v1 = vec.vector("http://c1/")
+    assert v1
+    assert vec.vector("http://c1/") is v1  # cached
+    vec.invalidate("http://c1/")
+    v2 = vec.vector("http://c1/")
+    assert v2 == v1 and v2 is not v1
+    assert vec.tfidf_vector("http://c1/")
+    assert vec.tfidf_vector("http://nowhere/") is None

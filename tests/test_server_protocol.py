@@ -1,0 +1,166 @@
+"""Tests for message framing, encryption, servlets, and transport."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.server.protocol import decode_message, encode_message, rc4_stream
+from repro.server.servlets import ServletRegistry
+from repro.server.transport import HttpTunnelTransport
+
+
+# -- rc4 -------------------------------------------------------------------
+
+def test_rc4_is_an_involution():
+    key = b"secret"
+    data = b"the quick brown fox \x00\xff"
+    assert rc4_stream(key, rc4_stream(key, data)) == data
+
+
+def test_rc4_different_keys_differ():
+    data = b"payload-bytes"
+    assert rc4_stream(b"k1", data) != rc4_stream(b"k2", data)
+
+
+def test_rc4_empty_key_rejected():
+    with pytest.raises(ProtocolError):
+        rc4_stream(b"", b"data")
+
+
+@given(st.binary(max_size=200), st.binary(min_size=1, max_size=16))
+def test_rc4_roundtrip_property(data, key):
+    assert rc4_stream(key, rc4_stream(key, data)) == data
+
+
+# -- framing ------------------------------------------------------------------
+
+def test_encode_decode_plaintext():
+    msg = {"servlet": "visit", "url": "http://x/", "n": 3}
+    assert decode_message(encode_message(msg)) == msg
+
+
+def test_encode_decode_encrypted():
+    key = b"user-key"
+    msg = {"servlet": "visit", "private": True}
+    wire = encode_message(msg, key=key)
+    assert decode_message(wire, key=key) == msg
+    # Ciphertext does not contain the plaintext.
+    assert b"servlet" not in wire
+
+
+def test_encrypted_without_key_fails():
+    wire = encode_message({"a": 1}, key=b"k")
+    with pytest.raises(ProtocolError):
+        decode_message(wire)
+
+
+def test_wrong_key_fails():
+    wire = encode_message({"a": 1}, key=b"right")
+    with pytest.raises(ProtocolError):
+        decode_message(wire, key=b"wrong")
+
+
+def test_truncated_and_garbage_messages():
+    wire = encode_message({"a": 1})
+    with pytest.raises(ProtocolError):
+        decode_message(wire[:3])
+    with pytest.raises(ProtocolError):
+        decode_message(wire + b"extra")
+    with pytest.raises(ProtocolError):
+        decode_message(b"\xff\xff\xff\x7f\x00garbage")
+
+
+def test_non_object_body_rejected():
+    import json
+    import struct
+    body = json.dumps([1, 2, 3]).encode()
+    wire = struct.pack("<I", len(body) + 1) + b"\x00" + body
+    with pytest.raises(ProtocolError):
+        decode_message(wire)
+
+
+@given(
+    st.dictionaries(
+        st.text(min_size=1, max_size=8),
+        st.one_of(st.integers(), st.text(max_size=20), st.booleans(), st.none()),
+        max_size=8,
+    )
+)
+def test_frame_roundtrip_property(payload):
+    assert decode_message(encode_message(payload)) == payload
+    assert decode_message(encode_message(payload, key=b"k"), key=b"k") == payload
+
+
+# -- servlet registry ------------------------------------------------------------
+
+def test_registry_dispatch():
+    reg = ServletRegistry()
+    reg.register("echo", lambda req: {"echoed": req.get("x")})
+    out = reg.dispatch({"servlet": "echo", "x": 42})
+    assert out == {"echoed": 42, "status": "ok"}
+    assert reg.stats()["served"] == 1
+    assert reg.stats()["by_servlet"] == {"echo": 1}
+
+
+def test_registry_unknown_servlet():
+    reg = ServletRegistry()
+    out = reg.dispatch({"servlet": "nope"})
+    assert out["status"] == "error"
+    assert reg.stats()["failed"] == 1
+    out2 = reg.dispatch({})
+    assert out2["status"] == "error"
+
+
+def test_registry_isolates_handler_exceptions():
+    reg = ServletRegistry()
+
+    def broken(req):
+        raise RuntimeError("kaboom")
+
+    reg.register("broken", broken)
+    out = reg.dispatch({"servlet": "broken"})
+    assert out["status"] == "error"
+    assert "kaboom" in out["error"]
+    assert "traceback" in out
+    # The registry keeps serving afterwards.
+    reg.register("fine", lambda r: {})
+    assert reg.dispatch({"servlet": "fine"})["status"] == "ok"
+
+
+def test_registry_duplicate_registration():
+    from repro.errors import ServletError
+    reg = ServletRegistry()
+    reg.register("a", lambda r: {})
+    with pytest.raises(ServletError):
+        reg.register("a", lambda r: {})
+    assert reg.names() == ["a"]
+
+
+# -- transport ----------------------------------------------------------------------
+
+@pytest.fixture
+def transport():
+    reg = ServletRegistry()
+    reg.register("whoami", lambda req: {"you": req["user_id"]})
+    return HttpTunnelTransport(reg)
+
+
+def test_transport_roundtrip(transport):
+    out = transport.request("alice", {"servlet": "whoami"})
+    assert out["you"] == "alice"
+    assert transport.bytes_in > 0 and transport.bytes_out > 0
+
+
+def test_transport_encrypted_user(transport):
+    transport.set_key("bob", b"bobs-key")
+    out = transport.request("bob", {"servlet": "whoami"})
+    assert out["you"] == "bob"
+    assert transport.key_for("bob") == b"bobs-key"
+    transport.set_key("bob", None)
+    assert transport.key_for("bob") is None
+
+
+def test_transport_error_response(transport):
+    out = transport.request("alice", {"servlet": "missing"})
+    assert out["status"] == "error"

@@ -1,0 +1,124 @@
+"""Tests for the cooperative daemon scheduler."""
+
+import pytest
+
+from repro.errors import DaemonError
+from repro.server.scheduler import DaemonScheduler
+
+
+class FakeDaemon:
+    def __init__(self, name, work=0, fail_times=0):
+        self.name = name
+        self.work = work          # items to report per run until exhausted
+        self.fail_times = fail_times
+        self.runs = 0
+
+    def run_once(self):
+        self.runs += 1
+        if self.fail_times > 0:
+            self.fail_times -= 1
+            raise RuntimeError("transient")
+        if self.work > 0:
+            self.work -= 1
+            return 1
+        return 0
+
+
+def test_tick_runs_registered_daemons():
+    sched = DaemonScheduler()
+    d = FakeDaemon("d", work=3)
+    sched.register(d)
+    assert sched.tick() == 1
+    assert sched.tick(2) == 2
+    assert d.runs == 3
+
+
+def test_periods_respected():
+    sched = DaemonScheduler()
+    fast = FakeDaemon("fast", work=100)
+    slow = FakeDaemon("slow", work=100)
+    sched.register(fast, period=1)
+    sched.register(slow, period=4)
+    sched.tick(8)
+    assert fast.runs == 8
+    assert slow.runs == 2
+
+
+def test_run_until_idle():
+    sched = DaemonScheduler()
+    d = FakeDaemon("d", work=5)
+    sched.register(d, period=2)
+    total = sched.run_until_idle()
+    assert total == 5
+    assert d.work == 0
+
+
+def test_run_until_idle_gives_up():
+    class Forever:
+        name = "forever"
+
+        def run_once(self):
+            return 1
+
+    sched = DaemonScheduler()
+    sched.register(Forever())
+    with pytest.raises(DaemonError):
+        sched.run_until_idle(max_rounds=10)
+
+
+def test_failures_and_quarantine():
+    sched = DaemonScheduler(max_consecutive_failures=3)
+    d = FakeDaemon("flaky", work=10, fail_times=99)
+    sched.register(d)
+    sched.tick(5)
+    stats = sched.stats()["flaky"]
+    assert stats["quarantined"] is True
+    assert stats["failures"] == 3  # stopped retrying after quarantine
+    assert "transient" in stats["last_error"]
+    runs_at_quarantine = d.runs
+    sched.tick(5)
+    assert d.runs == runs_at_quarantine  # really quarantined
+
+
+def test_transient_failures_recover():
+    sched = DaemonScheduler(max_consecutive_failures=3)
+    d = FakeDaemon("flaky", work=2, fail_times=2)
+    sched.register(d)
+    sched.tick(6)
+    stats = sched.stats()["flaky"]
+    assert stats["quarantined"] is False
+    assert stats["failures"] == 2
+    assert stats["items"] == 2
+
+
+def test_revive():
+    sched = DaemonScheduler(max_consecutive_failures=1)
+    d = FakeDaemon("d", work=1, fail_times=1)
+    sched.register(d)
+    sched.tick()
+    assert sched.stats()["d"]["quarantined"]
+    sched.revive("d")
+    sched.tick()
+    assert sched.stats()["d"]["items"] == 1
+    with pytest.raises(DaemonError):
+        sched.revive("ghost")
+
+
+def test_one_bad_daemon_does_not_block_others():
+    sched = DaemonScheduler(max_consecutive_failures=1)
+    bad = FakeDaemon("bad", fail_times=99)
+    good = FakeDaemon("good", work=3)
+    sched.register(bad)
+    sched.register(good)
+    total = sched.run_until_idle()
+    assert total == 3
+
+
+def test_registration_validation():
+    sched = DaemonScheduler()
+    d = FakeDaemon("d")
+    sched.register(d)
+    with pytest.raises(DaemonError):
+        sched.register(d)
+    with pytest.raises(DaemonError):
+        sched.register(FakeDaemon("e"), period=0)

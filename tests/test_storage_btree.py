@@ -1,0 +1,239 @@
+"""Tests for the disk-paged B+-tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CorruptLog, KeyNotFound, KVStoreError, StoreClosed
+from repro.storage.btree import BTree
+
+
+@pytest.fixture
+def tree(tmp_path):
+    t = BTree(tmp_path / "t.btree", page_size=512, cache_pages=8)
+    yield t
+    if not t._closed:
+        t.close()
+
+
+def test_put_get_roundtrip(tree):
+    tree.put(b"key", b"value")
+    assert tree.get(b"key") == b"value"
+    assert tree.get(b"missing") is None
+    assert tree.get(b"missing", b"dflt") == b"dflt"
+    assert len(tree) == 1
+    assert b"key" in tree
+
+
+def test_overwrite(tree):
+    tree.put(b"k", b"v1")
+    tree.put(b"k", b"v2")
+    assert tree.get(b"k") == b"v2"
+    assert len(tree) == 1
+
+
+def test_empty_value_is_present(tree):
+    tree.put(b"k", b"")
+    assert b"k" in tree
+    assert tree.get(b"k") == b""
+
+
+def test_validation(tree):
+    with pytest.raises(TypeError):
+        tree.put("str", b"v")
+    with pytest.raises(KVStoreError):
+        tree.put(b"", b"v")
+    with pytest.raises(KVStoreError):
+        tree.put(b"k", b"x" * 600)  # exceeds quarter-page
+
+
+def test_many_keys_force_splits(tree):
+    n = 500
+    for i in range(n):
+        tree.put(b"key%05d" % i, b"val%05d" % i)
+    assert len(tree) == n
+    stats = tree.stats()
+    assert stats["depth"] >= 2  # really split
+    assert stats["pages"] > 10
+    for i in range(0, n, 37):
+        assert tree.get(b"key%05d" % i) == b"val%05d" % i
+    assert tree.keys() == sorted(b"key%05d" % i for i in range(n))
+
+
+def test_random_order_insertion_sorted_scan(tree):
+    rng = random.Random(5)
+    keys = [b"k%04d" % i for i in range(300)]
+    shuffled = keys[:]
+    rng.shuffle(shuffled)
+    for k in shuffled:
+        tree.put(k, k.upper())
+    assert tree.keys() == sorted(keys)
+
+
+def test_cursor_ranges(tree):
+    for i in range(100):
+        tree.put(b"key%03d" % i, b"%d" % i)
+    got = [k for k, _ in tree.cursor(start=b"key010", end=b"key015")]
+    assert got == [b"key%03d" % i for i in range(10, 15)]
+    assert [k for k, _ in tree.cursor(start=b"key098")] == [b"key098", b"key099"]
+    assert list(tree.cursor(start=b"zzz")) == []
+
+
+def test_prefix_scan(tree):
+    for term in [b"post:a", b"post:b", b"posu", b"pos"]:
+        tree.put(term, b"x")
+    assert [k for k, _ in tree.prefix(b"post:")] == [b"post:a", b"post:b"]
+    assert [k for k, _ in tree.prefix(b"")] == sorted([b"post:a", b"post:b", b"posu", b"pos"])
+
+
+def test_delete_and_count(tree):
+    for i in range(50):
+        tree.put(b"k%02d" % i, b"v")
+    for i in range(0, 50, 2):
+        tree.delete(b"k%02d" % i)
+    assert len(tree) == 25
+    with pytest.raises(KeyNotFound):
+        tree.delete(b"k00")
+    assert tree.discard(b"k01")
+    assert not tree.discard(b"k01")
+    assert tree.keys() == [b"k%02d" % i for i in range(3, 50, 2)]
+
+
+def test_mass_delete_reclaims_pages(tree):
+    for i in range(400):
+        tree.put(b"key%05d" % i, b"payload-%05d" % i)
+    pages_full = tree.stats()["pages"]
+    for i in range(400):
+        tree.delete(b"key%05d" % i)
+    assert len(tree) == 0
+    assert tree.keys() == []
+    stats = tree.stats()
+    assert stats["free_pages"] > 0
+    # Reuse: new inserts should not grow the file much.
+    for i in range(200):
+        tree.put(b"new%05d" % i, b"v")
+    assert tree.stats()["pages"] <= pages_full + 2
+    assert tree.keys() == sorted(b"new%05d" % i for i in range(200))
+
+
+def test_persistence_across_reopen(tmp_path):
+    path = tmp_path / "p.btree"
+    with BTree(path, page_size=512) as t:
+        for i in range(200):
+            t.put(b"k%04d" % i, b"v%04d" % i)
+        t.delete(b"k0100")
+    with BTree(path) as t:
+        assert len(t) == 199
+        assert t.get(b"k0042") == b"v0042"
+        assert t.get(b"k0100") is None
+        assert t.page_size == 512  # page size restored from meta
+        t.put(b"k0100", b"back")
+    with BTree(path) as t:
+        assert t.get(b"k0100") == b"back"
+
+
+def test_flush_checkpoints_without_close(tmp_path):
+    path = tmp_path / "f.btree"
+    t = BTree(path, page_size=512)
+    for i in range(100):
+        t.put(b"k%03d" % i, b"v")
+    t.flush()
+    # A second handle sees the checkpoint (read-only peek).
+    t2 = BTree(path)
+    assert len(t2) == 100
+    assert t2.get(b"k050") == b"v"
+    t2._fh.close()
+    t2._closed = True
+    t.close()
+
+
+def test_closed_tree_rejects_ops(tmp_path):
+    t = BTree(tmp_path / "c.btree")
+    t.close()
+    with pytest.raises(StoreClosed):
+        t.put(b"k", b"v")
+    with pytest.raises(StoreClosed):
+        t.get(b"k")
+    t.close()  # idempotent
+
+
+def test_bad_magic_detected(tmp_path):
+    path = tmp_path / "bad.btree"
+    path.write_bytes(b"NOPE" + b"\x00" * 100)
+    with pytest.raises(CorruptLog):
+        BTree(path)
+
+
+def test_cache_eviction_preserves_data(tmp_path):
+    t = BTree(tmp_path / "small-cache.btree", page_size=512, cache_pages=2)
+    for i in range(300):
+        t.put(b"k%04d" % i, b"v%04d" % i)
+    for i in range(0, 300, 17):
+        assert t.get(b"k%04d" % i) == b"v%04d" % i
+    assert t.stats()["cached_pages"] <= 2
+    t.close()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(
+    st.tuples(
+        st.sampled_from(["put", "delete"]),
+        st.binary(min_size=1, max_size=8),
+        st.binary(max_size=8),
+    ),
+    max_size=80,
+))
+def test_btree_matches_dict_model(ops):
+    import tempfile
+    from pathlib import Path
+    tmp_dir = tempfile.mkdtemp(prefix="btree-prop-")
+    path = Path(tmp_dir) / "prop.btree"
+    model: dict[bytes, bytes] = {}
+    with BTree(path, page_size=256) as t:
+        for op, key, value in ops:
+            if op == "put":
+                t.put(key, value)
+                model[key] = value
+            else:
+                assert t.discard(key) == (key in model)
+                model.pop(key, None)
+        assert t.keys() == sorted(model)
+        for k, v in model.items():
+            assert t.get(k) == v
+        assert len(t) == len(model)
+    # And everything survives a reopen.
+    with BTree(path) as t:
+        assert t.keys() == sorted(model)
+    import shutil
+    shutil.rmtree(tmp_dir, ignore_errors=True)
+
+
+def test_btree_backs_namespace_and_inverted_index(tmp_path):
+    """The B+-tree is a drop-in backend for Namespace — and therefore for
+    the inverted index — matching the KVStore interface."""
+    from repro.storage.kvstore import Namespace
+    from repro.text.index import InvertedIndex
+    from repro.text.search import SearchEngine
+
+    tree = BTree(tmp_path / "ns.btree", page_size=1024)
+    ns = Namespace(tree, "terms")
+    ns.put(b"alpha", b"1")
+    ns.put(b"beta", b"2")
+    assert ns.get(b"alpha") == b"1"
+    assert [k for k, _ in ns.items()] == [b"alpha", b"beta"]
+    ns.delete(b"alpha")
+    assert b"alpha" not in ns
+
+    index = InvertedIndex(tree, prefix="idx")
+    index.add_document("d1", "classical symphony orchestra")
+    index.add_document("d2", "jazz saxophone")
+    engine = SearchEngine(index)
+    assert engine.search("symphony")[0].doc_id == "d1"
+    tree.close()
+    # Survives reopen.
+    tree2 = BTree(tmp_path / "ns.btree")
+    index2 = InvertedIndex(tree2, prefix="idx")
+    assert index2.num_docs == 2
+    tree2.close()

@@ -1,0 +1,188 @@
+"""Tests for the Berkeley-DB-style key-value store."""
+
+import pytest
+
+from repro.errors import KeyNotFound, StoreClosed
+from repro.storage.kvstore import KVStore, Namespace
+
+
+@pytest.fixture(params=["memory", "disk"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        kv = KVStore()
+    else:
+        kv = KVStore(tmp_path / "kv.log")
+    yield kv
+    kv.close()
+
+
+def test_put_get_roundtrip(store):
+    store.put(b"k", b"v")
+    assert store.get(b"k") == b"v"
+    assert store[b"k"] == b"v"
+    assert b"k" in store
+    assert len(store) == 1
+
+
+def test_get_missing_returns_default(store):
+    assert store.get(b"missing") is None
+    assert store.get(b"missing", b"dflt") == b"dflt"
+    with pytest.raises(KeyNotFound):
+        store[b"missing"]
+
+
+def test_overwrite_replaces_value(store):
+    store.put(b"k", b"v1")
+    store.put(b"k", b"v2")
+    assert store.get(b"k") == b"v2"
+    assert len(store) == 1
+
+
+def test_delete_and_discard(store):
+    store.put(b"k", b"v")
+    store.delete(b"k")
+    assert b"k" not in store
+    with pytest.raises(KeyNotFound):
+        store.delete(b"k")
+    assert store.discard(b"k") is False
+    store.put(b"k", b"v")
+    assert store.discard(b"k") is True
+
+
+def test_non_bytes_rejected(store):
+    with pytest.raises(TypeError):
+        store.put("str-key", b"v")
+    with pytest.raises(TypeError):
+        store.put(b"k", "str-value")
+
+
+def test_cursor_is_key_ordered(store):
+    for key in [b"banana", b"apple", b"cherry", b"apricot"]:
+        store.put(key, b"x")
+    keys = [k for k, _ in store.cursor()]
+    assert keys == [b"apple", b"apricot", b"banana", b"cherry"]
+
+
+def test_cursor_range_bounds(store):
+    for i in range(10):
+        store.put(b"key%02d" % i, b"%d" % i)
+    got = [k for k, _ in store.cursor(start=b"key03", end=b"key07")]
+    assert got == [b"key03", b"key04", b"key05", b"key06"]
+
+
+def test_prefix_scan(store):
+    store.put(b"post:alpha", b"1")
+    store.put(b"post:beta", b"2")
+    store.put(b"posx", b"3")
+    store.put(b"pos", b"4")
+    assert [k for k, _ in store.prefix(b"post:")] == [b"post:alpha", b"post:beta"]
+    assert [k for k, _ in store.prefix(b"pos")] == [
+        b"pos", b"post:alpha", b"post:beta", b"posx",
+    ]
+
+
+def test_prefix_with_0xff_tail(store):
+    store.put(b"a\xff\x01", b"1")
+    store.put(b"a\xff\xff", b"2")
+    store.put(b"b", b"3")
+    assert [k for k, _ in store.prefix(b"a\xff")] == [b"a\xff\x01", b"a\xff\xff"]
+
+
+def test_mutation_during_cursor_is_safe(store):
+    for i in range(5):
+        store.put(b"k%d" % i, b"v")
+    seen = []
+    for key, _ in store.cursor():
+        seen.append(key)
+        store.discard(b"k3")
+    assert b"k0" in seen and b"k3" not in store
+
+
+def test_persistence_across_reopen(tmp_path):
+    path = tmp_path / "kv.log"
+    with KVStore(path) as kv:
+        kv.put(b"a", b"1")
+        kv.put(b"b", b"2")
+        kv.delete(b"a")
+    with KVStore(path) as kv:
+        assert kv.get(b"a") is None
+        assert kv.get(b"b") == b"2"
+        assert kv.keys() == [b"b"]
+
+
+def test_compaction_shrinks_log(tmp_path):
+    kv = KVStore(tmp_path / "kv.log", compact_garbage_ratio=2.0)  # manual only
+    for i in range(100):
+        kv.put(b"hot", b"version-%03d" % i)
+    before = kv.stats()["log_bytes"]
+    kv.compact()
+    after = kv.stats()["log_bytes"]
+    assert after < before
+    assert kv.get(b"hot") == b"version-099"
+    kv.close()
+    with KVStore(tmp_path / "kv.log") as kv2:
+        assert kv2.get(b"hot") == b"version-099"
+
+
+def test_automatic_compaction_triggers(tmp_path):
+    kv = KVStore(tmp_path / "kv.log", compact_garbage_ratio=0.3)
+    for i in range(200):
+        kv.put(b"churn", b"%d" % i)
+    stats = kv.stats()
+    # Most dead records must have been reclaimed automatically.
+    assert stats["log_records"] < 100
+    assert kv.get(b"churn") == b"199"
+    kv.close()
+
+
+def test_closed_store_rejects_operations(tmp_path):
+    kv = KVStore(tmp_path / "kv.log")
+    kv.close()
+    with pytest.raises(StoreClosed):
+        kv.put(b"k", b"v")
+    with pytest.raises(StoreClosed):
+        kv.get(b"k")
+    kv.close()  # idempotent
+
+
+def test_namespace_isolation(store):
+    a = Namespace(store, "alpha")
+    b = Namespace(store, "beta")
+    a.put(b"k", b"from-a")
+    b.put(b"k", b"from-b")
+    assert a.get(b"k") == b"from-a"
+    assert b.get(b"k") == b"from-b"
+    assert sorted(k for k, _ in a.items()) == [b"k"]
+    a.delete(b"k")
+    assert b.get(b"k") == b"from-b"
+
+
+def test_namespace_prefix_and_clear(store):
+    ns = Namespace(store, "post")
+    for term in [b"apple:1", b"apple:2", b"banana:1"]:
+        ns.put(term, b"x")
+    assert [k for k, _ in ns.prefix(b"apple:")] == [b"apple:1", b"apple:2"]
+    assert len(ns) == 3
+    assert ns.clear() == 3
+    assert len(ns) == 0
+
+
+def test_namespace_name_validation(store):
+    with pytest.raises(ValueError):
+        Namespace(store, "bad\x00name")
+
+
+def test_keys_sorted_after_interleaved_ops(store):
+    import random
+    rng = random.Random(7)
+    reference = {}
+    for _ in range(500):
+        key = b"k%03d" % rng.randrange(100)
+        if rng.random() < 0.3 and reference:
+            victim = rng.choice(sorted(reference))
+            store.discard(victim)
+            reference.pop(victim, None)
+        else:
+            store.put(key, b"v")
+            reference[key] = b"v"
+    assert store.keys() == sorted(reference)

@@ -1,0 +1,317 @@
+"""Tests for the in-process relational engine."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateKey,
+    NoSuchColumn,
+    NoSuchTable,
+    SchemaError,
+    TransactionError,
+)
+from repro.storage.relational import Column, Database
+
+
+@pytest.fixture
+def db():
+    d = Database()
+    d.create_table(
+        "people",
+        [
+            Column("pid", "int"),
+            Column("name"),
+            Column("age", "int", nullable=True),
+            Column("city", nullable=True),
+            Column("email", nullable=True),
+        ],
+        primary_key="pid",
+        indexes=("city", "age"),
+        unique=("email",),
+    )
+    return d
+
+
+def fill(db):
+    db.insert_many("people", [
+        {"pid": 1, "name": "ada", "age": 36, "city": "london", "email": "ada@x"},
+        {"pid": 2, "name": "alan", "age": 41, "city": "london", "email": "alan@x"},
+        {"pid": 3, "name": "grace", "age": 85, "city": "nyc", "email": "grace@x"},
+        {"pid": 4, "name": "edsger", "age": 72, "city": None, "email": None},
+    ])
+
+
+def test_insert_and_get(db):
+    fill(db)
+    row = db.table("people").get(1)
+    assert row["name"] == "ada"
+    assert db.table("people").get(99) is None
+    assert len(db.table("people")) == 4
+
+
+def test_rows_are_copies(db):
+    fill(db)
+    row = db.table("people").get(1)
+    row["name"] = "mutated"
+    assert db.table("people").get(1)["name"] == "ada"
+
+
+def test_duplicate_pk_rejected(db):
+    fill(db)
+    with pytest.raises(DuplicateKey):
+        db.insert("people", {"pid": 1, "name": "dup"})
+
+
+def test_unique_constraint(db):
+    fill(db)
+    with pytest.raises(DuplicateKey):
+        db.insert("people", {"pid": 9, "name": "x", "email": "ada@x"})
+    # NULLs don't collide.
+    db.insert("people", {"pid": 10, "name": "y", "email": None})
+
+
+def test_unique_constraint_on_update(db):
+    fill(db)
+    with pytest.raises(DuplicateKey):
+        db.update("people", 2, {"email": "ada@x"})
+    db.update("people", 2, {"email": "alan2@x"})  # fine
+
+
+def test_type_checking(db):
+    with pytest.raises(SchemaError):
+        db.insert("people", {"pid": "not-an-int", "name": "x"})
+    with pytest.raises(SchemaError):
+        db.insert("people", {"pid": 5, "name": 42})
+    with pytest.raises(SchemaError):
+        db.insert("people", {"pid": 5})  # name not nullable
+
+
+def test_unknown_column_rejected(db):
+    with pytest.raises(SchemaError):
+        db.insert("people", {"pid": 5, "name": "x", "nope": 1})
+
+
+def test_select_equality_uses_index(db):
+    fill(db)
+    rows = db.table("people").select({"city": "london"})
+    assert sorted(r["name"] for r in rows) == ["ada", "alan"]
+    assert db.table("people").select({"city": "mars"}) == []
+
+
+def test_select_predicate_order_limit(db):
+    fill(db)
+    rows = db.table("people").select(
+        lambda r: r["age"] is not None and r["age"] > 40,
+        order_by="age", descending=True, limit=2,
+    )
+    assert [r["name"] for r in rows] == ["grace", "edsger"]
+
+
+def test_select_orders_nulls_last(db):
+    fill(db)
+    rows = db.table("people").select(order_by="city")
+    assert rows[-1]["city"] is None
+
+
+def test_select_unknown_column_raises(db):
+    fill(db)
+    with pytest.raises(NoSuchColumn):
+        db.table("people").select({"nope": 1})
+    with pytest.raises(NoSuchColumn):
+        db.table("people").select(order_by="nope")
+
+
+def test_range_scan_on_indexed_column(db):
+    fill(db)
+    rows = db.table("people").range("age", 40, 80)
+    assert [r["name"] for r in rows] == ["alan", "edsger"]
+
+
+def test_range_scan_on_unindexed_column(db):
+    fill(db)
+    rows = db.table("people").range("name", "alan", "grace")
+    assert [r["name"] for r in rows] == ["alan", "edsger", "grace"]
+
+
+def test_range_open_bounds(db):
+    fill(db)
+    assert len(db.table("people").range("age")) == 4
+    assert [r["name"] for r in db.table("people").range("age", hi=40)] == ["ada"]
+
+
+def test_update_maintains_indexes(db):
+    fill(db)
+    db.update("people", 1, {"city": "cambridge"})
+    assert db.table("people").select({"city": "cambridge"})[0]["pid"] == 1
+    assert sorted(r["pid"] for r in db.table("people").select({"city": "london"})) == [2]
+    db.update("people", 1, {"age": 37})
+    assert [r["pid"] for r in db.table("people").range("age", 37, 37)] == [1]
+
+
+def test_pk_is_immutable(db):
+    fill(db)
+    with pytest.raises(SchemaError):
+        db.update("people", 1, {"pid": 100})
+
+
+def test_delete_maintains_indexes(db):
+    fill(db)
+    db.delete("people", 2)
+    assert [r["pid"] for r in db.table("people").select({"city": "london"})] == [1]
+    assert db.table("people").count() == 3
+
+
+def test_count_and_aggregate(db):
+    fill(db)
+    t = db.table("people")
+    assert t.count() == 4
+    assert t.count({"city": "london"}) == 2
+    assert t.aggregate("city") == {"london": 2, "nyc": 1, None: 1}
+    avg = t.aggregate("city", "age", "avg")
+    assert avg["london"] == pytest.approx(38.5)
+    assert t.aggregate("city", "age", "max")["nyc"] == 85
+    with pytest.raises(SchemaError):
+        t.aggregate("city", "age", "median")
+    with pytest.raises(SchemaError):
+        t.aggregate("city", func="sum")
+
+
+def test_transaction_commit_is_atomic(db):
+    with db.begin() as txn:
+        txn.insert("people", {"pid": 1, "name": "a"})
+        txn.insert("people", {"pid": 2, "name": "b"})
+    assert db.table("people").count() == 2
+
+
+def test_transaction_abort_discards(db):
+    txn = db.begin()
+    txn.insert("people", {"pid": 1, "name": "a"})
+    txn.abort()
+    assert db.table("people").count() == 0
+    with pytest.raises(TransactionError):
+        txn.commit()
+
+
+def test_transaction_rolls_back_on_midway_failure(db):
+    fill(db)
+    txn = db.begin()
+    txn.insert("people", {"pid": 50, "name": "ok"})
+    txn.insert("people", {"pid": 1, "name": "dup"})  # will collide
+    with pytest.raises(DuplicateKey):
+        txn.commit()
+    # The first insert must have been rolled back too.
+    assert db.table("people").get(50) is None
+    assert db.table("people").count() == 4
+
+
+def test_transaction_context_manager_aborts_on_exception(db):
+    with pytest.raises(RuntimeError):
+        with db.begin() as txn:
+            txn.insert("people", {"pid": 1, "name": "a"})
+            raise RuntimeError("boom")
+    assert db.table("people").count() == 0
+
+
+def test_reads_see_pre_transaction_state(db):
+    fill(db)
+    txn = db.begin()
+    txn.delete("people", 1)
+    assert db.table("people").get(1) is not None  # not yet applied
+    txn.commit()
+    assert db.table("people").get(1) is None
+
+
+def test_upsert(db):
+    db.upsert("people", {"pid": 1, "name": "a", "age": 1})
+    db.upsert("people", {"pid": 1, "name": "a2"})
+    row = db.table("people").get(1)
+    assert row["name"] == "a2"
+    assert row["age"] == 1  # untouched columns preserved
+
+
+def test_join(db):
+    fill(db)
+    db.create_table(
+        "cities", [Column("city"), Column("country")], primary_key="city",
+    )
+    db.insert_many("cities", [
+        {"city": "london", "country": "uk"},
+        {"city": "nyc", "country": "us"},
+    ])
+    pairs = db.join("people", "cities", on=("city", "city"))
+    got = sorted((l["name"], r["country"]) for l, r in pairs)
+    assert got == [("ada", "uk"), ("alan", "uk"), ("grace", "us")]
+    filtered = db.join(
+        "people", "cities", on=("city", "city"),
+        where=lambda l, r: l["age"] > 50,
+    )
+    assert [l["name"] for l, _ in filtered] == ["grace"]
+
+
+def test_ddl_errors(db):
+    with pytest.raises(SchemaError):
+        db.create_table("people", ["x"], primary_key="x")
+    db.create_table("people", ["x"], primary_key="x", if_not_exists=True)
+    with pytest.raises(NoSuchTable):
+        db.table("ghost")
+    with pytest.raises(NoSuchColumn):
+        db.create_table("bad", ["a"], primary_key="zz")
+    with pytest.raises(SchemaError):
+        db.create_table("bad2", [Column("a", "uuid")], primary_key="a")
+    db.drop_table("people")
+    with pytest.raises(NoSuchTable):
+        db.table("people")
+
+
+def test_persistence_and_recovery(tmp_path):
+    path = tmp_path / "db.wal"
+    with Database(path) as db:
+        db.create_table(
+            "t", [Column("k", "int"), Column("v"), Column("n", "int", nullable=True)],
+            primary_key="k", indexes=("v",),
+        )
+        db.insert("t", {"k": 1, "v": "one", "n": None})
+        db.insert("t", {"k": 2, "v": "two", "n": 5})
+        db.update("t", 1, {"v": "uno"})
+        db.delete("t", 2)
+    with Database(path) as db:
+        assert db.tables() == ["t"]
+        assert db.table("t").get(1) == {"k": 1, "v": "uno", "n": None}
+        assert db.table("t").get(2) is None
+        # Indexes were rebuilt on recovery.
+        assert db.table("t").select({"v": "uno"})[0]["k"] == 1
+        # And the recovered database accepts new work.
+        db.insert("t", {"k": 3, "v": "three", "n": 1})
+    with Database(path) as db:
+        assert db.table("t").count() == 2
+
+
+def test_recovery_ignores_uncommitted(tmp_path):
+    path = tmp_path / "db.wal"
+    db = Database(path)
+    db.create_table("t", [Column("k", "int"), Column("v")], primary_key="k")
+    db.insert("t", {"k": 1, "v": "committed"})
+    txn = db.begin()
+    txn.insert("t", {"k": 2, "v": "never-committed"})
+    # Simulate a crash: close without commit.
+    db.close()
+    with Database(path) as db2:
+        assert db2.table("t").count() == 1
+
+
+def test_json_column(tmp_path):
+    with Database(tmp_path / "db.wal") as db:
+        db.create_table(
+            "t", [Column("k", "int"), Column("blob", "json", nullable=True)],
+            primary_key="k",
+        )
+        db.insert("t", {"k": 1, "blob": {"weights": [0.1, 0.9], "label": "music"}})
+    with Database(tmp_path / "db.wal") as db:
+        assert db.table("t").get(1)["blob"]["weights"] == [0.1, 0.9]
+
+
+def test_bool_column_rejects_plain_int():
+    db = Database()
+    db.create_table("t", [Column("k", "int"), Column("flag", "bool")], primary_key="k")
+    with pytest.raises(SchemaError):
+        db.insert("t", {"k": 1, "flag": 1})
+    db.insert("t", {"k": 1, "flag": True})

@@ -1,0 +1,162 @@
+"""Tests for the two-store repository façade."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.repository import MemexRepository
+from repro.storage.schema import (
+    ARCHIVE_COMMUNITY,
+    ARCHIVE_PRIVATE,
+    ASSOC_BOOKMARK,
+    ASSOC_GUESS,
+)
+
+
+@pytest.fixture
+def repo():
+    r = MemexRepository()
+    yield r
+    r.close()
+
+
+def test_sequences_are_monotone(repo):
+    seq = repo.sequence("test")
+    assert [seq.next() for _ in range(3)] == [1, 2, 3]
+    assert repo.sequence("test").peek() == 4
+    assert repo.sequence("other").next() == 1
+
+
+def test_sequences_persist(tmp_path):
+    with MemexRepository(tmp_path / "repo") as repo:
+        assert repo.sequence("s").next() == 1
+        assert repo.sequence("s").next() == 2
+    with MemexRepository(tmp_path / "repo") as repo:
+        assert repo.sequence("s").next() == 3
+
+
+def test_user_lifecycle(repo):
+    repo.add_user("alice", community="dbgroup", now=1.0)
+    user = repo.get_user("alice")
+    assert user["community"] == "dbgroup"
+    assert user["archive_mode"] == ARCHIVE_COMMUNITY
+    repo.set_archive_mode("alice", ARCHIVE_PRIVATE)
+    assert repo.get_user("alice")["archive_mode"] == ARCHIVE_PRIVATE
+    with pytest.raises(SchemaError):
+        repo.set_archive_mode("alice", "loud")
+    with pytest.raises(SchemaError):
+        repo.add_user("bob", archive_mode="loud")
+
+
+def test_community_users(repo):
+    repo.add_user("a", community="x", now=0.0)
+    repo.add_user("b", community="y", now=0.0)
+    repo.add_user("c", community="x", now=0.0)
+    assert {u["user_id"] for u in repo.community_users("x")} == {"a", "c"}
+    assert len(repo.community_users()) == 3
+
+
+def test_upsert_page_create_then_update(repo):
+    assert repo.upsert_page("http://x/", title="X", text="hello world", now=1.0)
+    assert not repo.upsert_page("http://x/", now=2.0)
+    page = repo.db.table("pages").get("http://x/")
+    assert page["first_seen"] == 1.0
+    assert page["last_seen"] == 2.0
+    assert page["fetched"] is True
+    assert repo.page_text("http://x/") == "hello world"
+
+
+def test_upsert_unfetched_page(repo):
+    repo.upsert_page("http://y/", now=1.0)
+    page = repo.db.table("pages").get("http://y/")
+    assert page["fetched"] is False
+    assert repo.page_text("http://y/") is None
+
+
+def test_content_hash_changes_with_text(repo):
+    repo.upsert_page("http://x/", text="v1", now=1.0)
+    h1 = repo.db.table("pages").get("http://x/")["content_hash"]
+    repo.upsert_page("http://x/", text="v2", now=2.0)
+    h2 = repo.db.table("pages").get("http://x/")["content_hash"]
+    assert h1 != h2
+
+
+def test_links(repo):
+    repo.upsert_page("a", now=0.0)
+    repo.upsert_page("b", now=0.0)
+    repo.add_link("a", "b", now=0.0)
+    repo.add_link("a", "c", now=0.0)
+    repo.add_link("b", "a", now=0.0)
+    assert sorted(repo.out_links("a")) == ["b", "c"]
+    assert repo.in_links("a") == ["b"]
+
+
+def test_visits_and_classification(repo):
+    repo.add_user("u", now=0.0)
+    vid = repo.record_visit(
+        "u", "http://x/", at=5.0, session_id=1,
+        referrer=None, archive_mode=ARCHIVE_COMMUNITY,
+    )
+    repo.record_visit(
+        "u", "http://y/", at=9.0, session_id=1,
+        referrer="http://x/", archive_mode=ARCHIVE_PRIVATE,
+    )
+    assert len(repo.user_visits("u")) == 2
+    assert len(repo.user_visits("u", since=6.0)) == 1
+    assert len(repo.user_visits("u", until=6.0)) == 1
+    public = repo.community_visits()
+    assert [v["visit_id"] for v in public] == [vid]
+    assert len(repo.community_visits(public_only=False)) == 2
+    repo.classify_visit(vid, "u:Music", 0.9)
+    assert repo.db.table("visits").get(vid)["topic_folder"] == "u:Music"
+
+
+def test_folders_and_associations(repo):
+    repo.add_folder("u:Music", "u", "Music", None, now=0.0)
+    repo.add_folder("u:Music/Jazz", "u", "Jazz", "u:Music", now=0.0)
+    assert len(repo.user_folders("u")) == 2
+    repo.associate("u:Music/Jazz", "http://jazz/", ASSOC_BOOKMARK, now=1.0)
+    repo.associate("u:Music/Jazz", "http://maybe/", ASSOC_GUESS, confidence=0.4, now=2.0)
+    pages = repo.folder_pages("u:Music/Jazz")
+    assert len(pages) == 2
+    only_bm = repo.folder_pages("u:Music/Jazz", sources=(ASSOC_BOOKMARK,))
+    assert [p["url"] for p in only_bm] == ["http://jazz/"]
+    assert len(repo.page_folders("http://jazz/")) == 1
+    with pytest.raises(SchemaError):
+        repo.associate("u:Music", "http://x/", "whim", now=0.0)
+
+
+def test_dissociate(repo):
+    repo.add_folder("u:F", "u", "F", None, now=0.0)
+    repo.associate("u:F", "http://a/", ASSOC_BOOKMARK, now=0.0)
+    repo.associate("u:F", "http://a/", ASSOC_GUESS, now=0.0)
+    assert repo.dissociate("u:F", "http://a/", sources=(ASSOC_GUESS,)) == 1
+    assert repo.dissociate("u:F", "http://a/") == 1
+    assert repo.dissociate("u:F", "http://a/") == 0
+
+
+def test_remove_folder_cascades(repo):
+    repo.add_folder("u:F", "u", "F", None, now=0.0)
+    repo.associate("u:F", "http://a/", ASSOC_BOOKMARK, now=0.0)
+    repo.remove_folder("u:F")
+    assert repo.user_folders("u") == []
+    assert repo.page_folders("http://a/") == []
+
+
+def test_model_store_roundtrip(repo):
+    repo.save_model("themes", {"roots": [1, 2], "version": 3})
+    assert repo.load_model("themes")["roots"] == [1, 2]
+    assert repo.load_model("missing") is None
+
+
+def test_persistent_repository_roundtrip(tmp_path):
+    with MemexRepository(tmp_path / "repo") as repo:
+        repo.add_user("u", now=0.0)
+        repo.upsert_page("http://x/", text="persisted text", now=1.0)
+        repo.record_visit(
+            "u", "http://x/", at=1.0, session_id=1,
+            referrer=None, archive_mode=ARCHIVE_COMMUNITY,
+        )
+    with MemexRepository(tmp_path / "repo") as repo:
+        assert repo.get_user("u") is not None
+        assert repo.page_text("http://x/") == "persisted text"
+        assert len(repo.user_visits("u")) == 1

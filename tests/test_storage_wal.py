@@ -1,0 +1,105 @@
+"""Tests for the write-ahead log: framing, replay, recovery, compaction."""
+
+import os
+
+import pytest
+
+from repro.errors import StoreClosed
+from repro.storage.wal import MAX_RECORD_BYTES, WriteAheadLog, encode_record
+
+
+def test_append_and_replay_roundtrip(tmp_path):
+    log = WriteAheadLog(tmp_path / "a.wal")
+    payloads = [b"alpha", b"", b"\x00binary\xff", b"x" * 10_000]
+    for p in payloads:
+        log.append(p)
+    assert list(log.replay()) == payloads
+    log.close()
+
+
+def test_replay_after_reopen(tmp_path):
+    path = tmp_path / "a.wal"
+    with WriteAheadLog(path) as log:
+        log.append(b"one")
+        log.append(b"two")
+    with WriteAheadLog(path) as log:
+        assert list(log.replay()) == [b"one", b"two"]
+
+
+def test_append_returns_monotone_offsets(tmp_path):
+    log = WriteAheadLog(tmp_path / "a.wal")
+    offsets = [log.append(b"rec%d" % i) for i in range(5)]
+    assert offsets == sorted(offsets)
+    assert offsets[0] == 0
+    log.close()
+
+
+def test_torn_tail_is_truncated_on_recovery(tmp_path):
+    path = tmp_path / "a.wal"
+    with WriteAheadLog(path) as log:
+        log.append(b"good-1")
+        log.append(b"good-2")
+    # Simulate a crash mid-write: append half a record.
+    with open(path, "ab") as fh:
+        fh.write(encode_record(b"torn-record")[:7])
+    with WriteAheadLog(path) as log:
+        assert list(log.replay()) == [b"good-1", b"good-2"]
+        # And the log is writable again after truncation.
+        log.append(b"good-3")
+        assert list(log.replay()) == [b"good-1", b"good-2", b"good-3"]
+
+
+def test_corrupt_middle_record_truncates_rest(tmp_path):
+    path = tmp_path / "a.wal"
+    with WriteAheadLog(path) as log:
+        log.append(b"keep")
+        second_off = log.append(b"corrupt-me")
+        log.append(b"lost")
+    data = bytearray(path.read_bytes())
+    data[second_off + 8] ^= 0xFF  # flip a payload byte of record 2
+    path.write_bytes(bytes(data))
+    with WriteAheadLog(path) as log:
+        assert list(log.replay()) == [b"keep"]
+
+
+def test_rewrite_replaces_contents_atomically(tmp_path):
+    path = tmp_path / "a.wal"
+    log = WriteAheadLog(path)
+    for i in range(10):
+        log.append(b"old-%d" % i)
+    log.rewrite([b"new-1", b"new-2"])
+    assert list(log.replay()) == [b"new-1", b"new-2"]
+    log.append(b"new-3")
+    assert list(log.replay()) == [b"new-1", b"new-2", b"new-3"]
+    log.close()
+    assert not os.path.exists(str(path) + ".compact")
+
+
+def test_closed_log_rejects_appends(tmp_path):
+    log = WriteAheadLog(tmp_path / "a.wal")
+    log.close()
+    with pytest.raises(StoreClosed):
+        log.append(b"nope")
+    assert log.closed
+
+
+def test_oversized_record_rejected(tmp_path):
+    from repro.errors import CorruptLog
+    with pytest.raises(CorruptLog):
+        encode_record(b"x" * (MAX_RECORD_BYTES + 1))
+
+
+def test_size_bytes_grows(tmp_path):
+    log = WriteAheadLog(tmp_path / "a.wal")
+    assert log.size_bytes() == 0
+    log.append(b"abc")
+    first = log.size_bytes()
+    assert first == 8 + 3
+    log.append(b"defg")
+    assert log.size_bytes() == first + 8 + 4
+    log.close()
+
+
+def test_empty_log_replay(tmp_path):
+    with WriteAheadLog(tmp_path / "a.wal") as log:
+        assert list(log.replay()) == []

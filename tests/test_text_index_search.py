@@ -1,0 +1,150 @@
+"""Tests for the inverted index and the ranked search engine."""
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.storage.kvstore import KVStore
+from repro.text.index import InvertedIndex
+from repro.text.search import SearchEngine
+
+DOCS = {
+    "u:classical": "Classical music composers: Bach, Mozart, Beethoven symphonies",
+    "u:jazz": "Jazz music improvisation saxophone Coltrane",
+    "u:compilers": "Compiler optimization passes: register allocation and inlining",
+    "u:cycling": "Recreational cycling routes and bicycle maintenance",
+    "u:mixed": "Music for cycling: playlists and classical remixes",
+}
+
+
+@pytest.fixture
+def index():
+    idx = InvertedIndex()
+    for doc_id, text in DOCS.items():
+        idx.add_document(doc_id, text)
+    return idx
+
+
+def test_add_and_stats(index):
+    assert index.num_docs == 5
+    assert index.has_document("u:jazz")
+    assert not index.has_document("u:ghost")
+    assert index.doc_length("u:jazz") == 5
+    assert index.avg_doc_length() > 0
+    assert sorted(index.document_ids()) == sorted(DOCS)
+
+
+def test_postings_are_stemmed(index):
+    # "composers" stems like "composer"; query through the same stemmer.
+    from repro.text.tokenize import porter_stem
+    postings = index.postings(porter_stem("music"))
+    assert set(postings) == {"u:classical", "u:jazz", "u:mixed"}
+    assert index.doc_freq(porter_stem("cycling")) == 2
+
+
+def test_reindex_replaces_content(index):
+    index.add_document("u:jazz", "completely different words here")
+    from repro.text.tokenize import porter_stem
+    assert "u:jazz" not in index.postings(porter_stem("music"))
+    assert index.num_docs == 5
+
+
+def test_remove_document(index):
+    assert index.remove_document("u:jazz")
+    assert not index.remove_document("u:jazz")
+    assert index.num_docs == 4
+    from repro.text.tokenize import porter_stem
+    assert "u:jazz" not in index.postings(porter_stem("music"))
+    with pytest.raises(IndexError_):
+        index.doc_length("u:jazz")
+
+
+def test_empty_posting_lists_are_deleted(index):
+    # Removing the only cycling docs must delete the term's posting key.
+    index.remove_document("u:cycling")
+    index.remove_document("u:mixed")
+    from repro.text.tokenize import porter_stem
+    term = porter_stem("cycling")
+    assert term not in set(index.terms())
+
+
+def test_index_persists_in_kvstore(tmp_path):
+    kv = KVStore(tmp_path / "kv.log")
+    idx = InvertedIndex(kv)
+    idx.add_document("d1", "persistent music")
+    kv.close()
+    kv2 = KVStore(tmp_path / "kv.log")
+    idx2 = InvertedIndex(kv2)
+    assert idx2.num_docs == 1
+    engine = SearchEngine(idx2)
+    assert engine.search("music")[0].doc_id == "d1"
+    kv2.close()
+
+
+def test_two_indices_share_a_store():
+    kv = KVStore()
+    a = InvertedIndex(kv, prefix="a")
+    b = InvertedIndex(kv, prefix="b")
+    a.add_document("d", "alpha only")
+    assert b.num_docs == 0
+    assert a.num_docs == 1
+
+
+@pytest.fixture
+def engine(index):
+    return SearchEngine(index)
+
+
+def test_bm25_finds_topical_doc(engine):
+    hits = engine.search("compiler optimization")
+    assert hits[0].doc_id == "u:compilers"
+    assert hits[0].score > 0
+
+
+def test_search_morphological_match(engine):
+    hits = engine.search("optimizing compilers")
+    assert hits[0].doc_id == "u:compilers"
+
+
+def test_search_ranks_multi_term_overlap_higher(engine):
+    hits = engine.search("classical music")
+    ids = [h.doc_id for h in hits]
+    # Both docs matching both query terms outrank the single-term match.
+    assert set(ids[:2]) == {"u:classical", "u:mixed"}
+    assert ids.index("u:jazz") > 1
+
+
+def test_search_k_limits_results(engine):
+    assert len(engine.search("music", k=1)) == 1
+
+
+def test_search_candidates_filter(engine):
+    hits = engine.search("music", candidates={"u:jazz"})
+    assert [h.doc_id for h in hits] == ["u:jazz"]
+
+
+def test_search_empty_and_unknown_queries(engine):
+    assert engine.search("") == []
+    assert engine.search("the and of") == []  # all stopwords
+    assert engine.search("zzzxqwerty") == []
+
+
+def test_tfidf_method(engine):
+    hits = engine.search("compiler optimization", method="tfidf")
+    assert hits[0].doc_id == "u:compilers"
+
+
+def test_unknown_method_raises(engine):
+    with pytest.raises(ValueError):
+        engine.search("music", method="pagerank")
+
+
+def test_search_on_empty_index():
+    engine = SearchEngine(InvertedIndex())
+    assert engine.search("anything") == []
+    assert engine.search("anything", method="tfidf") == []
+
+
+def test_scores_sorted_descending(engine):
+    hits = engine.search("music classical cycling", k=10)
+    scores = [h.score for h in hits]
+    assert scores == sorted(scores, reverse=True)

@@ -1,0 +1,275 @@
+"""Tests for the boolean query language and snippet generation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.index import InvertedIndex
+from repro.text.query import (
+    And,
+    Not,
+    Or,
+    QueryParseError,
+    Term,
+    evaluate,
+    parse_query,
+    positive_terms,
+    ranked_boolean_search,
+)
+from repro.text.search import SearchEngine
+from repro.text.snippets import make_snippet
+from repro.text.tokenize import porter_stem
+
+DOCS = {
+    "d1": "classical music symphony orchestra",
+    "d2": "jazz music saxophone",
+    "d3": "classical guitar flamenco",
+    "d4": "compiler optimization techniques",
+    "d5": "music theory for compiler engineers",
+}
+
+
+@pytest.fixture(scope="module")
+def index():
+    idx = InvertedIndex()
+    for doc_id, text in DOCS.items():
+        idx.add_document(doc_id, text)
+    return idx
+
+
+@pytest.fixture(scope="module")
+def engine(index):
+    return SearchEngine(index)
+
+
+# -- parsing ------------------------------------------------------------------
+
+def test_parse_single_term():
+    node = parse_query("music")
+    assert node == Term(porter_stem("music"))
+
+
+def test_parse_implicit_and():
+    node = parse_query("classical music")
+    assert isinstance(node, And)
+
+
+def test_parse_explicit_operators():
+    node = parse_query("classical AND music OR jazz")
+    # OR binds loosest: (classical AND music) OR jazz
+    assert isinstance(node, Or)
+    assert isinstance(node.left, And)
+    assert node.right == Term("jazz")
+
+
+def test_parse_not_and_parens():
+    node = parse_query("music AND NOT (jazz OR flamenco)")
+    assert isinstance(node, And)
+    assert isinstance(node.right, Not)
+    assert isinstance(node.right.child, Or)
+
+
+def test_parse_errors():
+    for bad in ["", "AND", "music AND", "(music", "music)", "NOT", "()",
+                "music OR OR jazz"]:
+        with pytest.raises(QueryParseError):
+            parse_query(bad)
+
+
+def test_parse_stopword_only_term_rejected():
+    with pytest.raises(QueryParseError):
+        parse_query("the")
+
+
+def test_multiword_token_becomes_and():
+    # Punctuation-glued input still tokenizes into AND-ed stems.
+    node = parse_query("compiler-optimization")
+    assert isinstance(node, And)
+
+
+# -- evaluation ---------------------------------------------------------------------
+
+def test_evaluate_and(index):
+    assert evaluate(parse_query("classical music"), index) == {"d1"}
+
+
+def test_evaluate_or(index):
+    got = evaluate(parse_query("jazz OR flamenco"), index)
+    assert got == {"d2", "d3"}
+
+
+def test_evaluate_not(index):
+    got = evaluate(parse_query("music AND NOT jazz"), index)
+    assert got == {"d1", "d5"}
+
+
+def test_evaluate_nested(index):
+    got = evaluate(parse_query("(classical OR compiler) AND NOT guitar"), index)
+    assert got == {"d1", "d4", "d5"}
+
+
+def test_evaluate_pure_negation(index):
+    got = evaluate(parse_query("NOT music"), index)
+    assert got == {"d3", "d4"}
+
+
+def test_positive_terms():
+    node = parse_query("music AND NOT jazz OR classical")
+    assert set(positive_terms(node)) == {porter_stem("music"), "classic"}
+
+
+# -- ranked boolean search ---------------------------------------------------------------
+
+def test_ranked_boolean_respects_filter(engine):
+    hits = ranked_boolean_search(engine, "music AND NOT jazz")
+    ids = [h.doc_id for h in hits]
+    assert set(ids) == {"d1", "d5"}
+    scores = [h.score for h in hits]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_ranked_boolean_empty_result(engine):
+    assert ranked_boolean_search(engine, "classical AND saxophone") == []
+
+
+def test_ranked_boolean_pure_negation(engine):
+    hits = ranked_boolean_search(engine, "NOT music", k=10)
+    assert [h.doc_id for h in hits] == ["d3", "d4"]
+
+
+def test_ranked_boolean_k(engine):
+    assert len(ranked_boolean_search(engine, "music OR classical", k=2)) == 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sampled_from(["music", "jazz", "classical", "compiler", "guitar"]),
+       st.sampled_from(["AND", "OR"]),
+       st.sampled_from(["music", "jazz", "classical", "compiler", "guitar"]))
+def test_boolean_semantics_property(index, a, op, b):
+    got = evaluate(parse_query(f"{a} {op} {b}"), index)
+    sa = evaluate(parse_query(a), index)
+    sb = evaluate(parse_query(b), index)
+    assert got == (sa & sb if op == "AND" else sa | sb)
+
+
+# -- snippets -------------------------------------------------------------------------------
+
+LONG_TEXT = (
+    "Intro filler words here about nothing in particular. " * 5
+    + "The compiler performs register allocation and optimization passes. "
+    + "Closing filler words continue for a while after that. " * 5
+)
+
+
+def test_snippet_centers_on_query_terms():
+    snippet = make_snippet(LONG_TEXT, "register allocation")
+    assert "register" in snippet.text
+    assert snippet.leading_ellipsis
+    assert snippet.trailing_ellipsis
+    assert snippet.highlights
+
+
+def test_snippet_marks_stemmed_matches():
+    snippet = make_snippet(
+        "We were optimizing compilers all day.", "compiler optimization",
+    )
+    marked = snippet.marked()
+    assert "[optimizing]" in marked
+    assert "[compilers]" in marked
+
+
+def test_snippet_highlight_offsets_are_correct():
+    snippet = make_snippet(LONG_TEXT, "optimization")
+    for start, end in snippet.highlights:
+        word = snippet.text[start:end]
+        assert porter_stem(word.lower()) == porter_stem("optimization")
+
+
+def test_snippet_fallback_without_matches():
+    snippet = make_snippet("Just some plain text.", "zebra")
+    assert snippet.text
+    assert snippet.highlights == ()
+
+
+def test_snippet_empty_text():
+    snippet = make_snippet("", "query")
+    assert snippet.text == ""
+
+
+def test_snippet_short_text_no_ellipses():
+    snippet = make_snippet("compiler talk", "compiler")
+    assert not snippet.leading_ellipsis
+    assert not snippet.trailing_ellipsis
+    assert snippet.marked().startswith("[compiler]")
+
+
+# -- servlet integration -------------------------------------------------------------------
+
+def test_search_servlet_boolean_mode_and_snippets(live_system, small_workload):
+    user = small_workload.profiles[0].user_id
+    applet = live_system.connect(user)
+    top_topic = max(
+        small_workload.profiles[0].interests.items(), key=lambda kv: kv[1]
+    )[0]
+    leaf = small_workload.root.find(top_topic)
+    a, b = leaf.seed_terms[0], leaf.seed_terms[1]
+    hits = applet.search(f"{a} AND {b}", mode="boolean", k=5)
+    for hit in hits:
+        assert hit["snippet"] is None or isinstance(hit["snippet"], str)
+    ranked = applet.search(a, k=3)
+    assert ranked and any("[" in (h["snippet"] or "") for h in ranked)
+
+
+# -- phrase queries (positional index) -------------------------------------------
+
+@pytest.fixture(scope="module")
+def pos_index():
+    from repro.text.index import InvertedIndex
+    idx = InvertedIndex(store_positions=True)
+    idx.add_document("p1", "register allocation in optimizing compilers")
+    idx.add_document("p2", "allocation of registers is a compiler concern")
+    idx.add_document("p3", "register allocation register allocation twice")
+    return idx
+
+
+def test_phrase_match_consecutive_only(pos_index):
+    from repro.text.tokenize import porter_stem
+    terms = [porter_stem("register"), porter_stem("allocation")]
+    matches = pos_index.phrase_match(terms)
+    assert set(matches) == {"p1", "p3"}
+    assert matches["p3"] == 2  # phrase occurs twice
+
+
+def test_phrase_match_needs_positions(index):
+    from repro.errors import IndexError_
+    with pytest.raises(IndexError_):
+        index.phrase_match(["music"])
+
+
+def test_phrase_query_end_to_end(pos_index):
+    engine = SearchEngine(pos_index)
+    hits = ranked_boolean_search(engine, '"register allocation"')
+    assert {h.doc_id for h in hits} == {"p1", "p3"}
+    hits2 = ranked_boolean_search(engine, '"register allocation" AND NOT twice')
+    assert {h.doc_id for h in hits2} == {"p1"}
+
+
+def test_phrase_single_word_degenerates_to_term():
+    node = parse_query('"music"')
+    assert node == Term(porter_stem("music"))
+
+
+def test_phrase_parse_errors():
+    with pytest.raises(QueryParseError):
+        parse_query('"unterminated')
+    with pytest.raises(QueryParseError):
+        parse_query('""')
+
+
+def test_phrase_positions_removed_with_document(pos_index):
+    from repro.text.tokenize import porter_stem
+    pos_index.add_document("temp", "register allocation temporary")
+    terms = [porter_stem("register"), porter_stem("allocation")]
+    assert "temp" in pos_index.phrase_match(terms)
+    pos_index.remove_document("temp")
+    assert "temp" not in pos_index.phrase_match(terms)
