@@ -10,9 +10,11 @@ Public API highlights:
   scatter/gather, theme discovery.
 * :mod:`repro.folders` — folder trees and Netscape/IE bookmark interchange.
 * :mod:`repro.storage` — the relational + key-value storage substrate.
+* :mod:`repro.obs` — metrics, tracing, and profiling, wired through the
+  whole server pipeline.
 """
 
-from . import client, core, folders, mining, server, storage, text, webgen
+from . import client, core, folders, mining, obs, server, storage, text, webgen
 from .core import MemexServer, MemexSystem, MotivatingQueries
 from .errors import MemexError
 from .webgen import bookmark_challenge_workload, build_workload
@@ -31,6 +33,7 @@ __all__ = [
     "core",
     "folders",
     "mining",
+    "obs",
     "server",
     "storage",
     "text",

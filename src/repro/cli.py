@@ -9,6 +9,10 @@ Commands
     Generate a workload and print its statistics (corpus, graph, events).
 ``queries``
     Answer the six §1 motivating queries for one simulated user.
+``stats``
+    Replay a workload, run the daemons to quiescence, and print the
+    observability report: every counter, gauge (including per-consumer
+    versioning lag), and latency histogram the pipeline recorded.
 ``experiments``
     Print the experiment index (what each benchmark reproduces).
 """
@@ -92,6 +96,30 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    from .obs import render_table, to_json
+
+    workload, system = _replayed_system(args)
+    server = system.server
+    server.process_background_work()
+    if args.json:
+        print(to_json(server.metrics, tracer=server.tracer, indent=2))
+        return 0
+    print(render_table(server.metrics, tracer=None))
+    lags = server.repo.versions.lags()
+    print("\nversioning lag (published versions behind producer)")
+    print("---------------------------------------------------")
+    for name in sorted(lags):
+        print(f"{name:<12}  {lags[name]}")
+    latency = server.registry.latency_summary()
+    if latency:
+        print("\nservlet p95 latency (seconds)")
+        print("-----------------------------")
+        for name in sorted(latency):
+            print(f"{name:<24}  {latency[name]['p95']:.6f}")
+    return 0
+
+
 def cmd_queries(args: argparse.Namespace) -> int:
     workload, system = _replayed_system(args)
     profile = next(
@@ -161,6 +189,13 @@ def main(argv: list[str] | None = None) -> int:
     _add_workload_args(p)
     p.add_argument("--user", default="user00")
     p.set_defaults(func=cmd_queries)
+
+    p = sub.add_parser(
+        "stats", help="replay a workload and print the observability report",
+    )
+    _add_workload_args(p)
+    p.add_argument("--json", action="store_true", help="emit a JSON snapshot")
+    p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("experiments", help="print the experiment index")
     p.set_defaults(func=cmd_experiments)

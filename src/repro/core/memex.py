@@ -15,6 +15,7 @@ from typing import Any
 
 from ..errors import AuthError, NotFitted
 from ..mining.themes import ThemeDiscovery
+from ..obs import MetricsRegistry, Tracer
 from ..server.daemons import (
     ClassifierDaemon,
     CrawlerDaemon,
@@ -59,6 +60,11 @@ class MemexServer:
         Directory for persistent state; None keeps everything in memory.
     theme_discovery:
         Tuning for the theme daemon.
+    metrics / tracer:
+        The server's observability hooks.  By default a fresh enabled
+        :class:`MetricsRegistry` and :class:`Tracer` are created; pass
+        ``MetricsRegistry(enabled=False)`` to opt out of measurement, or
+        a registry with an injected clock for deterministic tests.
     """
 
     def __init__(
@@ -68,12 +74,22 @@ class MemexServer:
         root: str | None = None,
         theme_discovery: ThemeDiscovery | None = None,
         crawler_batch: int = 64,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
-        self.repo = MemexRepository(root)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Default tracer samples 1-in-8 top-level spans: full traces for
+        # debugging at a fraction of the per-dispatch cost.
+        self.tracer = tracer if tracer is not None else Tracer(sample_every=8)
+        self._now = 0.0
+        # The repository stamps rows with simulation time, the same clock
+        # servlets advance — replays stay deterministic.
+        self.repo = MemexRepository(
+            root, clock=lambda: self._now, metrics=self.metrics,
+        )
         self.vectorizer = PageVectorizer(self.repo)
         self.index = InvertedIndex(self.repo.kv)
         self.search_engine = SearchEngine(self.index)
-        self._now = 0.0
 
         clock = lambda: self._now  # noqa: E731 - tiny closure over sim time
         self.crawler = CrawlerDaemon(
@@ -88,14 +104,16 @@ class MemexServer:
             self.repo, self.vectorizer, self.themes,
             crawler=self.crawler, clock=clock,
         )
-        self.scheduler = DaemonScheduler()
+        self.scheduler = DaemonScheduler(
+            parole_after=8, metrics=self.metrics, tracer=self.tracer,
+        )
         self.scheduler.register(self.crawler, period=1)
         self.scheduler.register(self.indexer, period=1)
         self.scheduler.register(self.classifier, period=2)
         self.scheduler.register(self.themes, period=8)
         self.scheduler.register(self.discovery, period=8)
 
-        self.registry = ServletRegistry()
+        self.registry = ServletRegistry(metrics=self.metrics, tracer=self.tracer)
         self._register_servlets()
         self.transport = HttpTunnelTransport(self.registry)
 
@@ -698,8 +716,12 @@ class MemexServer:
         }
 
     def _sv_stats(self, request: dict[str, Any]) -> dict[str, Any]:
+        """The observability servlet: catalog sizes, daemon and servlet
+        counters, per-servlet latency percentiles, per-consumer versioning
+        lag (the "loose coherence" headline gauge), and — on request — the
+        full metric snapshot and recent trace spans."""
         self._require_user(request)
-        return {
+        out = {
             "pages": len(self.repo.db.table("pages")),
             "visits": len(self.repo.db.table("visits")),
             "links": len(self.repo.db.table("links")),
@@ -708,7 +730,14 @@ class MemexServer:
             "daemons": self.scheduler.stats(),
             "servlets": self.registry.stats(),
             "versions": self.repo.versions.consumers(),
+            "versioning_lag": self.repo.versions.lags(),
+            "latency": self.registry.latency_summary(),
         }
+        if request.get("include_metrics"):
+            out["metrics"] = self.metrics.snapshot()
+        if request.get("include_spans"):
+            out["spans"] = self.tracer.to_payload()
+        return out
 
     # ---------------------------------------------------------------- lifecycle
 

@@ -1,0 +1,50 @@
+"""repro.obs — the observability subsystem: metrics, tracing, profiling.
+
+The paper's server promises "guaranteed immediate processing" for UI
+events while mining daemons run asynchronously (§3); this package is how
+the reproduction *observes* both halves of that promise.  One
+:class:`MetricsRegistry` and one :class:`Tracer` per server, threaded
+through every layer (servlets, scheduler, daemons, storage, versioning),
+read back through the ``stats`` servlet, the ``repro stats`` CLI, and the
+exporters here.
+
+Metric naming convention: ``layer.component.metric`` with labels for the
+variable part, e.g. ``server.servlets.latency{servlet=visit}`` or
+``storage.versioning.lag{consumer=indexer}``.
+"""
+
+from .clock import Clock, ManualClock, TickingClock
+from .export import EventFeed, from_json, render_table, to_json
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    null_registry,
+    render_name,
+)
+from .tracing import NULL_SPAN, Span, Tracer, null_tracer
+
+__all__ = [
+    "Clock",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "EventFeed",
+    "Gauge",
+    "Histogram",
+    "ManualClock",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Span",
+    "TickingClock",
+    "Timer",
+    "Tracer",
+    "from_json",
+    "null_registry",
+    "null_tracer",
+    "render_name",
+    "render_table",
+    "to_json",
+]

@@ -1,0 +1,124 @@
+"""Exporters: plain-text table, JSON, and a streaming event feed.
+
+Three ways out of the registry, for three audiences:
+
+* :func:`render_table` — the operator's view (`repro stats`, the demo).
+* :func:`to_json` / :func:`from_json` — machine-readable snapshots the
+  benchmarks diff across runs.
+* :class:`EventFeed` — a bounded, cursor-addressed stream of individual
+  metric updates, for dashboards that tail the server instead of polling
+  it.  Attach with ``registry.attach(feed)``; read with ``feed.read(cursor)``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any
+
+from .metrics import MetricsRegistry
+from .tracing import Tracer
+
+
+def render_table(registry: MetricsRegistry, *, tracer: Tracer | None = None) -> str:
+    """Aligned text report of every counter, gauge, and histogram."""
+    snap = registry.snapshot()
+    lines: list[str] = []
+
+    def section(title: str) -> None:
+        if lines:
+            lines.append("")
+        lines.append(title)
+        lines.append("-" * len(title))
+
+    if snap["counters"]:
+        section("counters")
+        width = max(len(n) for n in snap["counters"])
+        for name in sorted(snap["counters"]):
+            value = snap["counters"][name]
+            shown = int(value) if float(value).is_integer() else value
+            lines.append(f"{name:<{width}}  {shown}")
+    if snap["gauges"]:
+        section("gauges")
+        width = max(len(n) for n in snap["gauges"])
+        for name in sorted(snap["gauges"]):
+            value = snap["gauges"][name]
+            shown = int(value) if float(value).is_integer() else value
+            lines.append(f"{name:<{width}}  {shown}")
+    if snap["histograms"]:
+        section("histograms (seconds)")
+        width = max(len(n) for n in snap["histograms"])
+        header = (f"{'':<{width}}  {'count':>7} {'mean':>10} {'p50':>10} "
+                  f"{'p95':>10} {'p99':>10} {'max':>10}")
+        lines.append(header)
+        for name in sorted(snap["histograms"]):
+            s = snap["histograms"][name]
+            lines.append(
+                f"{name:<{width}}  {s['count']:>7} {s['mean']:>10.6f} "
+                f"{s['p50']:>10.6f} {s['p95']:>10.6f} {s['p99']:>10.6f} "
+                f"{s['max']:>10.6f}"
+            )
+    if tracer is not None and tracer.finished():
+        section(f"recent spans (last {len(tracer.finished())})")
+        for span in tracer.finished()[-20:]:
+            flag = f"  ERROR {span.error}" if span.error else ""
+            lines.append(f"{span.name:<40}  {span.duration:>10.6f}{flag}")
+    if not lines:
+        return "(no metrics recorded)"
+    return "\n".join(lines)
+
+
+def to_json(
+    registry: MetricsRegistry,
+    *,
+    tracer: Tracer | None = None,
+    indent: int | None = None,
+) -> str:
+    """JSON snapshot; :func:`from_json` round-trips it."""
+    payload: dict[str, Any] = {"metrics": registry.snapshot()}
+    if tracer is not None:
+        payload["spans"] = tracer.to_payload()
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def from_json(blob: str) -> dict[str, Any]:
+    """Parse a :func:`to_json` snapshot back into plain dicts."""
+    return json.loads(blob)
+
+
+class EventFeed:
+    """Bounded stream of metric-update events with absolute cursors.
+
+    Every event gets a monotonically increasing sequence number; readers
+    keep their own cursor and call :meth:`read` to drain what is new.  If
+    a slow reader falls more than ``capacity`` events behind, the oldest
+    events are dropped and the reader can detect the gap from the
+    ``dropped`` count.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._events: deque[tuple[int, dict[str, Any]]] = deque(maxlen=capacity)
+        self._seq = 0
+
+    def publish(self, event: dict[str, Any]) -> int:
+        """Append one event; returns its sequence number."""
+        self._seq += 1
+        self._events.append((self._seq, event))
+        return self._seq
+
+    def read(self, cursor: int = 0) -> tuple[int, list[dict[str, Any]], int]:
+        """Return ``(new_cursor, events, dropped)`` for events after *cursor*.
+
+        ``dropped`` counts events that fell out of the buffer before this
+        reader saw them (0 when the reader is keeping up).
+        """
+        events = [e for seq, e in self._events if seq > cursor]
+        oldest = self._events[0][0] if self._events else self._seq + 1
+        dropped = max(0, oldest - cursor - 1) if cursor < self._seq else 0
+        return self._seq, events, dropped
+
+    def __len__(self) -> int:
+        return len(self._events)

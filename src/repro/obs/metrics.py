@@ -1,0 +1,431 @@
+"""Metrics: counters, gauges, and fixed-bucket latency histograms.
+
+The registry is the single place the server pipeline records what it is
+doing: how many requests each servlet served, how long daemon runs take,
+how far each versioning consumer lags the producer.  Design constraints,
+in order:
+
+* **Deterministic and dependency-free.**  Percentiles come from fixed
+  bucket boundaries (no sampling, no randomness); time comes from an
+  injectable clock so tests measure exact values.
+* **Cheap when disabled, cheap enough when enabled.**  A registry built
+  with ``enabled=False`` hands out shared no-op instruments, so wired
+  code pays one attribute call per event.  Enabled instruments are plain
+  attribute updates; callers on hot paths cache instrument handles at
+  construction time instead of re-looking them up per event.
+* **Label support without cardinality surprises.**  An instrument is
+  identified by ``(name, sorted labels)``; the naming convention is
+  ``layer.component.metric`` (e.g. ``server.servlets.latency``) with
+  labels for the variable part (``servlet="visit"``).
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from bisect import bisect_left
+from collections.abc import Callable
+from typing import Any
+
+from .clock import Clock
+
+LabelItems = tuple[tuple[str, str], ...]
+
+# 1-2.5-5 ladder from 1 microsecond to 10 seconds: fine enough to separate
+# an in-memory dict hit from a WAL fsync, coarse enough to stay tiny.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = tuple(
+    base * scale
+    for scale in (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0)
+    for base in (1.0, 2.5, 5.0)
+) + (10.0,)
+
+
+def render_name(name: str, labels: LabelItems) -> str:
+    """Canonical display form: ``name{k=v,...}`` with sorted labels."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing count of events."""
+
+    __slots__ = ("name", "labels", "value", "_registry", "_feeds")
+
+    def __init__(self, name: str, labels: LabelItems, registry: "MetricsRegistry") -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self._registry = registry
+        self._feeds = registry._feeds   # shared list; mutated in place
+
+    def inc(self, n: float = 1.0) -> None:
+        if n < 0:
+            raise ValueError("counters only go up")
+        self.value += n
+        if self._feeds:
+            self._registry._publish("counter", self.name, self.labels, self.value)
+
+
+class FuncCounter:
+    """A counter whose value is *pulled* from a callable at read time.
+
+    The cheapest possible instrumentation for very hot paths: the
+    component bumps a plain Python int and registers the accessor once;
+    nothing happens per event beyond the int add.  Pull-only: func
+    counters never stream to an :class:`~repro.obs.EventFeed`.
+    """
+
+    __slots__ = ("name", "labels", "fn")
+
+    def __init__(self, name: str, labels: LabelItems, fn: Callable[[], float]) -> None:
+        self.name = name
+        self.labels = labels
+        self.fn = fn
+
+    @property
+    def value(self) -> float:
+        return float(self.fn())
+
+
+class Gauge:
+    """A value that can go up and down (lag, backlog, live versions)."""
+
+    __slots__ = ("name", "labels", "value", "_registry", "_feeds")
+
+    def __init__(self, name: str, labels: LabelItems, registry: "MetricsRegistry") -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self._registry = registry
+        self._feeds = registry._feeds   # shared list; mutated in place
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        if self._feeds:
+            self._registry._publish("gauge", self.name, self.labels, self.value)
+
+    def inc(self, n: float = 1.0) -> None:
+        self.set(self.value + n)
+
+    def dec(self, n: float = 1.0) -> None:
+        self.set(self.value - n)
+
+
+class Histogram:
+    """Fixed-bucket histogram with percentile summaries.
+
+    ``buckets`` are ascending upper bounds; an implicit overflow bucket
+    catches everything above the last bound.  Percentiles interpolate
+    linearly inside the winning bucket, which keeps them deterministic
+    functions of the recorded distribution.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count",
+                 "min", "max", "_registry", "_feeds")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelItems,
+        registry: "MetricsRegistry",
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be ascending and non-empty")
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._registry = registry
+        self._feeds = registry._feeds   # shared list; mutated in place
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if self._feeds:
+            self._registry._publish("histogram", self.name, self.labels, value)
+
+    def percentile(self, q: float) -> float:
+        """Value at quantile ``q`` in [0, 1], from the bucket boundaries."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for i, c in enumerate(self.counts):
+            if c == 0:
+                continue
+            if cumulative + c >= rank:
+                if i == len(self.buckets):      # overflow bucket
+                    return self.max
+                lo = self.buckets[i - 1] if i > 0 else min(self.min, self.buckets[i])
+                hi = self.buckets[i]
+                frac = (rank - cumulative) / c
+                # Interpolated position, clamped to the observed range so a
+                # sparse bucket cannot report a value no sample reached.
+                return max(self.min, min(lo + (hi - lo) * frac, self.max))
+            cumulative += c
+        return self.max
+
+    def summary(self) -> dict[str, float]:
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "mean": 0.0,
+                    "p50": 0.0, "p95": 0.0, "p99": 0.0, "min": 0.0, "max": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.sum / self.count,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class Timer:
+    """Context manager that observes elapsed clock time into a histogram.
+
+    Re-entrant across uses (each ``with`` takes a fresh start time) and
+    deterministic under an injected clock.
+    """
+
+    __slots__ = ("histogram", "clock", "_start", "elapsed")
+
+    def __init__(self, histogram: Histogram | "_NullHistogram", clock: Clock) -> None:
+        self.histogram = histogram
+        self.clock = clock
+        self._start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = self.clock()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.elapsed = self.clock() - self._start
+        self.histogram.observe(self.elapsed)
+
+
+# -- disabled instruments -------------------------------------------------------
+
+class _NullCounter:
+    __slots__ = ()
+    name = "null"
+    labels: LabelItems = ()
+    value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = "null"
+    labels: LabelItems = ()
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, n: float = 1.0) -> None:
+        pass
+
+    def dec(self, n: float = 1.0) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = "null"
+    labels: LabelItems = ()
+    buckets: tuple[float, ...] = ()
+    sum = 0.0
+    count = 0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def percentile(self, q: float) -> float:
+        return 0.0
+
+    def summary(self) -> dict[str, float]:
+        return {"count": 0, "sum": 0.0, "mean": 0.0,
+                "p50": 0.0, "p95": 0.0, "p99": 0.0, "min": 0.0, "max": 0.0}
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """The instrument factory and snapshot point for one server.
+
+    Parameters
+    ----------
+    enabled:
+        ``False`` makes every instrument a shared no-op — the opt-out for
+        deployments that want zero measurement cost.
+    clock:
+        Time source for :meth:`timer` / :meth:`timed`; injectable so tests
+        measure deterministic durations.
+    """
+
+    def __init__(self, *, enabled: bool = True, clock: Clock = time.perf_counter) -> None:
+        self.enabled = enabled
+        self.clock = clock
+        self._counters: dict[tuple[str, LabelItems], Counter] = {}
+        self._gauges: dict[tuple[str, LabelItems], Gauge] = {}
+        self._histograms: dict[tuple[str, LabelItems], Histogram] = {}
+        self._feeds: list[Any] = []   # attached EventFeed objects
+
+    # -- instrument factories ----------------------------------------------
+
+    @staticmethod
+    def _key(name: str, labels: dict[str, str]) -> tuple[str, LabelItems]:
+        if not labels:
+            return name, ()
+        return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+    def counter(self, name: str, **labels: str) -> Counter | _NullCounter:
+        if not self.enabled:
+            return _NULL_COUNTER
+        key = self._key(name, labels)
+        got = self._counters.get(key)
+        if got is None:
+            got = self._counters[key] = Counter(key[0], key[1], self)
+        return got
+
+    def counter_func(
+        self, name: str, fn: Callable[[], float], **labels: str,
+    ) -> FuncCounter | _NullCounter:
+        """Register a pull-model counter backed by *fn* (see
+        :class:`FuncCounter`).  Re-registering the same name replaces the
+        accessor, so components can re-register on reconstruction."""
+        if not self.enabled:
+            return _NULL_COUNTER
+        key = self._key(name, labels)
+        got = FuncCounter(key[0], key[1], fn)
+        self._counters[key] = got
+        return got
+
+    def gauge(self, name: str, **labels: str) -> Gauge | _NullGauge:
+        if not self.enabled:
+            return _NULL_GAUGE
+        key = self._key(name, labels)
+        got = self._gauges.get(key)
+        if got is None:
+            got = self._gauges[key] = Gauge(key[0], key[1], self)
+        return got
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+        **labels: str,
+    ) -> Histogram | _NullHistogram:
+        if not self.enabled:
+            return _NULL_HISTOGRAM
+        key = self._key(name, labels)
+        got = self._histograms.get(key)
+        if got is None:
+            got = self._histograms[key] = Histogram(key[0], key[1], self, buckets)
+        return got
+
+    def timer(self, name: str, **labels: str) -> Timer:
+        return Timer(self.histogram(name, **labels), self.clock)
+
+    def timed(self, name: str, **labels: str) -> Callable:
+        """Decorator form of :meth:`timer`.
+
+        On a disabled registry the function is returned unchanged, so
+        decorated hot paths pay nothing.
+        """
+        def decorate(fn: Callable) -> Callable:
+            if not self.enabled:
+                return fn
+            histogram = self.histogram(name, **labels)
+            clock = self.clock
+
+            @functools.wraps(fn)
+            def wrapper(*args: Any, **kwargs: Any) -> Any:
+                start = clock()
+                try:
+                    return fn(*args, **kwargs)
+                finally:
+                    histogram.observe(clock() - start)
+            return wrapper
+        return decorate
+
+    # -- event feed plumbing ------------------------------------------------
+
+    def attach(self, feed: Any) -> None:
+        """Attach a streaming consumer (see :class:`repro.obs.EventFeed`)."""
+        if feed not in self._feeds:
+            self._feeds.append(feed)
+
+    def detach(self, feed: Any) -> None:
+        if feed in self._feeds:
+            self._feeds.remove(feed)
+
+    def _publish(self, kind: str, name: str, labels: LabelItems, value: float) -> None:
+        event = {"kind": kind, "name": name, "labels": dict(labels), "value": value}
+        for feed in self._feeds:
+            feed.publish(event)
+
+    # -- introspection -------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Point-in-time view of every instrument, JSON-serializable."""
+        return {
+            "counters": {
+                render_name(c.name, c.labels): c.value
+                for c in self._counters.values()
+            },
+            "gauges": {
+                render_name(g.name, g.labels): g.value
+                for g in self._gauges.values()
+            },
+            "histograms": {
+                render_name(h.name, h.labels): h.summary()
+                for h in self._histograms.values()
+            },
+        }
+
+    def counter_value(self, name: str, **labels: str) -> float:
+        key = self._key(name, labels)
+        got = self._counters.get(key)
+        return got.value if got is not None else 0.0
+
+    def gauge_value(self, name: str, **labels: str) -> float:
+        key = self._key(name, labels)
+        got = self._gauges.get(key)
+        return got.value if got is not None else 0.0
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and long-lived servers)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+_NULL_REGISTRY = MetricsRegistry(enabled=False)
+
+
+def null_registry() -> MetricsRegistry:
+    """The shared disabled registry components default to when unwired."""
+    return _NULL_REGISTRY

@@ -1,0 +1,200 @@
+"""Span-based tracing with nesting, attributes, and a bounded buffer.
+
+Usage::
+
+    with tracer.span("servlet.archive", user="u1") as span:
+        ...
+        span.set("pages", 3)
+
+Spans nest: a span opened while another is active records it as parent,
+so one servlet dispatch that triggers repository writes shows up as a
+small tree.  Finished spans land in a ring buffer (``capacity`` most
+recent), which exporters and the ``stats`` servlet read; the buffer is
+bounded so tracing can stay on in long-lived servers.
+
+A tracer built with ``enabled=False`` hands out one shared no-op span,
+making ``tracer.span(...)`` a cheap constant-time call on opted-out
+deployments.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any
+
+from .clock import Clock
+
+
+class Span:
+    """One timed operation; created via :meth:`Tracer.span`.
+
+    The span is its own context manager (one allocation per span, which
+    matters on the servlet dispatch path): entering pushes it on the
+    tracer's active stack, exiting records the end time and moves it to
+    the finished ring buffer.
+    """
+
+    __slots__ = ("span_id", "parent_id", "name", "start", "end",
+                 "attributes", "error", "_tracer")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        span_id: int,
+        parent_id: int | None,
+        name: str,
+        start: float,
+        attributes: dict[str, Any],
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.end: float | None = None
+        self.attributes = attributes
+        self.error: str | None = None
+        self._tracer = tracer
+
+    def __enter__(self) -> "Span":
+        self._tracer._stack.append(self)
+        return self
+
+    def __exit__(self, exc_type: type | None, exc: BaseException | None, tb: object) -> bool:
+        tracer = self._tracer
+        self.end = tracer.clock()
+        if exc is not None:
+            self.error = f"{exc_type.__name__}: {exc}"
+        stack = tracer._stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        else:  # mismatched exit (generator misuse); drop it wherever it is
+            try:
+                stack.remove(self)
+            except ValueError:
+                pass
+        tracer._finished.append(self)
+        return False
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach an attribute to the span while it is active."""
+        self.attributes[key] = value
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attributes": dict(self.attributes),
+            "error": self.error,
+        }
+
+
+class _NullSpan:
+    __slots__ = ()
+    span_id = 0
+    parent_id = None
+    name = "null"
+    start = 0.0
+    end = 0.0
+    duration = 0.0
+    error = None
+    attributes: dict[str, Any] = {}
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def to_payload(self) -> dict[str, Any]:
+        return {}
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return NULL_SPAN
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class Tracer:
+    """Factory and ring buffer for :class:`Span` objects."""
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 2048,
+        clock: Clock = time.perf_counter,
+        enabled: bool = True,
+        sample_every: int = 1,
+    ) -> None:
+        """``sample_every=N`` records one top-level span per N requests
+        (head-based sampling); children of a sampled span are always
+        recorded so sampled traces stay complete trees.  The default of 1
+        traces everything, which tests rely on for determinism."""
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.enabled = enabled
+        self.clock = clock
+        self.capacity = capacity
+        self.sample_every = sample_every
+        self._stack: list[Span] = []
+        self._finished: deque[Span] = deque(maxlen=capacity)
+        self._next_id = 1
+        self._sample_tick = 0
+
+    def span(self, name: str, **attributes: Any) -> Span | _NullSpanContext:
+        """Open a span; use as ``with tracer.span("servlet.archive"): ...``."""
+        if not self.enabled:
+            return _NULL_SPAN_CONTEXT
+        stack = self._stack
+        if not stack and self.sample_every > 1:
+            # Head-based sampling decision, made once per top-level span.
+            self._sample_tick += 1
+            if self._sample_tick % self.sample_every:
+                return _NULL_SPAN_CONTEXT
+        parent_id = stack[-1].span_id if stack else None
+        # **attributes is already a fresh dict owned by this call.
+        span = Span(self, self._next_id, parent_id, name, self.clock(), attributes)
+        self._next_id += 1
+        return span
+
+    def current(self) -> Span | None:
+        """The innermost active span, or None outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    def finished(self, name: str | None = None) -> list[Span]:
+        """Completed spans, oldest first, optionally filtered by name."""
+        if name is None:
+            return list(self._finished)
+        return [s for s in self._finished if s.name == name]
+
+    def clear(self) -> None:
+        self._finished.clear()
+
+    def to_payload(self) -> list[dict[str, Any]]:
+        return [s.to_payload() for s in self._finished]
+
+
+_NULL_TRACER = Tracer(enabled=False, capacity=1)
+
+
+def null_tracer() -> Tracer:
+    """The shared disabled tracer components default to when unwired."""
+    return _NULL_TRACER

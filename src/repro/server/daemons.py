@@ -55,11 +55,19 @@ class PageVectorizer:
         self.repo = repo
         self.vocab = vocab if vocab is not None else Vocabulary()
         self._cache: dict[str, SparseVector] = {}
+        self._n_hits = 0
+        self._n_misses = 0
+        repo.metrics.counter_func(
+            "server.vectorizer.cache_hits", lambda: self._n_hits)
+        repo.metrics.counter_func(
+            "server.vectorizer.cache_misses", lambda: self._n_misses)
 
     def vector(self, url: str) -> SparseVector | None:
         """Term-count vector of a fetched page (None when not fetched)."""
         if url in self._cache:
+            self._n_hits += 1
             return self._cache[url]
+        self._n_misses += 1
         text = self.repo.page_text(url)
         if text is None:
             return None
@@ -119,6 +127,9 @@ class CrawlerDaemon:
         self._seen_links: set[tuple[str, str]] = set()
         self.fetched_count = 0
         self.dead_count = 0
+        self._m_fetches = repo.metrics.counter("server.crawler.fetches")
+        self._m_dead = repo.metrics.counter("server.crawler.dead_links")
+        self._m_backlog = repo.metrics.gauge("server.crawler.backlog")
 
     def enqueue(self, url: str) -> None:
         """Request a fetch (visit handlers and discovery both call this)."""
@@ -129,6 +140,8 @@ class CrawlerDaemon:
             return
         self._queued.add(url)
         self._queue.append(url)
+        # The backlog gauge is refreshed per crawl batch (run_once), not per
+        # enqueue — enqueue sits on the visit servlet's hot path.
 
     @property
     def backlog(self) -> int:
@@ -148,6 +161,7 @@ class CrawlerDaemon:
                 fetched = self.fetch(url)
                 if fetched is None:
                     self.dead_count += 1
+                    self._m_dead.inc()
                     continue
                 self.repo.upsert_page(
                     url,
@@ -164,6 +178,7 @@ class CrawlerDaemon:
                         self.repo.add_link(url, dst, now=now)
                 self.repo.versions.add_item(url)
                 self.fetched_count += 1
+                self._m_fetches.inc()
                 done += 1
         except Exception:
             # Producer crash path: the half-built version must never
@@ -180,8 +195,10 @@ class CrawlerDaemon:
             # pages that consumers never see).
             self._queue = list(batch) + self._queue
             self._queued.update(batch)
+            self._m_backlog.set(len(self._queue))
             raise
         self.repo.versions.publish()
+        self._m_backlog.set(len(self._queue))
         return done
 
 
@@ -199,6 +216,8 @@ class IndexerDaemon:
         self.index = index
         repo.versions.register_consumer(self.name)
         self.indexed_count = 0
+        self._m_documents = repo.metrics.counter("server.indexer.documents")
+        self._m_postings = repo.metrics.counter("server.indexer.postings")
 
     def run_once(self) -> int:
         watermark, urls = self.repo.versions.poll(self.name)
@@ -209,10 +228,13 @@ class IndexerDaemon:
                 continue
             page = self.repo.db.table("pages").get(url)
             title = (page or {}).get("title") or ""
-            self.index.add_document(url, f"{title} {text}")
+            tokens = self.index.add_document(url, f"{title} {text}")
+            self._m_postings.inc(tokens)
             done += 1
         self.repo.versions.ack(self.name, watermark)
         self.indexed_count += done
+        if done:
+            self._m_documents.inc(done)
         return done
 
 
@@ -257,6 +279,8 @@ class ClassifierDaemon:
         self._graph: nx.DiGraph | None = None
         self._graph_links = -1
         self.classified_count = 0
+        self._m_decisions = repo.metrics.counter("server.classifier.decisions")
+        self._m_trainings = repo.metrics.counter("server.classifier.trainings")
 
     # -- training -------------------------------------------------------------
 
@@ -315,6 +339,7 @@ class ClassifierDaemon:
         model = self.classifier_factory().fit(
             vectors, usable, self._current_graph(), coplacement,
         )
+        self._m_trainings.inc()
         self._models[user_id] = model
         self._trained_on[user_id] = len(usable)
         return model
@@ -354,6 +379,8 @@ class ClassifierDaemon:
                 self._ensure_guess(folder_id, url, confidence, now)
         self.repo.versions.ack(self.name, watermark)
         self.classified_count += done
+        if done:
+            self._m_decisions.inc(done)
         return done
 
     def _ensure_guess(

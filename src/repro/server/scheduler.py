@@ -7,14 +7,25 @@ synchronously on request; daemons run when the host calls
 :meth:`DaemonScheduler.tick`, each at its own period, with failure
 isolation (a daemon that keeps throwing is quarantined, the server keeps
 going — the robustness requirement of §3).
+
+Quarantine can heal itself: with ``parole_after=N`` a quarantined daemon
+is automatically paroled after N rounds, with the wait doubling on every
+re-quarantine (exponential backoff), so a transiently-failing daemon
+recovers without operator action.  Manual :meth:`lift_quarantine` stays
+available and resets the backoff.
+
+Every run, failure, quarantine, and parole is recorded against the
+observability registry (``server.scheduler.*{daemon=name}``), including a
+``run_once`` latency histogram per daemon.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import Any, Protocol
 
 from ..errors import DaemonError
+from ..obs import MetricsRegistry, Tracer, null_registry, null_tracer
 
 
 class Daemon(Protocol):
@@ -38,48 +49,119 @@ class _Entry:
     consecutive_failures: int = 0
     quarantined: bool = False
     last_error: str | None = None
+    parole_at: int | None = None   # round at which auto-parole fires
+    parole_count: int = 0          # quarantines since last success (backoff exponent)
+    instruments: tuple[Any, ...] = ()
 
 
 @dataclass
 class DaemonScheduler:
-    """Round-based scheduler with per-daemon periods and quarantine."""
+    """Round-based scheduler with per-daemon periods and quarantine.
+
+    Parameters
+    ----------
+    max_consecutive_failures:
+        Failures in a row before a daemon is quarantined.
+    parole_after:
+        When set, a quarantined daemon is auto-paroled after this many
+        rounds, doubling on each successive quarantine; ``None`` keeps
+        quarantine manual-release only (the seed behaviour).
+    metrics / tracer:
+        Observability hooks; default to the shared disabled instances.
+    """
 
     max_consecutive_failures: int = 3
+    parole_after: int | None = None
+    metrics: MetricsRegistry | None = None
+    tracer: Tracer | None = None
     _entries: dict[str, _Entry] = field(default_factory=dict)
     _now: int = 0
+
+    def __post_init__(self) -> None:
+        if self.parole_after is not None and self.parole_after < 1:
+            raise DaemonError("parole_after must be >= 1")
+        if self.metrics is None:
+            self.metrics = null_registry()
+        if self.tracer is None:
+            self.tracer = null_tracer()
 
     def register(self, daemon: Daemon, *, period: int = 1) -> None:
         if period < 1:
             raise DaemonError("period must be >= 1")
         if daemon.name in self._entries:
             raise DaemonError(f"daemon {daemon.name!r} already registered")
+        m = self.metrics
         self._entries[daemon.name] = _Entry(
             daemon=daemon, period=period, next_due=self._now,
+            instruments=(
+                m.counter("server.scheduler.runs", daemon=daemon.name),
+                m.counter("server.scheduler.items", daemon=daemon.name),
+                m.counter("server.scheduler.failures", daemon=daemon.name),
+                m.counter("server.scheduler.quarantines", daemon=daemon.name),
+                m.counter("server.scheduler.paroles", daemon=daemon.name),
+                m.histogram("server.scheduler.run_latency", daemon=daemon.name),
+            ),
         )
 
     def tick(self, rounds: int = 1) -> int:
         """Advance *rounds* scheduler rounds; returns items processed."""
         total = 0
+        clock = self.metrics.clock
         for _ in range(rounds):
             for entry in self._entries.values():
-                if entry.quarantined or self._now < entry.next_due:
+                if entry.quarantined:
+                    if entry.parole_at is not None and self._now >= entry.parole_at:
+                        self._parole(entry)
+                    else:
+                        continue
+                if self._now < entry.next_due:
                     continue
+                (m_runs, m_items, m_failures, m_quar, _m_parole,
+                 m_latency) = entry.instruments
                 entry.next_due = self._now + entry.period
-                try:
-                    done = entry.daemon.run_once()
-                except Exception as exc:  # noqa: BLE001 - isolation boundary
-                    entry.failures += 1
-                    entry.consecutive_failures += 1
-                    entry.last_error = f"{type(exc).__name__}: {exc}"
-                    if entry.consecutive_failures >= self.max_consecutive_failures:
-                        entry.quarantined = True
-                    continue
+                start = clock()
+                with self.tracer.span(f"daemon.{entry.daemon.name}") as span:
+                    try:
+                        done = entry.daemon.run_once()
+                    except Exception as exc:  # noqa: BLE001 - isolation boundary
+                        m_latency.observe(clock() - start)
+                        m_failures.inc()
+                        span.set("status", "error")
+                        entry.failures += 1
+                        entry.consecutive_failures += 1
+                        entry.last_error = f"{type(exc).__name__}: {exc}"
+                        if entry.consecutive_failures >= self.max_consecutive_failures:
+                            self._quarantine(entry, m_quar)
+                        continue
+                    span.set("items", done)
+                m_latency.observe(clock() - start)
+                m_runs.inc()
+                if done:
+                    m_items.inc(done)
                 entry.runs += 1
                 entry.items += done
                 entry.consecutive_failures = 0
+                entry.parole_count = 0   # a clean run resets the backoff
                 total += done
             self._now += 1
         return total
+
+    def _quarantine(self, entry: _Entry, m_quar: Any) -> None:
+        entry.quarantined = True
+        m_quar.inc()
+        if self.parole_after is not None:
+            wait = self.parole_after * (2 ** entry.parole_count)
+            entry.parole_at = self._now + wait
+            entry.parole_count += 1
+        else:
+            entry.parole_at = None
+
+    def _parole(self, entry: _Entry) -> None:
+        entry.quarantined = False
+        entry.consecutive_failures = 0
+        entry.parole_at = None
+        entry.next_due = self._now   # eligible immediately
+        entry.instruments[4].inc()
 
     def run_until_idle(self, *, max_rounds: int = 1000) -> int:
         """Tick until a full cycle of every daemon processes nothing."""
@@ -97,10 +179,19 @@ class DaemonScheduler:
     # -- introspection ------------------------------------------------------------
 
     def revive(self, name: str) -> None:
-        """Lift a quarantine (operator action after fixing the fault)."""
+        """Lift a quarantine (operator action after fixing the fault).
+
+        Also resets the auto-parole backoff: an operator intervention is a
+        statement that the fault is gone.
+        """
         entry = self._entry(name)
         entry.quarantined = False
         entry.consecutive_failures = 0
+        entry.parole_at = None
+        entry.parole_count = 0
+
+    # The operator-facing alias; `revive` is the historical name.
+    lift_quarantine = revive
 
     def stats(self) -> dict[str, dict]:
         return {
@@ -110,6 +201,8 @@ class DaemonScheduler:
                 "failures": e.failures,
                 "quarantined": e.quarantined,
                 "last_error": e.last_error,
+                "parole_at": e.parole_at,
+                "parole_count": e.parole_count,
             }
             for name, e in self._entries.items()
         }

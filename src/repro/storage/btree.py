@@ -42,6 +42,7 @@ from collections.abc import Iterator
 from pathlib import Path
 
 from ..errors import CorruptLog, KeyNotFound, KVStoreError, StoreClosed
+from ..obs import MetricsRegistry, null_registry
 
 MAGIC = b"MBT1"
 _META = struct.Struct("<4sIIIIQ")  # magic, page_size, root, npages, free_head, count
@@ -146,7 +147,13 @@ class BTree:
         *,
         page_size: int = 4096,
         cache_pages: int = 256,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
+        m = metrics if metrics is not None else null_registry()
+        self._n_splits = 0
+        self._n_page_writes = 0
+        m.counter_func("storage.btree.splits", lambda: self._n_splits)
+        m.counter_func("storage.btree.page_writes", lambda: self._n_page_writes)
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._cache: OrderedDict[int, _Leaf | _Internal] = OrderedDict()
@@ -219,6 +226,7 @@ class BTree:
 
     def _write_page(self, page_id: int, node: _Leaf | _Internal) -> None:
         data = node.encode()
+        self._n_page_writes += 1
         if len(data) > self.page_size:
             raise KVStoreError(
                 f"page {page_id} overflow: {len(data)} > {self.page_size}"
@@ -331,6 +339,7 @@ class BTree:
         separator = right.keys[0]
         self._mark_dirty(leaf_id, leaf)
         self._mark_dirty(right_id, right)
+        self._n_splits += 1
         self._insert_into_parent(path, leaf_id, separator, right_id)
 
     def _insert_into_parent(
@@ -370,6 +379,7 @@ class BTree:
         right_id = self._alloc_page()
         self._mark_dirty(node_id, node)
         self._mark_dirty(right_id, right)
+        self._n_splits += 1
         self._insert_into_parent(path, node_id, separator, right_id)
 
     # -- deletion ------------------------------------------------------------------------

@@ -25,6 +25,7 @@ from collections.abc import Iterator
 from pathlib import Path
 
 from ..errors import CorruptLog, KeyNotFound, StoreClosed
+from ..obs import MetricsRegistry, null_registry
 from .wal import WriteAheadLog
 
 _OP_PUT = 0
@@ -69,6 +70,7 @@ class KVStore:
         *,
         compact_garbage_ratio: float = 0.5,
         sync: bool = False,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self._data: dict[bytes, bytes] = {}
         self._keys: list[bytes] = []          # sorted view of _data's keys
@@ -76,8 +78,17 @@ class KVStore:
         self._log_records = 0                  # total records in the log
         self._closed = False
         self.compact_garbage_ratio = compact_garbage_ratio
+        m = metrics if metrics is not None else null_registry()
+        # Hot-path counts are plain ints pulled by the registry at read
+        # time (zero per-event instrument cost).
+        self._n_puts = 0
+        self._n_deletes = 0
+        self._n_compactions = 0
+        m.counter_func("storage.kvstore.puts", lambda: self._n_puts)
+        m.counter_func("storage.kvstore.deletes", lambda: self._n_deletes)
+        m.counter_func("storage.kvstore.compactions", lambda: self._n_compactions)
         if path is not None:
-            self._log = WriteAheadLog(path, sync=sync)
+            self._log = WriteAheadLog(path, sync=sync, metrics=m)
             self._recover()
 
     # -- lifecycle ------------------------------------------------------------
@@ -119,6 +130,7 @@ class KVStore:
             raise TypeError("kvstore keys and values must be bytes")
         fresh = key not in self._data
         self._data[key] = value
+        self._n_puts += 1
         if fresh:
             insort(self._keys, key)
         if self._log is not None:
@@ -132,6 +144,7 @@ class KVStore:
         if key not in self._data:
             raise KeyNotFound(repr(key))
         del self._data[key]
+        self._n_deletes += 1
         i = bisect_left(self._keys, key)
         del self._keys[i]
         if self._log is not None:
@@ -232,6 +245,7 @@ class KVStore:
             _encode(_OP_PUT, key, self._data[key]) for key in self._keys
         )
         self._log_records = len(self._data)
+        self._n_compactions += 1
 
     def stats(self) -> dict[str, int]:
         """Operational counters: live keys, log records, log bytes."""

@@ -31,6 +31,7 @@ from ..errors import (
     SchemaError,
     TransactionError,
 )
+from ..obs import MetricsRegistry, null_registry
 from .wal import WriteAheadLog
 
 Row = dict[str, Any]
@@ -389,13 +390,22 @@ class Database:
     committed work and discarding any uncommitted tail.
     """
 
-    def __init__(self, path: str | Path | None = None, *, sync: bool = False) -> None:
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        *,
+        sync: bool = False,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self._tables: dict[str, Table] = {}
         self._log: WriteAheadLog | None = None
         self._next_txn = 1
         self._recovering = False
+        m = metrics if metrics is not None else null_registry()
+        self._n_commits = 0
+        m.counter_func("storage.relational.commits", lambda: self._n_commits)
         if path is not None:
-            self._log = WriteAheadLog(path, sync=sync)
+            self._log = WriteAheadLog(path, sync=sync, metrics=m)
             self._recover()
 
     # -- DDL -------------------------------------------------------------------
@@ -494,6 +504,8 @@ class Database:
                     assert old is not None
                     table._insert(old)
             raise
+        if txn._ops:
+            self._n_commits += 1
         if self._log is not None and not self._recovering and txn._ops:
             record = {"kind": "txn", "ops": [
                 [op, tname, self._jsonable(pk), payload]

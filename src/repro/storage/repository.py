@@ -25,6 +25,7 @@ from .schema import (
 )
 from .versioning import VersionCoordinator
 from ..errors import SchemaError
+from ..obs import Clock, MetricsRegistry, null_registry
 
 
 class Sequence:
@@ -54,19 +55,49 @@ class MemexRepository:
     root:
         Directory for persistent state, or ``None`` for a fully in-memory
         repository (the default for simulations and tests).
+    clock:
+        Wall-clock source for default timestamps; injectable so tests and
+        the obs subsystem share one deterministic time source.
+    metrics:
+        Observability registry threaded into the relational engine, the
+        KV store, and the version coordinator; defaults to the shared
+        disabled registry.
     """
 
-    def __init__(self, root: str | Path | None = None, *, sync: bool = False) -> None:
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        *,
+        sync: bool = False,
+        clock: Clock = time.time,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self.root = Path(root) if root is not None else None
+        self.clock = clock
+        self.metrics = metrics if metrics is not None else null_registry()
         if self.root is not None:
             self.root.mkdir(parents=True, exist_ok=True)
-            self.db = Database(self.root / "catalog.wal", sync=sync)
-            self.kv = KVStore(self.root / "terms.kv", sync=sync)
+            self.db = Database(self.root / "catalog.wal", sync=sync, metrics=self.metrics)
+            self.kv = KVStore(self.root / "terms.kv", sync=sync, metrics=self.metrics)
         else:
-            self.db = Database()
-            self.kv = KVStore()
+            self.db = Database(metrics=self.metrics)
+            self.kv = KVStore(metrics=self.metrics)
         create_catalog(self.db)
-        self.versions = VersionCoordinator()
+        self.versions = VersionCoordinator(metrics=self.metrics)
+        # Hot-path counts are plain ints pulled by the registry at read
+        # time (zero per-event instrument cost).
+        self._n_page_reads = 0
+        self._n_page_writes = 0
+        self._n_visit_writes = 0
+        self._n_assoc_writes = 0
+        self.metrics.counter_func(
+            "storage.repository.page_reads", lambda: self._n_page_reads)
+        self.metrics.counter_func(
+            "storage.repository.page_writes", lambda: self._n_page_writes)
+        self.metrics.counter_func(
+            "storage.repository.visit_writes", lambda: self._n_visit_writes)
+        self.metrics.counter_func(
+            "storage.repository.assoc_writes", lambda: self._n_assoc_writes)
         self._seq_ns = Namespace(self.kv, "_seq")
         self._sequences: dict[str, Sequence] = {}
         # Namespaces for term-level data, mirroring the paper's split of
@@ -102,7 +133,7 @@ class MemexRepository:
             "name": name or user_id,
             "community": community,
             "archive_mode": archive_mode,
-            "created_at": now if now is not None else time.time(),
+            "created_at": now if now is not None else self.clock(),
         })
 
     def get_user(self, user_id: str) -> Row | None:
@@ -166,9 +197,11 @@ class MemexRepository:
             created = False
         if text is not None:
             self.rawtext.put(url.encode("utf-8"), text.encode("utf-8"))
+        self._n_page_writes += 1
         return created
 
     def page_text(self, url: str) -> str | None:
+        self._n_page_reads += 1
         raw = self.rawtext.get(url.encode("utf-8"))
         return raw.decode("utf-8") if raw is not None else None
 
@@ -209,6 +242,7 @@ class MemexRepository:
             "topic_folder": None,
             "topic_confidence": None,
         })
+        self._n_visit_writes += 1
         return visit_id
 
     def classify_visit(self, visit_id: int, folder_id: str, confidence: float) -> None:
@@ -287,6 +321,7 @@ class MemexRepository:
             "confidence": confidence,
             "at": now,
         })
+        self._n_assoc_writes += 1
         return assoc_id
 
     def folder_pages(self, folder_id: str, *, sources: tuple[str, ...] | None = None) -> list[Row]:

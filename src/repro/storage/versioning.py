@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..errors import StaleSnapshot, VersioningError
+from ..obs import MetricsRegistry, null_registry
 
 
 @dataclass
@@ -49,13 +50,28 @@ class VersionCoordinator:
     and exposes staleness metrics the benchmarks report.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, metrics: MetricsRegistry | None = None) -> None:
         self._versions: dict[int, _Version] = {}
         self._open: _Version | None = None
         self._next_number = 1
         self._published_high = 0     # highest published version number
         self._gc_floor = 0           # versions <= this have been reclaimed
         self._consumers: dict[str, int] = {}  # name -> highest acked version
+        self._metrics = metrics if metrics is not None else null_registry()
+        self._m_publishes = self._metrics.counter("storage.versioning.publishes")
+        self._m_aborts = self._metrics.counter("storage.versioning.aborts")
+        self._m_items = self._metrics.counter("storage.versioning.items")
+        self._m_gc_reclaimed = self._metrics.counter("storage.versioning.gc_reclaimed")
+        self._g_live = self._metrics.gauge("storage.versioning.live_versions")
+        # Per-consumer instruments, created lazily in register_consumer:
+        # the lag gauge is the headline number for the paper's "loose
+        # coherence" — how many published versions a consumer is behind.
+        self._lag_gauges: dict[str, Any] = {}
+        self._poll_counters: dict[str, Any] = {}
+        self._ack_counters: dict[str, Any] = {}
+
+    def _update_lag(self, name: str) -> None:
+        self._lag_gauges[name].set(self._published_high - self._consumers[name])
 
     # -- producer side -----------------------------------------------------------
 
@@ -76,6 +92,7 @@ class VersionCoordinator:
         if self._open is None:
             raise VersioningError("no version is open")
         self._open.items.append(item)
+        self._m_items.inc()
 
     def publish(self) -> int:
         """Publish the open version, making it visible to consumers."""
@@ -85,6 +102,10 @@ class VersionCoordinator:
         number = self._open.number
         self._published_high = number
         self._open = None
+        self._m_publishes.inc()
+        self._g_live.set(len(self._versions))
+        for name in self._consumers:
+            self._update_lag(name)
         return number
 
     def abort_version(self) -> None:
@@ -93,6 +114,8 @@ class VersionCoordinator:
             raise VersioningError("no version is open")
         del self._versions[self._open.number]
         self._open = None
+        self._m_aborts.inc()
+        self._g_live.set(len(self._versions))
 
     def produce(self, items: Iterable[Any]) -> int:
         """Convenience: open, fill, and publish a version in one call."""
@@ -111,6 +134,17 @@ class VersionCoordinator:
         """
         if name not in self._consumers:
             self._consumers[name] = self._gc_floor
+        if name not in self._lag_gauges:
+            self._lag_gauges[name] = self._metrics.gauge(
+                "storage.versioning.lag", consumer=name,
+            )
+            self._poll_counters[name] = self._metrics.counter(
+                "storage.versioning.polls", consumer=name,
+            )
+            self._ack_counters[name] = self._metrics.counter(
+                "storage.versioning.acks", consumer=name,
+            )
+            self._update_lag(name)
 
     def poll(self, name: str) -> tuple[int, list[Any]]:
         """Return ``(watermark, items)`` newly published since the
@@ -132,6 +166,7 @@ class VersionCoordinator:
             v = self._versions.get(number)
             if v is not None and v.published:
                 items.extend(v.items)
+        self._poll_counters[name].inc()
         return self._published_high, items
 
     def ack(self, name: str, watermark: int) -> None:
@@ -145,6 +180,8 @@ class VersionCoordinator:
         if watermark < self._consumers[name]:
             raise VersioningError("watermark may not move backwards")
         self._consumers[name] = watermark
+        self._ack_counters[name].inc()
+        self._update_lag(name)
 
     # -- reclamation --------------------------------------------------------------------
 
@@ -160,6 +197,9 @@ class VersionCoordinator:
                 del self._versions[number]
                 reclaimed += 1
         self._gc_floor = max(self._gc_floor, floor)
+        if reclaimed:
+            self._m_gc_reclaimed.inc(reclaimed)
+        self._g_live.set(len(self._versions))
         return reclaimed
 
     # -- introspection ---------------------------------------------------------------------
@@ -176,6 +216,13 @@ class VersionCoordinator:
 
     def consumers(self) -> dict[str, int]:
         return dict(self._consumers)
+
+    def lags(self) -> dict[str, int]:
+        """Per-consumer staleness: published versions not yet acked."""
+        return {
+            name: self._published_high - acked
+            for name, acked in self._consumers.items()
+        }
 
     def live_versions(self) -> int:
         return len(self._versions)

@@ -24,6 +24,7 @@ from collections.abc import Iterator
 from pathlib import Path
 
 from ..errors import CorruptLog, StoreClosed
+from ..obs import MetricsRegistry, null_registry
 
 _HEADER = struct.Struct("<II")  # crc32, payload length
 MAX_RECORD_BYTES = 64 * 1024 * 1024
@@ -46,12 +47,28 @@ class WriteAheadLog:
     sync:
         When true, ``fsync`` after every :meth:`append`.  Tests and
         benchmarks leave this off; durability-sensitive callers turn it on.
+    metrics:
+        Observability registry; records appends, appended bytes, and
+        fsyncs under ``storage.wal.*``.
     """
 
-    def __init__(self, path: str | os.PathLike[str], *, sync: bool = False) -> None:
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        *,
+        sync: bool = False,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self.path = Path(path)
         self.sync = sync
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        m = metrics if metrics is not None else null_registry()
+        self._n_appends = 0
+        self._n_bytes = 0
+        self._n_fsyncs = 0
+        m.counter_func("storage.wal.appends", lambda: self._n_appends)
+        m.counter_func("storage.wal.appended_bytes", lambda: self._n_bytes)
+        m.counter_func("storage.wal.fsyncs", lambda: self._n_fsyncs)
         self._recovered_bytes = self._scan_and_truncate()
         self._fh = open(self.path, "ab")
         self._closed = False
@@ -90,10 +107,14 @@ class WriteAheadLog:
         if self._closed:
             raise StoreClosed(f"log {self.path} is closed")
         offset = self._fh.tell()
-        self._fh.write(encode_record(payload))
+        record = encode_record(payload)
+        self._fh.write(record)
         self._fh.flush()
+        self._n_appends += 1
+        self._n_bytes += len(record)
         if self.sync:
             os.fsync(self._fh.fileno())
+            self._n_fsyncs += 1
         return offset
 
     def replay(self) -> Iterator[bytes]:

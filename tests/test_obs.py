@@ -1,0 +1,310 @@
+"""Tests for repro.obs: registry semantics, histogram bucket edges,
+span nesting, exporter round-trips, and the disabled fast path."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    EventFeed,
+    ManualClock,
+    MetricsRegistry,
+    TickingClock,
+    Tracer,
+    from_json,
+    null_registry,
+    render_name,
+    render_table,
+    to_json,
+)
+
+
+# -- registry semantics -------------------------------------------------------
+
+def test_counter_identity_and_increment():
+    m = MetricsRegistry()
+    c = m.counter("layer.comp.metric")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    # Same (name, labels) -> same instrument.
+    assert m.counter("layer.comp.metric") is c
+    # Different labels -> different instrument.
+    other = m.counter("layer.comp.metric", shard="a")
+    assert other is not c
+    assert other.value == 0
+
+
+def test_counter_rejects_negative():
+    with pytest.raises(ValueError):
+        MetricsRegistry().counter("c").inc(-1)
+
+
+def test_label_order_is_canonical():
+    m = MetricsRegistry()
+    a = m.counter("c", x="1", y="2")
+    b = m.counter("c", y="2", x="1")
+    assert a is b
+    assert render_name(a.name, a.labels) == "c{x=1,y=2}"
+
+
+def test_gauge_set_inc_dec():
+    m = MetricsRegistry()
+    g = m.gauge("storage.versioning.lag", consumer="indexer")
+    g.set(7)
+    g.inc(2)
+    g.dec(4)
+    assert g.value == 5
+    assert m.gauge_value("storage.versioning.lag", consumer="indexer") == 5
+
+
+def test_counter_value_lookup_without_creation():
+    m = MetricsRegistry()
+    assert m.counter_value("never.recorded") == 0.0
+    assert not m._counters  # lookup must not create the instrument
+
+
+# -- histogram bucket edges ----------------------------------------------------
+
+def test_histogram_bucket_edges_exact():
+    m = MetricsRegistry()
+    h = m.histogram("h", buckets=(1.0, 2.0, 4.0))
+    # bisect_left: a value equal to a bound lands IN that bound's bucket.
+    h.observe(1.0)
+    h.observe(2.0)
+    h.observe(4.0)
+    assert h.counts == [1, 1, 1, 0]
+    h.observe(4.0001)       # over the last bound -> overflow bucket
+    assert h.counts[-1] == 1
+    h.observe(0.0)
+    assert h.counts[0] == 2
+
+
+def test_histogram_summary_and_percentiles():
+    m = MetricsRegistry()
+    h = m.histogram("h", buckets=(0.001, 0.01, 0.1, 1.0))
+    for _ in range(98):
+        h.observe(0.0005)
+    h.observe(0.05)
+    h.observe(0.5)
+    s = h.summary()
+    assert s["count"] == 100
+    assert s["min"] == 0.0005
+    assert s["max"] == 0.5
+    assert s["p50"] <= 0.001
+    assert 0.01 < s["p99"] <= 0.5
+    # Percentiles never exceed the observed maximum.
+    assert h.percentile(1.0) <= 0.5
+
+
+def test_histogram_empty_summary():
+    s = MetricsRegistry().histogram("h").summary()
+    assert s["count"] == 0 and s["p99"] == 0.0
+
+
+def test_histogram_rejects_bad_buckets():
+    m = MetricsRegistry()
+    with pytest.raises(ValueError):
+        m.histogram("bad", buckets=(2.0, 1.0))
+    with pytest.raises(ValueError):
+        m.histogram("h").percentile(1.5)
+
+
+def test_default_latency_buckets_ascending():
+    assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+    assert DEFAULT_LATENCY_BUCKETS[0] == pytest.approx(1e-6)
+    assert DEFAULT_LATENCY_BUCKETS[-1] == 10.0
+
+
+# -- timers and the @timed decorator -------------------------------------------
+
+def test_timer_with_manual_clock():
+    clk = ManualClock()
+    m = MetricsRegistry(clock=clk)
+    with m.timer("op.latency") as t:
+        clk.advance(0.25)
+    assert t.elapsed == 0.25
+    h = m.histogram("op.latency")
+    assert h.count == 1 and h.sum == 0.25
+
+
+def test_timed_decorator():
+    clk = TickingClock(step=0.1)
+    m = MetricsRegistry(clock=clk)
+
+    @m.timed("fn.latency")
+    def work(x):
+        return x * 2
+
+    assert work(21) == 42
+    assert m.histogram("fn.latency").count == 1
+
+
+def test_timed_decorator_observes_on_exception():
+    clk = ManualClock()
+    m = MetricsRegistry(clock=clk)
+
+    @m.timed("fn.latency")
+    def boom():
+        clk.advance(1.0)
+        raise RuntimeError("x")
+
+    with pytest.raises(RuntimeError):
+        boom()
+    assert m.histogram("fn.latency").summary()["max"] == 1.0
+
+
+def test_manual_clock_rejects_backwards_time():
+    with pytest.raises(ValueError):
+        ManualClock().advance(-1)
+
+
+# -- disabled registry ----------------------------------------------------------
+
+def test_disabled_registry_is_noop_and_shared():
+    m = MetricsRegistry(enabled=False)
+    c = m.counter("a")
+    c.inc(100)
+    m.gauge("b").set(5)
+    m.histogram("c").observe(1.0)
+    assert c.value == 0
+    assert m.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+    # All disabled instruments are the same shared object.
+    assert m.counter("x") is m.counter("y")
+    # The @timed decorator returns the function untouched.
+    fn = lambda: 1  # noqa: E731
+    assert m.timed("t")(fn) is fn
+
+
+def test_null_registry_singleton():
+    assert null_registry() is null_registry()
+    assert not null_registry().enabled
+
+
+# -- tracing ---------------------------------------------------------------------
+
+def test_span_nesting_and_attributes():
+    clk = ManualClock()
+    t = Tracer(clock=clk)
+    with t.span("servlet.archive", user="u1") as outer:
+        clk.advance(0.5)
+        assert t.current() is outer
+        with t.span("storage.write") as inner:
+            clk.advance(0.1)
+            assert t.current() is inner
+        outer.set("pages", 3)
+    assert t.current() is None
+    done = t.finished()
+    assert [s.name for s in done] == ["storage.write", "servlet.archive"]
+    inner, outer = done
+    assert inner.parent_id == outer.span_id
+    assert outer.parent_id is None
+    assert outer.duration == pytest.approx(0.6)
+    assert inner.duration == pytest.approx(0.1)
+    assert outer.attributes == {"user": "u1", "pages": 3}
+
+
+def test_span_records_exception():
+    t = Tracer(clock=ManualClock())
+    with pytest.raises(ValueError):
+        with t.span("bad"):
+            raise ValueError("nope")
+    span = t.finished("bad")[0]
+    assert span.error == "ValueError: nope"
+    assert span.end is not None
+
+
+def test_tracer_ring_buffer_bounded():
+    t = Tracer(clock=ManualClock(), capacity=4)
+    for i in range(10):
+        with t.span(f"s{i}"):
+            pass
+    names = [s.name for s in t.finished()]
+    assert names == ["s6", "s7", "s8", "s9"]
+    t.clear()
+    assert t.finished() == []
+
+
+def test_disabled_tracer_is_noop():
+    t = Tracer(enabled=False)
+    with t.span("whatever") as s:
+        s.set("k", "v")   # must not blow up
+    assert t.finished() == []
+
+
+# -- exporters --------------------------------------------------------------------
+
+def _populated():
+    clk = ManualClock()
+    m = MetricsRegistry(clock=clk)
+    m.counter("server.servlets.requests", servlet="visit").inc(3)
+    m.gauge("storage.versioning.lag", consumer="indexer").set(2)
+    h = m.histogram("server.servlets.latency", servlet="visit")
+    h.observe(0.001)
+    h.observe(0.010)
+    t = Tracer(clock=clk)
+    with t.span("servlet.visit"):
+        clk.advance(0.01)
+    return m, t
+
+
+def test_json_export_round_trip():
+    m, t = _populated()
+    parsed = from_json(to_json(m, tracer=t))
+    assert parsed["metrics"] == json.loads(json.dumps(m.snapshot()))
+    assert parsed["metrics"]["counters"][
+        "server.servlets.requests{servlet=visit}"] == 3
+    assert parsed["metrics"]["gauges"][
+        "storage.versioning.lag{consumer=indexer}"] == 2
+    hist = parsed["metrics"]["histograms"][
+        "server.servlets.latency{servlet=visit}"]
+    assert hist["count"] == 2
+    assert len(parsed["spans"]) == 1
+    assert parsed["spans"][0]["name"] == "servlet.visit"
+
+
+def test_render_table_contains_everything():
+    m, t = _populated()
+    table = render_table(m, tracer=t)
+    assert "server.servlets.requests{servlet=visit}" in table
+    assert "storage.versioning.lag{consumer=indexer}" in table
+    assert "p95" in table
+    assert "servlet.visit" in table
+    assert render_table(MetricsRegistry()) == "(no metrics recorded)"
+
+
+def test_event_feed_streaming():
+    m = MetricsRegistry()
+    feed = EventFeed(capacity=100)
+    m.attach(feed)
+    c = m.counter("c")
+    c.inc()
+    c.inc()
+    m.gauge("g").set(4)
+    cursor, events, dropped = feed.read(0)
+    assert dropped == 0
+    assert [e["kind"] for e in events] == ["counter", "counter", "gauge"]
+    assert events[-1] == {"kind": "gauge", "name": "g", "labels": {}, "value": 4.0}
+    # Incremental read from the cursor sees only what is new.
+    c.inc()
+    cursor2, events2, _ = feed.read(cursor)
+    assert len(events2) == 1 and cursor2 == cursor + 1
+    # Detach stops the stream.
+    m.detach(feed)
+    c.inc()
+    _, events3, _ = feed.read(cursor2)
+    assert events3 == []
+
+
+def test_event_feed_drops_are_reported():
+    m = MetricsRegistry()
+    feed = EventFeed(capacity=5)
+    m.attach(feed)
+    c = m.counter("c")
+    for _ in range(12):
+        c.inc()
+    cursor, events, dropped = feed.read(0)
+    assert len(events) == 5
+    assert dropped == 7
+    assert cursor == 12

@@ -137,6 +137,83 @@ def test_registry_duplicate_registration():
     assert reg.names() == ["a"]
 
 
+# -- servlet metrics --------------------------------------------------------------
+
+def test_registry_records_request_and_latency_metrics():
+    from repro.obs import ManualClock, MetricsRegistry
+
+    clk = ManualClock()
+    metrics = MetricsRegistry(clock=clk)
+    reg = ServletRegistry(metrics=metrics)
+
+    def slow(req):
+        clk.advance(0.02)
+        return {}
+
+    reg.register("slow", slow)
+    for _ in range(3):
+        reg.dispatch({"servlet": "slow"})
+    assert metrics.counter_value("server.servlets.requests", servlet="slow") == 3
+    assert metrics.counter_value("server.servlets.errors", servlet="slow") == 0
+    h = metrics.histogram("server.servlets.latency", servlet="slow")
+    assert h.count == 3
+    assert h.summary()["max"] == pytest.approx(0.02)
+    assert reg.latency_summary()["slow"]["count"] == 3
+
+
+def test_registry_records_error_metrics():
+    from repro.obs import MetricsRegistry
+
+    metrics = MetricsRegistry()
+    reg = ServletRegistry(metrics=metrics)
+
+    def broken(req):
+        raise RuntimeError("kaboom")
+
+    reg.register("broken", broken)
+    reg.dispatch({"servlet": "broken"})
+    reg.dispatch({"servlet": "no-such-servlet"})
+    val = metrics.counter_value
+    assert val("server.servlets.requests", servlet="broken") == 1
+    assert val("server.servlets.errors", servlet="broken") == 1
+    assert val("server.servlets.errors", servlet="<unknown>") == 1
+    # Failed requests still contribute a latency sample.
+    assert metrics.histogram(
+        "server.servlets.latency", servlet="broken").count == 1
+
+
+def test_registry_traces_dispatch():
+    from repro.obs import MetricsRegistry, Tracer
+
+    tracer = Tracer()
+    reg = ServletRegistry(metrics=MetricsRegistry(), tracer=tracer)
+    reg.register("echo", lambda req: {"x": 1})
+    reg.dispatch({"servlet": "echo"})
+    spans = tracer.finished("servlet.echo")
+    assert len(spans) == 1
+    assert spans[0].error is None
+
+
+def test_stats_servlet_exposes_observability(live_system):
+    server = live_system.server
+    user_id = next(server.repo.db.table("users").scan())["user_id"]
+    out = server.registry.dispatch({
+        "servlet": "stats", "user_id": user_id, "include_metrics": True,
+    })
+    assert out["status"] == "ok"
+    # Live counters from the replay, not zeros.
+    snap = out["metrics"]
+    assert snap["counters"].get("storage.relational.commits", 0) > 0
+    assert snap["counters"].get("storage.kvstore.puts", 0) > 0
+    assert any(k.startswith("server.servlets.requests") for k in snap["counters"])
+    # Per-servlet latency percentiles for the servlets the replay hit.
+    assert out["latency"]["visit"]["count"] >= 1
+    assert out["latency"]["visit"]["p95"] >= 0.0
+    # The headline gauge: per-consumer versioning lag.
+    assert set(out["versioning_lag"]) == set(out["versions"])
+    assert all(lag >= 0 for lag in out["versioning_lag"].values())
+
+
 # -- transport ----------------------------------------------------------------------
 
 @pytest.fixture

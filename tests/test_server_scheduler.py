@@ -122,3 +122,86 @@ def test_registration_validation():
         sched.register(d)
     with pytest.raises(DaemonError):
         sched.register(FakeDaemon("e"), period=0)
+
+
+# -- auto-parole -------------------------------------------------------------
+
+def test_auto_parole_after_n_rounds():
+    sched = DaemonScheduler(max_consecutive_failures=2, parole_after=3)
+    d = FakeDaemon("d", work=1, fail_times=2)
+    sched.register(d)
+    # Rounds 0-1 fail and quarantine; parole fires at round 4 and the
+    # daemon runs (and succeeds) in the same round.
+    sched.tick(5)
+    stats = sched.stats()["d"]
+    assert stats["quarantined"] is False
+    assert stats["items"] == 1
+    assert stats["parole_count"] == 0  # clean run resets the backoff
+    assert d.runs == 3
+
+
+def test_parole_backoff_doubles():
+    sched = DaemonScheduler(max_consecutive_failures=1, parole_after=2)
+    d = FakeDaemon("d", fail_times=99)
+    sched.register(d)
+    # Quarantine at round 0 -> parole_at 2; re-quarantine at 2 -> parole_at
+    # 6 (wait 4); re-quarantine at 6 -> parole_at 14 (wait 8).
+    sched.tick(7)
+    stats = sched.stats()["d"]
+    assert stats["quarantined"] is True
+    assert stats["parole_count"] == 3
+    assert stats["parole_at"] == 14
+    assert d.runs == 3
+
+
+def test_no_parole_without_opt_in():
+    sched = DaemonScheduler(max_consecutive_failures=1)
+    d = FakeDaemon("d", fail_times=99)
+    sched.register(d)
+    sched.tick(50)
+    stats = sched.stats()["d"]
+    assert stats["quarantined"] is True
+    assert stats["parole_at"] is None
+    assert d.runs == 1
+
+
+def test_manual_revive_resets_backoff():
+    sched = DaemonScheduler(max_consecutive_failures=1, parole_after=2)
+    d = FakeDaemon("d", fail_times=99)
+    sched.register(d)
+    sched.tick(3)  # quarantine, parole at 2, re-quarantine with doubled wait
+    assert sched.stats()["d"]["parole_count"] == 2
+    sched.lift_quarantine("d")
+    stats = sched.stats()["d"]
+    assert stats["quarantined"] is False
+    assert stats["parole_count"] == 0
+    assert stats["parole_at"] is None
+    # The next quarantine starts from the base wait again.
+    sched.tick(1)
+    assert sched.stats()["d"]["parole_at"] == sched._now - 1 + 2
+
+
+def test_parole_after_validation():
+    with pytest.raises(DaemonError):
+        DaemonScheduler(parole_after=0)
+
+
+def test_scheduler_transitions_recorded_as_metrics():
+    from repro.obs import ManualClock, MetricsRegistry
+
+    metrics = MetricsRegistry(clock=ManualClock())
+    sched = DaemonScheduler(
+        max_consecutive_failures=2, parole_after=1, metrics=metrics,
+    )
+    d = FakeDaemon("flaky", work=2, fail_times=2)
+    sched.register(d)
+    sched.tick(4)  # fail, fail -> quarantine, parole + success, success
+    val = metrics.counter_value
+    assert val("server.scheduler.failures", daemon="flaky") == 2
+    assert val("server.scheduler.quarantines", daemon="flaky") == 1
+    assert val("server.scheduler.paroles", daemon="flaky") == 1
+    assert val("server.scheduler.runs", daemon="flaky") == 2
+    assert val("server.scheduler.items", daemon="flaky") == 2
+    # Every attempt (success or failure) lands in the latency histogram.
+    h = metrics.histogram("server.scheduler.run_latency", daemon="flaky")
+    assert h.count == 4
