@@ -1,0 +1,89 @@
+"""M-ingest — batch ingest throughput benchmark.
+
+The headline claim of the batch pipeline: with a durable (``sync=True``)
+WAL, replaying the same visit workload through batched applets
+(``batch_size>=32`` — one frame, one dispatch, one relational group
+commit and one sequence allocation per run of events) sustains at least
+2× the events/sec of per-event replay, which pays the full
+encode→decode→dispatch→fsync round trip for every visit.
+
+Numbers land in ``BENCH_ingest.json`` at the repo root so the throughput
+trajectory is tracked across PRs.  Set ``MEMEX_BENCH_QUICK=1`` (the CI
+smoke mode) for a smaller workload with the same ≥2× gate.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core import MemexSystem
+from repro.core.memex import MemexServer
+from repro.server.events import VisitEvent
+
+QUICK = bool(os.environ.get("MEMEX_BENCH_QUICK"))
+NUM_USERS = 2 if QUICK else 4
+VISITS_PER_USER = 128 if QUICK else 512
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_ingest.json"
+
+
+def _visit_stream() -> list[VisitEvent]:
+    """Per-user surfing bursts: each user's visits are consecutive, the
+    shape a client-side event buffer produces when it flushes."""
+    events: list[VisitEvent] = []
+    for u in range(NUM_USERS):
+        user_id = f"user{u:02d}"
+        for i in range(VISITS_PER_USER):
+            events.append(VisitEvent(
+                user_id=user_id,
+                at=float(len(events)),
+                url=f"http://site{u}/page/{i}",
+                referrer=f"http://site{u}/page/{i - 1}" if i else None,
+                session_id=1,
+            ))
+    return events
+
+
+def _events_per_sec(events, batch_size: int, root: Path) -> float:
+    server = MemexServer(lambda url: None, root=str(root), sync=True)
+    system = MemexSystem(server)
+    for u in range(NUM_USERS):
+        system.register_user(f"user{u:02d}")
+    start = time.perf_counter()
+    system.replay(events, tick_every=0, finish=False, batch_size=batch_size)
+    elapsed = time.perf_counter() - start
+    n_visits = len(system.server.repo.db.table("visits"))
+    system.close()
+    assert n_visits == len(events), "replay dropped events"
+    return len(events) / elapsed
+
+
+def test_bench_batched_ingest_at_least_2x(tmp_path):
+    events = _visit_stream()
+    results = {}
+    for batch_size in (1, 32, 128):
+        results[f"batch_{batch_size}"] = _events_per_sec(
+            events, batch_size, tmp_path / f"b{batch_size}",
+        )
+    speedup_32 = results["batch_32"] / results["batch_1"]
+    speedup_128 = results["batch_128"] / results["batch_1"]
+    payload = {
+        "benchmark": "ingest_throughput",
+        "quick": QUICK,
+        "workload": {
+            "users": NUM_USERS,
+            "visits_per_user": VISITS_PER_USER,
+            "events": len(events),
+            "wal_sync": True,
+        },
+        "events_per_sec": {k: round(v, 1) for k, v in results.items()},
+        "speedup_batch_32": round(speedup_32, 2),
+        "speedup_batch_128": round(speedup_128, 2),
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\ningest throughput (events/sec, sync WAL): "
+          + ", ".join(f"{k}={v:.0f}" for k, v in results.items())
+          + f"  speedup@32={speedup_32:.2f}x @128={speedup_128:.2f}x")
+    assert speedup_32 >= 2.0, (
+        f"batched ingest only {speedup_32:.2f}x faster: {payload}"
+    )

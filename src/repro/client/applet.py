@@ -4,13 +4,22 @@
 user's archive mode locally (an ``off`` mode means the URL never leaves
 the machine), and exposes the function tabs — folder management, trail
 replay, search — as methods that tunnel requests to the server.
+
+Ingest batching: with ``batch_size > 1`` the applet buffers archive
+events (``record_visit`` / ``bookmark``) and ships them as ONE framed
+``batch`` envelope — one encode, one decode, one dispatch, one storage
+group commit server-side.  The buffer flushes when it reaches
+``batch_size``, before any synchronous UI call (``search``, folder views,
+… — every tunneled request), and explicitly via :meth:`flush`.  The
+default ``batch_size=0`` keeps the historical one-request-per-event
+behaviour bit-for-bit.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
-from ..errors import AuthError, MemexError
+from ..errors import CODE_UNKNOWN_USER, AuthError, MemexError
 from ..server.transport import HttpTunnelTransport
 from .browser import Browser
 
@@ -39,28 +48,80 @@ class MemexApplet:
         *,
         browser: Browser | None = None,
         session_id: int = 1,
+        batch_size: int = 0,
     ) -> None:
         self.transport = transport
         self.user_id = user_id
         self.browser = browser
         self.archive_mode = ARCHIVE_COMMUNITY
         self.session_id = session_id
+        self.batch_size = batch_size
         self.dropped_events = 0  # visits not archived because mode was off
+        self.batched_events = 0  # events that rode a batch frame
+        self._pending: list[dict[str, Any]] = []
         if browser is not None:
             browser.add_listener(self._on_navigate)
 
     # -- plumbing -----------------------------------------------------------------
 
+    @staticmethod
+    def _raise_for_error(servlet: str, response: dict[str, Any]) -> None:
+        """Typed-error dispatch: codes, not message substrings."""
+        if response.get("status") == "ok":
+            return
+        error = response.get("error", "unknown server error")
+        if response.get("error_code") == CODE_UNKNOWN_USER:
+            raise AuthError(error)
+        raise MemexError(f"servlet {servlet!r} failed: {error}")
+
     def _call(self, servlet: str, **kwargs: Any) -> dict[str, Any]:
+        # Any synchronous call flushes buffered archive events first, so
+        # the server sees this user's events in the order they happened.
+        self.flush()
         response = self.transport.request(
             self.user_id, {"servlet": servlet, **kwargs},
         )
-        if response.get("status") != "ok":
-            error = response.get("error", "unknown server error")
-            if "unknown user" in error:
-                raise AuthError(error)
-            raise MemexError(f"servlet {servlet!r} failed: {error}")
+        self._raise_for_error(servlet, response)
         return response
+
+    def _enqueue(self, request: dict[str, Any]) -> None:
+        """Buffer one archive event; flush when the buffer is full."""
+        self._pending.append(request)
+        self.batched_events += 1
+        if len(self._pending) >= self.batch_size:
+            self.flush()
+
+    def flush(self) -> list[dict[str, Any]]:
+        """Ship buffered archive events as one batch frame.
+
+        Returns the per-item responses.  Item failures are surfaced after
+        the whole batch is accounted for: an ``unknown_user`` item raises
+        :class:`AuthError`, any other failed item raises
+        :class:`MemexError` naming the failure count.
+        """
+        if not self._pending:
+            return []
+        batch, self._pending = self._pending, []
+        responses = self.transport.request_batch(self.user_id, batch)
+        failed = [
+            (req, resp) for req, resp in zip(batch, responses)
+            if resp.get("status") != "ok"
+        ]
+        if failed:
+            req, resp = failed[0]
+            if resp.get("error_code") == CODE_UNKNOWN_USER:
+                raise AuthError(resp.get("error", "unknown user"))
+            raise MemexError(
+                f"{len(failed)}/{len(batch)} batched events failed; first: "
+                f"servlet {req.get('servlet')!r}: "
+                f"{resp.get('error', 'unknown server error')}"
+            )
+        return responses
+
+    @property
+    def pending_events(self) -> int:
+        """How many archive events are buffered and not yet shipped."""
+        return len(self._pending)
 
     # -- archive-mode control (Figure 1's three choices) -----------------------------
 
@@ -84,17 +145,31 @@ class MemexApplet:
         referrer: str | None = None,
         session_id: int | None = None,
     ) -> bool:
-        """Archive one visit; returns False when mode is off (nothing sent)."""
+        """Archive one visit; returns False when mode is off (nothing sent).
+
+        With batching enabled the event is buffered (returns True once
+        accepted locally) and ships on the next flush.
+        """
         if self.archive_mode == ARCHIVE_OFF:
             self.dropped_events += 1
             return False
-        self._call(
-            "visit",
-            url=url,
-            at=at,
-            referrer=referrer,
-            session_id=session_id if session_id is not None else self.session_id,
-        )
+        request = {
+            "servlet": "visit",
+            "url": url,
+            "at": at,
+            "referrer": referrer,
+            "session_id": session_id if session_id is not None else self.session_id,
+        }
+        if self.batch_size > 1:
+            self._enqueue(request)
+        else:
+            self._call(
+                "visit",
+                url=url,
+                at=at,
+                referrer=referrer,
+                session_id=request["session_id"],
+            )
         return True
 
     def new_session(self) -> int:
@@ -126,7 +201,13 @@ class MemexApplet:
         if self.archive_mode == ARCHIVE_OFF:
             self.dropped_events += 1
             return
-        self._call("bookmark", url=url, folder_path=folder_path, at=at)
+        if self.batch_size > 1:
+            self._enqueue({
+                "servlet": "bookmark",
+                "url": url, "folder_path": folder_path, "at": at,
+            })
+        else:
+            self._call("bookmark", url=url, folder_path=folder_path, at=at)
 
     def move_bookmark(
         self, url: str, from_folder: str | None, to_folder: str, *, at: float
@@ -179,16 +260,47 @@ class MemexApplet:
         k: int = 10,
         scope: str = "all",
         mode: str = "ranked",
+        limit: int | None = None,
+        offset: int = 0,
     ) -> list[dict[str, Any]]:
         """Full-text search over archived pages.
 
         ``scope``: all | mine | community.  ``mode``: ranked (BM25) or
         boolean (AND/OR/NOT with parentheses, BM25-ranked matches).
         Each hit carries a query-biased ``snippet`` with [marked] terms.
+
+        ``limit``/``offset`` paginate: ``limit`` defaults to ``k`` (the
+        historical page size) and ``offset=0`` keeps old calls unchanged.
+        Use :meth:`search_page` for the pagination metadata
+        (``total``/``has_more``).
         """
-        return self._call(
-            "search", query=query, k=k, scope=scope, mode=mode,
+        return self.search_page(
+            query, limit=limit if limit is not None else k,
+            offset=offset, scope=scope, mode=mode,
         )["hits"]
+
+    def search_page(
+        self,
+        query: str,
+        *,
+        limit: int = 10,
+        offset: int = 0,
+        scope: str = "all",
+        mode: str = "ranked",
+    ) -> dict[str, Any]:
+        """One page of search results plus pagination metadata:
+        ``{"hits": [...], "total": N, "has_more": bool, "offset": int}`` —
+        million-page archives never ship unbounded result lists."""
+        response = self._call(
+            "search", query=query, limit=limit, offset=offset,
+            scope=scope, mode=mode,
+        )
+        return {
+            "hits": response["hits"],
+            "total": response["total"],
+            "has_more": response["has_more"],
+            "offset": response["offset"],
+        }
 
     def recall_url(
         self,

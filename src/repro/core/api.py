@@ -125,14 +125,32 @@ class MemexSystem:
         *,
         tick_every: int = 100,
         finish: bool = True,
+        batch_size: int = 32,
     ) -> dict[str, int]:
         """Feed simulated surf events through real client applets,
         interleaving daemon work every *tick_every* events — the online
-        regime of the deployed system.  Returns event counts."""
+        regime of the deployed system.  Returns event counts.
+
+        Replay is batched: archive events (visits, bookmarks) buffer in
+        the applet and ship as one framed batch per run of up to
+        *batch_size* consecutive same-user events (``batch_size<=1``
+        restores one frame per event).  Buffers flush whenever the active
+        user changes, before any synchronous call, at every daemon tick,
+        and at the end — so events reach the server in exactly the global
+        order they occurred and the final repository state matches
+        per-event replay bit for bit.
+        """
         counts = {"visit": 0, "bookmark": 0, "folder": 0, "move": 0, "mode": 0}
         processed = 0
+        active: MemexApplet | None = None
         for event in events:
             applet = self.connect(event.user_id)
+            applet.batch_size = batch_size
+            if active is not None and active is not applet:
+                # Preserve global event order across users: only runs of
+                # consecutive same-user events share a batch frame.
+                active.flush()
+            active = applet
             if isinstance(event, VisitEvent):
                 applet.record_visit(
                     event.url, at=event.at,
@@ -155,7 +173,16 @@ class MemexSystem:
                 counts["mode"] += 1
             processed += 1
             if tick_every and processed % tick_every == 0:
+                if active is not None:
+                    active.flush()
                 self.server.tick()
+        if active is not None:
+            active.flush()
+        # Replay borrowed the cached applets for buffering; hand them back
+        # in immediate-send mode so later direct calls behave classically.
+        for applet in self._applets.values():
+            applet.flush()
+            applet.batch_size = 0
         if finish:
             self.server.process_background_work()
         return counts

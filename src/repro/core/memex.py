@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from ..errors import AuthError, NotFitted
+from ..errors import AuthError, NotFitted, error_payload
 from ..mining.themes import ThemeDiscovery
 from ..obs import MetricsRegistry, Tracer
 from ..server.daemons import (
@@ -72,6 +72,7 @@ class MemexServer:
         fetch: FetchFn,
         *,
         root: str | None = None,
+        sync: bool = False,
         theme_discovery: ThemeDiscovery | None = None,
         crawler_batch: int = 64,
         metrics: MetricsRegistry | None = None,
@@ -83,9 +84,10 @@ class MemexServer:
         self.tracer = tracer if tracer is not None else Tracer(sample_every=8)
         self._now = 0.0
         # The repository stamps rows with simulation time, the same clock
-        # servlets advance — replays stay deterministic.
+        # servlets advance — replays stay deterministic.  ``sync`` turns on
+        # fsync-per-commit durability (requires a ``root``).
         self.repo = MemexRepository(
-            root, clock=lambda: self._now, metrics=self.metrics,
+            root, sync=sync, clock=lambda: self._now, metrics=self.metrics,
         )
         self.vectorizer = PageVectorizer(self.repo)
         self.index = InvertedIndex(self.repo.kv)
@@ -237,8 +239,13 @@ class MemexServer:
             "popular_near_trail": self._sv_popular_near_trail,
             "stats": self._sv_stats,
         }
+        # Batch handlers group-commit runs of same-servlet items inside a
+        # batch envelope (see ServletRegistry.dispatch_batch).
+        batch_handlers = {"visit": self._sv_visit_many}
         for name, handler in handlers.items():
-            self.registry.register(name, handler)
+            self.registry.register(
+                name, handler, batch_handler=batch_handlers.get(name),
+            )
 
     # -- account management ----------------------------------------------------
 
@@ -280,6 +287,43 @@ class MemexServer:
         )
         self.crawler.enqueue(url)
         return {"archived": True, "visit_id": visit_id}
+
+    def _sv_visit_many(self, requests: list[dict[str, Any]]) -> list[dict[str, Any]]:
+        """Batch leg of the visit servlet: per-item semantics identical to
+        :meth:`_sv_visit` (auth, archive-off, clock clamping, crawl
+        enqueue) but ONE repository group commit — one WAL record and one
+        fsync — for the whole run instead of several per event.  Invalid
+        items get typed per-item errors; valid neighbours still commit.
+        """
+        responses: list[dict[str, Any] | None] = [None] * len(requests)
+        items: list[dict[str, Any]] = []
+        slots: list[int] = []
+        for i, request in enumerate(requests):
+            try:
+                user = self._require_user(request)
+                mode = user["archive_mode"]
+                if mode == ARCHIVE_OFF:
+                    responses[i] = {"archived": False}
+                    continue
+                url = request["url"]
+                at = self._advance(request.get("at"))
+                items.append({
+                    "user_id": user["user_id"],
+                    "url": url,
+                    "at": at,
+                    "session_id": int(request.get("session_id", 0)),
+                    "referrer": request.get("referrer"),
+                    "archive_mode": mode,
+                })
+                slots.append(i)
+            except Exception as exc:  # noqa: BLE001 - per-item isolation
+                responses[i] = error_payload(exc)
+        visit_ids = self.repo.record_visit_batch(items)
+        for item in items:
+            self.crawler.enqueue(item["url"])
+        for slot, visit_id in zip(slots, visit_ids):
+            responses[slot] = {"archived": True, "visit_id": visit_id}
+        return responses
 
     def _sv_import_history(self, request: dict[str, Any]) -> dict[str, Any]:
         """Bulk-import a raw browser history: timestamped URLs with no
@@ -390,9 +434,20 @@ class MemexServer:
     # -- search and recall ----------------------------------------------------------
 
     def _sv_search(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Paginated full-text search.
+
+        ``limit`` (default: legacy ``k``) and ``offset`` window the ranked
+        result list; the response always reports ``total`` matches and
+        ``has_more``, so clients page through million-hit archives instead
+        of shipping unbounded lists.
+        """
         user = self._require_user(request)
         query = request["query"]
         k = int(request.get("k", 10))
+        limit = int(request.get("limit", k))
+        offset = int(request.get("offset", 0))
+        if limit < 0 or offset < 0:
+            raise ValueError("limit and offset must be non-negative")
         scope = request.get("scope", "all")
         mode = request.get("mode", "ranked")
         candidates: set[str] | None = None
@@ -405,18 +460,25 @@ class MemexServer:
         if mode == "boolean":
             from ..text.query import ranked_boolean_search
 
-            hits = ranked_boolean_search(self.search_engine, query, k=k * 4)
+            hits = ranked_boolean_search(self.search_engine, query, k=None)
             if candidates is not None:
                 hits = [h for h in hits if h.doc_id in candidates]
-            hits = hits[:k]
         else:
-            hits = self.search_engine.search(query, k=k, candidates=candidates)
+            hits = self.search_engine.search(
+                query, k=None, candidates=candidates)
+        total = len(hits)
+        page = hits[offset:offset + limit]
         payloads = []
-        for hit in hits:
+        for hit in page:
             payload = self._hit_payload(hit.doc_id, hit.score)
             payload["snippet"] = self._snippet_for(hit.doc_id, query)
             payloads.append(payload)
-        return {"hits": payloads}
+        return {
+            "hits": payloads,
+            "total": total,
+            "offset": offset,
+            "has_more": offset + len(page) < total,
+        }
 
     def _snippet_for(self, url: str, query: str) -> str | None:
         from ..text.snippets import make_snippet

@@ -4,13 +4,46 @@ Every error raised by this package derives from :class:`MemexError`, so
 applications can catch one base class at the API boundary.  Subsystems get
 their own subtree (storage, mining, protocol, ...) mirroring the package
 layout.
+
+Errors that cross the wire also carry a stable machine-readable
+``error_code`` and a ``retryable`` hint, so clients dispatch on codes
+instead of substring-matching free-text messages.  The code registry and
+the exception→code mapping live here — one place — and
+:func:`error_payload` renders any exception into the wire fields every
+error response carries.
 """
 
 from __future__ import annotations
 
+from typing import Any
+
+# ---------------------------------------------------------------------------
+# Wire error codes (the stable client-facing registry)
+# ---------------------------------------------------------------------------
+
+CODE_UNKNOWN_SERVLET = "unknown_servlet"
+CODE_UNKNOWN_USER = "unknown_user"
+CODE_BAD_REQUEST = "bad_request"
+CODE_UNSUPPORTED_VERSION = "unsupported_version"
+CODE_INTERNAL = "internal"
+
+#: Which codes a well-behaved client may retry without changing the request.
+RETRYABLE_CODES = frozenset({CODE_INTERNAL})
+
+ERROR_CODES = frozenset({
+    CODE_UNKNOWN_SERVLET,
+    CODE_UNKNOWN_USER,
+    CODE_BAD_REQUEST,
+    CODE_UNSUPPORTED_VERSION,
+    CODE_INTERNAL,
+})
+
 
 class MemexError(Exception):
     """Base class for all errors raised by the ``repro`` package."""
+
+    #: Default wire code for this exception class; subclasses override.
+    code: str = CODE_INTERNAL
 
 
 # ---------------------------------------------------------------------------
@@ -107,15 +140,32 @@ class EmptyCorpus(MiningError):
 # ---------------------------------------------------------------------------
 
 class ProtocolError(MemexError):
-    """Malformed message or illegal request at the client-server boundary."""
+    """Malformed message or illegal request at the client-server boundary.
+
+    ``code`` defaults to ``bad_request``; framing-level failures that need
+    a more specific code (e.g. ``unsupported_version``) pass it explicitly.
+    """
+
+    code = CODE_BAD_REQUEST
+
+    def __init__(self, message: str, *, code: str | None = None) -> None:
+        super().__init__(message)
+        if code is not None:
+            if code not in ERROR_CODES:
+                raise ValueError(f"unknown error code {code!r}")
+            self.code = code
 
 
 class AuthError(ProtocolError):
     """Unknown user or bad credentials."""
 
+    code = CODE_UNKNOWN_USER
+
 
 class ServletError(MemexError):
     """A servlet failed while handling a request."""
+
+    code = CODE_BAD_REQUEST
 
 
 class DaemonError(MemexError):
@@ -140,3 +190,29 @@ class FolderCycle(FolderError):
 
 class BookmarkFormatError(FolderError):
     """A Netscape/Explorer bookmark file could not be parsed."""
+
+
+# ---------------------------------------------------------------------------
+# Exception → wire fields
+# ---------------------------------------------------------------------------
+
+def error_code_for(exc: BaseException) -> str:
+    """The stable wire code for *exc* — the single mapping point."""
+    if isinstance(exc, MemexError):
+        return exc.code
+    # Shape errors from handlers poking at request dicts (missing keys,
+    # wrong types) are the caller's fault, not a server fault.
+    if isinstance(exc, (KeyError, TypeError, ValueError)):
+        return CODE_BAD_REQUEST
+    return CODE_INTERNAL
+
+
+def error_payload(exc: BaseException) -> dict[str, Any]:
+    """Render *exc* into the fields every error response carries."""
+    code = error_code_for(exc)
+    return {
+        "status": "error",
+        "error": f"{type(exc).__name__}: {exc}",
+        "error_code": code,
+        "retryable": code in RETRYABLE_CODES,
+    }

@@ -18,10 +18,25 @@ import json
 import struct
 from typing import Any
 
-from ..errors import ProtocolError
+from ..errors import CODE_UNSUPPORTED_VERSION, ProtocolError
 
 _LEN = struct.Struct("<I")
 MAX_MESSAGE_BYTES = 16 * 1024 * 1024
+
+# The flags byte packs the cipher bit (bit 0) and the protocol version
+# (bits 1..7).  v1 frames predate versioning and wrote flags 0/1, so a
+# version field of 0 means "v1"; the current encoder stamps PROTOCOL_V2.
+# Decoders accept every version up to their own and reject the future.
+_FLAG_ENCRYPTED = 0x01
+_VERSION_SHIFT = 1
+PROTOCOL_V1 = 1
+PROTOCOL_V2 = 2
+PROTOCOL_VERSION = PROTOCOL_V2
+
+
+def frame_version(flags: int) -> int:
+    """Protocol version encoded in a frame's flags byte (0 ⇒ legacy v1)."""
+    return (flags >> _VERSION_SHIFT) or PROTOCOL_V1
 
 
 def rc4_stream(key: bytes, data: bytes) -> bytes:
@@ -43,23 +58,37 @@ def rc4_stream(key: bytes, data: bytes) -> bytes:
     return bytes(out)
 
 
-def encode_message(payload: dict[str, Any], *, key: bytes | None = None) -> bytes:
+def encode_message(
+    payload: dict[str, Any],
+    *,
+    key: bytes | None = None,
+    version: int = PROTOCOL_VERSION,
+) -> bytes:
     """Frame *payload* as ``length || flags || body``.
 
-    ``flags`` is 1 when the body is encrypted.
+    ``flags`` carries the cipher bit and the protocol version (stamped
+    ``PROTOCOL_VERSION`` unless a legacy *version* is requested).
     """
+    if not PROTOCOL_V1 <= version <= PROTOCOL_VERSION:
+        raise ProtocolError(f"cannot encode protocol version {version}")
     body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
-    flags = 0
+    flags = version << _VERSION_SHIFT
     if key is not None:
         body = rc4_stream(key, body)
-        flags = 1
+        flags |= _FLAG_ENCRYPTED
     if len(body) + 1 > MAX_MESSAGE_BYTES:
         raise ProtocolError("message too large")
     return _LEN.pack(len(body) + 1) + bytes([flags]) + body
 
 
 def decode_message(data: bytes, *, key: bytes | None = None) -> dict[str, Any]:
-    """Parse one framed message; raises :class:`ProtocolError` on garbage."""
+    """Parse one framed message; raises :class:`ProtocolError` on garbage.
+
+    Frames from every protocol version up to :data:`PROTOCOL_VERSION`
+    decode (v1 frames carry no version bits and decode unchanged); frames
+    stamped with an unknown future version are rejected with a typed
+    ``unsupported_version`` error rather than misparsed.
+    """
     if len(data) < _LEN.size + 1:
         raise ProtocolError("short message")
     (length,) = _LEN.unpack_from(data)
@@ -70,8 +99,14 @@ def decode_message(data: bytes, *, key: bytes | None = None) -> dict[str, Any]:
             f"length mismatch: declared {length}, got {len(data) - _LEN.size}"
         )
     flags = data[_LEN.size]
+    version = frame_version(flags)
+    if version > PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version} (speak ≤ {PROTOCOL_VERSION})",
+            code=CODE_UNSUPPORTED_VERSION,
+        )
     body = data[_LEN.size + 1:]
-    if flags & 1:
+    if flags & _FLAG_ENCRYPTED:
         if key is None:
             raise ProtocolError("encrypted message but no key supplied")
         body = rc4_stream(key, body)

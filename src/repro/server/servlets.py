@@ -7,11 +7,22 @@ dispatches on the request's ``servlet`` field, turns exceptions into
 error responses (the robustness requirement: a failed request must not
 take the server down), and keeps per-servlet counters.
 
+Every error response carries ``error_code`` and ``retryable`` (see
+:mod:`repro.errors`) so clients dispatch on codes, never on message text.
+
 Every dispatch is observable: the registry records a request counter, an
 error counter, and a latency histogram per servlet
 (``server.servlets.*{servlet=name}``) and opens a ``servlet.<name>``
 trace span, so the paper's "guaranteed immediate processing" claim for UI
 events can actually be checked against numbers.
+
+Batch ingest: the reserved ``batch`` servlet carries a v2 envelope
+``{"servlet": "batch", "requests": [...]}``.  :meth:`dispatch_batch`
+amortizes one trace span and one latency observation across the whole
+batch, routes runs of consecutive same-servlet items through a registered
+*batch handler* (which may group-commit storage writes), and isolates
+per-item failures — a handler that blows up on a grouped run degrades to
+per-item dispatch so one bad item never poisons its neighbours.
 """
 
 from __future__ import annotations
@@ -20,10 +31,26 @@ import traceback
 from collections.abc import Callable
 from typing import Any
 
-from ..errors import ServletError
+from ..errors import (
+    CODE_BAD_REQUEST,
+    CODE_UNKNOWN_SERVLET,
+    ServletError,
+    error_payload,
+)
 from ..obs import MetricsRegistry, Tracer, null_registry, null_tracer
 
 Handler = Callable[[dict[str, Any]], dict[str, Any]]
+BatchHandler = Callable[[list[dict[str, Any]]], list[dict[str, Any]]]
+
+#: Reserved envelope name — not registrable, handled by the registry itself.
+BATCH_SERVLET = "batch"
+
+
+def _error_response(message: str, code: str) -> dict[str, Any]:
+    return {
+        "status": "error", "error": message,
+        "error_code": code, "retryable": False,
+    }
 
 
 class ServletRegistry:
@@ -36,8 +63,10 @@ class ServletRegistry:
         tracer: Tracer | None = None,
     ) -> None:
         self._handlers: dict[str, Handler] = {}
+        self._batch_handlers: dict[str, BatchHandler] = {}
         self.requests_served = 0
         self.requests_failed = 0
+        self.batches_served = 0
         self._counts: dict[str, int] = {}
         self.metrics = metrics if metrics is not None else null_registry()
         self.tracer = tracer if tracer is not None else null_tracer()
@@ -49,10 +78,28 @@ class ServletRegistry:
             "server.servlets.errors", servlet="<unknown>",
         )
 
-    def register(self, name: str, handler: Handler) -> None:
+    def register(
+        self,
+        name: str,
+        handler: Handler,
+        *,
+        batch_handler: BatchHandler | None = None,
+    ) -> None:
+        """Register *handler* under *name*.
+
+        ``batch_handler`` optionally handles a *list* of requests for this
+        servlet in one call (returning one response per request, in order)
+        so storage writes can be group-committed; :meth:`dispatch_batch`
+        uses it for runs of consecutive same-servlet items and falls back
+        to the per-item handler if it fails.
+        """
+        if name == BATCH_SERVLET:
+            raise ServletError(f"servlet name {BATCH_SERVLET!r} is reserved")
         if name in self._handlers:
             raise ServletError(f"servlet {name!r} already registered")
         self._handlers[name] = handler
+        if batch_handler is not None:
+            self._batch_handlers[name] = batch_handler
 
     def names(self) -> list[str]:
         return sorted(self._handlers)
@@ -78,14 +125,19 @@ class ServletRegistry:
             self._instruments[name] = got
         return got
 
+    # -- single dispatch ----------------------------------------------------
+
     def dispatch(self, request: dict[str, Any]) -> dict[str, Any]:
         """Route a request; never raises — errors become ``status: error``
         responses so one bad request cannot kill the server loop."""
         name = request.get("servlet")
+        if name == BATCH_SERVLET:
+            return self._dispatch_envelope(request)
         if not isinstance(name, str) or name not in self._handlers:
             self.requests_failed += 1
             self._unknown_counter.inc()
-            return {"status": "error", "error": f"unknown servlet {name!r}"}
+            return _error_response(
+                f"unknown servlet {name!r}", CODE_UNKNOWN_SERVLET)
         errors, latency, span_name = self._instruments_for(name)
         clock = self._clock
         start = clock()
@@ -98,21 +150,149 @@ class ServletRegistry:
                 span.set("status", "error")
                 self.requests_failed += 1
                 return {
-                    "status": "error",
-                    "error": f"{type(exc).__name__}: {exc}",
+                    **error_payload(exc),
                     "traceback": traceback.format_exc(limit=5),
                 }
         latency.observe(clock() - start)
         self.requests_served += 1
         self._counts[name] = self._counts.get(name, 0) + 1
         if "status" not in response:
-            response["status"] = "ok"
+            # Copy before annotating: handlers may return cached/shared
+            # dicts, and mutating those in place corrupts the handler.
+            response = {**response, "status": "ok"}
         return response
+
+    # -- batch dispatch -----------------------------------------------------
+
+    def _dispatch_envelope(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Unwrap a ``batch`` envelope into :meth:`dispatch_batch`.
+
+        The envelope's ``user_id`` (stamped by the transport from the
+        authenticated channel) is propagated onto every item — items never
+        speak for a different user than the frame they rode in on.
+        """
+        items = request.get("requests")
+        if not isinstance(items, list):
+            self.requests_failed += 1
+            return _error_response(
+                "batch envelope requires a 'requests' list", CODE_BAD_REQUEST)
+        user_id = request.get("user_id")
+        if user_id is not None:
+            items = [
+                {**item, "user_id": user_id} if isinstance(item, dict) else item
+                for item in items
+            ]
+        return {"status": "ok", "responses": self.dispatch_batch(items)}
+
+    def dispatch_batch(
+        self, requests: list[dict[str, Any]],
+    ) -> list[dict[str, Any]]:
+        """Dispatch many requests under one span and one latency sample.
+
+        Consecutive items naming the same servlet are handed to that
+        servlet's batch handler (if registered) as one group, letting the
+        handler amortize storage commits; everything else goes through the
+        per-item path.  Item failures are isolated: each bad item yields a
+        typed error response in its slot and its neighbours proceed.
+        """
+        errors, latency, _ = self._instruments_for(BATCH_SERVLET)
+        clock = self._clock
+        start = clock()
+        responses: list[dict[str, Any]] = []
+        with self.tracer.span("servlet.batch") as span:
+            span.set("items", len(requests))
+            i = 0
+            while i < len(requests):
+                item = requests[i]
+                name = item.get("servlet") if isinstance(item, dict) else None
+                group = [item]
+                if isinstance(name, str) and name in self._batch_handlers:
+                    while (
+                        i + len(group) < len(requests)
+                        and isinstance(requests[i + len(group)], dict)
+                        and requests[i + len(group)].get("servlet") == name
+                    ):
+                        group.append(requests[i + len(group)])
+                if len(group) > 1 or (
+                    isinstance(name, str) and name in self._batch_handlers
+                ):
+                    responses.extend(self._dispatch_group(name, group))
+                else:
+                    responses.append(self._dispatch_item(item))
+                i += len(group)
+            n_failed = sum(1 for r in responses if r.get("status") != "ok")
+            if n_failed:
+                span.set("failed", n_failed)
+                errors.inc(n_failed)
+            self.requests_failed += n_failed
+            self.requests_served += len(responses) - n_failed
+        latency.observe(clock() - start)
+        self.batches_served += 1
+        self._counts[BATCH_SERVLET] = self._counts.get(BATCH_SERVLET, 0) + 1
+        return responses
+
+    def _dispatch_group(
+        self, name: str, group: list[dict[str, Any]],
+    ) -> list[dict[str, Any]]:
+        """One batch-handler call for a same-servlet run, with fallback.
+
+        The batch handler is all-or-nothing from the registry's view: it
+        must return exactly one response per request.  If it raises (or
+        returns the wrong shape), the group is re-dispatched item by item,
+        which restores per-item isolation at per-item cost.
+        """
+        try:
+            responses = self._batch_handlers[name](group)
+            if len(responses) != len(group):
+                raise ServletError(
+                    f"batch handler for {name!r} returned {len(responses)} "
+                    f"responses for {len(group)} requests"
+                )
+        except Exception:  # noqa: BLE001 - degrade to per-item isolation
+            return [self._dispatch_item(item) for item in group]
+        out = []
+        for response in responses:
+            if "status" not in response:
+                response = {**response, "status": "ok"}
+            out.append(response)
+            if response.get("status") == "ok":
+                self._counts[name] = self._counts.get(name, 0) + 1
+        return out
+
+    def _dispatch_item(self, request: Any) -> dict[str, Any]:
+        """Per-item core of batch dispatch: isolation without per-item
+        spans or latency samples (those are amortized at batch level)."""
+        if not isinstance(request, dict):
+            return _error_response(
+                "batch items must be JSON objects", CODE_BAD_REQUEST)
+        name = request.get("servlet")
+        if name == BATCH_SERVLET:
+            return _error_response(
+                "batch envelopes cannot nest", CODE_BAD_REQUEST)
+        if not isinstance(name, str) or name not in self._handlers:
+            self._unknown_counter.inc()
+            return _error_response(
+                f"unknown servlet {name!r}", CODE_UNKNOWN_SERVLET)
+        try:
+            response = self._handlers[name](request)
+        except Exception as exc:  # noqa: BLE001 - servlet isolation boundary
+            return {
+                **error_payload(exc),
+                "traceback": traceback.format_exc(limit=5),
+            }
+        if "status" not in response:
+            response = {**response, "status": "ok"}
+        if response.get("status") == "ok":
+            self._counts[name] = self._counts.get(name, 0) + 1
+        return response
+
+    # -- introspection ------------------------------------------------------
 
     def stats(self) -> dict[str, Any]:
         return {
             "served": self.requests_served,
             "failed": self.requests_failed,
+            "batches": self.batches_served,
             "by_servlet": dict(self._counts),
         }
 

@@ -10,9 +10,9 @@ from __future__ import annotations
 
 from typing import Any
 
-from ..errors import ProtocolError
+from ..errors import ProtocolError, error_payload
 from .protocol import decode_message, encode_message
-from .servlets import ServletRegistry
+from .servlets import BATCH_SERVLET, ServletRegistry
 
 
 class HttpTunnelTransport:
@@ -48,6 +48,30 @@ class HttpTunnelTransport:
         self.bytes_in += len(response_bytes)
         return decode_message(response_bytes, key=key)
 
+    def request_batch(
+        self, user_id: str, payloads: list[dict[str, Any]],
+    ) -> list[dict[str, Any]]:
+        """Ship *payloads* as one framed ``batch`` envelope (one encode,
+        one decode, one dispatch round trip); returns one response per
+        payload, in order.  An envelope-level failure (e.g. a protocol
+        error) is replicated into every slot so callers always get a
+        response per item."""
+        if not payloads:
+            return []
+        key = self._keys.get(user_id)
+        wire = encode_message({
+            "servlet": BATCH_SERVLET,
+            "user_id": user_id,
+            "requests": payloads,
+        }, key=key)
+        self.bytes_out += len(wire)
+        response_bytes = self._serve(wire, user_id)
+        self.bytes_in += len(response_bytes)
+        envelope = decode_message(response_bytes, key=key)
+        if envelope.get("status") != "ok":
+            return [dict(envelope) for _ in payloads]
+        return envelope["responses"]
+
     # -- server side --------------------------------------------------------------
 
     def _serve(self, wire: bytes, claimed_user: str) -> bytes:
@@ -55,8 +79,6 @@ class HttpTunnelTransport:
         try:
             request = decode_message(wire, key=key)
         except ProtocolError as exc:
-            return encode_message(
-                {"status": "error", "error": str(exc)}, key=key,
-            )
+            return encode_message(error_payload(exc), key=key)
         response = self.registry.dispatch(request)
         return encode_message(response, key=key)

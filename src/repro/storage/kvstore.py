@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import struct
 from bisect import bisect_left, insort
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator
 from pathlib import Path
 
 from ..errors import CorruptLog, KeyNotFound, StoreClosed
@@ -137,6 +137,29 @@ class KVStore:
             self._log.append(_encode(_OP_PUT, key, value))
             self._log_records += 1
             self._maybe_compact()
+
+    def put_many(self, items: Iterable[tuple[bytes, bytes]]) -> int:
+        """Insert or overwrite many keys with one group-committed log
+        append (one buffered write, at most one fsync); returns the count.
+
+        Later occurrences of a duplicate key win, matching sequential
+        :meth:`put` semantics.
+        """
+        self._check_open()
+        records: list[bytes] = []
+        for key, value in items:
+            if not isinstance(key, bytes) or not isinstance(value, bytes):
+                raise TypeError("kvstore keys and values must be bytes")
+            if key not in self._data:
+                insort(self._keys, key)
+            self._data[key] = value
+            self._n_puts += 1
+            records.append(_encode(_OP_PUT, key, value))
+        if self._log is not None and records:
+            self._log.append_many(records)
+            self._log_records += len(records)
+            self._maybe_compact()
+        return len(records)
 
     def delete(self, key: bytes) -> None:
         """Remove *key*; raises :class:`KeyNotFound` if absent."""
@@ -280,6 +303,11 @@ class Namespace:
 
     def put(self, key: bytes, value: bytes) -> None:
         self.store.put(self._wrap(key), value)
+
+    def put_many(self, items: Iterable[tuple[bytes, bytes]]) -> int:
+        return self.store.put_many(
+            (self._wrap(key), value) for key, value in items
+        )
 
     def get(self, key: bytes, default: bytes | None = None) -> bytes | None:
         return self.store.get(self._wrap(key), default)

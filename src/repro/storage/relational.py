@@ -349,6 +349,20 @@ class Transaction:
         self._db._table(table)  # existence check
         self._ops.append(("insert", table, None, dict(row)))
 
+    def insert_many(self, table: str, rows: Iterable[Row]) -> int:
+        """Stage many inserts into one table; returns the count staged.
+
+        The whole transaction still commits as one WAL record, so this is
+        the relational leg of the batch-ingest group commit.
+        """
+        self._check_active()
+        self._db._table(table)
+        n = 0
+        for row in rows:
+            self._ops.append(("insert", table, None, dict(row)))
+            n += 1
+        return n
+
     def update(self, table: str, pk: Any, changes: Row) -> None:
         self._check_active()
         self._db._table(table)

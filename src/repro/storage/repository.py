@@ -43,6 +43,16 @@ class Sequence:
         self._ns.put(self._key, str(self._next).encode("utf-8"))
         return value
 
+    def take(self, n: int) -> range:
+        """Allocate *n* consecutive ids with a single store write."""
+        if n < 0:
+            raise ValueError("cannot allocate a negative id count")
+        start = self._next
+        if n:
+            self._next += n
+            self._ns.put(self._key, str(self._next).encode("utf-8"))
+        return range(start, start + n)
+
     def peek(self) -> int:
         return self._next
 
@@ -244,6 +254,67 @@ class MemexRepository:
         })
         self._n_visit_writes += 1
         return visit_id
+
+    def record_visit_batch(self, items: list[dict[str, Any]]) -> list[int]:
+        """Group commit for the visit servlet's batch path.
+
+        Each item is ``{user_id, url, at, session_id, referrer,
+        archive_mode}``.  Visit ids come from one sequence allocation (one
+        KV write), and every page upsert plus every visit row lands in ONE
+        relational transaction — one WAL record, one fsync — instead of
+        2N+ of each.  Page upserts are deduplicated within the batch
+        (first occurrence sets ``first_seen``, the last one wins
+        ``last_seen``), exactly what sequential :meth:`upsert_page` calls
+        would have produced.  Atomic: on constraint failure nothing is
+        applied (allocated ids are simply skipped).
+        """
+        if not items:
+            return []
+        visit_ids = list(self.sequence("visits").take(len(items)))
+        pages = self.db.table("pages")
+        inserts: dict[str, Row] = {}
+        updates: dict[str, Row] = {}
+        for item in items:
+            url = item["url"]
+            now = item["at"]
+            if url in inserts:
+                inserts[url]["last_seen"] = now
+            elif url in updates:
+                updates[url]["last_seen"] = now
+            elif pages.get(url) is None:
+                inserts[url] = {
+                    "url": url,
+                    "title": None,
+                    "fetched": False,
+                    "content_hash": None,
+                    "first_seen": now,
+                    "last_seen": now,
+                    "produced_version": None,
+                    "front_page": False,
+                }
+            else:
+                updates[url] = {"last_seen": now}
+        with self.db.begin() as txn:
+            txn.insert_many("pages", inserts.values())
+            for url, changes in updates.items():
+                txn.update("pages", url, changes)
+            txn.insert_many("visits", (
+                {
+                    "visit_id": visit_id,
+                    "user_id": item["user_id"],
+                    "url": item["url"],
+                    "at": item["at"],
+                    "session_id": item["session_id"],
+                    "referrer": item["referrer"],
+                    "archive_mode": item["archive_mode"],
+                    "topic_folder": None,
+                    "topic_confidence": None,
+                }
+                for item, visit_id in zip(items, visit_ids)
+            ))
+        self._n_page_writes += len(inserts) + len(updates)
+        self._n_visit_writes += len(items)
+        return visit_ids
 
     def classify_visit(self, visit_id: int, folder_id: str, confidence: float) -> None:
         self.db.update("visits", visit_id, {

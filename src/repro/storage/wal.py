@@ -20,7 +20,7 @@ from __future__ import annotations
 import os
 import struct
 import zlib
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator
 from pathlib import Path
 
 from ..errors import CorruptLog, StoreClosed
@@ -116,6 +116,37 @@ class WriteAheadLog:
             os.fsync(self._fh.fileno())
             self._n_fsyncs += 1
         return offset
+
+    def append_many(self, payloads: Iterable[bytes]) -> list[int]:
+        """Group commit: append every payload as its own record with ONE
+        buffered write and (when ``sync``) ONE fsync for the whole batch.
+
+        Records stay individually checksummed and length-prefixed, so
+        torn-tail recovery still truncates to the last intact *record* —
+        a crash mid-batch keeps the batch's unbroken prefix.  Returns the
+        starting offset of each record, in order.
+        """
+        if self._closed:
+            raise StoreClosed(f"log {self.path} is closed")
+        offsets: list[int] = []
+        chunks: list[bytes] = []
+        offset = self._fh.tell()
+        for payload in payloads:
+            record = encode_record(payload)
+            offsets.append(offset)
+            offset += len(record)
+            chunks.append(record)
+        if not chunks:
+            return offsets
+        buffer = b"".join(chunks)
+        self._fh.write(buffer)
+        self._fh.flush()
+        self._n_appends += len(chunks)
+        self._n_bytes += len(buffer)
+        if self.sync:
+            os.fsync(self._fh.fileno())
+            self._n_fsyncs += 1
+        return offsets
 
     def replay(self) -> Iterator[bytes]:
         """Yield every intact record payload, in append order.

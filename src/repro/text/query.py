@@ -219,9 +219,10 @@ def ranked_boolean_search(
     engine: SearchEngine,
     query: str,
     *,
-    k: int = 10,
+    k: int | None = 10,
 ) -> list[SearchHit]:
-    """Boolean filtering + BM25 ranking over the positive terms.
+    """Boolean filtering + BM25 ranking over the positive terms
+    (``k=None`` returns every boolean match, ranked).
 
     Queries with no positive term (pure negations) rank by doc id.
     """

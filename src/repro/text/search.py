@@ -46,11 +46,12 @@ class SearchEngine:
         self,
         query: str,
         *,
-        k: int = 10,
+        k: int | None = 10,
         method: str = "bm25",
         candidates: set[str] | None = None,
     ) -> list[SearchHit]:
-        """Top-*k* documents for *query*.
+        """Top-*k* documents for *query* (``k=None`` ranks every match,
+        which the paginated search servlet uses to report totals).
 
         ``candidates`` restricts scoring to a given doc-id set — Memex uses
         this to search within one user's trail or one topic's pages.

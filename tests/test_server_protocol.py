@@ -207,8 +207,12 @@ def test_stats_servlet_exposes_observability(live_system):
     assert snap["counters"].get("storage.kvstore.puts", 0) > 0
     assert any(k.startswith("server.servlets.requests") for k in snap["counters"])
     # Per-servlet latency percentiles for the servlets the replay hit.
-    assert out["latency"]["visit"]["count"] >= 1
-    assert out["latency"]["visit"]["p95"] >= 0.0
+    # Replay ships visits inside batch frames, so latency samples are
+    # amortized under the batch pseudo-servlet; per-item counts remain.
+    assert out["latency"]["batch"]["count"] >= 1
+    assert out["latency"]["batch"]["p95"] >= 0.0
+    assert out["servlets"]["by_servlet"].get("visit", 0) >= 1
+    assert out["servlets"]["batches"] >= 1
     # The headline gauge: per-consumer versioning lag.
     assert set(out["versioning_lag"]) == set(out["versions"])
     assert all(lag >= 0 for lag in out["versioning_lag"].values())
@@ -241,3 +245,139 @@ def test_transport_encrypted_user(transport):
 def test_transport_error_response(transport):
     out = transport.request("alice", {"servlet": "missing"})
     assert out["status"] == "error"
+    assert out["error_code"] == "unknown_servlet"
+    assert out["retryable"] is False
+
+
+# -- protocol versioning ----------------------------------------------------------
+
+def test_v1_frames_still_decode():
+    """Back-compat: frames produced by the v1 encoder (flags byte carries
+    only the cipher bit) decode unchanged by the current decoder."""
+    import json
+    import struct
+
+    from repro.server.protocol import rc4_stream as _rc4
+
+    payload = {"servlet": "visit", "url": "http://x/"}
+    body = json.dumps(payload, separators=(",", ":")).encode()
+    v1_plain = struct.pack("<I", len(body) + 1) + b"\x00" + body
+    assert decode_message(v1_plain) == payload
+    key = b"user-key"
+    cipher = _rc4(key, body)
+    v1_enc = struct.pack("<I", len(cipher) + 1) + b"\x01" + cipher
+    assert decode_message(v1_enc, key=key) == payload
+
+
+def test_v1_explicit_version_encodes():
+    from repro.server.protocol import PROTOCOL_V1, frame_version
+
+    wire = encode_message({"a": 1}, version=PROTOCOL_V1)
+    assert frame_version(wire[4]) == PROTOCOL_V1
+    assert decode_message(wire) == {"a": 1}
+
+
+def test_current_frames_stamp_version():
+    from repro.server.protocol import PROTOCOL_VERSION, frame_version
+
+    wire = encode_message({"a": 1})
+    assert frame_version(wire[4]) == PROTOCOL_VERSION
+    wire_enc = encode_message({"a": 1}, key=b"k")
+    assert frame_version(wire_enc[4]) == PROTOCOL_VERSION
+    assert wire_enc[4] & 1
+
+
+def test_future_version_rejected_with_typed_error():
+    import struct
+
+    wire = bytearray(encode_message({"a": 1}))
+    wire[4] = 99 << 1   # stamp an unknown future version
+    with pytest.raises(ProtocolError) as exc_info:
+        decode_message(bytes(wire))
+    assert exc_info.value.code == "unsupported_version"
+    # And the encoder refuses to emit versions it does not speak.
+    with pytest.raises(ProtocolError):
+        encode_message({"a": 1}, version=99)
+    assert struct.unpack_from("<I", wire)[0] == len(wire) - 4
+
+
+# -- protocol fuzz: malformed frames never kill the dispatch loop -----------------
+
+def _registry_transport():
+    reg = ServletRegistry()
+    reg.register("echo", lambda req: {"x": req.get("x")})
+    return HttpTunnelTransport(reg)
+
+
+def test_fuzz_truncated_frames_every_cut():
+    wire = encode_message({"servlet": "echo", "x": 1})
+    for cut in range(len(wire)):
+        with pytest.raises(ProtocolError):
+            decode_message(wire[:cut])
+
+
+def test_fuzz_flipped_flag_bits():
+    """Every single-bit corruption of the flags byte either still decodes
+    or raises a typed ProtocolError — never any other exception."""
+    wire = bytearray(encode_message({"servlet": "echo", "x": 1}))
+    for bit in range(8):
+        mutated = bytearray(wire)
+        mutated[4] ^= 1 << bit
+        try:
+            decode_message(bytes(mutated))
+        except ProtocolError as exc:
+            assert exc.code in ("bad_request", "unsupported_version")
+
+
+def test_fuzz_declared_length_mismatches():
+    wire = bytearray(encode_message({"a": 1}))
+    for delta in (-3, -1, 1, 7, 1 << 20):
+        mutated = bytearray(wire)
+        declared = int.from_bytes(wire[:4], "little") + delta
+        mutated[:4] = declared.to_bytes(4, "little")
+        with pytest.raises(ProtocolError):
+            decode_message(bytes(mutated))
+
+
+def test_fuzz_encrypted_frame_without_key_is_typed():
+    wire = encode_message({"a": 1}, key=b"k")
+    with pytest.raises(ProtocolError) as exc_info:
+        decode_message(wire)
+    assert exc_info.value.code == "bad_request"
+
+
+def test_fuzz_garbage_survives_dispatch_loop():
+    """A hostile client cannot take the serve loop down: every malformed
+    frame yields a typed error response and the next good request works."""
+    transport = _registry_transport()
+    good = encode_message({"servlet": "echo", "x": 1, "user_id": "u"})
+    frames = [
+        b"",
+        b"\x00",
+        good[:7],
+        good + b"trailing",
+        b"\xff\xff\xff\x7f\x00garbage",
+        bytes([good[0], good[1], good[2], good[3], 99 << 1]) + good[5:],
+        encode_message({"servlet": "echo"}, key=b"secret"),  # key not on file
+    ]
+    for frame in frames:
+        response = decode_message(transport._serve(frame, "u"))
+        assert response["status"] == "error"
+        assert response["error_code"] in ("bad_request", "unsupported_version")
+        assert isinstance(response["retryable"], bool)
+    assert transport.request("u", {"servlet": "echo", "x": 5})["x"] == 5
+
+
+def test_fuzz_batch_envelopes_with_hostile_items():
+    transport = _registry_transport()
+    out = transport.request_batch("u", [
+        {"servlet": "echo", "x": 1},
+        {"servlet": 42},
+        {"no_servlet_at_all": True},
+        {"servlet": "batch", "requests": []},   # nesting refused
+        {"servlet": "echo", "x": 2},
+    ])
+    assert [r["status"] for r in out] == ["ok", "error", "error", "error", "ok"]
+    assert all("error_code" in r for r in out if r["status"] == "error")
+    # Loop is alive.
+    assert transport.request("u", {"servlet": "echo", "x": 9})["x"] == 9
