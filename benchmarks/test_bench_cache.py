@@ -1,0 +1,156 @@
+"""M-cache — warm-read speedup of the version-aware read-path cache.
+
+The headline claim of the cache subsystem: on a repeated-query read
+workload (the same searches, trail replays, and popular-near-trail
+queries issued again and again, as a community of users polling their
+function tabs would), serving from the version-aware caches is at least
+5× faster than recomputing — with **bit-identical** responses, because
+invalidation is driven by the versioning coordinator and change stamps
+rather than TTL guesswork.
+
+Methodology: one fully-replayed community; the identical read script is
+run (1) twice with caching disabled — the second pass is the steady-state
+uncached baseline, past one-time warm-ups like the vectorizer's vector
+cache — then (2) twice with caching enabled — a cold fill pass, then the
+timed warm pass.  Responses from the timed uncached and warm passes must
+compare equal as JSON.
+
+Numbers land in ``BENCH_cache.json`` at the repo root.  Set
+``MEMEX_BENCH_QUICK=1`` (the CI smoke mode) for a smaller workload with
+the same ≥5× gate.
+"""
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+from repro.core import MemexSystem
+from repro.webgen import build_workload
+
+QUICK = bool(os.environ.get("MEMEX_BENCH_QUICK"))
+NUM_USERS = 4 if QUICK else 8
+DAYS = 10 if QUICK else 20
+PAGES_PER_LEAF = 8 if QUICK else 12
+NUM_QUERIES = 6 if QUICK else 12
+WARM_ROUNDS = 3
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_cache.json"
+
+
+def _build_system():
+    workload = build_workload(
+        seed=4242,
+        num_users=NUM_USERS,
+        days=DAYS,
+        pages_per_leaf=PAGES_PER_LEAF,
+        bookmark_prob=0.25,
+    )
+    system = MemexSystem.from_workload(workload)
+    system.replay(workload.events)          # finish=True: mining quiescent
+    return workload, system
+
+
+def _queries(workload) -> list[str]:
+    """Deterministic free-text queries sampled from corpus page text."""
+    rng = random.Random(99)
+    urls = sorted(workload.corpus.pages)
+    queries = []
+    for _ in range(NUM_QUERIES):
+        words = workload.corpus.pages[rng.choice(urls)].text.split()
+        start = rng.randrange(max(1, len(words) - 3))
+        queries.append(" ".join(words[start:start + 3]))
+    return queries
+
+
+def _read_script(workload, queries):
+    """The repeated read workload: (user, servlet call) thunk specs."""
+    script = []
+    for profile in workload.profiles:
+        user = profile.user_id
+        for query in queries:
+            script.append((user, "search", {"query": query, "k": 10}))
+            script.append((
+                user, "search",
+                {"query": query, "k": 10, "scope": "mine"},
+            ))
+        for path in sorted(profile.folders)[:2]:
+            script.append((user, "trail", {"folder_path": path}))
+            script.append((
+                user, "popular_near_trail", {"folder_path": path, "k": 10},
+            ))
+    return script
+
+
+def _run_script(system, script):
+    """Dispatch every scripted read through the real transport; returns
+    (elapsed_seconds, ordered response payloads)."""
+    transport = system.server.transport
+    responses = []
+    start = time.perf_counter()
+    for user, servlet, kwargs in script:
+        response = transport.request(user, {"servlet": servlet, **kwargs})
+        assert response["status"] == "ok", response
+        responses.append(response)
+    return time.perf_counter() - start, responses
+
+
+def test_bench_cached_reads_at_least_5x(tmp_path):
+    workload, system = _build_system()
+    server = system.server
+    queries = _queries(workload)
+    script = _read_script(workload, queries)
+
+    caches = server.caches
+    assert caches is not None
+    try:
+        # Uncached baseline: warm-up pass, then the timed pass.
+        server.caches = None
+        _run_script(system, script)
+        uncached_time, uncached_responses = _run_script(system, script)
+    finally:
+        server.caches = caches
+
+    # Cached: cold fill pass, then timed warm rounds.
+    cold_time, cold_responses = _run_script(system, script)
+    warm_times = []
+    warm_responses = None
+    for _ in range(WARM_ROUNDS):
+        elapsed, warm_responses = _run_script(system, script)
+        warm_times.append(elapsed)
+    warm_time = min(warm_times)
+
+    identical = (
+        json.dumps(uncached_responses, sort_keys=True)
+        == json.dumps(cold_responses, sort_keys=True)
+        == json.dumps(warm_responses, sort_keys=True)
+    )
+    speedup = uncached_time / warm_time
+    stats = caches.stats()
+    payload = {
+        "benchmark": "cache_warm_reads",
+        "quick": QUICK,
+        "workload": {
+            "users": NUM_USERS,
+            "days": DAYS,
+            "pages_per_leaf": PAGES_PER_LEAF,
+            "reads_per_pass": len(script),
+        },
+        "uncached_pass_sec": round(uncached_time, 4),
+        "cold_pass_sec": round(cold_time, 4),
+        "warm_pass_sec": round(warm_time, 4),
+        "speedup_warm": round(speedup, 2),
+        "bit_identical": identical,
+        "cache": stats,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"\ncache warm reads: uncached={uncached_time:.3f}s "
+        f"cold={cold_time:.3f}s warm={warm_time:.3f}s "
+        f"speedup={speedup:.1f}x identical={identical}"
+    )
+    assert identical, "cached responses diverged from uncached recompute"
+    assert speedup >= 5.0, f"warm reads only {speedup:.2f}x faster: {payload}"
+    # The warm rounds must have been served by the caches, not recomputed.
+    for name in ("search", "trails"):
+        assert stats[name]["hits"] > 0, stats

@@ -12,9 +12,22 @@ Public API highlights:
 * :mod:`repro.storage` — the relational + key-value storage substrate.
 * :mod:`repro.obs` — metrics, tracing, and profiling, wired through the
   whole server pipeline.
+* :mod:`repro.cache` — version-aware read-path caches for search,
+  classification, and trail replay.
 """
 
-from . import client, core, folders, mining, obs, server, storage, text, webgen
+from . import (
+    cache,
+    client,
+    core,
+    folders,
+    mining,
+    obs,
+    server,
+    storage,
+    text,
+    webgen,
+)
 from .core import MemexServer, MemexSystem, MotivatingQueries
 from .errors import MemexError
 from .webgen import bookmark_challenge_workload, build_workload
@@ -29,6 +42,7 @@ __all__ = [
     "__version__",
     "bookmark_challenge_workload",
     "build_workload",
+    "cache",
     "client",
     "core",
     "folders",

@@ -1,0 +1,295 @@
+"""Version-aware read-path caches driven by the versioning coordinator.
+
+The paper promises "guaranteed immediate processing" for UI queries while
+mining runs asynchronously; at scale that promise needs the read path
+(search, trail replay, classify-on-read) to stop recomputing from the
+index and repository on every request.  The loosely-consistent versioning
+system already tracks exactly what changed and when — so instead of
+ad-hoc TTLs, every cache here is a registered *consumer* of the
+:class:`~repro.storage.versioning.VersionCoordinator` and derives entry
+validity from version numbers:
+
+* Each entry is stamped with a **validity token** captured when the
+  underlying data was read: ``(published_version, watermark(c1), ...)``
+  for the consumers the cache *watches* (the search cache watches the
+  indexer; the trail cache watches indexer + classifier).
+* A :meth:`VersionedCache.get` recomputes the current token; a stored
+  entry whose token differs is dropped (an *invalidation*) and the caller
+  recomputes — revalidation-on-miss.  Stale reads are therefore bounded
+  by the same loose-consistency window the versioning protocol defines:
+  the cache can never serve data older than the watched consumers'
+  registered watermarks.
+* Writes that bypass the versioning producer (visits, bookmarks, folder
+  edits — immediate UI writes) are covered by **extra** stamps: cheap
+  monotone counters (:class:`~repro.storage.repository.ChangeStamps`)
+  the caller folds into the entry's validity alongside the version token.
+
+The mid-read race matters even in a cooperative server: a caller that
+misses must capture the token *before* reading the underlying data and
+pass it to :meth:`VersionedCache.put`.  If the producer published while
+the caller computed, the stored token is already behind and the very next
+get drops the entry — a result computed from pre-publish state is never
+served as post-publish.
+
+Each cache registers as ``cache.<name>`` with the coordinator and acks
+eagerly whenever it observes the producer advance, so cache consumers
+never pin versions or stall :meth:`~VersionCoordinator.gc`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from typing import Any
+
+from ..obs import MetricsRegistry, null_registry
+from ..storage.versioning import VersionCoordinator
+from .lru import ShardedLRU
+
+#: A validity token: published version + watched consumers' watermarks.
+Token = tuple[int, ...]
+
+
+def payload_cost(obj: Any) -> int:
+    """Deterministic size estimate for a JSON-ish payload.
+
+    Counts one unit per scalar plus the length of strings, recursing
+    through dicts/lists/tuples — proportional to serialized size without
+    paying for an actual serialization.  Used to price cache entries
+    against the ``max_cost`` bound.
+
+    >>> payload_cost({"hits": ["abc", "de"], "total": 2})
+    21
+    """
+    if isinstance(obj, str):
+        return 1 + len(obj)
+    if isinstance(obj, dict):
+        return 1 + sum(payload_cost(k) + payload_cost(v) for k, v in obj.items())
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return 1 + sum(payload_cost(v) for v in obj)
+    return 1
+
+
+class VersionedCache:
+    """A sharded LRU whose entries expire when versions move on.
+
+    Parameters
+    ----------
+    name:
+        Cache name; registered with the coordinator as ``cache.<name>``
+        and used as the ``cache`` metric label.
+    versions:
+        The coordinator whose producer/consumer positions drive validity.
+    watch:
+        Consumer names whose ack watermarks join the validity token.
+        They must already be registered with *versions*.
+    max_entries / max_cost / shards:
+        Bounds for the underlying :class:`~repro.cache.lru.ShardedLRU`.
+    metrics:
+        Observability registry; exposes ``cache.hits`` / ``cache.misses``
+        / ``cache.evictions`` / ``cache.invalidations`` pull counters and
+        ``cache.entries`` / ``cache.cost`` pull gauges, all labelled
+        ``cache=<name>``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        versions: VersionCoordinator,
+        *,
+        watch: tuple[str, ...] = (),
+        max_entries: int = 1024,
+        max_cost: int | None = None,
+        shards: int = 8,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.name = name
+        self.consumer = f"cache.{name}"
+        self._versions = versions
+        self._watch = tuple(watch)
+        for consumer in self._watch:
+            versions.watermark(consumer)   # fail fast on unknown consumers
+        versions.register_consumer(self.consumer)
+        self._acked = versions.watermark(self.consumer)
+        self._lru = ShardedLRU(
+            max_entries=max_entries, max_cost=max_cost, shards=shards,
+        )
+        self._hits = 0
+        self._misses = 0
+        metrics = metrics if metrics is not None else null_registry()
+        metrics.counter_func("cache.hits", lambda: self._hits, cache=name)
+        metrics.counter_func("cache.misses", lambda: self._misses, cache=name)
+        metrics.counter_func(
+            "cache.evictions",
+            lambda: self._lru.stats()["evictions"], cache=name,
+        )
+        metrics.counter_func(
+            "cache.invalidations",
+            lambda: self._lru.stats()["invalidations"], cache=name,
+        )
+        metrics.gauge_func("cache.entries", lambda: len(self._lru), cache=name)
+        metrics.gauge_func("cache.cost", lambda: self._lru.cost, cache=name)
+
+    # -- versioning plumbing ------------------------------------------------
+
+    def sync(self) -> None:
+        """Ack the coordinator up to the current published version.
+
+        Called implicitly by :meth:`token` (hence by every get/put); the
+        server also calls it on daemon ticks so an idle cache never pins
+        versions against GC.
+        """
+        published = self._versions.published_version
+        if published != self._acked:
+            watermark, _items = self._versions.poll(self.consumer)
+            self._versions.ack(self.consumer, watermark)
+            self._acked = watermark
+
+    def token(self) -> Token:
+        """The current validity token.
+
+        Callers capture this *before* reading the data they are about to
+        cache and hand it to :meth:`put`, so a version published mid-read
+        invalidates the entry instead of being masked by it.
+        """
+        self.sync()
+        versions = self._versions
+        return (
+            versions.published_version,
+            *(versions.watermark(name) for name in self._watch),
+        )
+
+    # -- cache operations ---------------------------------------------------
+
+    def get(self, key: Hashable, *, extra: Hashable = ()) -> Any | None:
+        """Return the cached value, or ``None`` on miss or staleness.
+
+        *extra* carries the non-versioned dependencies' change stamps the
+        caller folded in at :meth:`put` time; a mismatch (or a validity
+        token older than the current one) drops the entry.
+        """
+        current = self.token()
+        entry = self._lru.get(key)
+        if entry is None:
+            self._misses += 1
+            return None
+        value, stored_token, stored_extra = entry
+        if stored_token != current or stored_extra != extra:
+            self._lru.delete(key)
+            self._misses += 1
+            return None
+        self._hits += 1
+        return value
+
+    def put(
+        self,
+        key: Hashable,
+        value: Any,
+        *,
+        token: Token | None = None,
+        extra: Hashable = (),
+        cost: int | None = None,
+    ) -> bool:
+        """Cache *value* under *key*, stamped with its validity.
+
+        *token* must be the one captured (via :meth:`token`) before the
+        caller read the underlying data; omitting it stamps the current
+        token, which is only safe when nothing can have changed since the
+        preceding :meth:`get`.  *cost* defaults to a
+        :func:`payload_cost` estimate of the value.
+        """
+        stamp = token if token is not None else self.token()
+        if cost is None:
+            cost = payload_cost(value)
+        return self._lru.put(key, (value, stamp, extra), cost=cost)
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Explicitly drop one entry; returns whether it was present."""
+        return self._lru.delete(key)
+
+    def clear(self) -> int:
+        """Drop everything; returns how many entries were dropped."""
+        return self._lru.clear()
+
+    # -- introspection ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def stats(self) -> dict[str, Any]:
+        """Counters plus current occupancy, for the ``stats`` servlet."""
+        raw = self._lru.stats()
+        lookups = self._hits + self._misses
+        return {
+            "entries": raw["entries"],
+            "cost": raw["cost"],
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": raw["evictions"],
+            "invalidations": raw["invalidations"],
+            "hit_rate": round(self._hits / lookups, 4) if lookups else 0.0,
+        }
+
+
+class ReadPathCaches:
+    """The server's cache bundle: one :class:`VersionedCache` per read path.
+
+    * ``search``   — ``text/search`` results, keyed by (query, mode,
+      scope[, user], limit, offset): pagination-aware, so two pages of
+      the same query are distinct entries.
+    * ``classify`` — per-(user, page, model-version) classification
+      posteriors from the enhanced classifier, the hot inner loop of
+      trail replay and popular-near-trail.
+    * ``trails``   — ``core/trails`` replay payloads per (user, topic
+      folder, window).
+
+    Watch sets encode which mining consumer feeds each read path: search
+    results change when the **indexer** acks new versions; trails also
+    change when the **classifier** does.  Classification posteriors carry
+    the model version in their key, so the classify cache only watches
+    the producer (a publish may change pages/links the model reads).
+    """
+
+    def __init__(
+        self,
+        versions: VersionCoordinator,
+        *,
+        metrics: MetricsRegistry | None = None,
+        search_entries: int = 2048,
+        classify_entries: int = 16384,
+        trail_entries: int = 512,
+        max_cost: int = 4_000_000,
+        shards: int = 8,
+        indexer: str = "indexer",
+        classifier: str = "classifier",
+    ) -> None:
+        self.search = VersionedCache(
+            "search", versions, watch=(indexer,),
+            max_entries=search_entries, max_cost=max_cost, shards=shards,
+            metrics=metrics,
+        )
+        self.classify = VersionedCache(
+            "classify", versions,
+            max_entries=classify_entries, max_cost=max_cost, shards=shards,
+            metrics=metrics,
+        )
+        self.trails = VersionedCache(
+            "trails", versions, watch=(indexer, classifier),
+            max_entries=trail_entries, max_cost=max_cost, shards=shards,
+            metrics=metrics,
+        )
+
+    def all(self) -> tuple[VersionedCache, ...]:
+        return (self.search, self.classify, self.trails)
+
+    def sync(self) -> None:
+        """Ack every cache consumer up to the published version (called
+        on daemon ticks so idle caches never stall versioning GC)."""
+        for cache in self.all():
+            cache.sync()
+
+    def clear(self) -> int:
+        return sum(cache.clear() for cache in self.all())
+
+    def stats(self) -> dict[str, dict[str, Any]]:
+        """Per-cache counters, the ``cache`` section of the stats servlet."""
+        return {cache.name: cache.stats() for cache in self.all()}

@@ -102,6 +102,15 @@ def cmd_stats(args: argparse.Namespace) -> int:
     workload, system = _replayed_system(args)
     server = system.server
     server.process_background_work()
+    # Exercise the read path twice so the report shows servlet latencies
+    # and read-cache hit rates, not just ingest-side counters.
+    for _ in range(2):
+        for profile in workload.profiles[:2]:
+            applet = system.connect(profile.user_id)
+            top = max(profile.interests.items(), key=lambda kv: kv[1])[0]
+            leaf = workload.root.find(top)
+            applet.search(" ".join(leaf.seed_terms[:2]), k=5)
+            applet.trail_view(profile.folder_for_topic(top))
     if args.json:
         print(to_json(server.metrics, tracer=server.tracer, indent=2))
         return 0
@@ -117,6 +126,18 @@ def cmd_stats(args: argparse.Namespace) -> int:
         print("-----------------------------")
         for name in sorted(latency):
             print(f"{name:<24}  {latency[name]['p95']:.6f}")
+    if server.caches is not None:
+        print("\nread-path caches (version-aware invalidation)")
+        print("---------------------------------------------")
+        header = ("cache", "entries", "hits", "misses",
+                  "evict", "inval", "hit_rate")
+        print(f"{header[0]:<10}" + "".join(f"{h:>9}" for h in header[1:]))
+        for name, row in sorted(server.caches.stats().items()):
+            print(
+                f"{name:<10}{row['entries']:>9}{row['hits']:>9}"
+                f"{row['misses']:>9}{row['evictions']:>9}"
+                f"{row['invalidations']:>9}{row['hit_rate']:>9.2f}"
+            )
     return 0
 
 

@@ -126,6 +126,12 @@ class MemexApplet:
     # -- archive-mode control (Figure 1's three choices) -----------------------------
 
     def set_archive_mode(self, mode: str) -> None:
+        """Switch between ``off``/``private``/``community`` archiving.
+
+        Enforced locally first — in ``off`` mode URLs never leave the
+        machine, so the server is only told about the non-off modes.
+        Raises :class:`MemexError` on an unknown mode.
+        """
         if mode not in (ARCHIVE_OFF, ARCHIVE_PRIVATE, ARCHIVE_COMMUNITY):
             raise MemexError(f"unknown archive mode {mode!r}")
         self.archive_mode = mode
@@ -173,6 +179,8 @@ class MemexApplet:
         return True
 
     def new_session(self) -> int:
+        """Start a new browsing session (the 30-minute-gap boundary the
+        trail and context tabs segment on); returns the new session id."""
         self.session_id += 1
         return self.session_id
 
@@ -194,6 +202,8 @@ class MemexApplet:
     # -- folder tab -----------------------------------------------------------------------
 
     def create_folder(self, path: str, *, at: float = 0.0) -> None:
+        """Create a topic folder (``"Music/Classical"`` creates missing
+        ancestors too); idempotent for existing folders."""
         self._call("folder_create", path=path, at=at)
 
     def bookmark(self, url: str, folder_path: str, *, at: float) -> None:
@@ -321,6 +331,8 @@ class MemexApplet:
     # -- community views ----------------------------------------------------------------------
 
     def themes(self) -> list[dict[str, Any]]:
+        """Figure 4's community theme taxonomy, as mined by the theme
+        daemon (empty until it has run over enough archived pages)."""
         return self._call("themes_get")["themes"]
 
     def resources(self, query: str, *, k: int = 10, since_days: float | None = None) -> list[dict[str, Any]]:
@@ -334,6 +346,7 @@ class MemexApplet:
         return self._call("bill", days=days, monthly_rate=monthly_rate)
 
     def similar_users(self, *, k: int = 5) -> list[dict[str, Any]]:
+        """Top-*k* users by theme-profile similarity (people matching)."""
         return self._call("profile_similar", k=k)["users"]
 
     def interest_mates(
@@ -345,6 +358,8 @@ class MemexApplet:
         )["users"]
 
     def recommendations(self, *, k: int = 10) -> list[dict[str, Any]]:
+        """Collaborative recommendations: pages surfed by similar users
+        that this user has not seen yet."""
         return self._call("recommend", k=k)["pages"]
 
     # -- reorganization (§2's proposed topic hierarchies) -------------------------------------

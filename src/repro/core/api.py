@@ -49,7 +49,15 @@ def corpus_fetcher(corpus: WebCorpus) -> FetchFn:
 
 
 class MemexSystem:
-    """A Memex server plus its connected clients."""
+    """A Memex server plus its connected clients.
+
+    The facade used by every example, benchmark, and the CLI: it owns one
+    :class:`~repro.core.memex.MemexServer`, caches one
+    :class:`~repro.client.applet.MemexApplet` per user, and knows how to
+    replay a generated workload through those applets in the online
+    regime (event batches interleaved with daemon ticks).  Usable as a
+    context manager; :meth:`close` releases the underlying stores.
+    """
 
     def __init__(self, server: MemexServer) -> None:
         self.server = server
@@ -66,6 +74,9 @@ class MemexSystem:
 
     @classmethod
     def from_corpus(cls, corpus: WebCorpus, **server_kwargs) -> "MemexSystem":
+        """A system whose crawler fetches from the given simulated Web;
+        *server_kwargs* pass through to :class:`MemexServer` (e.g.
+        ``root=``, ``metrics=``, ``cache_reads=False``)."""
         return cls(MemexServer(corpus_fetcher(corpus), **server_kwargs))
 
     @classmethod

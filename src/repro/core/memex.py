@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from ..cache import ReadPathCaches
 from ..errors import AuthError, NotFitted, error_payload
 from ..mining.themes import ThemeDiscovery
 from ..obs import MetricsRegistry, Tracer
@@ -65,6 +66,11 @@ class MemexServer:
         :class:`MetricsRegistry` and :class:`Tracer` are created; pass
         ``MetricsRegistry(enabled=False)`` to opt out of measurement, or
         a registry with an injected clock for deterministic tests.
+    caches:
+        The version-aware read-path cache bundle.  By default a
+        :class:`~repro.cache.ReadPathCaches` is built over the
+        repository's version coordinator; pass your own to tune bounds,
+        or ``cache_reads=False`` to disable read caching entirely.
     """
 
     def __init__(
@@ -77,6 +83,8 @@ class MemexServer:
         crawler_batch: int = 64,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        caches: ReadPathCaches | None = None,
+        cache_reads: bool = True,
     ) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         # Default tracer samples 1-in-8 top-level spans: full traces for
@@ -115,6 +123,14 @@ class MemexServer:
         self.scheduler.register(self.themes, period=8)
         self.scheduler.register(self.discovery, period=8)
 
+        # Read-path caches register as versioning consumers, so the
+        # indexer/classifier daemons must exist (and be registered) first.
+        self.caches: ReadPathCaches | None = None
+        if cache_reads:
+            self.caches = caches if caches is not None else ReadPathCaches(
+                self.repo.versions, metrics=self.metrics,
+            )
+
         self.registry = ServletRegistry(metrics=self.metrics, tracer=self.tracer)
         self._register_servlets()
         self.transport = HttpTunnelTransport(self.registry)
@@ -137,10 +153,21 @@ class MemexServer:
 
     def process_background_work(self, *, max_rounds: int = 1000) -> int:
         """Run daemons until quiescent (tests and examples call this)."""
-        return self.scheduler.run_until_idle(max_rounds=max_rounds)
+        done = self.scheduler.run_until_idle(max_rounds=max_rounds)
+        if self.caches is not None:
+            self.caches.sync()
+        return done
 
     def tick(self, rounds: int = 1) -> int:
-        return self.scheduler.tick(rounds)
+        """Run one scheduler round per *rounds*; returns work done.
+
+        Also syncs the read-path cache consumers so an idle cache never
+        pins published versions against :meth:`VersionCoordinator.gc`.
+        """
+        done = self.scheduler.tick(rounds)
+        if self.caches is not None:
+            self.caches.sync()
+        return done
 
     # ---------------------------------------------------------------- helpers
 
@@ -440,6 +467,11 @@ class MemexServer:
         result list; the response always reports ``total`` matches and
         ``has_more``, so clients page through million-hit archives instead
         of shipping unbounded lists.
+
+        Responses are served from the search cache keyed by the full
+        request shape (query, mode, scope, user for ``mine``, limit,
+        offset); validity is the indexer's watermark plus the page/visit
+        change stamps the candidate sets read.
         """
         user = self._require_user(request)
         query = request["query"]
@@ -450,6 +482,30 @@ class MemexServer:
             raise ValueError("limit and offset must be non-negative")
         scope = request.get("scope", "all")
         mode = request.get("mode", "ranked")
+
+        cache = self.caches.search if self.caches is not None else None
+        token = extra = None
+        if cache is not None:
+            key = (
+                query, mode, scope,
+                user["user_id"] if scope == "mine" else "",
+                limit, offset,
+            )
+            stamps = self.repo.stamps
+            # Titles come from the pages table; mine/community candidate
+            # sets additionally read the visits table.
+            extra = (
+                (stamps.pages, stamps.visits)
+                if scope in ("mine", "community")
+                else (stamps.pages,)
+            )
+            cached = cache.get(key, extra=extra)
+            if cached is not None:
+                return cached
+            # Token captured BEFORE reading the index: a version published
+            # mid-compute must invalidate this entry, not hide behind it.
+            token = cache.token()
+
         candidates: set[str] | None = None
         if scope == "mine":
             candidates = {
@@ -473,12 +529,15 @@ class MemexServer:
             payload = self._hit_payload(hit.doc_id, hit.score)
             payload["snippet"] = self._snippet_for(hit.doc_id, query)
             payloads.append(payload)
-        return {
+        response = {
             "hits": payloads,
             "total": total,
             "offset": offset,
             "has_more": offset + len(page) < total,
         }
+        if cache is not None:
+            cache.put(key, response, token=token, extra=extra)
+        return response
 
     def _snippet_for(self, url: str, query: str) -> str | None:
         from ..text.snippets import make_snippet
@@ -522,10 +581,29 @@ class MemexServer:
     # -- trail and context -------------------------------------------------------------
 
     def _sv_trail(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Trail replay for one topic folder (Figure 1's surf-trail view).
+
+        Cached per (owner, folder path, window); validity is the indexer
+        and classifier watermarks plus every change stamp the replay
+        reads (visits, folder structure, associations, classifications,
+        pages, links), the owner's model version, and the simulation
+        clock the window anchors to.
+        """
         user = self._require_user(request)
         owner = user["user_id"]
         path = request["folder_path"]
         window_days = float(request.get("window_days", 14.0))
+
+        cache = self.caches.trails if self.caches is not None else None
+        token = extra = None
+        if cache is not None:
+            key = ("trail", owner, path, window_days)
+            extra = self._trail_extra(owner)
+            cached = cache.get(key, extra=extra)
+            if cached is not None:
+                return cached
+            token = cache.token()
+
         folder_ids = self._user_folder_ids(owner, path)
         since = self._now - window_days * DAY
         include = self._community_pages_for_folder(owner, folder_ids, since=since)
@@ -536,7 +614,22 @@ class MemexServer:
             user_id=owner,
             include_urls=include,
         )
-        return {"trail": graph.to_payload()}
+        response = {"trail": graph.to_payload()}
+        if cache is not None:
+            cache.put(key, response, token=token, extra=extra)
+        return response
+
+    def _trail_extra(self, owner: str) -> tuple:
+        """Non-versioned validity stamps for trail-shaped read paths:
+        every UI-write counter the replay reads, the owner's classifier
+        model version, and the simulation clock (recency windows are
+        anchored to *now*, which only moves with incoming events)."""
+        stamps = self.repo.stamps
+        return (
+            stamps.visits, stamps.assocs, stamps.classifications,
+            stamps.folders, stamps.pages, stamps.links,
+            self.classifier.model_version(owner), self._now,
+        )
 
     def _community_pages_for_folder(
         self,
@@ -556,6 +649,11 @@ class MemexServer:
         folder's centroid as the folder's own *similarity_quantile*-worst
         deliberate member — a per-folder calibration with no magic
         constants.
+
+        Per-page predictions — the hot inner loop of trail replay and
+        popular-near-trail — are served from the classify cache keyed
+        (owner, url, model version): a page's vector never changes after
+        its first fetch, so the key fully determines the decision.
         """
         from ..text.vectorize import centroid as _centroid
 
@@ -578,23 +676,36 @@ class MemexServer:
         member_sims = sorted(cosine(v, center) for v in member_vecs)
         floor = member_sims[int(similarity_quantile * (len(member_sims) - 1))]
 
+        cache = self.caches.classify if self.caches is not None else None
+        model_version = self.classifier.model_version(owner)
+        token = cache.token() if cache is not None else None
+
         out: set[str] = set()
         seen: set[str] = set()
         for visit in self.repo.community_visits(since=since):
             if visit["user_id"] == owner or visit["url"] in seen:
                 continue
             seen.add(visit["url"])
-            vec = self.vectorizer.vector(visit["url"])
+            url = visit["url"]
+            vec = self.vectorizer.vector(url)
             if vec is None:
                 continue
-            tvec = self.vectorizer.tfidf_vector(visit["url"])
+            tvec = self.vectorizer.tfidf_vector(url)
             if tvec is None or cosine(tvec, center) < floor:
                 continue
-            # Independent per-page prediction: batch relaxation would let
-            # confidently-wrong labels cascade through off-topic clusters.
-            folder, _conf = model.predict(visit["url"], vec)
+            folder = None
+            ckey = (owner, url, model_version)
+            if cache is not None:
+                folder = cache.get(ckey)
+            if folder is None:
+                # Independent per-page prediction: batch relaxation would
+                # let confidently-wrong labels cascade through off-topic
+                # clusters.
+                folder, _conf = model.predict(url, vec)
+                if cache is not None:
+                    cache.put(ckey, folder, token=token)
             if folder in folder_set:
-                out.add(visit["url"])
+                out.add(url)
         return out
 
     def _sv_context(self, request: dict[str, Any]) -> dict[str, Any]:
@@ -755,6 +866,19 @@ class MemexServer:
         owner = user["user_id"]
         path = request["folder_path"]
         window_days = float(request.get("window_days", 30.0))
+        k = int(request.get("k", 10))
+        hops = int(request.get("hops", 1))
+
+        cache = self.caches.trails if self.caches is not None else None
+        token = extra = None
+        if cache is not None:
+            key = ("popular", owner, path, window_days, k, hops)
+            extra = self._trail_extra(owner)
+            cached = cache.get(key, extra=extra)
+            if cached is not None:
+                return cached
+            token = cache.token()
+
         folder_ids = self._user_folder_ids(owner, path)
         since = self._now - window_days * DAY
         include = self._community_pages_for_folder(owner, folder_ids, since=since)
@@ -765,17 +889,18 @@ class MemexServer:
         )
         seeds = set(trail.nodes)
         if not seeds:
-            return {"pages": []}
-        ranked = popular_near(
-            link_graph(self.repo), seeds,
-            k=int(request.get("k", 10)), hops=int(request.get("hops", 1)),
-        )
-        return {
-            "pages": [
-                {**self._hit_payload(url, score), "in_trail": url in seeds}
-                for url, score in ranked
-            ]
-        }
+            response: dict[str, Any] = {"pages": []}
+        else:
+            ranked = popular_near(link_graph(self.repo), seeds, k=k, hops=hops)
+            response = {
+                "pages": [
+                    {**self._hit_payload(url, score), "in_trail": url in seeds}
+                    for url, score in ranked
+                ]
+            }
+        if cache is not None:
+            cache.put(key, response, token=token, extra=extra)
+        return response
 
     def _sv_stats(self, request: dict[str, Any]) -> dict[str, Any]:
         """The observability servlet: catalog sizes, daemon and servlet
@@ -794,6 +919,7 @@ class MemexServer:
             "versions": self.repo.versions.consumers(),
             "versioning_lag": self.repo.versions.lags(),
             "latency": self.registry.latency_summary(),
+            "cache": self.caches.stats() if self.caches is not None else {},
         }
         if request.get("include_metrics"):
             out["metrics"] = self.metrics.snapshot()

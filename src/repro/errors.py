@@ -27,16 +27,43 @@ CODE_BAD_REQUEST = "bad_request"
 CODE_UNSUPPORTED_VERSION = "unsupported_version"
 CODE_INTERNAL = "internal"
 
-#: Which codes a well-behaved client may retry without changing the request.
-RETRYABLE_CODES = frozenset({CODE_INTERNAL})
+#: The canonical registry: code -> (retryable, client-facing description).
+#: ``scripts/gen_error_table.py`` renders this into the table in
+#: ``docs/PROTOCOL.md``; CI fails when the two drift apart.
+CODE_REGISTRY: dict[str, tuple[bool, str]] = {
+    CODE_BAD_REQUEST: (
+        False,
+        "The request is malformed: missing or mistyped fields, an illegal "
+        "parameter value, or a framing/payload violation. Fix the request "
+        "before resending.",
+    ),
+    CODE_UNSUPPORTED_VERSION: (
+        False,
+        "The frame's protocol version bits name a version this server "
+        "does not speak. Negotiate down (or upgrade the server).",
+    ),
+    CODE_UNKNOWN_SERVLET: (
+        False,
+        "The request's `servlet` field names no registered handler.",
+    ),
+    CODE_UNKNOWN_USER: (
+        False,
+        "The authenticated `user_id` has no account on this server. "
+        "Register the user first.",
+    ),
+    CODE_INTERNAL: (
+        True,
+        "The server failed while handling a well-formed request (bug or "
+        "resource exhaustion). The request may be retried unchanged.",
+    ),
+}
 
-ERROR_CODES = frozenset({
-    CODE_UNKNOWN_SERVLET,
-    CODE_UNKNOWN_USER,
-    CODE_BAD_REQUEST,
-    CODE_UNSUPPORTED_VERSION,
-    CODE_INTERNAL,
-})
+#: Which codes a well-behaved client may retry without changing the request.
+RETRYABLE_CODES = frozenset(
+    code for code, (retryable, _) in CODE_REGISTRY.items() if retryable
+)
+
+ERROR_CODES = frozenset(CODE_REGISTRY)
 
 
 class MemexError(Exception):

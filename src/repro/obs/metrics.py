@@ -89,6 +89,27 @@ class FuncCounter:
         return float(self.fn())
 
 
+class FuncGauge:
+    """A gauge whose value is *pulled* from a callable at read time.
+
+    The gauge twin of :class:`FuncCounter`: a component keeps its own
+    level (cache entries, resident cost) and registers the accessor once;
+    nothing happens per event.  Pull-only: func gauges never stream to an
+    :class:`~repro.obs.EventFeed`.
+    """
+
+    __slots__ = ("name", "labels", "fn")
+
+    def __init__(self, name: str, labels: LabelItems, fn: Callable[[], float]) -> None:
+        self.name = name
+        self.labels = labels
+        self.fn = fn
+
+    @property
+    def value(self) -> float:
+        return float(self.fn())
+
+
 class Gauge:
     """A value that can go up and down (lag, backlog, live versions)."""
 
@@ -329,6 +350,19 @@ class MetricsRegistry:
         got = self._gauges.get(key)
         if got is None:
             got = self._gauges[key] = Gauge(key[0], key[1], self)
+        return got
+
+    def gauge_func(
+        self, name: str, fn: Callable[[], float], **labels: str,
+    ) -> FuncGauge | _NullGauge:
+        """Register a pull-model gauge backed by *fn* (see
+        :class:`FuncGauge`).  Re-registering the same name replaces the
+        accessor, so components can re-register on reconstruction."""
+        if not self.enabled:
+            return _NULL_GAUGE
+        key = self._key(name, labels)
+        got = FuncGauge(key[0], key[1], fn)
+        self._gauges[key] = got
         return got
 
     def histogram(

@@ -276,6 +276,9 @@ class ClassifierDaemon:
         repo.versions.register_consumer(self.name)
         self._models: dict[str, EnhancedClassifier] = {}
         self._trained_on: dict[str, int] = defaultdict(int)
+        # Monotone per-user fit counter; keys the classify read cache so
+        # posteriors from a superseded model can never be served.
+        self._model_versions: dict[str, int] = defaultdict(int)
         self._graph: nx.DiGraph | None = None
         self._graph_links = -1
         self.classified_count = 0
@@ -342,6 +345,7 @@ class ClassifierDaemon:
         self._m_trainings.inc()
         self._models[user_id] = model
         self._trained_on[user_id] = len(usable)
+        self._model_versions[user_id] += 1
         return model
 
     # -- classification -----------------------------------------------------------
@@ -403,10 +407,25 @@ class ClassifierDaemon:
         self.repo.associate(folder_id, url, ASSOC_GUESS, confidence=confidence, now=now)
 
     def model_for(self, user_id: str) -> EnhancedClassifier:
+        """The user's current trained model.
+
+        Raises
+        ------
+        NotFitted
+            If no model has been trained (or restored) for *user_id* yet.
+        """
         model = self._models.get(user_id)
         if model is None:
             raise NotFitted(f"no trained model for {user_id!r} yet")
         return model
+
+    def model_version(self, user_id: str) -> int:
+        """Monotone fit counter for the user's model (0 = never fit).
+
+        Bumped on every (re)train and restore; cache keys that embed it
+        expire the moment a newer model exists.
+        """
+        return self._model_versions.get(user_id, 0)
 
     # -- model persistence (the repo's model store) -------------------------
 
@@ -431,6 +450,7 @@ class ClassifierDaemon:
                 payload["model"], graph,
             )
             self._trained_on[row["user_id"]] = payload["trained_on"]
+            self._model_versions[row["user_id"]] += 1
             restored += 1
         return restored
 

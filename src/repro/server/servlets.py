@@ -102,6 +102,8 @@ class ServletRegistry:
             self._batch_handlers[name] = batch_handler
 
     def names(self) -> list[str]:
+        """Registered servlet names, sorted (excludes the reserved
+        ``batch`` envelope, which is not a handler)."""
         return sorted(self._handlers)
 
     def _instruments_for(self, name: str) -> tuple[Any, Any, str]:
@@ -289,6 +291,8 @@ class ServletRegistry:
     # -- introspection ------------------------------------------------------
 
     def stats(self) -> dict[str, Any]:
+        """Dispatch totals: requests served/failed, batch envelopes
+        handled, and a per-servlet success count."""
         return {
             "served": self.requests_served,
             "failed": self.requests_failed,

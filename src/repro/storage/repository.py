@@ -28,6 +28,34 @@ from ..errors import SchemaError
 from ..obs import Clock, MetricsRegistry, null_registry
 
 
+class ChangeStamps:
+    """Monotone change counters over the catalog's mutable tables.
+
+    The versioning coordinator covers what the *crawler* produces; these
+    stamps cover the immediate UI writes that bypass it (visits,
+    bookmarks, folder edits, reclassifications).  Each is a plain int
+    bumped on the corresponding write path — the same zero-cost pattern
+    as the repository's pull counters — and the read-path caches fold the
+    stamps a result depends on into its validity, so a cached search or
+    trail can never outlive the writes that would change it.
+
+    Stamps only ever increase; equality of a stamp tuple therefore means
+    "none of these tables changed in between".
+    """
+
+    __slots__ = ("visits", "assocs", "classifications", "folders",
+                 "pages", "links", "users")
+
+    def __init__(self) -> None:
+        self.visits = 0
+        self.assocs = 0
+        self.classifications = 0
+        self.folders = 0
+        self.pages = 0
+        self.links = 0
+        self.users = 0
+
+
 class Sequence:
     """Monotone integer id allocator persisted in the key-value store."""
 
@@ -94,6 +122,9 @@ class MemexRepository:
             self.kv = KVStore(metrics=self.metrics)
         create_catalog(self.db)
         self.versions = VersionCoordinator(metrics=self.metrics)
+        #: Monotone per-table change counters (see :class:`ChangeStamps`);
+        #: the read-path caches' signal for writes versioning doesn't cover.
+        self.stamps = ChangeStamps()
         # Hot-path counts are plain ints pulled by the registry at read
         # time (zero per-event instrument cost).
         self._n_page_reads = 0
@@ -145,6 +176,7 @@ class MemexRepository:
             "archive_mode": archive_mode,
             "created_at": now if now is not None else self.clock(),
         })
+        self.stamps.users += 1
 
     def get_user(self, user_id: str) -> Row | None:
         return self.db.table("users").get(user_id)
@@ -153,6 +185,7 @@ class MemexRepository:
         if mode not in ARCHIVE_MODES:
             raise SchemaError(f"unknown archive mode {mode!r}")
         self.db.update("users", user_id, {"archive_mode": mode})
+        self.stamps.users += 1
 
     def community_users(self, community: str | None = None) -> list[Row]:
         if community is None:
@@ -208,6 +241,7 @@ class MemexRepository:
         if text is not None:
             self.rawtext.put(url.encode("utf-8"), text.encode("utf-8"))
         self._n_page_writes += 1
+        self.stamps.pages += 1
         return created
 
     def page_text(self, url: str) -> str | None:
@@ -220,6 +254,7 @@ class MemexRepository:
         self.db.insert("links", {
             "link_id": link_id, "src": src, "dst": dst, "discovered_at": now,
         })
+        self.stamps.links += 1
         return link_id
 
     def out_links(self, url: str) -> list[str]:
@@ -253,6 +288,7 @@ class MemexRepository:
             "topic_confidence": None,
         })
         self._n_visit_writes += 1
+        self.stamps.visits += 1
         return visit_id
 
     def record_visit_batch(self, items: list[dict[str, Any]]) -> list[int]:
@@ -267,6 +303,18 @@ class MemexRepository:
         ``last_seen``), exactly what sequential :meth:`upsert_page` calls
         would have produced.  Atomic: on constraint failure nothing is
         applied (allocated ids are simply skipped).
+
+        Ordering guarantee: the returned ids are consecutive, strictly
+        increasing, and positionally aligned with *items* —
+        ``result[i]`` is the id of ``items[i]``, and the whole block
+        sorts after every previously recorded visit.  A batch is
+        therefore indistinguishable, id-order-wise, from calling
+        :meth:`record_visit` once per item in list order, so consumers
+        that replay visits by id (crawler queues, trail reconstruction)
+        see the same sequence either way.  Items are NOT re-sorted by
+        their ``at`` timestamp — callers who need id order to agree with
+        time order must submit items in time order, which the applet's
+        batching client does by buffering events as they occur.
         """
         if not items:
             return []
@@ -314,12 +362,17 @@ class MemexRepository:
             ))
         self._n_page_writes += len(inserts) + len(updates)
         self._n_visit_writes += len(items)
+        self.stamps.pages += len(inserts) + len(updates)
+        self.stamps.visits += len(items)
         return visit_ids
 
     def classify_visit(self, visit_id: int, folder_id: str, confidence: float) -> None:
+        """Annotate one visit row with the classifier's (folder,
+        confidence) decision — the write behind Figure 1's '?' guesses."""
         self.db.update("visits", visit_id, {
             "topic_folder": folder_id, "topic_confidence": confidence,
         })
+        self.stamps.classifications += 1
 
     def user_visits(
         self,
@@ -363,6 +416,7 @@ class MemexRepository:
             "folder_id": folder_id, "owner": owner, "name": name,
             "parent": parent, "created_at": now,
         })
+        self.stamps.folders += 1
 
     def user_folders(self, owner: str) -> list[Row]:
         return self.db.table("folders").select({"owner": owner})
@@ -370,7 +424,9 @@ class MemexRepository:
     def remove_folder(self, folder_id: str) -> None:
         for assoc in self.db.table("folder_pages").select({"folder_id": folder_id}):
             self.db.delete("folder_pages", assoc["assoc_id"])
+            self.stamps.assocs += 1
         self.db.delete("folders", folder_id)
+        self.stamps.folders += 1
 
     def associate(
         self,
@@ -393,6 +449,7 @@ class MemexRepository:
             "at": now,
         })
         self._n_assoc_writes += 1
+        self.stamps.assocs += 1
         return assoc_id
 
     def folder_pages(self, folder_id: str, *, sources: tuple[str, ...] | None = None) -> list[Row]:
@@ -411,6 +468,7 @@ class MemexRepository:
             if row["url"] == url:
                 self.db.delete("folder_pages", row["assoc_id"])
                 removed += 1
+        self.stamps.assocs += removed
         return removed
 
     # -- model blobs -------------------------------------------------------------------------------

@@ -206,7 +206,26 @@ class VersionCoordinator:
 
     @property
     def published_version(self) -> int:
+        """Highest published version number (0 before the first publish)."""
         return self._published_high
+
+    def watermark(self, name: str) -> int:
+        """Highest version *name* has acked.
+
+        This is the consumer's consistent-snapshot position: everything it
+        has processed is at or below this version.  The read-path caches
+        fold watched consumers' watermarks into their validity tokens so a
+        cached result is dropped the moment the consumer that feeds it
+        (indexer, classifier) catches up past the entry's snapshot.
+
+        Raises
+        ------
+        VersioningError
+            If *name* was never registered.
+        """
+        if name not in self._consumers:
+            raise VersioningError(f"unknown consumer {name!r}")
+        return self._consumers[name]
 
     def staleness(self, name: str) -> int:
         """How many published versions the consumer is behind."""

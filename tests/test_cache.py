@@ -1,0 +1,251 @@
+"""Unit tests for the sharded LRU core and the versioned cache layer."""
+
+import threading
+
+import pytest
+
+from repro.cache import ReadPathCaches, ShardedLRU, VersionedCache, payload_cost
+from repro.errors import VersioningError
+from repro.obs import MetricsRegistry
+from repro.storage.versioning import VersionCoordinator
+
+
+# ---------------------------------------------------------------------------
+# ShardedLRU
+# ---------------------------------------------------------------------------
+
+def test_lru_get_put_roundtrip():
+    cache = ShardedLRU(max_entries=8)
+    cache.put("a", 1)
+    assert cache.get("a") == 1
+    assert cache.get("missing") is None
+    assert cache.get("missing", default=-1) == -1
+    assert "a" in cache and "missing" not in cache
+    assert len(cache) == 1
+
+
+def test_lru_eviction_is_least_recently_used():
+    cache = ShardedLRU(max_entries=2, shards=1)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1          # refresh "a": "b" is now LRU
+    cache.put("c", 3)
+    assert cache.get("b") is None
+    assert cache.get("a") == 1 and cache.get("c") == 3
+    assert cache.stats()["evictions"] == 1
+
+
+def test_lru_put_refreshes_recency_and_replaces_value():
+    cache = ShardedLRU(max_entries=2, shards=1)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("a", 10)                  # replace refreshes recency too
+    cache.put("c", 3)
+    assert cache.get("b") is None and cache.get("a") == 10
+
+
+def test_lru_cost_bound_evicts_until_fit():
+    cache = ShardedLRU(max_entries=100, max_cost=10, shards=1)
+    cache.put("a", "x", cost=4)
+    cache.put("b", "y", cost=4)
+    cache.put("c", "z", cost=4)         # 12 > 10: evicts "a"
+    assert cache.get("a") is None
+    assert cache.cost == 8
+    assert cache.stats()["evictions"] == 1
+
+
+def test_lru_oversized_entry_refused_not_flushed():
+    cache = ShardedLRU(max_entries=100, max_cost=10, shards=1)
+    cache.put("a", "x", cost=4)
+    assert cache.put("big", "y", cost=11) is False
+    assert "big" not in cache
+    assert cache.get("a") == "x"        # resident entries survived
+    assert cache.stats()["evictions"] == 1
+
+
+def test_lru_replacing_entry_adjusts_cost():
+    cache = ShardedLRU(max_entries=10, max_cost=10, shards=1)
+    cache.put("a", "x", cost=6)
+    cache.put("a", "y", cost=2)
+    assert cache.cost == 2
+
+
+def test_lru_delete_and_clear_count_invalidations():
+    cache = ShardedLRU(max_entries=10)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.delete("a") is True
+    assert cache.delete("a") is False
+    assert cache.clear() == 1
+    stats = cache.stats()
+    assert stats["invalidations"] == 2
+    assert stats["entries"] == 0 and stats["cost"] == 0
+
+
+def test_lru_per_shard_budget_ceil_split():
+    # 3 entries over 2 shards: per-shard budget is 2, never 0.
+    cache = ShardedLRU(max_entries=3, shards=2)
+    for i in range(10):
+        cache.put(i, i)
+    assert 1 <= len(cache) <= 4
+
+
+def test_lru_validates_bounds():
+    with pytest.raises(ValueError):
+        ShardedLRU(max_entries=0)
+    with pytest.raises(ValueError):
+        ShardedLRU(shards=0)
+    with pytest.raises(ValueError):
+        ShardedLRU(max_cost=0)
+    with pytest.raises(ValueError):
+        ShardedLRU().put("a", 1, cost=-1)
+
+
+def test_lru_concurrent_access_is_safe():
+    cache = ShardedLRU(max_entries=64, shards=4)
+    errors = []
+
+    def worker(base):
+        try:
+            for i in range(500):
+                cache.put((base, i % 40), i)
+                cache.get((base, (i * 7) % 40))
+                if i % 50 == 0:
+                    cache.delete((base, i % 40))
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert len(cache) <= 64
+
+
+# ---------------------------------------------------------------------------
+# payload_cost
+# ---------------------------------------------------------------------------
+
+def test_payload_cost_scales_with_payload():
+    small = payload_cost({"hits": [], "total": 0})
+    big = payload_cost({"hits": ["u" * 100] * 50, "total": 50})
+    assert big > small > 0
+    assert payload_cost("abcd") == 5
+    assert payload_cost(3.14) == 1
+
+
+# ---------------------------------------------------------------------------
+# VersionedCache
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def versions():
+    v = VersionCoordinator()
+    v.register_consumer("indexer")
+    v.register_consumer("classifier")
+    return v
+
+
+def test_versioned_cache_hit_while_versions_stable(versions):
+    cache = VersionedCache("search", versions, watch=("indexer",))
+    cache.put("q", {"hits": [1]})
+    assert cache.get("q") == {"hits": [1]}
+    assert cache.stats()["hits"] == 1
+
+
+def test_versioned_cache_registers_as_consumer(versions):
+    VersionedCache("search", versions)
+    assert "cache.search" in versions.consumers()
+
+
+def test_versioned_cache_rejects_unknown_watch_consumer(versions):
+    with pytest.raises(VersioningError):
+        VersionedCache("bad", versions, watch=("nobody",))
+
+
+def test_publish_invalidates_entries(versions):
+    cache = VersionedCache("search", versions, watch=("indexer",))
+    cache.put("q", "old")
+    versions.produce(["u1"])
+    assert cache.get("q") is None
+    assert cache.stats()["invalidations"] == 1
+
+
+def test_watched_consumer_ack_invalidates_entries(versions):
+    """The consumer-lag case: a result cached while the indexer lagged
+    must be dropped when the indexer catches up — the index content
+    changed even though no new version was published."""
+    cache = VersionedCache("search", versions, watch=("indexer",))
+    versions.produce(["u1"])             # indexer now lags at 0
+    cache.put("q", "stale-index-result")
+    assert cache.get("q") == "stale-index-result"   # still valid: lag unchanged
+    watermark, _ = versions.poll("indexer")
+    versions.ack("indexer", watermark)   # indexer catches up
+    assert cache.get("q") is None
+    assert cache.get("q") is None        # stays a miss, no resurrection
+
+
+def test_unwatched_consumer_ack_does_not_invalidate(versions):
+    cache = VersionedCache("classify", versions)    # watches producer only
+    versions.produce(["u1"])
+    cache.sync()
+    cache.put("k", "v")
+    watermark, _ = versions.poll("classifier")
+    versions.ack("classifier", watermark)
+    assert cache.get("k") == "v"
+
+
+def test_extra_stamp_mismatch_invalidates(versions):
+    cache = VersionedCache("search", versions)
+    cache.put("q", "result", extra=(7,))
+    assert cache.get("q", extra=(7,)) == "result"
+    assert cache.get("q", extra=(8,)) is None       # a UI write happened
+    assert cache.get("q", extra=(8,)) is None
+
+
+def test_mid_read_publish_invalidates_pre_captured_token(versions):
+    """The mid-read race: token captured before the read, producer
+    publishes during the compute, entry stored with the old token must
+    not be served afterwards."""
+    cache = VersionedCache("search", versions, watch=("indexer",))
+    token = cache.token()                # reader starts here
+    versions.produce(["u1"])             # producer publishes mid-compute
+    cache.put("q", "computed-from-pre-publish-state", token=token)
+    assert cache.get("q") is None        # next read recomputes
+
+
+def test_cache_acks_eagerly_and_never_stalls_gc(versions):
+    cache = VersionedCache("search", versions, watch=("indexer",))
+    versions.produce(["u1"])
+    versions.produce(["u2"])
+    cache.sync()
+    for name in ("indexer", "classifier"):
+        watermark, _ = versions.poll(name)
+        versions.ack(name, watermark)
+    versions.gc()
+    assert versions.live_versions() == 0
+
+
+def test_versioned_cache_metrics_exported(versions):
+    registry = MetricsRegistry()
+    cache = VersionedCache("search", versions, metrics=registry)
+    cache.put("q", "r")
+    cache.get("q")
+    cache.get("nope")
+    assert registry.counter_value("cache.hits", cache="search") == 1
+    assert registry.counter_value("cache.misses", cache="search") == 1
+    assert registry.gauge_value("cache.entries", cache="search") == 1
+
+
+def test_read_path_caches_bundle(versions):
+    caches = ReadPathCaches(versions)
+    assert {c.name for c in caches.all()} == {"search", "classify", "trails"}
+    caches.search.put("q", 1)
+    caches.trails.put("t", 2)
+    stats = caches.stats()
+    assert set(stats) == {"search", "classify", "trails"}
+    assert caches.clear() == 2
+    caches.sync()
+    assert all(s["entries"] == 0 for s in caches.stats().values())
