@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Forbid bare ``print()`` calls inside the server library.
+
+Server-side code must log through ``repro.obs.logging`` (structured,
+trace-correlated, queryable from the ``stats`` servlet) — a bare print
+bypasses all of that and vanishes in deployments with no terminal.  This
+AST-based lint walks every ``*.py`` under ``src/repro`` and fails on any
+call to the ``print`` builtin, except in the whitelisted user-facing
+modules (the CLI renders reports to stdout *by design*).
+
+AST-based on purpose: comments, docstrings, and strings containing the
+word "print" must not trip it.
+
+Exit status 0 when clean, 1 otherwise (one ``file:line`` per offence on
+stderr).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+
+# Modules whose JOB is writing to stdout (operator-facing rendering).
+WHITELIST = {
+    "cli.py",
+}
+
+
+def offences(path: Path) -> list[str]:
+    """``file:line`` strings for every print() call in one file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    out = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            rel = path.relative_to(REPO_ROOT)
+            out.append(f"{rel}:{node.lineno}: bare print() in server code")
+    return out
+
+
+def main() -> int:
+    problems: list[str] = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        if str(path.relative_to(SRC_ROOT)) in WHITELIST:
+            continue
+        problems.extend(offences(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(
+            f"{len(problems)} bare print() call(s); use repro.obs.logging "
+            "(or whitelist a user-facing module in scripts/check_no_print.py)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"no bare print() calls outside whitelist ({sorted(WHITELIST)})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -97,7 +97,7 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
-    from .obs import render_table, to_json
+    from .obs import render_health, render_table, to_json
 
     workload, system = _replayed_system(args)
     server = system.server
@@ -111,10 +111,18 @@ def cmd_stats(args: argparse.Namespace) -> int:
             leaf = workload.root.find(top)
             applet.search(" ".join(leaf.seed_terms[:2]), k=5)
             applet.trail_view(profile.folder_for_topic(top))
+    health = server.registry.dispatch({"servlet": "health"})
     if args.json:
-        print(to_json(server.metrics, tracer=server.tracer, indent=2))
+        print(to_json(
+            server.metrics, tracer=server.tracer, health=health,
+            logs=server.logs.to_payload() if args.logs else None, indent=2,
+        ))
         return 0
-    print(render_table(server.metrics, tracer=None))
+    print(render_table(server.metrics, tracer=None, health=health))
+    if args.logs:
+        print("\nstructured log (JSON lines)")
+        print("---------------------------")
+        print(server.logs.render_jsonl())
     lags = server.repo.versions.lags()
     print("\nversioning lag (published versions behind producer)")
     print("---------------------------------------------------")
@@ -216,6 +224,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_workload_args(p)
     p.add_argument("--json", action="store_true", help="emit a JSON snapshot")
+    p.add_argument(
+        "--logs", action="store_true",
+        help="include the structured log ring (JSON lines)",
+    )
     p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("experiments", help="print the experiment index")

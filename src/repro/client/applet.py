@@ -13,6 +13,13 @@ group commit server-side.  The buffer flushes when it reaches
 … — every tunneled request), and explicitly via :meth:`flush`.  The
 default ``batch_size=0`` keeps the historical one-request-per-event
 behaviour bit-for-bit.
+
+Trace propagation: give the applet a :class:`repro.obs.Tracer` and every
+tunneled request opens a ``client.<servlet>`` root span whose context is
+stamped onto the request as a ``traceparent`` field (per-item inside
+batch envelopes).  The server joins that trace, so a single applet click
+is attributable through servlets, storage, and the daemons it triggers.
+Without a tracer nothing is stamped and the wire format is unchanged.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ from __future__ import annotations
 from typing import Any
 
 from ..errors import CODE_UNKNOWN_USER, AuthError, MemexError
+from ..obs import Tracer, null_tracer
 from ..server.transport import HttpTunnelTransport
 from .browser import Browser
 
@@ -39,6 +47,10 @@ class MemexApplet:
         Who is logged in.
     browser:
         The browser being tapped; may be None for headless replay.
+    tracer:
+        Client-side tracer; its spans' contexts ride the wire as
+        ``traceparent`` fields.  Defaults to the disabled tracer (no
+        spans, nothing stamped).
     """
 
     def __init__(
@@ -49,10 +61,12 @@ class MemexApplet:
         browser: Browser | None = None,
         session_id: int = 1,
         batch_size: int = 0,
+        tracer: Tracer | None = None,
     ) -> None:
         self.transport = transport
         self.user_id = user_id
         self.browser = browser
+        self.tracer = tracer if tracer is not None else null_tracer()
         self.archive_mode = ARCHIVE_COMMUNITY
         self.session_id = session_id
         self.batch_size = batch_size
@@ -78,14 +92,26 @@ class MemexApplet:
         # Any synchronous call flushes buffered archive events first, so
         # the server sees this user's events in the order they happened.
         self.flush()
-        response = self.transport.request(
-            self.user_id, {"servlet": servlet, **kwargs},
-        )
+        request = {"servlet": servlet, **kwargs}
+        with self.tracer.span(f"client.{servlet}") as span:
+            ctx = span.context()
+            if ctx is not None:
+                request["traceparent"] = ctx.to_traceparent()
+            response = self.transport.request(self.user_id, request)
         self._raise_for_error(servlet, response)
         return response
 
     def _enqueue(self, request: dict[str, Any]) -> None:
-        """Buffer one archive event; flush when the buffer is full."""
+        """Buffer one archive event; flush when the buffer is full.
+
+        When tracing, each buffered event gets its own (instant) client
+        span whose context is stamped on the item — the causal origin is
+        the user action, not the later flush that happens to carry it.
+        """
+        with self.tracer.span(f"client.{request['servlet']}") as span:
+            ctx = span.context()
+            if ctx is not None:
+                request["traceparent"] = ctx.to_traceparent()
         self._pending.append(request)
         self.batched_events += 1
         if len(self._pending) >= self.batch_size:
@@ -102,7 +128,9 @@ class MemexApplet:
         if not self._pending:
             return []
         batch, self._pending = self._pending, []
-        responses = self.transport.request_batch(self.user_id, batch)
+        with self.tracer.span("client.flush") as span:
+            span.set("items", len(batch))
+            responses = self.transport.request_batch(self.user_id, batch)
         failed = [
             (req, resp) for req, resp in zip(batch, responses)
             if resp.get("status") != "ok"

@@ -15,6 +15,7 @@ from collections.abc import Iterable
 
 from ..client.applet import MemexApplet
 from ..client.browser import Browser
+from ..obs import Tracer, null_tracer
 from ..server.daemons import FetchedPage, FetchFn
 from ..server.events import (
     ArchiveModeEvent,
@@ -57,10 +58,24 @@ class MemexSystem:
     replay a generated workload through those applets in the online
     regime (event batches interleaved with daemon ticks).  Usable as a
     context manager; :meth:`close` releases the underlying stores.
+
+    ``client_tracer`` is the *applet-side* tracer: a separate instance
+    from the server's so trace context crosses the wire in the request
+    envelope (W3C-style ``traceparent``), never in-process span nesting.
+    It defaults to a disabled tracer; pass
+    ``Tracer(sample_every=8)``-style instances to trace client calls.
     """
 
-    def __init__(self, server: MemexServer) -> None:
+    def __init__(
+        self,
+        server: MemexServer,
+        *,
+        client_tracer: Tracer | None = None,
+    ) -> None:
         self.server = server
+        self.client_tracer = (
+            client_tracer if client_tracer is not None else null_tracer()
+        )
         self._applets: dict[str, MemexApplet] = {}
 
     def close(self) -> None:
@@ -73,11 +88,20 @@ class MemexSystem:
         self.close()
 
     @classmethod
-    def from_corpus(cls, corpus: WebCorpus, **server_kwargs) -> "MemexSystem":
+    def from_corpus(
+        cls,
+        corpus: WebCorpus,
+        *,
+        client_tracer: Tracer | None = None,
+        **server_kwargs,
+    ) -> "MemexSystem":
         """A system whose crawler fetches from the given simulated Web;
         *server_kwargs* pass through to :class:`MemexServer` (e.g.
         ``root=``, ``metrics=``, ``cache_reads=False``)."""
-        return cls(MemexServer(corpus_fetcher(corpus), **server_kwargs))
+        return cls(
+            MemexServer(corpus_fetcher(corpus), **server_kwargs),
+            client_tracer=client_tracer,
+        )
 
     @classmethod
     def from_workload(
@@ -123,9 +147,14 @@ class MemexSystem:
         """An applet session for an existing user (cached per user unless a
         browser is supplied)."""
         if browser is not None:
-            return MemexApplet(self.server.transport, user_id, browser=browser)
+            return MemexApplet(
+                self.server.transport, user_id,
+                browser=browser, tracer=self.client_tracer,
+            )
         if user_id not in self._applets:
-            self._applets[user_id] = MemexApplet(self.server.transport, user_id)
+            self._applets[user_id] = MemexApplet(
+                self.server.transport, user_id, tracer=self.client_tracer,
+            )
         return self._applets[user_id]
 
     # -- replay -------------------------------------------------------------------

@@ -16,7 +16,7 @@ from typing import Any
 from ..cache import ReadPathCaches
 from ..errors import AuthError, NotFitted, error_payload
 from ..mining.themes import ThemeDiscovery
-from ..obs import MetricsRegistry, Tracer
+from ..obs import HealthMonitor, LogHub, MetricsRegistry, SloPolicy, Tracer
 from ..server.daemons import (
     ClassifierDaemon,
     CrawlerDaemon,
@@ -61,11 +61,23 @@ class MemexServer:
         Directory for persistent state; None keeps everything in memory.
     theme_discovery:
         Tuning for the theme daemon.
-    metrics / tracer:
+    metrics / tracer / log_hub:
         The server's observability hooks.  By default a fresh enabled
-        :class:`MetricsRegistry` and :class:`Tracer` are created; pass
-        ``MetricsRegistry(enabled=False)`` to opt out of measurement, or
-        a registry with an injected clock for deterministic tests.
+        :class:`MetricsRegistry`, :class:`Tracer`, and :class:`LogHub`
+        are created; pass ``MetricsRegistry(enabled=False)`` to opt out
+        of measurement, or a registry with an injected clock for
+        deterministic tests.  The log hub is shared by every component
+        (servlets, scheduler, daemons, versioning) so ``stats`` can
+        return one merged, trace-correlated event stream.
+    slow_request_threshold:
+        Requests slower than this (seconds, simulation clock) log their
+        full span tree as a ``slow_request`` event; ``None`` disables.
+    slo_policies:
+        Per-servlet :class:`SloPolicy` overrides for the health engine
+        (missing servlets get the default policy).
+    versioning_lag_threshold:
+        The ``versioning`` readiness check degrades when any consumer
+        lags more than this many published versions.
     caches:
         The version-aware read-path cache bundle.  By default a
         :class:`~repro.cache.ReadPathCaches` is built over the
@@ -83,6 +95,10 @@ class MemexServer:
         crawler_batch: int = 64,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        log_hub: LogHub | None = None,
+        slow_request_threshold: float | None = 1.0,
+        slo_policies: dict[str, SloPolicy] | None = None,
+        versioning_lag_threshold: int = 64,
         caches: ReadPathCaches | None = None,
         cache_reads: bool = True,
     ) -> None:
@@ -90,12 +106,16 @@ class MemexServer:
         # Default tracer samples 1-in-8 top-level spans: full traces for
         # debugging at a fraction of the per-dispatch cost.
         self.tracer = tracer if tracer is not None else Tracer(sample_every=8)
+        self.logs = log_hub if log_hub is not None else LogHub(
+            clock=self.metrics.clock,
+        )
         self._now = 0.0
         # The repository stamps rows with simulation time, the same clock
         # servlets advance — replays stay deterministic.  ``sync`` turns on
         # fsync-per-commit durability (requires a ``root``).
         self.repo = MemexRepository(
             root, sync=sync, clock=lambda: self._now, metrics=self.metrics,
+            tracer=self.tracer, log_hub=self.logs,
         )
         self.vectorizer = PageVectorizer(self.repo)
         self.index = InvertedIndex(self.repo.kv)
@@ -104,9 +124,16 @@ class MemexServer:
         clock = lambda: self._now  # noqa: E731 - tiny closure over sim time
         self.crawler = CrawlerDaemon(
             self.repo, fetch, batch_size=crawler_batch, clock=clock,
+            tracer=self.tracer, log=self.logs.logger("crawler"),
         )
-        self.indexer = IndexerDaemon(self.repo, self.index)
-        self.classifier = ClassifierDaemon(self.repo, self.vectorizer, clock=clock)
+        self.indexer = IndexerDaemon(
+            self.repo, self.index,
+            tracer=self.tracer, log=self.logs.logger("indexer"),
+        )
+        self.classifier = ClassifierDaemon(
+            self.repo, self.vectorizer, clock=clock,
+            tracer=self.tracer, log=self.logs.logger("classifier"),
+        )
         self.themes = ThemeDaemon(
             self.repo, self.vectorizer, discovery=theme_discovery,
         )
@@ -116,6 +143,7 @@ class MemexServer:
         )
         self.scheduler = DaemonScheduler(
             parole_after=8, metrics=self.metrics, tracer=self.tracer,
+            log=self.logs.logger("scheduler"),
         )
         self.scheduler.register(self.crawler, period=1)
         self.scheduler.register(self.indexer, period=1)
@@ -131,9 +159,24 @@ class MemexServer:
                 self.repo.versions, metrics=self.metrics,
             )
 
-        self.registry = ServletRegistry(metrics=self.metrics, tracer=self.tracer)
+        self.registry = ServletRegistry(
+            metrics=self.metrics, tracer=self.tracer,
+            log=self.logs.logger("servlets"),
+            slow_request_threshold=slow_request_threshold,
+        )
         self._register_servlets()
         self.transport = HttpTunnelTransport(self.registry)
+
+        # Health and SLO engine: liveness/readiness checks over the
+        # components above, plus per-servlet burn-rate SLOs lazily bound
+        # to the registry's latency/error instruments on first report.
+        self._versioning_lag_threshold = versioning_lag_threshold
+        self.health = HealthMonitor(
+            clock=self.metrics.clock, policies=slo_policies,
+        )
+        self.health.add_check("storage", self._check_storage)
+        self.health.add_check("scheduler", self._check_scheduler)
+        self.health.add_check("versioning", self._check_versioning)
 
         self._profiles: dict[str, UserProfile] = {}
         self._profiles_built_at = (-1, -1)  # (visit count, theme rebuilds)
@@ -170,6 +213,13 @@ class MemexServer:
         return done
 
     # ---------------------------------------------------------------- helpers
+
+    def _origin(self) -> str | None:
+        """Traceparent of the active servlet span, if the request is
+        traced — stamped on visits, crawl queue entries, and versioning
+        items so daemon spans link back to the originating request."""
+        ctx = self.tracer.current_context()
+        return ctx.to_traceparent() if ctx is not None else None
 
     def _require_user(self, request: dict[str, Any]) -> dict[str, Any]:
         user_id = request.get("user_id")
@@ -265,6 +315,7 @@ class MemexServer:
             "apply_hierarchy": self._sv_apply_hierarchy,
             "popular_near_trail": self._sv_popular_near_trail,
             "stats": self._sv_stats,
+            "health": self._sv_health,
         }
         # Batch handlers group-commit runs of same-servlet items inside a
         # batch envelope (see ServletRegistry.dispatch_batch).
@@ -304,6 +355,7 @@ class MemexServer:
             return {"archived": False}
         at = self._advance(request.get("at"))
         url = request["url"]
+        origin = self._origin()
         self.repo.upsert_page(url, now=at)
         visit_id = self.repo.record_visit(
             user["user_id"], url,
@@ -311,8 +363,9 @@ class MemexServer:
             session_id=int(request.get("session_id", 0)),
             referrer=request.get("referrer"),
             archive_mode=mode,
+            origin=origin,
         )
-        self.crawler.enqueue(url)
+        self.crawler.enqueue(url, origin=origin)
         return {"archived": True, "visit_id": visit_id}
 
     def _sv_visit_many(self, requests: list[dict[str, Any]]) -> list[dict[str, Any]]:
@@ -341,13 +394,16 @@ class MemexServer:
                     "session_id": int(request.get("session_id", 0)),
                     "referrer": request.get("referrer"),
                     "archive_mode": mode,
+                    # Per-item origin: each envelope item carries its own
+                    # traceparent (already validated by dispatch_batch).
+                    "origin": request.get("traceparent"),
                 })
                 slots.append(i)
             except Exception as exc:  # noqa: BLE001 - per-item isolation
                 responses[i] = error_payload(exc)
         visit_ids = self.repo.record_visit_batch(items)
         for item in items:
-            self.crawler.enqueue(item["url"])
+            self.crawler.enqueue(item["url"], origin=item["origin"])
         for slot, visit_id in zip(slots, visit_ids):
             responses[slot] = {"archived": True, "visit_id": visit_id}
         return responses
@@ -364,6 +420,7 @@ class MemexServer:
         if mode == ARCHIVE_OFF:
             return {"imported": 0, "sessions_assigned": 0}
         entries = request["entries"]
+        origin = self._origin()
         imported = 0
         for entry in entries:
             url = entry["url"]
@@ -374,8 +431,9 @@ class MemexServer:
                 at=at, session_id=0,
                 referrer=entry.get("referrer"),
                 archive_mode=mode,
+                origin=origin,
             )
-            self.crawler.enqueue(url)
+            self.crawler.enqueue(url, origin=origin)
             imported += 1
         assigned = assign_session_ids(self.repo, user["user_id"])
         return {"imported": imported, "sessions_assigned": assigned}
@@ -393,7 +451,7 @@ class MemexServer:
                 if owner is not None and owner["owner"] == user["user_id"]:
                     self.repo.db.delete("folder_pages", row["assoc_id"])
         assoc_id = self.repo.associate(folder, url, ASSOC_BOOKMARK, now=at)
-        self.crawler.enqueue(url)
+        self.crawler.enqueue(url, origin=self._origin())
         return {"assoc_id": assoc_id, "folder_id": folder}
 
     def _sv_folder_create(self, request: dict[str, Any]) -> dict[str, Any]:
@@ -902,11 +960,48 @@ class MemexServer:
             cache.put(key, response, token=token, extra=extra)
         return response
 
+    # -- health and observability ---------------------------------------------------------
+
+    def _check_storage(self) -> tuple[bool, dict[str, Any]]:
+        """Both stores answer a read — fails (via the monitor's exception
+        trap) once either store is closed or unreadable."""
+        users = len(self.repo.db.table("users"))
+        self.repo.kv.get(b"__health_probe__")
+        return True, {"users": users, "kv_keys": len(self.repo.kv)}
+
+    def _check_scheduler(self) -> tuple[bool, dict[str, Any]]:
+        quarantined = self.scheduler.quarantined()
+        return not quarantined, {
+            "quarantined": quarantined,
+            "wedged": self.scheduler.wedged(),
+        }
+
+    def _check_versioning(self) -> tuple[bool, dict[str, Any]]:
+        lags = self.repo.versions.lags()
+        worst = max(lags.values(), default=0)
+        return worst <= self._versioning_lag_threshold, {
+            "lags": lags,
+            "threshold": self._versioning_lag_threshold,
+        }
+
+    def _sv_health(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Liveness/readiness plus per-servlet SLO status.
+
+        Unauthenticated by design: load balancers and probes must be able
+        to ask "are you well?" without a user row.  SLOs are (re)bound
+        lazily from the registry's live instruments so servlets that have
+        never seen traffic don't report empty objectives.
+        """
+        for name, (errors, latency) in self.registry.servlet_instruments().items():
+            self.health.slo(name, latency, errors)
+        return self.health.report()
+
     def _sv_stats(self, request: dict[str, Any]) -> dict[str, Any]:
         """The observability servlet: catalog sizes, daemon and servlet
         counters, per-servlet latency percentiles, per-consumer versioning
         lag (the "loose coherence" headline gauge), and — on request — the
-        full metric snapshot and recent trace spans."""
+        full metric snapshot, recent trace spans, and the structured log
+        ring."""
         self._require_user(request)
         out = {
             "pages": len(self.repo.db.table("pages")),
@@ -925,6 +1020,10 @@ class MemexServer:
             out["metrics"] = self.metrics.snapshot()
         if request.get("include_spans"):
             out["spans"] = self.tracer.to_payload()
+        if request.get("include_logs"):
+            out["logs"] = self.logs.to_payload(
+                limit=int(request.get("log_limit", 200)),
+            )
         return out
 
     # ---------------------------------------------------------------- lifecycle

@@ -1,20 +1,37 @@
-"""repro.obs — the observability subsystem: metrics, tracing, profiling.
+"""repro.obs — the observability subsystem: metrics, tracing, logging.
 
 The paper's server promises "guaranteed immediate processing" for UI
 events while mining daemons run asynchronously (§3); this package is how
 the reproduction *observes* both halves of that promise.  One
-:class:`MetricsRegistry` and one :class:`Tracer` per server, threaded
-through every layer (servlets, scheduler, daemons, storage, versioning),
-read back through the ``stats`` servlet, the ``repro stats`` CLI, and the
-exporters here.
+:class:`MetricsRegistry`, one :class:`Tracer`, and one :class:`LogHub`
+per server, threaded through every layer (servlets, scheduler, daemons,
+storage, versioning), read back through the ``stats``/``health``
+servlets, the ``repro stats`` CLI, and the exporters here.
 
 Metric naming convention: ``layer.component.metric`` with labels for the
 variable part, e.g. ``server.servlets.latency{servlet=visit}`` or
 ``storage.versioning.lag{consumer=indexer}``.
+
+Cross-process causality: spans carry a W3C-traceparent-style
+:class:`TraceContext` (``trace_id``/``span_id``/sampled flag) which the
+client stamps onto wire requests and the server restores, so a daemon's
+index update links back to the applet click that caused it.  Structured
+log records (:mod:`repro.obs.logging`) pick up the ambient trace ids
+automatically; :class:`HealthMonitor` (:mod:`repro.obs.health`) folds
+checks and per-servlet SLO burn rates into ready/degraded.
 """
 
 from .clock import Clock, ManualClock, TickingClock
-from .export import EventFeed, from_json, render_table, to_json
+from .export import EventFeed, from_json, render_health, render_table, to_json
+from .health import (
+    DEFAULT_POLICY,
+    FAST_BURN,
+    SLOW_BURN,
+    HealthMonitor,
+    ServletSlo,
+    SloPolicy,
+)
+from .logging import LEVELS, Logger, LogHub, null_log_hub, null_logger
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
@@ -25,25 +42,56 @@ from .metrics import (
     null_registry,
     render_name,
 )
-from .tracing import NULL_SPAN, Span, Tracer, null_tracer
+from .tracing import (
+    NULL_SPAN,
+    IdSource,
+    Span,
+    TraceContext,
+    TraceParseError,
+    Tracer,
+    current_context,
+    current_traceparent,
+    format_traceparent,
+    null_tracer,
+    parse_traceparent,
+)
 
 __all__ = [
     "Clock",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_POLICY",
     "EventFeed",
+    "FAST_BURN",
     "Gauge",
+    "HealthMonitor",
     "Histogram",
+    "IdSource",
+    "LEVELS",
+    "LogHub",
+    "Logger",
     "ManualClock",
     "MetricsRegistry",
     "NULL_SPAN",
+    "SLOW_BURN",
+    "ServletSlo",
+    "SloPolicy",
     "Span",
     "TickingClock",
     "Timer",
+    "TraceContext",
+    "TraceParseError",
     "Tracer",
+    "current_context",
+    "current_traceparent",
+    "format_traceparent",
     "from_json",
+    "null_log_hub",
+    "null_logger",
     "null_registry",
     "null_tracer",
+    "parse_traceparent",
+    "render_health",
     "render_name",
     "render_table",
     "to_json",

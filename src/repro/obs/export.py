@@ -20,7 +20,39 @@ from .metrics import MetricsRegistry
 from .tracing import Tracer
 
 
-def render_table(registry: MetricsRegistry, *, tracer: Tracer | None = None) -> str:
+def render_health(report: dict[str, Any]) -> str:
+    """Aligned text report of a :meth:`HealthMonitor.report` payload."""
+    lines: list[str] = [f"health: {report.get('health', 'unknown')}"]
+    checks = report.get("checks") or {}
+    if checks:
+        width = max(len(n) for n in checks)
+        for name in sorted(checks):
+            check = checks[name]
+            mark = "ok" if check.get("ok") else "FAIL"
+            lines.append(f"  {name:<{width}}  {mark:<4}  {check.get('detail')}")
+    slos = report.get("slos") or {}
+    if slos:
+        width = max(len(n) for n in slos)
+        lines.append(
+            f"  {'slo':<{width}}  {'status':<7} {'p95':>10} {'target':>10} "
+            f"{'err_short':>10} {'err_long':>10}"
+        )
+        for name in sorted(slos):
+            s = slos[name]
+            lines.append(
+                f"  {name:<{width}}  {s['status']:<7} {s['p95']:>10.6f} "
+                f"{s['target_p95']:>10.6f} {s['error_rate_short']:>10.4f} "
+                f"{s['error_rate_long']:>10.4f}"
+            )
+    return "\n".join(lines)
+
+
+def render_table(
+    registry: MetricsRegistry,
+    *,
+    tracer: Tracer | None = None,
+    health: dict[str, Any] | None = None,
+) -> str:
     """Aligned text report of every counter, gauge, and histogram."""
     snap = registry.snapshot()
     lines: list[str] = []
@@ -63,6 +95,9 @@ def render_table(registry: MetricsRegistry, *, tracer: Tracer | None = None) -> 
         for span in tracer.finished()[-20:]:
             flag = f"  ERROR {span.error}" if span.error else ""
             lines.append(f"{span.name:<40}  {span.duration:>10.6f}{flag}")
+    if health is not None:
+        section("health")
+        lines.append(render_health(health))
     if not lines:
         return "(no metrics recorded)"
     return "\n".join(lines)
@@ -72,13 +107,19 @@ def to_json(
     registry: MetricsRegistry,
     *,
     tracer: Tracer | None = None,
+    health: dict[str, Any] | None = None,
+    logs: list[dict[str, Any]] | None = None,
     indent: int | None = None,
 ) -> str:
     """JSON snapshot; :func:`from_json` round-trips it."""
     payload: dict[str, Any] = {"metrics": registry.snapshot()}
     if tracer is not None:
         payload["spans"] = tracer.to_payload()
-    return json.dumps(payload, indent=indent, sort_keys=True)
+    if health is not None:
+        payload["health"] = health
+    if logs is not None:
+        payload["logs"] = logs
+    return json.dumps(payload, indent=indent, sort_keys=True, default=str)
 
 
 def from_json(blob: str) -> dict[str, Any]:

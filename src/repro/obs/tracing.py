@@ -1,4 +1,4 @@
-"""Span-based tracing with nesting, attributes, and a bounded buffer.
+"""Span-based tracing with nesting, attributes, and wire propagation.
 
 Usage::
 
@@ -12,6 +12,21 @@ small tree.  Finished spans land in a ring buffer (``capacity`` most
 recent), which exporters and the ``stats`` servlet read; the buffer is
 bounded so tracing can stay on in long-lived servers.
 
+Cross-process causality uses a W3C-traceparent-style context::
+
+    00-<32 hex trace_id>-<16 hex span_id>-<2 hex flags>
+
+:func:`format_traceparent` serializes the active span's
+:class:`TraceContext`; the receiving side parses it with
+:func:`parse_traceparent` and opens its span with ``parent=ctx``, which
+joins the remote trace instead of starting a fresh one.  A remote parent
+whose sampled flag is set forces recording, so a trace sampled at the
+client stays complete across the server and its daemons.
+
+While a span is active its context is also published in a contextvar
+(:func:`current_traceparent`), which is how structured logging and WAL
+records pick up trace ids without any explicit plumbing.
+
 A tracer built with ``enabled=False`` hands out one shared no-op span,
 making ``tracer.span(...)`` a cheap constant-time call on opted-out
 deployments.
@@ -19,11 +34,124 @@ deployments.
 
 from __future__ import annotations
 
+import random
 import time
 from collections import deque
+from contextvars import ContextVar
+from dataclasses import dataclass
 from typing import Any
 
 from .clock import Clock
+
+#: Ambient trace context for the *currently executing* span, shared by all
+#: tracers in the process.  Logging and storage read it; only
+#: :meth:`Span.__enter__` / :meth:`Span.__exit__` write it.
+_ACTIVE_CONTEXT: ContextVar["TraceContext | None"] = ContextVar(
+    "repro_obs_trace_context", default=None,
+)
+
+
+class TraceParseError(ValueError):
+    """A traceparent string that does not follow the wire format."""
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagatable identity of a span: what crosses the wire."""
+
+    trace_id: str   # 32 lowercase hex chars, not all zero
+    span_id: str    # 16 lowercase hex chars, not all zero
+    sampled: bool = True
+
+    def to_traceparent(self) -> str:
+        return format_traceparent(self)
+
+
+def format_traceparent(ctx: TraceContext) -> str:
+    """Serialize *ctx* as ``00-<trace_id>-<span_id>-<flags>``."""
+    return f"00-{ctx.trace_id}-{ctx.span_id}-{'01' if ctx.sampled else '00'}"
+
+
+def _require_hex(field: str, value: str, width: int) -> str:
+    if len(value) != width:
+        raise TraceParseError(
+            f"traceparent {field} must be {width} hex chars, got {value!r}")
+    try:
+        as_int = int(value, 16)
+    except ValueError:
+        raise TraceParseError(
+            f"traceparent {field} is not hex: {value!r}") from None
+    if value != value.lower():
+        raise TraceParseError(
+            f"traceparent {field} must be lowercase hex: {value!r}")
+    if as_int == 0 and field in ("trace_id", "span_id"):
+        raise TraceParseError(f"traceparent {field} must not be all-zero")
+    return value
+
+
+def parse_traceparent(value: Any) -> TraceContext:
+    """Parse a traceparent header value into a :class:`TraceContext`.
+
+    Raises :class:`TraceParseError` (a ``ValueError``, so the server's
+    error mapping turns it into a typed ``bad_request``) on anything
+    malformed: wrong type, wrong field count, wrong widths, non-hex,
+    all-zero ids, or the forbidden version ``ff``.
+    """
+    if not isinstance(value, str):
+        raise TraceParseError(
+            f"traceparent must be a string, got {type(value).__name__}")
+    parts = value.split("-")
+    if len(parts) != 4:
+        raise TraceParseError(
+            f"traceparent needs 4 '-'-separated fields, got {len(parts)}")
+    version, trace_id, span_id, flags = parts
+    _require_hex("version", version, 2)
+    if version == "ff":
+        raise TraceParseError("traceparent version 'ff' is forbidden")
+    _require_hex("trace_id", trace_id, 32)
+    _require_hex("span_id", span_id, 16)
+    _require_hex("flags", flags, 2)
+    return TraceContext(trace_id, span_id, sampled=bool(int(flags, 16) & 1))
+
+
+def current_traceparent() -> str | None:
+    """The ambient trace context as a traceparent string, or None.
+
+    Valid inside any active (recorded) span in the process, regardless of
+    which tracer opened it — this is what WAL records and log lines use.
+    """
+    ctx = _ACTIVE_CONTEXT.get()
+    return None if ctx is None else format_traceparent(ctx)
+
+
+def current_context() -> TraceContext | None:
+    """The ambient :class:`TraceContext`, or None outside any span."""
+    return _ACTIVE_CONTEXT.get()
+
+
+class IdSource:
+    """Generator of trace/span ids; injectable so tests are deterministic.
+
+    Defaults to an OS-entropy-seeded PRNG; pass ``seed=`` to make two
+    tracers mint identical id sequences.
+    """
+
+    __slots__ = ("_rng",)
+
+    def __init__(self, seed: int | None = None) -> None:
+        self._rng = random.Random(seed)
+
+    def trace_id(self) -> str:
+        value = 0
+        while value == 0:  # the all-zero trace id is invalid on the wire
+            value = self._rng.getrandbits(128)
+        return f"{value:032x}"
+
+    def span_id(self) -> str:
+        value = 0
+        while value == 0:
+            value = self._rng.getrandbits(64)
+        return f"{value:016x}"
 
 
 class Span:
@@ -31,22 +159,25 @@ class Span:
 
     The span is its own context manager (one allocation per span, which
     matters on the servlet dispatch path): entering pushes it on the
-    tracer's active stack, exiting records the end time and moves it to
-    the finished ring buffer.
+    tracer's active stack and publishes its context in the ambient
+    contextvar; exiting records the end time, restores the previous
+    context, and moves it to the finished ring buffer.
     """
 
-    __slots__ = ("span_id", "parent_id", "name", "start", "end",
-                 "attributes", "error", "_tracer")
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "start", "end",
+                 "attributes", "error", "_tracer", "_ctx_token")
 
     def __init__(
         self,
         tracer: "Tracer",
-        span_id: int,
-        parent_id: int | None,
+        trace_id: str,
+        span_id: str,
+        parent_id: str | None,
         name: str,
         start: float,
         attributes: dict[str, Any],
     ) -> None:
+        self.trace_id = trace_id
         self.span_id = span_id
         self.parent_id = parent_id
         self.name = name
@@ -55,9 +186,16 @@ class Span:
         self.attributes = attributes
         self.error: str | None = None
         self._tracer = tracer
+        self._ctx_token: Any = None
+
+    def context(self) -> TraceContext:
+        """This span's propagatable identity (always sampled: the span
+        exists precisely because the sampling decision said record)."""
+        return TraceContext(self.trace_id, self.span_id, sampled=True)
 
     def __enter__(self) -> "Span":
         self._tracer._stack.append(self)
+        self._ctx_token = _ACTIVE_CONTEXT.set(self.context())
         return self
 
     def __exit__(self, exc_type: type | None, exc: BaseException | None, tb: object) -> bool:
@@ -65,6 +203,9 @@ class Span:
         self.end = tracer.clock()
         if exc is not None:
             self.error = f"{exc_type.__name__}: {exc}"
+        if self._ctx_token is not None:
+            _ACTIVE_CONTEXT.reset(self._ctx_token)
+            self._ctx_token = None
         stack = tracer._stack
         if stack and stack[-1] is self:
             stack.pop()
@@ -86,6 +227,7 @@ class Span:
 
     def to_payload(self) -> dict[str, Any]:
         return {
+            "trace_id": self.trace_id,
             "span_id": self.span_id,
             "parent_id": self.parent_id,
             "name": self.name,
@@ -99,7 +241,8 @@ class Span:
 
 class _NullSpan:
     __slots__ = ()
-    span_id = 0
+    trace_id = ""
+    span_id = ""
     parent_id = None
     name = "null"
     start = 0.0
@@ -107,6 +250,9 @@ class _NullSpan:
     duration = 0.0
     error = None
     attributes: dict[str, Any] = {}
+
+    def context(self) -> None:
+        return None
 
     def set(self, key: str, value: Any) -> None:
         pass
@@ -141,11 +287,16 @@ class Tracer:
         clock: Clock = time.perf_counter,
         enabled: bool = True,
         sample_every: int = 1,
+        ids: IdSource | None = None,
     ) -> None:
         """``sample_every=N`` records one top-level span per N requests
         (head-based sampling); children of a sampled span are always
         recorded so sampled traces stay complete trees.  The default of 1
-        traces everything, which tests rely on for determinism."""
+        traces everything, which tests rely on for determinism.
+
+        ``ids`` is the trace/span id source; inject an
+        ``IdSource(seed=...)`` for reproducible ids in tests.
+        """
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         if sample_every < 1:
@@ -154,36 +305,83 @@ class Tracer:
         self.clock = clock
         self.capacity = capacity
         self.sample_every = sample_every
+        self.ids = ids if ids is not None else IdSource()
         self._stack: list[Span] = []
         self._finished: deque[Span] = deque(maxlen=capacity)
-        self._next_id = 1
         self._sample_tick = 0
 
-    def span(self, name: str, **attributes: Any) -> Span | _NullSpanContext:
-        """Open a span; use as ``with tracer.span("servlet.archive"): ...``."""
+    def span(
+        self,
+        name: str,
+        *,
+        parent: TraceContext | None = None,
+        **attributes: Any,
+    ) -> Span | _NullSpanContext:
+        """Open a span; use as ``with tracer.span("servlet.archive"): ...``.
+
+        ``parent`` joins a *remote* trace: the span adopts the parent's
+        ``trace_id`` and records ``parent.span_id`` as its parent link.
+        A sampled remote parent bypasses local head-sampling (the origin
+        already decided this trace is recorded); an unsampled one yields
+        the no-op span, honouring the origin's decision.  Without
+        ``parent``, an enclosing local span (the tracer's stack) parents
+        the new one; otherwise it starts a fresh root trace.
+        """
         if not self.enabled:
             return _NULL_SPAN_CONTEXT
         stack = self._stack
-        if not stack and self.sample_every > 1:
-            # Head-based sampling decision, made once per top-level span.
-            self._sample_tick += 1
-            if self._sample_tick % self.sample_every:
+        if parent is not None:
+            if not parent.sampled:
                 return _NULL_SPAN_CONTEXT
-        parent_id = stack[-1].span_id if stack else None
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        elif stack:
+            top = stack[-1]
+            trace_id = top.trace_id
+            parent_id = top.span_id
+        else:
+            if self.sample_every > 1:
+                # Head-based sampling decision, made once per root span.
+                self._sample_tick += 1
+                if self._sample_tick % self.sample_every:
+                    return _NULL_SPAN_CONTEXT
+            trace_id = self.ids.trace_id()
+            parent_id = None
         # **attributes is already a fresh dict owned by this call.
-        span = Span(self, self._next_id, parent_id, name, self.clock(), attributes)
-        self._next_id += 1
-        return span
+        return Span(
+            self, trace_id, self.ids.span_id(), parent_id, name,
+            self.clock(), attributes,
+        )
+
+    def child_span(self, name: str, **attributes: Any) -> Span | _NullSpanContext:
+        """Open a span only when a local span is already active.
+
+        Inner components (storage, caches) use this so their spans attach
+        to whatever request is in flight without ever *starting* a trace —
+        starting one here would charge the head-sampler for work that has
+        no root request, skewing the sampling rate.
+        """
+        if not self._stack:
+            return _NULL_SPAN_CONTEXT
+        return self.span(name, **attributes)
 
     def current(self) -> Span | None:
         """The innermost active span, or None outside any span."""
         return self._stack[-1] if self._stack else None
+
+    def current_context(self) -> TraceContext | None:
+        """The innermost active span's wire context, or None."""
+        return self._stack[-1].context() if self._stack else None
 
     def finished(self, name: str | None = None) -> list[Span]:
         """Completed spans, oldest first, optionally filtered by name."""
         if name is None:
             return list(self._finished)
         return [s for s in self._finished if s.name == name]
+
+    def trace(self, trace_id: str) -> list[Span]:
+        """All finished spans belonging to *trace_id*, oldest first."""
+        return [s for s in self._finished if s.trace_id == trace_id]
 
     def clear(self) -> None:
         self._finished.clear()

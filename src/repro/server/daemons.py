@@ -14,6 +14,7 @@ from __future__ import annotations
 import math
 from collections import defaultdict
 from collections.abc import Callable
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import networkx as nx
@@ -21,6 +22,14 @@ import networkx as nx
 from ..errors import NotFitted
 from ..mining.linkfolder import EnhancedClassifier, build_coplacement
 from ..mining.themes import FolderDoc, ThemeDiscovery, ThemeTaxonomy
+from ..obs import (
+    Logger,
+    TraceParseError,
+    Tracer,
+    null_logger,
+    null_tracer,
+    parse_traceparent,
+)
 from ..storage.repository import MemexRepository
 from ..storage.schema import ASSOC_BOOKMARK, ASSOC_CORRECTION, ASSOC_GUESS
 from ..text.index import InvertedIndex
@@ -42,6 +51,24 @@ class FetchedPage:
 
 # The crawler's view of the Web: URL -> page or None (dead link).
 FetchFn = Callable[[str], FetchedPage | None]
+
+
+#: Shared no-op context manager for untraced work items.
+_NO_SPAN = nullcontext()
+
+
+def _origin_context(origin: str | None):
+    """Best-effort parse of a stored origin traceparent.
+
+    Daemons must never crash on a bad stored header — propagation is
+    observability, not control flow — so malformed simply means unlinked.
+    """
+    if origin is None:
+        return None
+    try:
+        return parse_traceparent(origin)
+    except TraceParseError:
+        return None
 
 
 class PageVectorizer:
@@ -106,7 +133,15 @@ def link_graph(repo: MemexRepository) -> nx.DiGraph:
 
 class CrawlerDaemon:
     """Single producer: fetches queued URLs, stores text + links, and
-    publishes each batch as one version."""
+    publishes each batch as one version.
+
+    Each queued URL may carry an *origin* traceparent (the visit that
+    caused the fetch); the fetch then runs under a span linked to that
+    trace and the origin is stamped onto the versioning item, so the
+    indexer and classifier can link their work all the way back to the
+    applet click.  Origins are best-effort: a crashed batch retries
+    without them.
+    """
 
     name = "crawler"
 
@@ -117,13 +152,18 @@ class CrawlerDaemon:
         *,
         batch_size: int = 32,
         clock: Callable[[], float] = lambda: 0.0,
+        tracer: Tracer | None = None,
+        log: Logger | None = None,
     ) -> None:
         self.repo = repo
         self.fetch = fetch
         self.batch_size = batch_size
         self.clock = clock
+        self.tracer = tracer if tracer is not None else null_tracer()
+        self.log = log if log is not None else null_logger("crawler")
         self._queue: list[str] = []
         self._queued: set[str] = set()
+        self._origins: dict[str, str] = {}   # url -> origin traceparent
         self._seen_links: set[tuple[str, str]] = set()
         self.fetched_count = 0
         self.dead_count = 0
@@ -131,8 +171,13 @@ class CrawlerDaemon:
         self._m_dead = repo.metrics.counter("server.crawler.dead_links")
         self._m_backlog = repo.metrics.gauge("server.crawler.backlog")
 
-    def enqueue(self, url: str) -> None:
-        """Request a fetch (visit handlers and discovery both call this)."""
+    def enqueue(self, url: str, *, origin: str | None = None) -> None:
+        """Request a fetch (visit handlers and discovery both call this).
+
+        ``origin`` is the traceparent of the request that caused the
+        fetch; it rides along so the eventual crawl/index/classify work
+        links back to it.
+        """
         if url in self._queued:
             return
         page = self.repo.db.table("pages").get(url)
@@ -140,6 +185,8 @@ class CrawlerDaemon:
             return
         self._queued.add(url)
         self._queue.append(url)
+        if origin is not None:
+            self._origins[url] = origin
         # The backlog gauge is refreshed per crawl batch (run_once), not per
         # enqueue — enqueue sits on the visit servlet's hot path.
 
@@ -158,28 +205,34 @@ class CrawlerDaemon:
         try:
             for url in batch:
                 self._queued.discard(url)
-                fetched = self.fetch(url)
-                if fetched is None:
-                    self.dead_count += 1
-                    self._m_dead.inc()
-                    continue
-                self.repo.upsert_page(
-                    url,
-                    title=fetched.title,
-                    text=fetched.text,
-                    front_page=fetched.front_page,
-                    now=now,
-                    produced_version=version,
-                )
-                for dst in fetched.out_links:
-                    if (url, dst) not in self._seen_links:
-                        self._seen_links.add((url, dst))
-                        self.repo.upsert_page(dst, now=now)
-                        self.repo.add_link(url, dst, now=now)
-                self.repo.versions.add_item(url)
-                self.fetched_count += 1
-                self._m_fetches.inc()
-                done += 1
+                origin = self._origins.pop(url, None)
+                with self.tracer.span(
+                    "daemon.crawler.fetch",
+                    parent=_origin_context(origin), url=url,
+                ) if origin is not None else _NO_SPAN:
+                    fetched = self.fetch(url)
+                    if fetched is None:
+                        self.dead_count += 1
+                        self._m_dead.inc()
+                        self.log.debug("dead_link", url=url)
+                        continue
+                    self.repo.upsert_page(
+                        url,
+                        title=fetched.title,
+                        text=fetched.text,
+                        front_page=fetched.front_page,
+                        now=now,
+                        produced_version=version,
+                    )
+                    for dst in fetched.out_links:
+                        if (url, dst) not in self._seen_links:
+                            self._seen_links.add((url, dst))
+                            self.repo.upsert_page(dst, now=now)
+                            self.repo.add_link(url, dst, now=now)
+                    self.repo.versions.add_item(url, origin=origin)
+                    self.fetched_count += 1
+                    self._m_fetches.inc()
+                    done += 1
         except Exception:
             # Producer crash path: the half-built version must never
             # become visible — abort it so the next run can open a fresh
@@ -207,13 +260,27 @@ class CrawlerDaemon:
 # ---------------------------------------------------------------------------
 
 class IndexerDaemon:
-    """Consumer: pulls published pages into the inverted index."""
+    """Consumer: pulls published pages into the inverted index.
+
+    When a polled URL carries an origin traceparent (stamped by the
+    crawler from the originating visit), the index update runs under a
+    span linked to that trace.
+    """
 
     name = "indexer"
 
-    def __init__(self, repo: MemexRepository, index: InvertedIndex) -> None:
+    def __init__(
+        self,
+        repo: MemexRepository,
+        index: InvertedIndex,
+        *,
+        tracer: Tracer | None = None,
+        log: Logger | None = None,
+    ) -> None:
         self.repo = repo
         self.index = index
+        self.tracer = tracer if tracer is not None else null_tracer()
+        self.log = log if log is not None else null_logger("indexer")
         repo.versions.register_consumer(self.name)
         self.indexed_count = 0
         self._m_documents = repo.metrics.counter("server.indexer.documents")
@@ -226,15 +293,21 @@ class IndexerDaemon:
             text = self.repo.page_text(url)
             if text is None:
                 continue
-            page = self.repo.db.table("pages").get(url)
-            title = (page or {}).get("title") or ""
-            tokens = self.index.add_document(url, f"{title} {text}")
-            self._m_postings.inc(tokens)
-            done += 1
+            origin = self.repo.versions.origin(url)
+            with self.tracer.span(
+                "daemon.indexer.index",
+                parent=_origin_context(origin), url=url,
+            ) if origin is not None else _NO_SPAN:
+                page = self.repo.db.table("pages").get(url)
+                title = (page or {}).get("title") or ""
+                tokens = self.index.add_document(url, f"{title} {text}")
+                self._m_postings.inc(tokens)
+                done += 1
         self.repo.versions.ack(self.name, watermark)
         self.indexed_count += done
         if done:
             self._m_documents.inc(done)
+            self.log.debug("indexed", documents=done, watermark=watermark)
         return done
 
 
@@ -264,6 +337,8 @@ class ClassifierDaemon:
         batch_size: int = 64,
         clock: Callable[[], float] = lambda: 0.0,
         classifier_factory: Callable[[], EnhancedClassifier] = EnhancedClassifier,
+        tracer: Tracer | None = None,
+        log: Logger | None = None,
     ) -> None:
         self.repo = repo
         self.vectorizer = vectorizer
@@ -273,6 +348,8 @@ class ClassifierDaemon:
         self.batch_size = batch_size
         self.clock = clock
         self.classifier_factory = classifier_factory
+        self.tracer = tracer if tracer is not None else null_tracer()
+        self.log = log if log is not None else null_logger("classifier")
         repo.versions.register_consumer(self.name)
         self._models: dict[str, EnhancedClassifier] = {}
         self._trained_on: dict[str, int] = defaultdict(int)
@@ -346,6 +423,10 @@ class ClassifierDaemon:
         self._models[user_id] = model
         self._trained_on[user_id] = len(usable)
         self._model_versions[user_id] += 1
+        self.log.info(
+            "model_trained", user=user_id, examples=len(usable),
+            model_version=self._model_versions[user_id],
+        )
         return model
 
     # -- classification -----------------------------------------------------------
@@ -378,8 +459,15 @@ class ClassifierDaemon:
             predictions = model.predict_batch(batch)
             for url, (folder_id, confidence) in predictions.items():
                 for visit in visit_for_url[url]:
-                    self.repo.classify_visit(visit["visit_id"], folder_id, confidence)
-                    done += 1
+                    origin = self.repo.visit_origin(visit["visit_id"])
+                    with self.tracer.span(
+                        "daemon.classifier.classify",
+                        parent=_origin_context(origin),
+                        url=url, folder=folder_id,
+                    ) if origin is not None else _NO_SPAN:
+                        self.repo.classify_visit(
+                            visit["visit_id"], folder_id, confidence)
+                        done += 1
                 self._ensure_guess(folder_id, url, confidence, now)
         self.repo.versions.ack(self.name, watermark)
         self.classified_count += done

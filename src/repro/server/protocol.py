@@ -10,6 +10,16 @@ per user.
 The cipher is the period-appropriate choice (SSL 3.0 deployments of 1999
 ran RC4-128) and is implemented here for fidelity of the code path — it
 must not be mistaken for modern transport security.
+
+Trace context rides in the *payload*, not the frame: a traced client
+stamps each request object (and each item of a ``batch`` envelope) with
+an optional ``traceparent`` field in the W3C format
+``00-<trace_id>-<span_id>-<flags>``.  The field is plain request data —
+absent means "start a new root trace", so v1 clients, old captures, and
+hand-written requests decode and dispatch unchanged, with no frame or
+version bump.  Malformed values produce a typed ``bad_request`` error
+for that request (or that batch item) only; see
+:meth:`repro.server.servlets.ServletRegistry.dispatch`.
 """
 
 from __future__ import annotations

@@ -25,7 +25,14 @@ from dataclasses import dataclass, field
 from typing import Any, Protocol
 
 from ..errors import DaemonError
-from ..obs import MetricsRegistry, Tracer, null_registry, null_tracer
+from ..obs import (
+    Logger,
+    MetricsRegistry,
+    Tracer,
+    null_logger,
+    null_registry,
+    null_tracer,
+)
 
 
 class Daemon(Protocol):
@@ -66,14 +73,19 @@ class DaemonScheduler:
         When set, a quarantined daemon is auto-paroled after this many
         rounds, doubling on each successive quarantine; ``None`` keeps
         quarantine manual-release only (the seed behaviour).
-    metrics / tracer:
+    metrics / tracer / log:
         Observability hooks; default to the shared disabled instances.
+        Quarantine and parole transitions emit structured log events
+        (``daemon_quarantined`` / ``daemon_paroled``) and bump the
+        fleet-wide ``server.scheduler.quarantine_total`` /
+        ``parole_total`` counters.
     """
 
     max_consecutive_failures: int = 3
     parole_after: int | None = None
     metrics: MetricsRegistry | None = None
     tracer: Tracer | None = None
+    log: Logger | None = None
     _entries: dict[str, _Entry] = field(default_factory=dict)
     _now: int = 0
 
@@ -84,6 +96,14 @@ class DaemonScheduler:
             self.metrics = null_registry()
         if self.tracer is None:
             self.tracer = null_tracer()
+        if self.log is None:
+            self.log = null_logger("scheduler")
+        # Fleet-wide transition totals (unlabeled, alongside the
+        # per-daemon labeled counters created at register time).
+        self._m_quarantine_total = self.metrics.counter(
+            "server.scheduler.quarantine_total")
+        self._m_parole_total = self.metrics.counter(
+            "server.scheduler.parole_total")
 
     def register(self, daemon: Daemon, *, period: int = 1) -> None:
         if period < 1:
@@ -149,12 +169,20 @@ class DaemonScheduler:
     def _quarantine(self, entry: _Entry, m_quar: Any) -> None:
         entry.quarantined = True
         m_quar.inc()
+        self._m_quarantine_total.inc()
         if self.parole_after is not None:
             wait = self.parole_after * (2 ** entry.parole_count)
             entry.parole_at = self._now + wait
             entry.parole_count += 1
         else:
             entry.parole_at = None
+        self.log.error(
+            "daemon_quarantined",
+            daemon=entry.daemon.name,
+            consecutive_failures=entry.consecutive_failures,
+            last_error=entry.last_error,
+            parole_at=entry.parole_at,
+        )
 
     def _parole(self, entry: _Entry) -> None:
         entry.quarantined = False
@@ -162,6 +190,12 @@ class DaemonScheduler:
         entry.parole_at = None
         entry.next_due = self._now   # eligible immediately
         entry.instruments[4].inc()
+        self._m_parole_total.inc()
+        self.log.info(
+            "daemon_paroled",
+            daemon=entry.daemon.name,
+            parole_count=entry.parole_count,
+        )
 
     def run_until_idle(self, *, max_rounds: int = 1000) -> int:
         """Tick until a full cycle of every daemon processes nothing."""
@@ -189,9 +223,30 @@ class DaemonScheduler:
         entry.consecutive_failures = 0
         entry.parole_at = None
         entry.parole_count = 0
+        self.log.info("daemon_revived", daemon=name)
 
     # The operator-facing alias; `revive` is the historical name.
     lift_quarantine = revive
+
+    def quarantined(self) -> dict[str, dict[str, Any]]:
+        """Currently quarantined daemons and why — the health servlet's
+        per-daemon quarantine state."""
+        return {
+            name: {
+                "last_error": e.last_error,
+                "parole_at": e.parole_at,
+                "parole_count": e.parole_count,
+            }
+            for name, e in self._entries.items()
+            if e.quarantined
+        }
+
+    def wedged(self) -> bool:
+        """True when every registered daemon is quarantined — the
+        scheduler can make no progress at all without intervention."""
+        return bool(self._entries) and all(
+            e.quarantined for e in self._entries.values()
+        )
 
     def stats(self) -> dict[str, dict]:
         return {

@@ -23,6 +23,19 @@ batch, routes runs of consecutive same-servlet items through a registered
 *batch handler* (which may group-commit storage writes), and isolates
 per-item failures — a handler that blows up on a grouped run degrades to
 per-item dispatch so one bad item never poisons its neighbours.
+
+Trace propagation: a request (or batch item) may carry a ``traceparent``
+field (see :mod:`repro.obs.tracing`).  Dispatch parses it and opens the
+servlet span with that remote parent, joining the client's trace; an
+absent field means a fresh root (old/v1 clients are unaffected), and a
+malformed one yields a typed ``bad_request`` for that request only — a
+bad header never drops an item or poisons its neighbours.  In batch
+dispatch, per-item spans are opened *only* for items that carry a
+context, so the amortized fast path stays amortized for untraced traffic.
+
+Slow-request logging: pass ``slow_request_threshold`` (seconds) and every
+single dispatch slower than it emits a ``slow_request`` log record
+carrying the request's full span tree.
 """
 
 from __future__ import annotations
@@ -37,7 +50,17 @@ from ..errors import (
     ServletError,
     error_payload,
 )
-from ..obs import MetricsRegistry, Tracer, null_registry, null_tracer
+from ..obs import (
+    Logger,
+    MetricsRegistry,
+    TraceContext,
+    TraceParseError,
+    Tracer,
+    null_logger,
+    null_registry,
+    null_tracer,
+    parse_traceparent,
+)
 
 Handler = Callable[[dict[str, Any]], dict[str, Any]]
 BatchHandler = Callable[[list[dict[str, Any]]], list[dict[str, Any]]]
@@ -61,6 +84,8 @@ class ServletRegistry:
         *,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        log: Logger | None = None,
+        slow_request_threshold: float | None = None,
     ) -> None:
         self._handlers: dict[str, Handler] = {}
         self._batch_handlers: dict[str, BatchHandler] = {}
@@ -70,6 +95,8 @@ class ServletRegistry:
         self._counts: dict[str, int] = {}
         self.metrics = metrics if metrics is not None else null_registry()
         self.tracer = tracer if tracer is not None else null_tracer()
+        self.log = log if log is not None else null_logger("servlets")
+        self.slow_request_threshold = slow_request_threshold
         self._clock = self.metrics.clock
         # Instrument handles are cached per servlet so the hot path never
         # re-does the registry lookup.
@@ -127,6 +154,33 @@ class ServletRegistry:
             self._instruments[name] = got
         return got
 
+    def _parse_parent(self, request: dict[str, Any]) -> TraceContext | None:
+        """Parse the request's ``traceparent`` field; absent ⇒ fresh root.
+
+        Raises :class:`TraceParseError` on malformed values — callers turn
+        it into a typed ``bad_request`` for that request alone.
+        """
+        value = request.get("traceparent")
+        if value is None:
+            return None
+        return parse_traceparent(value)
+
+    def _maybe_log_slow(self, name: str, elapsed: float, span: Any) -> None:
+        """Emit the ``slow_request`` record (with the finished span tree)
+        for a dispatch slower than ``slow_request_threshold``."""
+        threshold = self.slow_request_threshold
+        if threshold is None or elapsed < threshold:
+            return
+        trace_id = getattr(span, "trace_id", "")
+        spans = (
+            [s.to_payload() for s in self.tracer.trace(trace_id)]
+            if trace_id else []
+        )
+        self.log.warn(
+            "slow_request", servlet=name, duration=elapsed,
+            threshold=threshold, spans=spans,
+        )
+
     # -- single dispatch ----------------------------------------------------
 
     def dispatch(self, request: dict[str, Any]) -> dict[str, Any]:
@@ -141,21 +195,35 @@ class ServletRegistry:
             return _error_response(
                 f"unknown servlet {name!r}", CODE_UNKNOWN_SERVLET)
         errors, latency, span_name = self._instruments_for(name)
+        try:
+            parent = self._parse_parent(request)
+        except TraceParseError as exc:
+            errors.inc()
+            self.requests_failed += 1
+            return error_payload(exc)
         clock = self._clock
         start = clock()
-        with self.tracer.span(span_name) as span:
+        failure: dict[str, Any] | None = None
+        with self.tracer.span(span_name, parent=parent) as span:
             try:
                 response = self._handlers[name](request)
             except Exception as exc:  # noqa: BLE001 - servlet isolation boundary
-                latency.observe(clock() - start)
-                errors.inc()
                 span.set("status", "error")
-                self.requests_failed += 1
-                return {
+                self.log.error(
+                    "servlet_error", servlet=name,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                failure = {
                     **error_payload(exc),
                     "traceback": traceback.format_exc(limit=5),
                 }
-        latency.observe(clock() - start)
+        elapsed = clock() - start
+        latency.observe(elapsed)
+        self._maybe_log_slow(name, elapsed, span)
+        if failure is not None:
+            errors.inc()
+            self.requests_failed += 1
+            return failure
         self.requests_served += 1
         self._counts[name] = self._counts.get(name, 0) + 1
         if "status" not in response:
@@ -196,15 +264,38 @@ class ServletRegistry:
         handler amortize storage commits; everything else goes through the
         per-item path.  Item failures are isolated: each bad item yields a
         typed error response in its slot and its neighbours proceed.
+
+        Items carrying a ``traceparent`` get a per-item (or per-group)
+        ``servlet.<name>`` span parented to the remote context — joining
+        the client's trace — while untraced items keep the fully
+        amortized path (no per-item spans).  A malformed traceparent
+        yields a typed ``bad_request`` in that item's slot, never a
+        dropped item, and is excluded from grouping so it cannot poison a
+        group commit.
         """
         errors, latency, _ = self._instruments_for(BATCH_SERVLET)
         clock = self._clock
         start = clock()
+        # Per-item trace contexts, resolved up-front: TraceContext, None
+        # (absent ⇒ amortized path), or TraceParseError (malformed).
+        contexts: list[Any] = []
+        for item in requests:
+            if isinstance(item, dict) and item.get("traceparent") is not None:
+                try:
+                    contexts.append(parse_traceparent(item["traceparent"]))
+                except TraceParseError as exc:
+                    contexts.append(exc)
+            else:
+                contexts.append(None)
         responses: list[dict[str, Any]] = []
         with self.tracer.span("servlet.batch") as span:
             span.set("items", len(requests))
             i = 0
             while i < len(requests):
+                if isinstance(contexts[i], TraceParseError):
+                    responses.append(error_payload(contexts[i]))
+                    i += 1
+                    continue
                 item = requests[i]
                 name = item.get("servlet") if isinstance(item, dict) else None
                 group = [item]
@@ -213,12 +304,37 @@ class ServletRegistry:
                         i + len(group) < len(requests)
                         and isinstance(requests[i + len(group)], dict)
                         and requests[i + len(group)].get("servlet") == name
+                        and not isinstance(
+                            contexts[i + len(group)], TraceParseError)
                     ):
                         group.append(requests[i + len(group)])
+                group_contexts = [
+                    c for c in contexts[i:i + len(group)] if c is not None
+                ]
                 if len(group) > 1 or (
                     isinstance(name, str) and name in self._batch_handlers
                 ):
-                    responses.extend(self._dispatch_group(name, group))
+                    if group_contexts:
+                        # One span joins the first traced item's trace and
+                        # records the rest as links, so every traced item
+                        # resolves to this group's span tree.
+                        with self.tracer.span(
+                            f"servlet.{name}", parent=group_contexts[0],
+                        ) as gspan:
+                            gspan.set("items", len(group))
+                            if len(group_contexts) > 1:
+                                gspan.set("links", [
+                                    c.trace_id for c in group_contexts[1:]
+                                ])
+                            responses.extend(
+                                self._dispatch_group(name, group))
+                    else:
+                        responses.extend(self._dispatch_group(name, group))
+                elif group_contexts:
+                    with self.tracer.span(
+                        f"servlet.{name}", parent=group_contexts[0],
+                    ):
+                        responses.append(self._dispatch_item(item))
                 else:
                     responses.append(self._dispatch_item(item))
                 i += len(group)
@@ -304,6 +420,15 @@ class ServletRegistry:
         """Per-servlet latency percentiles (empty when metrics disabled)."""
         return {
             name: instruments[1].summary()
+            for name, instruments in sorted(self._instruments.items())
+            if instruments[1].count
+        }
+
+    def servlet_instruments(self) -> dict[str, tuple[Any, Any]]:
+        """Per-servlet ``(error_counter, latency_histogram)`` handles for
+        servlets that have seen traffic — the SLO layer evaluates these."""
+        return {
+            name: (instruments[0], instruments[1])
             for name, instruments in sorted(self._instruments.items())
             if instruments[1].count
         }

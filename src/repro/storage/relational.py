@@ -31,7 +31,7 @@ from ..errors import (
     SchemaError,
     TransactionError,
 )
-from ..obs import MetricsRegistry, null_registry
+from ..obs import MetricsRegistry, current_traceparent, null_registry
 from .wal import WriteAheadLog
 
 Row = dict[str, Any]
@@ -525,6 +525,13 @@ class Database:
                 [op, tname, self._jsonable(pk), payload]
                 for op, tname, pk, payload in txn._ops
             ]}
+            # Stamp the ambient trace context (if a request span is
+            # active) so a WAL record is attributable to the request that
+            # wrote it.  Recovery ignores unknown keys, so old readers
+            # and old WALs are both unaffected.
+            trace = current_traceparent()
+            if trace is not None:
+                record["trace"] = trace
             self._log.append(json.dumps(record).encode("utf-8"))
 
     @staticmethod

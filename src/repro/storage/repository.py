@@ -12,6 +12,7 @@ from __future__ import annotations
 import hashlib
 import json
 import time
+from collections import deque
 from pathlib import Path
 from typing import Any
 
@@ -25,7 +26,14 @@ from .schema import (
 )
 from .versioning import VersionCoordinator
 from ..errors import SchemaError
-from ..obs import Clock, MetricsRegistry, null_registry
+from ..obs import (
+    Clock,
+    LogHub,
+    MetricsRegistry,
+    Tracer,
+    null_registry,
+    null_tracer,
+)
 
 
 class ChangeStamps:
@@ -100,7 +108,17 @@ class MemexRepository:
         Observability registry threaded into the relational engine, the
         KV store, and the version coordinator; defaults to the shared
         disabled registry.
+    tracer:
+        When provided, visit writes run under ``storage.*`` child spans
+        (only when a request span is already active — storage never
+        *starts* a trace).
+    log_hub:
+        When provided, the version coordinator logs publishes/aborts
+        through it (component ``versioning``).
     """
+
+    #: Bound on the in-memory visit -> origin-traceparent side table.
+    VISIT_ORIGIN_CAP = 4096
 
     def __init__(
         self,
@@ -109,10 +127,13 @@ class MemexRepository:
         sync: bool = False,
         clock: Clock = time.time,
         metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        log_hub: LogHub | None = None,
     ) -> None:
         self.root = Path(root) if root is not None else None
         self.clock = clock
         self.metrics = metrics if metrics is not None else null_registry()
+        self.tracer = tracer if tracer is not None else null_tracer()
         if self.root is not None:
             self.root.mkdir(parents=True, exist_ok=True)
             self.db = Database(self.root / "catalog.wal", sync=sync, metrics=self.metrics)
@@ -121,7 +142,15 @@ class MemexRepository:
             self.db = Database(metrics=self.metrics)
             self.kv = KVStore(metrics=self.metrics)
         create_catalog(self.db)
-        self.versions = VersionCoordinator(metrics=self.metrics)
+        self.versions = VersionCoordinator(
+            metrics=self.metrics,
+            log=log_hub.logger("versioning") if log_hub is not None else None,
+        )
+        # Visit -> origin traceparent, bounded and in-memory: trace
+        # linkage is an observability aid for *recent* visits, not part
+        # of the durable schema (old WALs must keep replaying unchanged).
+        self._visit_origins: dict[int, str] = {}
+        self._visit_origin_order: deque[int] = deque()
         #: Monotone per-table change counters (see :class:`ChangeStamps`);
         #: the read-path caches' signal for writes versioning doesn't cover.
         self.stamps = ChangeStamps()
@@ -265,6 +294,22 @@ class MemexRepository:
 
     # -- visits -------------------------------------------------------------------------
 
+    def _remember_origin(self, visit_id: int, origin: str | None) -> None:
+        """Retain the visit's origin traceparent (bounded, best-effort)."""
+        if origin is None:
+            return
+        self._visit_origins[visit_id] = origin
+        self._visit_origin_order.append(visit_id)
+        while len(self._visit_origin_order) > self.VISIT_ORIGIN_CAP:
+            evicted = self._visit_origin_order.popleft()
+            self._visit_origins.pop(evicted, None)
+
+    def visit_origin(self, visit_id: int) -> str | None:
+        """The traceparent of the request that recorded *visit_id*, if
+        still retained (the side table is bounded; misses mean unlinked,
+        never an error)."""
+        return self._visit_origins.get(visit_id)
+
     def record_visit(
         self,
         user_id: str,
@@ -274,19 +319,22 @@ class MemexRepository:
         session_id: int,
         referrer: str | None,
         archive_mode: str,
+        origin: str | None = None,
     ) -> int:
-        visit_id = self.sequence("visits").next()
-        self.db.insert("visits", {
-            "visit_id": visit_id,
-            "user_id": user_id,
-            "url": url,
-            "at": at,
-            "session_id": session_id,
-            "referrer": referrer,
-            "archive_mode": archive_mode,
-            "topic_folder": None,
-            "topic_confidence": None,
-        })
+        with self.tracer.child_span("storage.record_visit"):
+            visit_id = self.sequence("visits").next()
+            self.db.insert("visits", {
+                "visit_id": visit_id,
+                "user_id": user_id,
+                "url": url,
+                "at": at,
+                "session_id": session_id,
+                "referrer": referrer,
+                "archive_mode": archive_mode,
+                "topic_folder": None,
+                "topic_confidence": None,
+            })
+        self._remember_origin(visit_id, origin)
         self._n_visit_writes += 1
         self.stamps.visits += 1
         return visit_id
@@ -318,6 +366,15 @@ class MemexRepository:
         """
         if not items:
             return []
+        with self.tracer.child_span(
+            "storage.record_visit_batch", items=len(items),
+        ):
+            visit_ids = self._record_visit_batch(items)
+        for item, visit_id in zip(items, visit_ids):
+            self._remember_origin(visit_id, item.get("origin"))
+        return visit_ids
+
+    def _record_visit_batch(self, items: list[dict[str, Any]]) -> list[int]:
         visit_ids = list(self.sequence("visits").take(len(items)))
         pages = self.db.table("pages")
         inserts: dict[str, Row] = {}

@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..errors import StaleSnapshot, VersioningError
-from ..obs import MetricsRegistry, null_registry
+from ..obs import Logger, MetricsRegistry, null_logger, null_registry
 
 
 @dataclass
@@ -50,9 +50,18 @@ class VersionCoordinator:
     and exposes staleness metrics the benchmarks report.
     """
 
-    def __init__(self, *, metrics: MetricsRegistry | None = None) -> None:
+    def __init__(
+        self,
+        *,
+        metrics: MetricsRegistry | None = None,
+        log: Logger | None = None,
+    ) -> None:
         self._versions: dict[int, _Version] = {}
         self._open: _Version | None = None
+        self.log = log if log is not None else null_logger("versioning")
+        # Per-item origin traceparents (best-effort trace propagation to
+        # consumers); purged with their versions at gc.
+        self._origins: dict[Any, str] = {}
         self._next_number = 1
         self._published_high = 0     # highest published version number
         self._gc_floor = 0           # versions <= this have been reclaimed
@@ -87,11 +96,18 @@ class VersionCoordinator:
         self._open = v
         return v.number
 
-    def add_item(self, item: Any) -> None:
-        """Attach an item to the currently open version."""
+    def add_item(self, item: Any, *, origin: str | None = None) -> None:
+        """Attach an item to the currently open version.
+
+        ``origin`` optionally records the traceparent of the request that
+        produced the item; consumers read it back via :meth:`origin` to
+        link their spans to the originating trace.
+        """
         if self._open is None:
             raise VersioningError("no version is open")
         self._open.items.append(item)
+        if origin is not None:
+            self._origins[item] = origin
         self._m_items.inc()
 
     def publish(self) -> int:
@@ -100,22 +116,32 @@ class VersionCoordinator:
             raise VersioningError("no version is open")
         self._open.published = True
         number = self._open.number
+        items = len(self._open.items)
         self._published_high = number
         self._open = None
         self._m_publishes.inc()
         self._g_live.set(len(self._versions))
         for name in self._consumers:
             self._update_lag(name)
+        self.log.info("version_published", version=number, items=items)
         return number
 
     def abort_version(self) -> None:
         """Discard the open version (producer crash / error path)."""
         if self._open is None:
             raise VersioningError("no version is open")
+        for item in self._open.items:
+            self._origins.pop(item, None)
+        number = self._open.number
         del self._versions[self._open.number]
         self._open = None
         self._m_aborts.inc()
         self._g_live.set(len(self._versions))
+        self.log.warn("version_aborted", version=number)
+
+    def origin(self, item: Any) -> str | None:
+        """The origin traceparent stamped on *item*, if still retained."""
+        return self._origins.get(item)
 
     def produce(self, items: Iterable[Any]) -> int:
         """Convenience: open, fill, and publish a version in one call."""
@@ -194,6 +220,8 @@ class VersionCoordinator:
         for number in list(self._versions):
             v = self._versions[number]
             if v.published and number <= floor:
+                for item in v.items:
+                    self._origins.pop(item, None)
                 del self._versions[number]
                 reclaimed += 1
         self._gc_floor = max(self._gc_floor, floor)

@@ -1,0 +1,309 @@
+"""Trace propagation tests: the traceparent wire format, remote-parent
+span links, mixed batch envelopes, WAL stamping, and the end-to-end
+applet → servlet → storage → daemon trail with one shared trace id.
+"""
+
+import json
+
+import pytest
+
+from repro.core import MemexSystem
+from repro.core.memex import MemexServer
+from repro.errors import CODE_BAD_REQUEST
+from repro.obs import (
+    IdSource,
+    TraceContext,
+    TraceParseError,
+    Tracer,
+    current_traceparent,
+    format_traceparent,
+    parse_traceparent,
+)
+from repro.server.daemons import FetchedPage
+from repro.server.servlets import ServletRegistry
+from repro.storage.relational import Database
+from repro.storage.wal import WriteAheadLog
+
+TRACE = "ab" * 16
+SPAN = "cd" * 8
+
+
+# -- wire format --------------------------------------------------------------
+
+def test_traceparent_round_trip():
+    ctx = TraceContext(TRACE, SPAN, sampled=True)
+    assert ctx.to_traceparent() == f"00-{TRACE}-{SPAN}-01"
+    assert parse_traceparent(ctx.to_traceparent()) == ctx
+
+
+def test_traceparent_round_trip_unsampled():
+    ctx = TraceContext(TRACE, SPAN, sampled=False)
+    assert format_traceparent(ctx).endswith("-00")
+    assert parse_traceparent(format_traceparent(ctx)) == ctx
+
+
+@pytest.mark.parametrize("value", [
+    "",
+    "00-abc",                                  # wrong field count
+    f"00-{TRACE}-{SPAN}-01-extra",             # too many fields
+    f"00-{'a' * 31}-{SPAN}-01",                # trace_id too short
+    f"00-{TRACE}-{'b' * 15}-01",               # span_id too short
+    f"00-{'g' * 32}-{SPAN}-01",                # non-hex trace_id
+    f"00-{TRACE.upper()}-{SPAN}-01",           # uppercase forbidden
+    f"00-{'0' * 32}-{SPAN}-01",                # all-zero trace_id
+    f"00-{TRACE}-{'0' * 16}-01",               # all-zero span_id
+    f"ff-{TRACE}-{SPAN}-01",                   # forbidden version
+    f"0-{TRACE}-{SPAN}-01",                    # version width
+    123,                                       # not a string
+    None,
+])
+def test_traceparent_malformed(value):
+    with pytest.raises(TraceParseError):
+        parse_traceparent(value)
+
+
+def test_trace_parse_error_is_value_error():
+    # The servlet error mapping relies on this to emit bad_request.
+    assert issubclass(TraceParseError, ValueError)
+
+
+# -- id source ---------------------------------------------------------------
+
+def test_id_source_seeded_is_deterministic():
+    a, b = IdSource(seed=7), IdSource(seed=7)
+    assert [a.trace_id(), a.span_id()] == [b.trace_id(), b.span_id()]
+
+
+def test_id_source_widths_parse_back():
+    ids = IdSource(seed=3)
+    ctx = TraceContext(ids.trace_id(), ids.span_id())
+    assert parse_traceparent(ctx.to_traceparent()) == ctx
+
+
+def test_tracer_uses_injected_id_source():
+    tracer = Tracer(ids=IdSource(seed=9))
+    expect = IdSource(seed=9)
+    trace_id, span_id = expect.trace_id(), expect.span_id()
+    with tracer.span("op") as span:
+        assert span.trace_id == trace_id
+        assert span.span_id == span_id
+
+
+# -- remote parents ----------------------------------------------------------
+
+def test_remote_parent_joins_trace():
+    tracer = Tracer()
+    parent = TraceContext(TRACE, SPAN)
+    with tracer.span("server.handle", parent=parent) as span:
+        assert span.trace_id == TRACE
+        assert span.parent_id == SPAN
+    assert [s.name for s in tracer.trace(TRACE)] == ["server.handle"]
+
+
+def test_unsampled_remote_parent_yields_null_span():
+    tracer = Tracer()
+    parent = TraceContext(TRACE, SPAN, sampled=False)
+    with tracer.span("server.handle", parent=parent) as span:
+        assert span.context() is None
+    assert tracer.finished() == []
+
+
+def test_sampled_remote_parent_bypasses_head_sampling():
+    tracer = Tracer(sample_every=1000)
+    with tracer.span("s", parent=TraceContext(TRACE, SPAN)) as span:
+        assert span.trace_id == TRACE
+    assert len(tracer.finished()) == 1
+
+
+def test_ambient_traceparent_inside_span():
+    tracer = Tracer()
+    assert current_traceparent() is None
+    with tracer.span("op") as span:
+        assert current_traceparent() == span.context().to_traceparent()
+    assert current_traceparent() is None
+
+
+# -- dispatch ---------------------------------------------------------------
+
+def _registry(tracer):
+    reg = ServletRegistry(tracer=tracer)
+    reg.register(
+        "echo", lambda r: {"value": r.get("value")},
+        batch_handler=lambda rs: [{"value": r.get("value")} for r in rs],
+    )
+    return reg
+
+
+def test_dispatch_joins_remote_trace():
+    tracer = Tracer()
+    reg = _registry(tracer)
+    tp = TraceContext(TRACE, SPAN).to_traceparent()
+    assert reg.dispatch(
+        {"servlet": "echo", "value": 1, "traceparent": tp}
+    )["status"] == "ok"
+    [span] = tracer.finished("servlet.echo")
+    assert span.trace_id == TRACE
+    assert span.parent_id == SPAN
+
+
+def test_dispatch_absent_traceparent_starts_fresh_root():
+    tracer = Tracer()
+    reg = _registry(tracer)
+    assert reg.dispatch({"servlet": "echo", "value": 1})["status"] == "ok"
+    [span] = tracer.finished("servlet.echo")
+    assert span.parent_id is None
+    assert span.trace_id != TRACE
+
+
+def test_dispatch_malformed_traceparent_typed_error():
+    reg = _registry(Tracer())
+    response = reg.dispatch(
+        {"servlet": "echo", "value": 1, "traceparent": "garbage"})
+    assert response["status"] == "error"
+    assert response["error_code"] == CODE_BAD_REQUEST
+    assert reg.requests_failed == 1
+
+
+def test_batch_mixed_traceparents():
+    """One envelope with valid, absent, and malformed traceparent items:
+    valid items link to their client spans, absent ones still process
+    (fresh roots), malformed ones get a typed error in their slot — the
+    response list never drops an item."""
+    tracer = Tracer()
+    reg = _registry(tracer)
+    client = Tracer()
+    with client.span("client.one") as s1:
+        tp1 = s1.context().to_traceparent()
+    with client.span("client.two") as s2:
+        tp2 = s2.context().to_traceparent()
+    requests = [
+        {"servlet": "echo", "value": 0, "traceparent": tp1},
+        {"servlet": "echo", "value": 1},                          # absent
+        {"servlet": "echo", "value": 2, "traceparent": "nope"},   # malformed
+        {"servlet": "echo", "value": 3, "traceparent": tp2},
+    ]
+    responses = reg.dispatch_batch(requests)
+    assert len(responses) == len(requests)
+    assert [r["status"] for r in responses] == ["ok", "ok", "error", "ok"]
+    assert [r.get("value") for r in responses] == [0, 1, None, 3]
+    assert responses[2]["error_code"] == CODE_BAD_REQUEST
+    # The traced group joins the first client trace; the trailing traced
+    # item (split off by the malformed neighbour) joins the second.
+    echo_spans = tracer.finished("servlet.echo")
+    assert [s.trace_id for s in echo_spans] == [s1.trace_id, s2.trace_id]
+    assert [s.parent_id for s in echo_spans] == [s1.span_id, s2.span_id]
+
+
+def test_batch_untraced_items_stay_amortized():
+    tracer = Tracer()
+    reg = _registry(tracer)
+    responses = reg.dispatch_batch(
+        [{"servlet": "echo", "value": i} for i in range(4)])
+    assert all(r["status"] == "ok" for r in responses)
+    # Only the envelope span — no per-item spans for untraced traffic.
+    assert [s.name for s in tracer.finished()] == ["servlet.batch"]
+
+
+# -- WAL stamping -------------------------------------------------------------
+
+def test_wal_records_carry_ambient_trace(tmp_path):
+    path = tmp_path / "cat.wal"
+    tracer = Tracer()
+    db = Database(path)
+    db.create_table("t", ["id"], primary_key="id")
+    with tracer.span("servlet.write") as span:
+        with db.begin() as txn:
+            txn.insert("t", {"id": "traced"})
+        tp = span.context().to_traceparent()
+    with db.begin() as txn:
+        txn.insert("t", {"id": "untraced"})
+    db.close()
+    records = [json.loads(raw) for raw in WriteAheadLog(path).replay()]
+    txns = [r for r in records if r.get("kind") == "txn"]
+    assert [r.get("trace") for r in txns] == [tp, None]
+    # Old-reader compatibility: recovery ignores the extra key.
+    reopened = Database(path)
+    assert {row["id"] for row in reopened.table("t").scan()} == {
+        "traced", "untraced"}
+    reopened.close()
+
+
+# -- end to end ----------------------------------------------------------------
+
+PAGES = {
+    "http://m1/": ("M1", "guitar piano melody chord tune song music"),
+    "http://m2/": ("M2", "piano melody concert tune music song chord"),
+    "http://s1/": ("S1", "football goal score match team league stadium"),
+    "http://s2/": ("S2", "goal match team score stadium league football"),
+    "http://t/": ("T", "guitar melody concert song stage tune music"),
+}
+
+
+def _fetch(url):
+    got = PAGES.get(url)
+    if got is None:
+        return None
+    title, text = got
+    return FetchedPage(url, title, text)
+
+
+def test_end_to_end_trace_from_applet_click_to_index_update():
+    """The acceptance trail: one record_visit driven through the real
+    client applet produces ONE trace — client span, servlet span, storage
+    group commit, crawler fetch, index update, and classification — all
+    sharing the client's trace id across the wire and the daemon queue.
+    """
+    server_tracer = Tracer(sample_every=1, ids=IdSource(seed=11))
+    client_tracer = Tracer(sample_every=1, ids=IdSource(seed=22))
+    system = MemexSystem(
+        MemexServer(_fetch, tracer=server_tracer),
+        client_tracer=client_tracer,
+    )
+    with system:
+        applet = system.register_user("alice")
+        # Two folders x two bookmarks: the classifier's minimum supervision.
+        applet.bookmark("http://m1/", "music", at=1.0)
+        applet.bookmark("http://m2/", "music", at=2.0)
+        applet.bookmark("http://s1/", "sports", at=3.0)
+        applet.bookmark("http://s2/", "sports", at=4.0)
+        system.server.process_background_work()
+
+        applet.batch_size = 8
+        applet.record_visit("http://t/", at=5.0)
+        applet.flush()
+        applet.batch_size = 0
+        system.server.process_background_work()
+
+        client_span = client_tracer.finished("client.visit")[-1]
+        trace_id = client_span.trace_id
+        server_spans = server_tracer.trace(trace_id)
+        names = [s.name for s in server_spans]
+        for expected in (
+            "servlet.visit",             # joined across the wire
+            "storage.record_visit_batch",  # WAL group commit
+            "daemon.crawler.fetch",      # via the crawl queue's origin
+            "daemon.indexer.index",      # via the versioning origin
+            "daemon.classifier.classify",  # via the visit-origin table
+        ):
+            assert expected in names, f"missing {expected} in {names}"
+        assert all(s.trace_id == trace_id for s in server_spans)
+        # The servlet span's parent is the client's span: wire propagation,
+        # not in-process nesting (two distinct tracer instances).
+        servlet_span = next(
+            s for s in server_spans if s.name == "servlet.visit")
+        assert servlet_span.parent_id == client_span.span_id
+        # Daemon spans link to the originating *client* span too.
+        crawl_span = next(
+            s for s in server_spans if s.name == "daemon.crawler.fetch")
+        assert crawl_span.parent_id == client_span.span_id
+        assert crawl_span.attributes["url"] == "http://t/"
+
+
+def test_untraced_client_produces_no_server_parent_links():
+    server_tracer = Tracer(sample_every=1)
+    system = MemexSystem(MemexServer(_fetch, tracer=server_tracer))
+    with system:
+        applet = system.register_user("bob")
+        applet.record_visit("http://m1/", at=1.0)
+        [span] = server_tracer.finished("servlet.visit")
+        assert span.parent_id is None  # fresh root, old-client behaviour
