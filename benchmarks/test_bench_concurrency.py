@@ -1,0 +1,131 @@
+"""M-concurrency — read throughput scaling of the threaded socket server.
+
+The concurrency claim of the serving stack: with the worker pool and the
+striped/RW locking in place, a closed-loop read workload (each client
+issues a request, reads the response, "thinks" ~2 ms, repeats — the UI
+polling pattern of the paper's browsing assistant) scales with workers:
+**4 workers serve ≥2.5× the single-worker request rate**.
+
+The closed-loop model is what makes this measurable on one core: client
+think time sleeps outside the GIL, so throughput is bounded by how many
+request/response cycles the server can overlap, not by raw CPU.  Load is
+balanced (clients == workers per point), requests are cache-warm reads
+(search + health), and every response is checked for shape, so the curve
+cannot be bought with torn or error responses.
+
+Numbers land in ``BENCH_concurrency.json`` at the repo root.  Set
+``MEMEX_BENCH_QUICK=1`` (CI smoke) for shorter windows with the same
+≥2.5× gate.
+"""
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro.core import MemexSystem
+from repro.core.memex import MemexServer
+from repro.server.daemons import FetchedPage
+from repro.server.transport import SocketTransport
+
+QUICK = bool(os.environ.get("MEMEX_BENCH_QUICK"))
+WINDOW_S = 1.0 if QUICK else 2.0
+THINK_S = 0.002
+POINTS = ((1, 1), (2, 2), (4, 4))       # (workers, clients)
+GATE = 2.5
+N_PAGES = 20
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_concurrency.json"
+
+
+def _build_system():
+    pages = {
+        f"http://p{i:02d}/": FetchedPage(
+            f"http://p{i:02d}/", f"Page {i}", f"alpha text {i}", (),
+        )
+        for i in range(N_PAGES)
+    }
+    system = MemexSystem(MemexServer(pages.get))
+    for c in range(max(clients for _, clients in POINTS)):
+        applet = system.register_user(f"c{c}")
+        for i in range(5):
+            applet.record_visit(f"http://p{(c * 5 + i) % N_PAGES:02d}/",
+                                at=float(i))
+    system.server.process_background_work()
+    return system
+
+
+def _client_loop(transport, user, deadline, counts, idx, errors):
+    done = 0
+    search = {"servlet": "search", "query": "alpha", "limit": 5, "offset": 0}
+    health = {"servlet": "health"}
+    while time.perf_counter() < deadline:
+        request = search if done % 4 else health
+        response = transport.request(user, dict(request))
+        if response.get("status") != "ok":
+            errors.append(response)
+            break
+        done += 1
+        time.sleep(THINK_S)
+    counts[idx] = done
+
+
+def _measure(system, workers, clients):
+    with system.server.listen(workers=workers) as net:
+        host, port = net.address
+        transports = [SocketTransport(host, port) for _ in range(clients)]
+        try:
+            # Warm up connections (hello handshake) outside the window.
+            for c, transport in enumerate(transports):
+                transport.request(f"c{c}", {"servlet": "health"})
+            counts = [0] * clients
+            errors = []
+            start = time.perf_counter()
+            deadline = start + WINDOW_S
+            threads = [
+                threading.Thread(
+                    target=_client_loop,
+                    args=(transport, f"c{c}", deadline, counts, c, errors),
+                )
+                for c, transport in enumerate(transports)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            elapsed = time.perf_counter() - start
+            assert not errors, errors[:3]
+        finally:
+            for transport in transports:
+                transport.close()
+    return sum(counts) / elapsed
+
+
+def test_read_throughput_scales_with_workers():
+    system = _build_system()
+    curve = []
+    for workers, clients in POINTS:
+        rps = _measure(system, workers, clients)
+        curve.append({
+            "workers": workers,
+            "clients": clients,
+            "requests_per_s": round(rps, 1),
+        })
+    speedup = curve[-1]["requests_per_s"] / curve[0]["requests_per_s"]
+    payload = {
+        "benchmark": "concurrency_read_throughput",
+        "quick": QUICK,
+        "config": {
+            "window_s": WINDOW_S,
+            "think_time_s": THINK_S,
+            "model": "closed-loop, clients == workers per point",
+        },
+        "curve": curve,
+        "speedup_4_workers": round(speedup, 2),
+        "gate": GATE,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    assert speedup >= GATE, (
+        f"4-worker read throughput only {speedup:.2f}x the single-worker "
+        f"rate (gate {GATE}x): {curve}"
+    )

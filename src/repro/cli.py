@@ -15,6 +15,11 @@ Commands
     versioning lag), and latency histogram the pipeline recorded.
 ``experiments``
     Print the experiment index (what each benchmark reproduces).
+``serve``
+    Replay a workload, then serve the system over TCP (the framed wire
+    protocol) with a threaded worker pool, ticking the background
+    daemons between requests.  Connect with
+    :class:`repro.server.transport.SocketTransport`.
 """
 
 from __future__ import annotations
@@ -192,6 +197,33 @@ EXPERIMENTS = [
 ]
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    _workload, system = _replayed_system(args)
+    server = system.server
+    server.process_background_work()
+    net = server.listen(host=args.host, port=args.port, workers=args.workers)
+    host, port = net.address
+    print(f"serving on {host}:{port}  (workers={args.workers})")
+    if args.duration is None:
+        print("press Ctrl-C to stop")
+    deadline = (
+        None if args.duration is None
+        else time.monotonic() + args.duration
+    )
+    try:
+        while deadline is None or time.monotonic() < deadline:
+            server.scheduler.tick()
+            time.sleep(0.1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        net.close()
+    print("stopped")
+    return 0
+
+
 def cmd_experiments(_args: argparse.Namespace) -> int:
     for exp_id, path, desc in EXPERIMENTS:
         print(f"{exp_id:<4} {path:<44} {desc}")
@@ -232,6 +264,19 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("experiments", help="print the experiment index")
     p.set_defaults(func=cmd_experiments)
+
+    p = sub.add_parser(
+        "serve", help="serve a replayed system over TCP (framed protocol)",
+    )
+    _add_workload_args(p)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 picks a free one)")
+    p.add_argument("--workers", type=int, default=4,
+                   help="connection worker threads")
+    p.add_argument("--duration", type=float, default=None,
+                   help="stop after this many seconds (default: run until ^C)")
+    p.set_defaults(func=cmd_serve)
 
     args = parser.parse_args(argv)
     return args.func(args)

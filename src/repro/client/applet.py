@@ -28,7 +28,7 @@ from typing import Any
 
 from ..errors import CODE_UNKNOWN_USER, AuthError, MemexError
 from ..obs import Tracer, null_tracer
-from ..server.transport import HttpTunnelTransport
+from ..server.transport import Transport
 from .browser import Browser
 
 ARCHIVE_OFF = "off"
@@ -42,7 +42,8 @@ class MemexApplet:
     Parameters
     ----------
     transport:
-        The HTTP tunnel to a Memex server.
+        Any wire to a Memex server — the in-process HTTP tunnel or the
+        TCP socket client; the applet is identical above either.
     user_id:
         Who is logged in.
     browser:
@@ -55,7 +56,7 @@ class MemexApplet:
 
     def __init__(
         self,
-        transport: HttpTunnelTransport,
+        transport: Transport,
         user_id: str,
         *,
         browser: Browser | None = None,

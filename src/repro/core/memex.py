@@ -11,6 +11,8 @@ timestamp it has seen, so replays are deterministic.
 
 from __future__ import annotations
 
+import threading
+
 from typing import Any
 
 from ..cache import ReadPathCaches
@@ -28,6 +30,7 @@ from ..server.daemons import (
 )
 from ..server.scheduler import DaemonScheduler
 from ..server.servlets import ServletRegistry
+from ..server.netserver import MemexSocketServer
 from ..server.transport import HttpTunnelTransport
 from ..storage.repository import MemexRepository
 from ..storage.schema import (
@@ -180,6 +183,12 @@ class MemexServer:
 
         self._profiles: dict[str, UserProfile] = {}
         self._profiles_built_at = (-1, -1)  # (visit count, theme rebuilds)
+        # Server lock ("server" rank in repro.locks.LOCK_ORDER, above the
+        # repository lock it nests over): guards the simulation clock,
+        # the lazy profile rebuild, and the server-level check-then-act
+        # compounds (folder-path creation, user registration) that span
+        # several repository calls.
+        self._server_lock = threading.RLock()
 
     # ------------------------------------------------------------------ time
 
@@ -189,7 +198,8 @@ class MemexServer:
 
     def _advance(self, at: float | None) -> float:
         if at is not None:
-            self._now = max(self._now, float(at))
+            with self._server_lock:
+                self._now = max(self._now, float(at))
         return self._now
 
     # ------------------------------------------------------------- daemon API
@@ -236,12 +246,13 @@ class MemexServer:
         parts = [p for p in path.split("/") if p]
         parent: str | None = None
         built: list[str] = []
-        for part in parts:
-            built.append(part)
-            fid = self.folder_id(owner, "/".join(built))
-            if self.repo.db.table("folders").get(fid) is None:
-                self.repo.add_folder(fid, owner, part, parent, now=at)
-            parent = fid
+        with self._server_lock:
+            for part in parts:
+                built.append(part)
+                fid = self.folder_id(owner, "/".join(built))
+                if self.repo.db.table("folders").get(fid) is None:
+                    self.repo.add_folder(fid, owner, part, parent, now=at)
+                parent = fid
         if parent is None:
             raise ValueError("empty folder path")
         return parent
@@ -279,15 +290,16 @@ class MemexServer:
         if taxonomy is None:
             return {}
         key = (len(self.repo.db.table("visits")), self.themes.rebuild_count)
-        if key != self._profiles_built_at:
-            self._profiles = {
-                row["user_id"]: build_profile(
-                    self.repo, self.vectorizer, taxonomy, row["user_id"],
-                )
-                for row in self.repo.db.table("users").scan()
-            }
-            self._profiles_built_at = key
-        return self._profiles
+        with self._server_lock:
+            if key != self._profiles_built_at:
+                self._profiles = {
+                    row["user_id"]: build_profile(
+                        self.repo, self.vectorizer, taxonomy, row["user_id"],
+                    )
+                    for row in self.repo.db.table("users").scan()
+                }
+                self._profiles_built_at = key
+            return self._profiles
 
     # ---------------------------------------------------------------- servlets
 
@@ -329,16 +341,17 @@ class MemexServer:
 
     def _sv_register_user(self, request: dict[str, Any]) -> dict[str, Any]:
         user_id = request["user_id"]
-        if self.repo.get_user(user_id) is not None:
-            return {"created": False}
-        self._advance(request.get("at"))
-        self.repo.add_user(
-            user_id,
-            name=request.get("name"),
-            community=request.get("community"),
-            archive_mode=request.get("archive_mode", ARCHIVE_COMMUNITY),
-            now=self._now,
-        )
+        with self._server_lock:
+            if self.repo.get_user(user_id) is not None:
+                return {"created": False}
+            self._advance(request.get("at"))
+            self.repo.add_user(
+                user_id,
+                name=request.get("name"),
+                community=request.get("community"),
+                archive_mode=request.get("archive_mode", ARCHIVE_COMMUNITY),
+                now=self._now,
+            )
         return {"created": True}
 
     def _sv_set_archive_mode(self, request: dict[str, Any]) -> dict[str, Any]:
@@ -1025,6 +1038,37 @@ class MemexServer:
                 limit=int(request.get("log_limit", 200)),
             )
         return out
+
+    # ---------------------------------------------------------------- network
+
+    def listen(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 4,
+        idle_timeout: float = 30.0,
+        read_timeout: float = 5.0,
+    ) -> MemexSocketServer:
+        """Start serving the framed wire protocol over TCP.
+
+        Returns the started :class:`MemexSocketServer`; its ``address``
+        is the bound ``(host, port)``.  Per-user RC4 keys come from the
+        in-process transport (:meth:`HttpTunnelTransport.key_for`), so a
+        key set once applies to both the tunnel and the socket.  The
+        caller owns the server's lifecycle (``close()`` drains it).
+        """
+        return MemexSocketServer(
+            self.registry,
+            host=host,
+            port=port,
+            workers=workers,
+            idle_timeout=idle_timeout,
+            read_timeout=read_timeout,
+            key_source=self.transport,
+            metrics=self.metrics,
+            log=self.logs.logger("netserver"),
+        )
 
     # ---------------------------------------------------------------- lifecycle
 

@@ -25,6 +25,7 @@ CODE_UNKNOWN_SERVLET = "unknown_servlet"
 CODE_UNKNOWN_USER = "unknown_user"
 CODE_BAD_REQUEST = "bad_request"
 CODE_UNSUPPORTED_VERSION = "unsupported_version"
+CODE_TIMEOUT = "timeout"
 CODE_INTERNAL = "internal"
 
 #: The canonical registry: code -> (retryable, client-facing description).
@@ -50,6 +51,12 @@ CODE_REGISTRY: dict[str, tuple[bool, str]] = {
         False,
         "The authenticated `user_id` has no account on this server. "
         "Register the user first.",
+    ),
+    CODE_TIMEOUT: (
+        True,
+        "The peer took too long: the server gave up waiting for the rest "
+        "of a frame (read timeout), or the client gave up waiting for a "
+        "response. The request may be retried on a fresh connection.",
     ),
     CODE_INTERNAL: (
         True,

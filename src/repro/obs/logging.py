@@ -22,6 +22,7 @@ no-op, mirroring ``null_registry()``/``null_tracer()``.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from collections import deque
 from collections.abc import Callable
@@ -59,21 +60,29 @@ class LogHub:
         self._records: deque[dict[str, Any]] = deque(maxlen=capacity)
         self._sinks: list[Sink] = []
         self._loggers: dict[str, Logger] = {}
+        # Innermost (obs-level) lock: guards the emitted counter and the
+        # logger cache; the ring itself is an atomic deque append.
+        self._obs_lock = threading.Lock()
 
     def logger(self, component: str) -> "Logger":
         """A (cached) handle that stamps *component* on every record."""
         got = self._loggers.get(component)
         if got is None:
-            got = Logger(self, component)
-            self._loggers[component] = got
+            with self._obs_lock:
+                got = self._loggers.get(component)
+                if got is None:
+                    got = Logger(self, component)
+                    self._loggers[component] = got
         return got
 
     def log(self, level: str, component: str, event: str, /, **fields: Any) -> None:
         """Append one structured record; trace ids injected automatically.
 
-        Reserved keys (``ts``/``level``/``component``/``event`` and the
-        trace ids) win over caller-supplied fields of the same name, so a
-        record's envelope can always be trusted.
+        Reserved keys (``ts``/``level``/``component``/``event``/``thread``
+        and the trace ids) win over caller-supplied fields of the same
+        name, so a record's envelope can always be trusted.  Records are
+        tagged with the emitting thread's ``threading.get_ident()`` so
+        interleaved worker logs stay attributable.
         """
         if not self.enabled or LEVELS[level] < LEVELS[self.min_level]:
             return
@@ -83,14 +92,16 @@ class LogHub:
             "level": level,
             "component": component,
             "event": event,
+            "thread": threading.get_ident(),
         }
         ctx = current_context()
         if ctx is not None:
             record["trace_id"] = ctx.trace_id
             record["span_id"] = ctx.span_id
-        self.emitted += 1
-        self._records.append(record)
-        for sink in self._sinks:
+        with self._obs_lock:
+            self.emitted += 1
+        self._records.append(record)   # deque append is atomic
+        for sink in list(self._sinks):
             sink(record)
 
     def attach(self, sink: Sink) -> None:

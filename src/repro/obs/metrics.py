@@ -22,6 +22,7 @@ in order:
 from __future__ import annotations
 
 import functools
+import threading
 import time
 from bisect import bisect_left
 from collections.abc import Callable
@@ -49,9 +50,14 @@ def render_name(name: str, labels: LabelItems) -> str:
 
 
 class Counter:
-    """Monotonically increasing count of events."""
+    """Monotonically increasing count of events.
 
-    __slots__ = ("name", "labels", "value", "_registry", "_feeds")
+    Thread-safe: ``inc`` is a read-modify-write, so concurrent servlet
+    workers serialize on a tiny per-instrument lock (obs level — the
+    innermost in :data:`repro.locks.LOCK_ORDER`).
+    """
+
+    __slots__ = ("name", "labels", "value", "_registry", "_feeds", "_obs_lock")
 
     def __init__(self, name: str, labels: LabelItems, registry: "MetricsRegistry") -> None:
         self.name = name
@@ -59,13 +65,16 @@ class Counter:
         self.value = 0.0
         self._registry = registry
         self._feeds = registry._feeds   # shared list; mutated in place
+        self._obs_lock = threading.Lock()
 
     def inc(self, n: float = 1.0) -> None:
         if n < 0:
             raise ValueError("counters only go up")
-        self.value += n
+        with self._obs_lock:
+            self.value += n
+            value = self.value
         if self._feeds:
-            self._registry._publish("counter", self.name, self.labels, self.value)
+            self._registry._publish("counter", self.name, self.labels, value)
 
 
 class FuncCounter:
@@ -111,9 +120,13 @@ class FuncGauge:
 
 
 class Gauge:
-    """A value that can go up and down (lag, backlog, live versions)."""
+    """A value that can go up and down (lag, backlog, live versions).
 
-    __slots__ = ("name", "labels", "value", "_registry", "_feeds")
+    Thread-safe: ``inc``/``dec`` read-modify-write under a per-instrument
+    lock so concurrent workers cannot lose updates.
+    """
+
+    __slots__ = ("name", "labels", "value", "_registry", "_feeds", "_obs_lock")
 
     def __init__(self, name: str, labels: LabelItems, registry: "MetricsRegistry") -> None:
         self.name = name
@@ -121,17 +134,22 @@ class Gauge:
         self.value = 0.0
         self._registry = registry
         self._feeds = registry._feeds   # shared list; mutated in place
+        self._obs_lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._obs_lock:
+            self.value = value = float(value)
         if self._feeds:
-            self._registry._publish("gauge", self.name, self.labels, self.value)
+            self._registry._publish("gauge", self.name, self.labels, value)
 
     def inc(self, n: float = 1.0) -> None:
-        self.set(self.value + n)
+        with self._obs_lock:
+            self.value = value = self.value + n
+        if self._feeds:
+            self._registry._publish("gauge", self.name, self.labels, value)
 
     def dec(self, n: float = 1.0) -> None:
-        self.set(self.value - n)
+        self.inc(-n)
 
 
 class Histogram:
@@ -144,7 +162,7 @@ class Histogram:
     """
 
     __slots__ = ("name", "labels", "buckets", "counts", "sum", "count",
-                 "min", "max", "_registry", "_feeds")
+                 "min", "max", "_registry", "_feeds", "_obs_lock")
 
     def __init__(
         self,
@@ -165,54 +183,71 @@ class Histogram:
         self.max = float("-inf")
         self._registry = registry
         self._feeds = registry._feeds   # shared list; mutated in place
+        self._obs_lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.counts[bisect_left(self.buckets, value)] += 1
-        self.sum += value
-        self.count += 1
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
+        # One lock keeps counts/sum/count/min/max mutually consistent
+        # under concurrent workers (summary() reads them together).
+        with self._obs_lock:
+            self.counts[bisect_left(self.buckets, value)] += 1
+            self.sum += value
+            self.count += 1
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
         if self._feeds:
             self._registry._publish("histogram", self.name, self.labels, value)
+
+    def _state(self) -> tuple[list[int], float, int, float, float]:
+        """A mutually consistent copy of the mutable fields."""
+        with self._obs_lock:
+            return list(self.counts), self.sum, self.count, self.min, self.max
+
+    def _percentile(
+        self, q: float,
+        counts: list[int], count: int, mn: float, mx: float,
+    ) -> float:
+        rank = q * count
+        cumulative = 0
+        for i, c in enumerate(counts):
+            if c == 0:
+                continue
+            if cumulative + c >= rank:
+                if i == len(self.buckets):      # overflow bucket
+                    return mx
+                lo = self.buckets[i - 1] if i > 0 else min(mn, self.buckets[i])
+                hi = self.buckets[i]
+                frac = (rank - cumulative) / c
+                # Interpolated position, clamped to the observed range so a
+                # sparse bucket cannot report a value no sample reached.
+                return max(mn, min(lo + (hi - lo) * frac, mx))
+            cumulative += c
+        return mx
 
     def percentile(self, q: float) -> float:
         """Value at quantile ``q`` in [0, 1], from the bucket boundaries."""
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be in [0, 1]")
-        if self.count == 0:
+        counts, _total, count, mn, mx = self._state()
+        if count == 0:
             return 0.0
-        rank = q * self.count
-        cumulative = 0
-        for i, c in enumerate(self.counts):
-            if c == 0:
-                continue
-            if cumulative + c >= rank:
-                if i == len(self.buckets):      # overflow bucket
-                    return self.max
-                lo = self.buckets[i - 1] if i > 0 else min(self.min, self.buckets[i])
-                hi = self.buckets[i]
-                frac = (rank - cumulative) / c
-                # Interpolated position, clamped to the observed range so a
-                # sparse bucket cannot report a value no sample reached.
-                return max(self.min, min(lo + (hi - lo) * frac, self.max))
-            cumulative += c
-        return self.max
+        return self._percentile(q, counts, count, mn, mx)
 
     def summary(self) -> dict[str, float]:
-        if self.count == 0:
+        counts, total, count, mn, mx = self._state()
+        if count == 0:
             return {"count": 0, "sum": 0.0, "mean": 0.0,
                     "p50": 0.0, "p95": 0.0, "p99": 0.0, "min": 0.0, "max": 0.0}
         return {
-            "count": self.count,
-            "sum": self.sum,
-            "mean": self.sum / self.count,
-            "p50": self.percentile(0.50),
-            "p95": self.percentile(0.95),
-            "p99": self.percentile(0.99),
-            "min": self.min,
-            "max": self.max,
+            "count": count,
+            "sum": total,
+            "mean": total / count,
+            "p50": self._percentile(0.50, counts, count, mn, mx),
+            "p95": self._percentile(0.95, counts, count, mn, mx),
+            "p99": self._percentile(0.99, counts, count, mn, mx),
+            "min": mn,
+            "max": mx,
         }
 
 
@@ -312,6 +347,9 @@ class MetricsRegistry:
         self._gauges: dict[tuple[str, LabelItems], Gauge] = {}
         self._histograms: dict[tuple[str, LabelItems], Histogram] = {}
         self._feeds: list[Any] = []   # attached EventFeed objects
+        # Guards instrument creation (get-or-create) only; per-event
+        # updates use the instruments' own locks.
+        self._obs_lock = threading.Lock()
 
     # -- instrument factories ----------------------------------------------
 
@@ -325,9 +363,12 @@ class MetricsRegistry:
         if not self.enabled:
             return _NULL_COUNTER
         key = self._key(name, labels)
-        got = self._counters.get(key)
+        got = self._counters.get(key)   # lock-free fast path (GIL-safe read)
         if got is None:
-            got = self._counters[key] = Counter(key[0], key[1], self)
+            with self._obs_lock:
+                got = self._counters.get(key)
+                if got is None:
+                    got = self._counters[key] = Counter(key[0], key[1], self)
         return got
 
     def counter_func(
@@ -340,7 +381,8 @@ class MetricsRegistry:
             return _NULL_COUNTER
         key = self._key(name, labels)
         got = FuncCounter(key[0], key[1], fn)
-        self._counters[key] = got
+        with self._obs_lock:
+            self._counters[key] = got
         return got
 
     def gauge(self, name: str, **labels: str) -> Gauge | _NullGauge:
@@ -349,7 +391,10 @@ class MetricsRegistry:
         key = self._key(name, labels)
         got = self._gauges.get(key)
         if got is None:
-            got = self._gauges[key] = Gauge(key[0], key[1], self)
+            with self._obs_lock:
+                got = self._gauges.get(key)
+                if got is None:
+                    got = self._gauges[key] = Gauge(key[0], key[1], self)
         return got
 
     def gauge_func(
@@ -362,7 +407,8 @@ class MetricsRegistry:
             return _NULL_GAUGE
         key = self._key(name, labels)
         got = FuncGauge(key[0], key[1], fn)
-        self._gauges[key] = got
+        with self._obs_lock:
+            self._gauges[key] = got
         return got
 
     def histogram(
@@ -377,7 +423,11 @@ class MetricsRegistry:
         key = self._key(name, labels)
         got = self._histograms.get(key)
         if got is None:
-            got = self._histograms[key] = Histogram(key[0], key[1], self, buckets)
+            with self._obs_lock:
+                got = self._histograms.get(key)
+                if got is None:
+                    got = self._histograms[key] = Histogram(
+                        key[0], key[1], self, buckets)
         return got
 
     def timer(self, name: str, **labels: str) -> Timer:

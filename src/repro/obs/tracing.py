@@ -35,6 +35,7 @@ deployments.
 from __future__ import annotations
 
 import random
+import threading
 import time
 from collections import deque
 from contextvars import ContextVar
@@ -165,7 +166,7 @@ class Span:
     """
 
     __slots__ = ("trace_id", "span_id", "parent_id", "name", "start", "end",
-                 "attributes", "error", "_tracer", "_ctx_token")
+                 "attributes", "error", "thread", "_tracer", "_ctx_token")
 
     def __init__(
         self,
@@ -185,6 +186,9 @@ class Span:
         self.end: float | None = None
         self.attributes = attributes
         self.error: str | None = None
+        # Worker thread that opened the span; interleaved traces from the
+        # socket server's pool stay attributable per thread.
+        self.thread = threading.get_ident()
         self._tracer = tracer
         self._ctx_token: Any = None
 
@@ -236,6 +240,7 @@ class Span:
             "duration": self.duration,
             "attributes": dict(self.attributes),
             "error": self.error,
+            "thread": self.thread,
         }
 
 
@@ -306,9 +311,21 @@ class Tracer:
         self.capacity = capacity
         self.sample_every = sample_every
         self.ids = ids if ids is not None else IdSource()
-        self._stack: list[Span] = []
+        # The active-span stack is *per thread*: each socket worker (and
+        # the daemon thread) nests its own spans; a worker's span must
+        # never parent onto another worker's unrelated request.
+        self._local = threading.local()
         self._finished: deque[Span] = deque(maxlen=capacity)
         self._sample_tick = 0
+        self._obs_lock = threading.Lock()   # guards the sampling tick
+
+    @property
+    def _stack(self) -> list[Span]:
+        """The calling thread's active-span stack (created on demand)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     def span(
         self,
@@ -341,9 +358,12 @@ class Tracer:
             parent_id = top.span_id
         else:
             if self.sample_every > 1:
-                # Head-based sampling decision, made once per root span.
-                self._sample_tick += 1
-                if self._sample_tick % self.sample_every:
+                # Head-based sampling decision, made once per root span;
+                # the tick is shared across threads, hence the lock.
+                with self._obs_lock:
+                    self._sample_tick += 1
+                    tick = self._sample_tick
+                if tick % self.sample_every:
                     return _NULL_SPAN_CONTEXT
             trace_id = self.ids.trace_id()
             parent_id = None

@@ -12,6 +12,7 @@ consumers that each see consistent published prefixes of the crawl.
 from __future__ import annotations
 
 import math
+import threading
 from collections import defaultdict
 from collections.abc import Callable
 from contextlib import nullcontext
@@ -161,6 +162,10 @@ class CrawlerDaemon:
         self.clock = clock
         self.tracer = tracer if tracer is not None else null_tracer()
         self.log = log if log is not None else null_logger("crawler")
+        # Guards the fetch queue, its dedup set, and the origin side
+        # table: enqueue() arrives from servlet worker threads while
+        # run_once() drains on the scheduler's thread.
+        self._queue_lock = threading.Lock()
         self._queue: list[str] = []
         self._queued: set[str] = set()
         self._origins: dict[str, str] = {}   # url -> origin traceparent
@@ -183,29 +188,36 @@ class CrawlerDaemon:
         page = self.repo.db.table("pages").get(url)
         if page is not None and page["fetched"]:
             return
-        self._queued.add(url)
-        self._queue.append(url)
-        if origin is not None:
-            self._origins[url] = origin
+        with self._queue_lock:
+            if url in self._queued:
+                return
+            self._queued.add(url)
+            self._queue.append(url)
+            if origin is not None:
+                self._origins[url] = origin
         # The backlog gauge is refreshed per crawl batch (run_once), not per
         # enqueue — enqueue sits on the visit servlet's hot path.
 
     @property
     def backlog(self) -> int:
-        return len(self._queue)
+        with self._queue_lock:
+            return len(self._queue)
 
     def run_once(self) -> int:
-        if not self._queue:
-            return 0
-        batch = self._queue[: self.batch_size]
-        del self._queue[: len(batch)]
+        with self._queue_lock:
+            if not self._queue:
+                return 0
+            batch = self._queue[: self.batch_size]
+            del self._queue[: len(batch)]
+            origins = {url: self._origins.pop(url, None) for url in batch}
+            for url in batch:
+                self._queued.discard(url)
         now = self.clock()
         version = self.repo.versions.open_version()
         done = 0
         try:
             for url in batch:
-                self._queued.discard(url)
-                origin = self._origins.pop(url, None)
+                origin = origins[url]
                 with self.tracer.span(
                     "daemon.crawler.fetch",
                     parent=_origin_context(origin), url=url,
@@ -246,12 +258,16 @@ class CrawlerDaemon:
             # only in the aborted version, so they must be re-published
             # (upserts are idempotent; a little duplicate fetch work beats
             # pages that consumers never see).
-            self._queue = list(batch) + self._queue
-            self._queued.update(batch)
-            self._m_backlog.set(len(self._queue))
+            with self._queue_lock:
+                self._queue = list(batch) + self._queue
+                self._queued.update(batch)
+                for url, origin in origins.items():
+                    if origin is not None:
+                        self._origins.setdefault(url, origin)
+                self._m_backlog.set(len(self._queue))
             raise
         self.repo.versions.publish()
-        self._m_backlog.set(len(self._queue))
+        self._m_backlog.set(self.backlog)
         return done
 
 

@@ -1,0 +1,346 @@
+"""Threaded TCP front-end for the servlet registry.
+
+:class:`MemexSocketServer` speaks the existing framed protocol
+(:mod:`repro.server.protocol` — length prefix, flags byte, optional
+per-user RC4, versions v1/v2, batch envelopes, traceparent in the
+payload) over real sockets, so a :class:`~repro.server.transport.
+SocketTransport` client exercises byte-for-byte the same wire format as
+the in-process :class:`~repro.server.transport.HttpTunnelTransport`.
+
+Connection lifecycle::
+
+    client                           server
+    ------                           ------
+    connect ------------------------> accept (queued to worker pool)
+    hello frame {"hello": user} ----> look up user's cipher key
+    <------------- {"status": "ok", "encrypted": bool}
+    request frame (user's key) -----> registry.dispatch
+    <------------------------- response frame (user's key)
+    ... (framing loop, one request in flight per connection) ...
+
+The hello frame is unencrypted and binds the connection to one user so
+the server knows which cipher key decodes the frames that follow — the
+socket analogue of ``HttpTunnelTransport._serve``'s ``claimed_user``
+argument.  Every later frame is decoded with that user's key.
+
+Threading model: one acceptor thread plus a bounded pool of ``workers``
+threads.  A worker serves one connection at a time from an accept queue;
+extra connections wait their turn.  Timeouts map to typed wire errors:
+waiting longer than ``idle_timeout`` for a *new* frame closes the
+connection quietly, while stalling mid-frame for ``read_timeout`` sends
+a retryable ``timeout`` error before closing.  ``close()`` drains
+gracefully — the listener stops, in-flight requests finish and their
+responses are sent, then connections shut down.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+from typing import Any, Protocol
+
+from ..errors import CODE_TIMEOUT, ProtocolError, error_payload
+from ..obs.logging import Logger, null_logger
+from ..obs.metrics import MetricsRegistry, null_registry
+from .protocol import (
+    FRAME_HEADER_SIZE,
+    decode_message,
+    encode_message,
+    frame_length,
+    recv_exact,
+)
+from .servlets import ServletRegistry
+
+#: Reserved payload key that opens a connection and names its user.
+HELLO_KEY = "hello"
+
+_POOL_SENTINEL = object()
+
+
+class KeySource(Protocol):
+    """Anything that can resolve a user's cipher key (e.g. a transport)."""
+
+    def key_for(self, user_id: str) -> bytes | None: ...
+
+
+class _DictKeys:
+    """Self-contained key store for servers run without a transport."""
+
+    def __init__(self) -> None:
+        self._keys: dict[str, bytes] = {}
+
+    def set_key(self, user_id: str, key: bytes | None) -> None:
+        if key is None:
+            self._keys.pop(user_id, None)
+        else:
+            self._keys[user_id] = key
+
+    def key_for(self, user_id: str) -> bytes | None:
+        return self._keys.get(user_id)
+
+
+class MemexSocketServer:
+    """Serve a :class:`ServletRegistry` over TCP with a worker pool."""
+
+    def __init__(
+        self,
+        registry: ServletRegistry,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 4,
+        backlog: int = 128,
+        idle_timeout: float = 30.0,
+        read_timeout: float = 5.0,
+        drain_timeout: float = 5.0,
+        key_source: KeySource | None = None,
+        metrics: MetricsRegistry | None = None,
+        log: Logger | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.registry = registry
+        self.workers = workers
+        self.idle_timeout = idle_timeout
+        self.read_timeout = read_timeout
+        self.drain_timeout = drain_timeout
+        self.keys = key_source if key_source is not None else _DictKeys()
+        self.metrics = metrics if metrics is not None else null_registry()
+        self.log = log if log is not None else null_logger("netserver")
+
+        self._sock = socket.create_server((host, port), backlog=backlog)
+        self.address: tuple[str, int] = self._sock.getsockname()[:2]
+
+        self._stopping = threading.Event()
+        self._closed = False
+        # Accepted-but-unserved connections; bounded so a flood backs up
+        # into the TCP backlog instead of unbounded memory.
+        self._pending: queue.Queue[Any] = queue.Queue(maxsize=workers * 8)
+        # Guards _active (connections currently owned by a worker).
+        self._pool_lock = threading.Lock()
+        self._active: set[socket.socket] = set()
+
+        m = self.metrics
+        self.connections_total = m.counter("net.connections_total")
+        self.requests_total = m.counter("net.requests_total")
+        self.timeouts_total = m.counter("net.timeouts_total")
+        self.bytes_in = m.counter("net.bytes_in")
+        self.bytes_out = m.counter("net.bytes_out")
+        m.gauge_func("net.active_connections", lambda: len(self._active))
+
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, name=f"memex-net-worker-{i}",
+                daemon=True,
+            )
+            for i in range(workers)
+        ]
+        self._acceptor = threading.Thread(
+            target=self._accept_loop, name="memex-net-accept", daemon=True,
+        )
+        for t in self._threads:
+            t.start()
+        self._acceptor.start()
+        self.log.info("listening", host=self.address[0], port=self.address[1],
+                      workers=workers)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __enter__(self) -> "MemexSocketServer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def close(self, *, drain: bool = True) -> None:
+        """Stop serving.  With *drain* (default), in-flight requests
+        finish and their responses are sent before connections close;
+        idle connections are shut down immediately."""
+        if self._closed:
+            return
+        self._closed = True
+        self._stopping.set()
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        # Unblock workers parked between frames: shutting down the read
+        # side makes their recv return EOF, while a response for a
+        # request already being dispatched can still be written.
+        with self._pool_lock:
+            active = list(self._active)
+        if drain:
+            for conn in active:
+                try:
+                    conn.shutdown(socket.SHUT_RD)
+                except OSError:
+                    pass
+        else:
+            for conn in active:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+        for _ in self._threads:
+            try:
+                self._pending.put_nowait(_POOL_SENTINEL)
+            except queue.Full:  # workers will see _stopping anyway
+                break
+        # Close connections that were accepted but never picked up.
+        while True:
+            try:
+                item = self._pending.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _POOL_SENTINEL:
+                item.close()
+        self._acceptor.join(timeout=self.drain_timeout)
+        for t in self._threads:
+            t.join(timeout=self.drain_timeout)
+        with self._pool_lock:
+            leftovers = list(self._active)
+        for conn in leftovers:  # pragma: no cover - drain timeout expired
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self.log.info("closed", drained=drain)
+
+    # -- accept / worker loops ----------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _addr = self._sock.accept()
+            except OSError:
+                break  # listener closed
+            self.connections_total.inc()
+            while not self._stopping.is_set():
+                try:
+                    self._pending.put(conn, timeout=0.1)
+                    break
+                except queue.Full:
+                    continue
+            else:
+                conn.close()
+
+    def _worker_loop(self) -> None:
+        while True:
+            try:
+                item = self._pending.get(timeout=0.1)
+            except queue.Empty:
+                if self._stopping.is_set():
+                    return
+                continue
+            if item is _POOL_SENTINEL:
+                return
+            with self._pool_lock:
+                self._active.add(item)
+            try:
+                self._serve_connection(item)
+            finally:
+                with self._pool_lock:
+                    self._active.discard(item)
+                try:
+                    item.close()
+                except OSError:
+                    pass
+
+    # -- connection handling -------------------------------------------------
+
+    def _read_frame(self, conn: socket.socket) -> bytes | None:
+        """One full frame; None on clean EOF or idle timeout.
+
+        The wait for a frame's *first* bytes is bounded by
+        ``idle_timeout``; once a header arrives the body must follow
+        within ``read_timeout`` or a typed ``timeout`` error goes back.
+        """
+        conn.settimeout(self.idle_timeout)
+        try:
+            header = recv_exact(conn.recv, FRAME_HEADER_SIZE)
+        except socket.timeout:
+            self.log.info("idle_timeout")
+            return None
+        if header is None:
+            return None
+        conn.settimeout(self.read_timeout)
+        try:
+            body = recv_exact(conn.recv, frame_length(header))
+        except socket.timeout:
+            self.timeouts_total.inc()
+            raise ProtocolError(
+                f"read timed out mid-frame after {self.read_timeout}s",
+                code=CODE_TIMEOUT,
+            ) from None
+        if body is None:
+            raise ProtocolError("connection closed before frame body")
+        return header + body
+
+    def _send(self, conn: socket.socket, payload: dict[str, Any],
+              key: bytes | None) -> None:
+        wire = encode_message(payload, key=key)
+        conn.sendall(wire)
+        self.bytes_out.inc(len(wire))
+
+    def _handshake(self, conn: socket.socket) -> tuple[str, bytes | None] | None:
+        """Read the hello frame; returns (user_id, key) or None to close."""
+        try:
+            frame = self._read_frame(conn)
+            if frame is None:
+                return None
+            self.bytes_in.inc(len(frame))
+            hello = decode_message(frame)  # hello is always cleartext
+            user_id = hello.get(HELLO_KEY)
+            if not isinstance(user_id, str) or not user_id:
+                raise ProtocolError("first frame must be a hello naming a user")
+        except ProtocolError as exc:
+            self._try_send_error(conn, exc, key=None)
+            return None
+        key = self.keys.key_for(user_id)
+        self._send(conn, {"status": "ok", "encrypted": key is not None}, None)
+        return user_id, key
+
+    def _try_send_error(self, conn: socket.socket, exc: ProtocolError,
+                        key: bytes | None) -> None:
+        try:
+            self._send(conn, error_payload(exc), key)
+        except OSError:  # peer already gone
+            pass
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            bound = self._handshake(conn)
+            if bound is None:
+                return
+            user_id, key = bound
+            while not self._stopping.is_set():
+                try:
+                    frame = self._read_frame(conn)
+                except ProtocolError as exc:
+                    # Truncation / oversize / mid-frame timeout: answer
+                    # with a typed error, then drop the connection — the
+                    # stream can no longer be trusted to be frame-aligned.
+                    self._try_send_error(conn, exc, key)
+                    return
+                if frame is None:
+                    return
+                self.bytes_in.inc(len(frame))
+                self.requests_total.inc()
+                try:
+                    request = decode_message(frame, key=key)
+                except ProtocolError as exc:
+                    # Decode errors leave framing intact: reply and go on.
+                    self._try_send_error(conn, exc, key)
+                    continue
+                response = self.registry.dispatch(request)
+                try:
+                    self._send(conn, response, key)
+                except OSError:
+                    return
+        except OSError:
+            # Connection reset / forced close during drain.
+            return
+        except Exception:  # pragma: no cover - never kill a worker
+            self.log.error("connection_crashed", user=locals().get("user_id"))
+            return

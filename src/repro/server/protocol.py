@@ -91,6 +91,56 @@ def encode_message(
     return _LEN.pack(len(body) + 1) + bytes([flags]) + body
 
 
+def recv_exact(recv: Any, n: int) -> bytes | None:
+    """Read exactly *n* bytes via ``recv(size)`` calls.
+
+    Returns ``None`` on a clean EOF *before the first byte* (the peer hung
+    up between frames); raises :class:`ProtocolError` if the stream ends
+    mid-read (a truncated frame).  ``socket.timeout`` from *recv*
+    propagates — the caller decides whether that is an idle or a
+    mid-frame timeout.
+    """
+    buf = bytearray()
+    while len(buf) < n:
+        chunk = recv(n - len(buf))
+        if not chunk:
+            if not buf:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({len(buf)}/{n} bytes)"
+            )
+        buf.extend(chunk)
+    return bytes(buf)
+
+
+def frame_length(header: bytes) -> int:
+    """Body length declared by a 4-byte frame header (validated)."""
+    (length,) = _LEN.unpack(header)
+    if length > MAX_MESSAGE_BYTES:
+        raise ProtocolError("declared length too large")
+    if length < 1:
+        raise ProtocolError("declared length too small")
+    return length
+
+
+def recv_frame(recv: Any) -> bytes | None:
+    """Read one full frame (header + body) from a stream-style ``recv``.
+
+    Returns the raw frame ready for :func:`decode_message`, or ``None``
+    on clean EOF at a frame boundary.
+    """
+    header = recv_exact(recv, _LEN.size)
+    if header is None:
+        return None
+    body = recv_exact(recv, frame_length(header))
+    if body is None:
+        raise ProtocolError("connection closed before frame body")
+    return header + body
+
+
+FRAME_HEADER_SIZE = _LEN.size
+
+
 def decode_message(data: bytes, *, key: bytes | None = None) -> dict[str, Any]:
     """Parse one framed message; raises :class:`ProtocolError` on garbage.
 

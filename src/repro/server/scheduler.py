@@ -21,6 +21,7 @@ observability registry (``server.scheduler.*{daemon=name}``), including a
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Protocol
 
@@ -55,6 +56,7 @@ class _Entry:
     failures: int = 0
     consecutive_failures: int = 0
     quarantined: bool = False
+    running: bool = False          # a claimed run is in flight (no overlap)
     last_error: str | None = None
     parole_at: int | None = None   # round at which auto-parole fires
     parole_count: int = 0          # quarantines since last success (backoff exponent)
@@ -104,41 +106,52 @@ class DaemonScheduler:
             "server.scheduler.quarantine_total")
         self._m_parole_total = self.metrics.counter(
             "server.scheduler.parole_total")
+        # Scheduler lock (outermost rank in ``repro.locks.LOCK_ORDER``).
+        # Every scheduling *decision* — the quarantine check, auto-parole,
+        # due check, ``next_due`` advancement, post-run bookkeeping, and
+        # the round counter — happens atomically under it.  It is never
+        # held across ``run_once`` (Rule 2): a tick claims the daemon's
+        # turn under the lock, then runs it outside.
+        self._sched_lock = threading.RLock()
 
     def register(self, daemon: Daemon, *, period: int = 1) -> None:
         if period < 1:
             raise DaemonError("period must be >= 1")
-        if daemon.name in self._entries:
-            raise DaemonError(f"daemon {daemon.name!r} already registered")
         m = self.metrics
-        self._entries[daemon.name] = _Entry(
-            daemon=daemon, period=period, next_due=self._now,
-            instruments=(
-                m.counter("server.scheduler.runs", daemon=daemon.name),
-                m.counter("server.scheduler.items", daemon=daemon.name),
-                m.counter("server.scheduler.failures", daemon=daemon.name),
-                m.counter("server.scheduler.quarantines", daemon=daemon.name),
-                m.counter("server.scheduler.paroles", daemon=daemon.name),
-                m.histogram("server.scheduler.run_latency", daemon=daemon.name),
-            ),
+        instruments = (
+            m.counter("server.scheduler.runs", daemon=daemon.name),
+            m.counter("server.scheduler.items", daemon=daemon.name),
+            m.counter("server.scheduler.failures", daemon=daemon.name),
+            m.counter("server.scheduler.quarantines", daemon=daemon.name),
+            m.counter("server.scheduler.paroles", daemon=daemon.name),
+            m.histogram("server.scheduler.run_latency", daemon=daemon.name),
         )
+        with self._sched_lock:
+            if daemon.name in self._entries:
+                raise DaemonError(f"daemon {daemon.name!r} already registered")
+            self._entries[daemon.name] = _Entry(
+                daemon=daemon, period=period, next_due=self._now,
+                instruments=instruments,
+            )
 
     def tick(self, rounds: int = 1) -> int:
-        """Advance *rounds* scheduler rounds; returns items processed."""
+        """Advance *rounds* scheduler rounds; returns items processed.
+
+        Safe to call from several threads at once: each round's turn for
+        a daemon is claimed atomically (see :meth:`_claim`), so racing
+        ticks never double-parole, never run a daemon twice for the same
+        round, and never lose a round-counter update.
+        """
         total = 0
         clock = self.metrics.clock
         for _ in range(rounds):
-            for entry in self._entries.values():
-                if entry.quarantined:
-                    if entry.parole_at is not None and self._now >= entry.parole_at:
-                        self._parole(entry)
-                    else:
-                        continue
-                if self._now < entry.next_due:
+            with self._sched_lock:
+                entries = list(self._entries.values())
+            for entry in entries:
+                if not self._claim(entry):
                     continue
                 (m_runs, m_items, m_failures, m_quar, _m_parole,
                  m_latency) = entry.instruments
-                entry.next_due = self._now + entry.period
                 start = clock()
                 with self.tracer.span(f"daemon.{entry.daemon.name}") as span:
                     try:
@@ -147,24 +160,55 @@ class DaemonScheduler:
                         m_latency.observe(clock() - start)
                         m_failures.inc()
                         span.set("status", "error")
-                        entry.failures += 1
-                        entry.consecutive_failures += 1
-                        entry.last_error = f"{type(exc).__name__}: {exc}"
-                        if entry.consecutive_failures >= self.max_consecutive_failures:
-                            self._quarantine(entry, m_quar)
+                        with self._sched_lock:
+                            entry.running = False
+                            entry.failures += 1
+                            entry.consecutive_failures += 1
+                            entry.last_error = f"{type(exc).__name__}: {exc}"
+                            if entry.consecutive_failures >= self.max_consecutive_failures:
+                                self._quarantine(entry, m_quar)
                         continue
                     span.set("items", done)
                 m_latency.observe(clock() - start)
                 m_runs.inc()
                 if done:
                     m_items.inc(done)
-                entry.runs += 1
-                entry.items += done
-                entry.consecutive_failures = 0
-                entry.parole_count = 0   # a clean run resets the backoff
+                with self._sched_lock:
+                    entry.running = False
+                    entry.runs += 1
+                    entry.items += done
+                    entry.consecutive_failures = 0
+                    entry.parole_count = 0   # a clean run resets the backoff
                 total += done
-            self._now += 1
+            with self._sched_lock:
+                self._now += 1
         return total
+
+    def _claim(self, entry: _Entry) -> bool:
+        """Atomically decide whether *entry* gets this round's turn.
+
+        Parole-then-run is a single scheduling decision: the quarantine
+        check, the auto-parole, the due check, and the ``next_due``
+        advancement all happen under the scheduler lock, so a concurrent
+        tick observing the entry mid-decision either loses the claim
+        outright or sees the fully-updated state.  The daemon itself runs
+        *after* the claim, outside the lock.
+        """
+        with self._sched_lock:
+            if entry.running:
+                # The previous run is still in flight on another thread;
+                # daemons are not re-entrant, so this round is skipped.
+                return False
+            if entry.quarantined:
+                if entry.parole_at is not None and self._now >= entry.parole_at:
+                    self._parole(entry)
+                else:
+                    return False
+            if self._now < entry.next_due:
+                return False
+            entry.next_due = self._now + entry.period
+            entry.running = True
+            return True
 
     def _quarantine(self, entry: _Entry, m_quar: Any) -> None:
         entry.quarantined = True
@@ -218,12 +262,13 @@ class DaemonScheduler:
         Also resets the auto-parole backoff: an operator intervention is a
         statement that the fault is gone.
         """
-        entry = self._entry(name)
-        entry.quarantined = False
-        entry.consecutive_failures = 0
-        entry.parole_at = None
-        entry.parole_count = 0
-        self.log.info("daemon_revived", daemon=name)
+        with self._sched_lock:
+            entry = self._entry(name)
+            entry.quarantined = False
+            entry.consecutive_failures = 0
+            entry.parole_at = None
+            entry.parole_count = 0
+            self.log.info("daemon_revived", daemon=name)
 
     # The operator-facing alias; `revive` is the historical name.
     lift_quarantine = revive
@@ -231,36 +276,39 @@ class DaemonScheduler:
     def quarantined(self) -> dict[str, dict[str, Any]]:
         """Currently quarantined daemons and why — the health servlet's
         per-daemon quarantine state."""
-        return {
-            name: {
-                "last_error": e.last_error,
-                "parole_at": e.parole_at,
-                "parole_count": e.parole_count,
+        with self._sched_lock:
+            return {
+                name: {
+                    "last_error": e.last_error,
+                    "parole_at": e.parole_at,
+                    "parole_count": e.parole_count,
+                }
+                for name, e in self._entries.items()
+                if e.quarantined
             }
-            for name, e in self._entries.items()
-            if e.quarantined
-        }
 
     def wedged(self) -> bool:
         """True when every registered daemon is quarantined — the
         scheduler can make no progress at all without intervention."""
-        return bool(self._entries) and all(
-            e.quarantined for e in self._entries.values()
-        )
+        with self._sched_lock:
+            return bool(self._entries) and all(
+                e.quarantined for e in self._entries.values()
+            )
 
     def stats(self) -> dict[str, dict]:
-        return {
-            name: {
-                "runs": e.runs,
-                "items": e.items,
-                "failures": e.failures,
-                "quarantined": e.quarantined,
-                "last_error": e.last_error,
-                "parole_at": e.parole_at,
-                "parole_count": e.parole_count,
+        with self._sched_lock:
+            return {
+                name: {
+                    "runs": e.runs,
+                    "items": e.items,
+                    "failures": e.failures,
+                    "quarantined": e.quarantined,
+                    "last_error": e.last_error,
+                    "parole_at": e.parole_at,
+                    "parole_count": e.parole_count,
+                }
+                for name, e in self._entries.items()
             }
-            for name, e in self._entries.items()
-        }
 
     def _entry(self, name: str) -> _Entry:
         try:

@@ -40,6 +40,7 @@ carrying the request's full span tree.
 
 from __future__ import annotations
 
+import threading
 import traceback
 from collections.abc import Callable
 from typing import Any
@@ -101,6 +102,11 @@ class ServletRegistry:
         # Instrument handles are cached per servlet so the hot path never
         # re-does the registry lookup.
         self._instruments: dict[str, tuple[Any, Any, Any]] = {}
+        # Registry lock ("registry" rank in repro.locks.LOCK_ORDER):
+        # guards the handler tables, the instrument cache, and the
+        # dispatch counters.  Never held while a handler runs — dispatch
+        # touches it only for bookkeeping before and after the call.
+        self._registry_lock = threading.Lock()
         self._unknown_counter = self.metrics.counter(
             "server.servlets.errors", servlet="<unknown>",
         )
@@ -122,20 +128,30 @@ class ServletRegistry:
         """
         if name == BATCH_SERVLET:
             raise ServletError(f"servlet name {BATCH_SERVLET!r} is reserved")
-        if name in self._handlers:
-            raise ServletError(f"servlet {name!r} already registered")
-        self._handlers[name] = handler
-        if batch_handler is not None:
-            self._batch_handlers[name] = batch_handler
+        with self._registry_lock:
+            if name in self._handlers:
+                raise ServletError(f"servlet {name!r} already registered")
+            self._handlers[name] = handler
+            if batch_handler is not None:
+                self._batch_handlers[name] = batch_handler
 
     def names(self) -> list[str]:
         """Registered servlet names, sorted (excludes the reserved
         ``batch`` envelope, which is not a handler)."""
-        return sorted(self._handlers)
+        with self._registry_lock:
+            return sorted(self._handlers)
 
     def _instruments_for(self, name: str) -> tuple[Any, Any, str]:
         got = self._instruments.get(name)
         if got is None:
+            got = self._build_instruments(name)
+        return got
+
+    def _build_instruments(self, name: str) -> tuple[Any, Any, str]:
+        with self._registry_lock:
+            got = self._instruments.get(name)
+            if got is not None:
+                return got
             latency = self.metrics.histogram(
                 "server.servlets.latency", servlet=name)
             # Every dispatch observes latency exactly once, so the request
@@ -152,7 +168,7 @@ class ServletRegistry:
                 f"servlet.{name}",   # span name, built once per servlet
             )
             self._instruments[name] = got
-        return got
+            return got
 
     def _parse_parent(self, request: dict[str, Any]) -> TraceContext | None:
         """Parse the request's ``traceparent`` field; absent ⇒ fresh root.
@@ -190,7 +206,8 @@ class ServletRegistry:
         if name == BATCH_SERVLET:
             return self._dispatch_envelope(request)
         if not isinstance(name, str) or name not in self._handlers:
-            self.requests_failed += 1
+            with self._registry_lock:
+                self.requests_failed += 1
             self._unknown_counter.inc()
             return _error_response(
                 f"unknown servlet {name!r}", CODE_UNKNOWN_SERVLET)
@@ -199,7 +216,8 @@ class ServletRegistry:
             parent = self._parse_parent(request)
         except TraceParseError as exc:
             errors.inc()
-            self.requests_failed += 1
+            with self._registry_lock:
+                self.requests_failed += 1
             return error_payload(exc)
         clock = self._clock
         start = clock()
@@ -222,10 +240,12 @@ class ServletRegistry:
         self._maybe_log_slow(name, elapsed, span)
         if failure is not None:
             errors.inc()
-            self.requests_failed += 1
+            with self._registry_lock:
+                self.requests_failed += 1
             return failure
-        self.requests_served += 1
-        self._counts[name] = self._counts.get(name, 0) + 1
+        with self._registry_lock:
+            self.requests_served += 1
+            self._counts[name] = self._counts.get(name, 0) + 1
         if "status" not in response:
             # Copy before annotating: handlers may return cached/shared
             # dicts, and mutating those in place corrupts the handler.
@@ -243,7 +263,8 @@ class ServletRegistry:
         """
         items = request.get("requests")
         if not isinstance(items, list):
-            self.requests_failed += 1
+            with self._registry_lock:
+                self.requests_failed += 1
             return _error_response(
                 "batch envelope requires a 'requests' list", CODE_BAD_REQUEST)
         user_id = request.get("user_id")
@@ -342,11 +363,13 @@ class ServletRegistry:
             if n_failed:
                 span.set("failed", n_failed)
                 errors.inc(n_failed)
-            self.requests_failed += n_failed
-            self.requests_served += len(responses) - n_failed
+            with self._registry_lock:
+                self.requests_failed += n_failed
+                self.requests_served += len(responses) - n_failed
         latency.observe(clock() - start)
-        self.batches_served += 1
-        self._counts[BATCH_SERVLET] = self._counts.get(BATCH_SERVLET, 0) + 1
+        with self._registry_lock:
+            self.batches_served += 1
+            self._counts[BATCH_SERVLET] = self._counts.get(BATCH_SERVLET, 0) + 1
         return responses
 
     def _dispatch_group(
@@ -374,7 +397,8 @@ class ServletRegistry:
                 response = {**response, "status": "ok"}
             out.append(response)
             if response.get("status") == "ok":
-                self._counts[name] = self._counts.get(name, 0) + 1
+                with self._registry_lock:
+                    self._counts[name] = self._counts.get(name, 0) + 1
         return out
 
     def _dispatch_item(self, request: Any) -> dict[str, Any]:
@@ -401,7 +425,8 @@ class ServletRegistry:
         if "status" not in response:
             response = {**response, "status": "ok"}
         if response.get("status") == "ok":
-            self._counts[name] = self._counts.get(name, 0) + 1
+            with self._registry_lock:
+                self._counts[name] = self._counts.get(name, 0) + 1
         return response
 
     # -- introspection ------------------------------------------------------
@@ -409,12 +434,13 @@ class ServletRegistry:
     def stats(self) -> dict[str, Any]:
         """Dispatch totals: requests served/failed, batch envelopes
         handled, and a per-servlet success count."""
-        return {
-            "served": self.requests_served,
-            "failed": self.requests_failed,
-            "batches": self.batches_served,
-            "by_servlet": dict(self._counts),
-        }
+        with self._registry_lock:
+            return {
+                "served": self.requests_served,
+                "failed": self.requests_failed,
+                "batches": self.batches_served,
+                "by_servlet": dict(self._counts),
+            }
 
     def latency_summary(self) -> dict[str, dict[str, float]]:
         """Per-servlet latency percentiles (empty when metrics disabled)."""

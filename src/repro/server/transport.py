@@ -1,18 +1,57 @@
-"""In-process transport simulating the HTTP tunnel.
+"""Client transports: the in-process HTTP tunnel and the socket client.
 
 The client applet serializes every request through the protocol codec
-(framing + optional per-user encryption) and the 'wire' hands the bytes to
-the servlet registry — so tests exercise the exact encode/decode path a
-firewalled deployment would, without sockets.
+(framing + optional per-user encryption); the 'wire' is either handed
+directly to the servlet registry (:class:`HttpTunnelTransport` — tests
+exercise the exact encode/decode path a firewalled deployment would,
+without sockets) or written to a TCP connection against a
+:class:`~repro.server.netserver.MemexSocketServer`
+(:class:`SocketTransport`).  Both speak the same bytes, so the applet is
+unchanged above the wire.
+
+Both transports are thread-safe: byte counters are lock-protected, and
+the socket client serializes frames per connection (one connection per
+user, since a connection's cipher key is bound at hello time).
 """
 
 from __future__ import annotations
 
-from typing import Any
+import copy
+import socket
+import threading
+from typing import Any, Protocol, runtime_checkable
 
-from ..errors import ProtocolError, error_payload
-from .protocol import decode_message, encode_message
+from ..errors import CODE_TIMEOUT, ProtocolError, error_payload
+from .netserver import HELLO_KEY
+from .protocol import decode_message, encode_message, recv_frame
 from .servlets import BATCH_SERVLET, ServletRegistry
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """What :class:`~repro.client.applet.MemexApplet` needs from a wire."""
+
+    def request(self, user_id: str, payload: dict[str, Any]) -> dict[str, Any]: ...
+
+    def request_batch(
+        self, user_id: str, payloads: list[dict[str, Any]],
+    ) -> list[dict[str, Any]]: ...
+
+    def set_key(self, user_id: str, key: bytes | None) -> None: ...
+
+    def key_for(self, user_id: str) -> bytes | None: ...
+
+
+def replicate_envelope_failure(
+    envelope: dict[str, Any], count: int,
+) -> list[dict[str, Any]]:
+    """One *independent* copy of a failed batch envelope per slot.
+
+    Each slot must be deep-copied: the envelope can carry nested mutable
+    values (e.g. an error ``detail`` dict), and a caller annotating one
+    slot's response must not corrupt its siblings.
+    """
+    return [copy.deepcopy(envelope) for _ in range(count)]
 
 
 class HttpTunnelTransport:
@@ -27,6 +66,8 @@ class HttpTunnelTransport:
         self._keys: dict[str, bytes] = {}
         self.bytes_in = 0
         self.bytes_out = 0
+        # Innermost lock (obs level): guards the byte counters only.
+        self._obs_lock = threading.Lock()
 
     def set_key(self, user_id: str, key: bytes | None) -> None:
         if key is None:
@@ -37,15 +78,19 @@ class HttpTunnelTransport:
     def key_for(self, user_id: str) -> bytes | None:
         return self._keys.get(user_id)
 
+    def _count(self, *, sent: int = 0, received: int = 0) -> None:
+        with self._obs_lock:
+            self.bytes_out += sent
+            self.bytes_in += received
+
     # -- client side -----------------------------------------------------------
 
     def request(self, user_id: str, payload: dict[str, Any]) -> dict[str, Any]:
         """Send one request as *user_id*; returns the decoded response."""
         key = self._keys.get(user_id)
         wire = encode_message({**payload, "user_id": user_id}, key=key)
-        self.bytes_out += len(wire)
         response_bytes = self._serve(wire, user_id)
-        self.bytes_in += len(response_bytes)
+        self._count(sent=len(wire), received=len(response_bytes))
         return decode_message(response_bytes, key=key)
 
     def request_batch(
@@ -64,12 +109,11 @@ class HttpTunnelTransport:
             "user_id": user_id,
             "requests": payloads,
         }, key=key)
-        self.bytes_out += len(wire)
         response_bytes = self._serve(wire, user_id)
-        self.bytes_in += len(response_bytes)
+        self._count(sent=len(wire), received=len(response_bytes))
         envelope = decode_message(response_bytes, key=key)
         if envelope.get("status") != "ok":
-            return [dict(envelope) for _ in payloads]
+            return replicate_envelope_failure(envelope, len(payloads))
         return envelope["responses"]
 
     # -- server side --------------------------------------------------------------
@@ -82,3 +126,201 @@ class HttpTunnelTransport:
             return encode_message(error_payload(exc), key=key)
         response = self.registry.dispatch(request)
         return encode_message(response, key=key)
+
+
+class _Connection:
+    """One established, hello-bound TCP connection (single user)."""
+
+    __slots__ = ("sock", "key", "lock")
+
+    def __init__(self, sock: socket.socket, key: bytes | None) -> None:
+        self.sock = sock
+        self.key = key
+        self.lock = threading.Lock()   # one request in flight per conn
+
+
+class SocketTransport:
+    """Client for :class:`~repro.server.netserver.MemexSocketServer`.
+
+    Maintains one lazily-opened connection per user (a connection's
+    cipher key is fixed at hello time).  Safe for concurrent use from
+    many threads: requests on the same user's connection are serialized
+    by a per-connection lock; different users proceed in parallel.
+
+    A broken or timed-out connection is dropped from the pool and the
+    failure surfaces as a retryable typed :class:`ProtocolError`; the
+    next request for that user reconnects.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        connect_timeout: float = 5.0,
+        response_timeout: float = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self.response_timeout = response_timeout
+        self._keys: dict[str, bytes] = {}
+        self._conns: dict[str, _Connection] = {}
+        self._pool_lock = threading.Lock()   # guards _conns and _keys
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self._obs_lock = threading.Lock()
+
+    # -- keys / lifecycle ----------------------------------------------------
+
+    def set_key(self, user_id: str, key: bytes | None) -> None:
+        with self._pool_lock:
+            if key is None:
+                self._keys.pop(user_id, None)
+            else:
+                self._keys[user_id] = key
+            # The old connection (if any) was bound to the old key.
+            stale = self._conns.pop(user_id, None)
+        if stale is not None:
+            self._discard(stale)
+
+    def key_for(self, user_id: str) -> bytes | None:
+        with self._pool_lock:
+            return self._keys.get(user_id)
+
+    def close(self) -> None:
+        with self._pool_lock:
+            conns = list(self._conns.values())
+            self._conns.clear()
+        for conn in conns:
+            self._discard(conn)
+
+    def __enter__(self) -> "SocketTransport":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    @staticmethod
+    def _discard(conn: _Connection) -> None:
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+
+    def _count(self, *, sent: int = 0, received: int = 0) -> None:
+        with self._obs_lock:
+            self.bytes_out += sent
+            self.bytes_in += received
+
+    # -- connection management ----------------------------------------------
+
+    def _connection(self, user_id: str) -> _Connection:
+        with self._pool_lock:
+            conn = self._conns.get(user_id)
+            if conn is not None:
+                return conn
+            key = self._keys.get(user_id)
+        conn = self._open(user_id, key)
+        with self._pool_lock:
+            existing = self._conns.get(user_id)
+            if existing is not None:
+                # Raced with another thread; keep theirs.
+                stale, conn = conn, existing
+            else:
+                self._conns[user_id] = conn
+                stale = None
+        if stale is not None:
+            self._discard(stale)
+        return conn
+
+    def _open(self, user_id: str, key: bytes | None) -> _Connection:
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout,
+            )
+        except OSError as exc:
+            raise ProtocolError(
+                f"cannot connect to {self.host}:{self.port}: {exc}",
+                code=CODE_TIMEOUT,
+            ) from exc
+        sock.settimeout(self.response_timeout)
+        try:
+            hello = encode_message({HELLO_KEY: user_id})
+            sock.sendall(hello)
+            raw = recv_frame(sock.recv)
+            if raw is None:
+                raise ProtocolError("server closed connection during hello")
+            self._count(sent=len(hello), received=len(raw))
+            ack = decode_message(raw)
+            if ack.get("status") != "ok":
+                raise ProtocolError(f"hello rejected: {ack.get('error', ack)}")
+            if ack.get("encrypted") and key is None:
+                raise ProtocolError(
+                    f"server expects encrypted traffic for {user_id!r} "
+                    "but no key is registered on this transport"
+                )
+        except (OSError, ProtocolError):
+            sock.close()
+            raise
+        return _Connection(sock, key)
+
+    def _drop(self, user_id: str, conn: _Connection) -> None:
+        with self._pool_lock:
+            if self._conns.get(user_id) is conn:
+                del self._conns[user_id]
+        self._discard(conn)
+
+    # -- request path --------------------------------------------------------
+
+    def _exchange(
+        self, user_id: str, payload: dict[str, Any],
+    ) -> dict[str, Any]:
+        conn = self._connection(user_id)
+        wire = encode_message(payload, key=conn.key)
+        try:
+            with conn.lock:
+                conn.sock.sendall(wire)
+                raw = recv_frame(conn.sock.recv)
+        except socket.timeout:
+            self._drop(user_id, conn)
+            raise ProtocolError(
+                f"timed out after {self.response_timeout}s waiting for response",
+                code=CODE_TIMEOUT,
+            ) from None
+        except OSError as exc:
+            # A broken connection surfaces as a retryable typed error; the
+            # next request for this user reconnects.
+            self._drop(user_id, conn)
+            raise ProtocolError(
+                f"connection to {self.host}:{self.port} broke: {exc}",
+                code=CODE_TIMEOUT,
+            ) from exc
+        except ProtocolError:
+            self._drop(user_id, conn)
+            raise
+        if raw is None:
+            self._drop(user_id, conn)
+            raise ProtocolError("server closed connection mid-request")
+        self._count(sent=len(wire), received=len(raw))
+        return decode_message(raw, key=conn.key)
+
+    def request(self, user_id: str, payload: dict[str, Any]) -> dict[str, Any]:
+        """Send one request as *user_id*; returns the decoded response."""
+        return self._exchange(user_id, {**payload, "user_id": user_id})
+
+    def request_batch(
+        self, user_id: str, payloads: list[dict[str, Any]],
+    ) -> list[dict[str, Any]]:
+        """One framed ``batch`` envelope over the socket; one response
+        per payload, envelope-level failures replicated per slot."""
+        if not payloads:
+            return []
+        envelope = self._exchange(user_id, {
+            "servlet": BATCH_SERVLET,
+            "user_id": user_id,
+            "requests": payloads,
+        })
+        if envelope.get("status") != "ok":
+            return replicate_envelope_failure(envelope, len(payloads))
+        return envelope["responses"]

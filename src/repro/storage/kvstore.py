@@ -20,6 +20,7 @@ live entries.
 from __future__ import annotations
 
 import struct
+import threading
 from bisect import bisect_left, insort
 from collections.abc import Iterable, Iterator
 from pathlib import Path
@@ -35,6 +36,21 @@ _REC = struct.Struct("<BI")  # opcode, key length
 
 def _encode(op: int, key: bytes, value: bytes = b"") -> bytes:
     return _REC.pack(op, len(key)) + key + value
+
+
+def prefix_successor(prefix: bytes) -> bytes | None:
+    """The smallest byte string greater than every key with *prefix*.
+
+    Strips any trailing ``0xFF`` run and increments the last remaining
+    byte (``b"a\\xff"`` → ``b"b"``), so a prefix ending in ``0xFF`` still
+    yields a finite cursor upper bound.  Returns ``None`` only when no
+    successor exists (empty or all-``0xFF`` prefix — every later key is
+    a continuation, so the scan must run to the end).
+    """
+    trimmed = prefix.rstrip(b"\xff")
+    if not trimmed:
+        return None
+    return trimmed[:-1] + bytes([trimmed[-1] + 1])
 
 
 def _decode(payload: bytes) -> tuple[int, bytes, bytes]:
@@ -77,6 +93,12 @@ class KVStore:
         self._log: WriteAheadLog | None = None
         self._log_records = 0                  # total records in the log
         self._closed = False
+        # Single-writer lock: keeps _data and _keys mutually consistent
+        # and serializes mutations with compaction.  Reentrant because
+        # put/delete may trigger compact() while holding it.  Point reads
+        # are single dict ops (GIL-atomic) and stay lock-free; scans
+        # snapshot the key range under the lock, then iterate outside it.
+        self._kv_lock = threading.RLock()
         self.compact_garbage_ratio = compact_garbage_ratio
         m = metrics if metrics is not None else null_registry()
         # Hot-path counts are plain ints pulled by the registry at read
@@ -105,11 +127,12 @@ class KVStore:
         self._keys = sorted(self._data)
 
     def close(self) -> None:
-        if self._closed:
-            return
-        if self._log is not None:
-            self._log.close()
-        self._closed = True
+        with self._kv_lock:
+            if self._closed:
+                return
+            if self._log is not None:
+                self._log.close()
+            self._closed = True
 
     def __enter__(self) -> "KVStore":
         return self
@@ -125,18 +148,19 @@ class KVStore:
 
     def put(self, key: bytes, value: bytes) -> None:
         """Insert or overwrite *key*."""
-        self._check_open()
         if not isinstance(key, bytes) or not isinstance(value, bytes):
             raise TypeError("kvstore keys and values must be bytes")
-        fresh = key not in self._data
-        self._data[key] = value
-        self._n_puts += 1
-        if fresh:
-            insort(self._keys, key)
-        if self._log is not None:
-            self._log.append(_encode(_OP_PUT, key, value))
-            self._log_records += 1
-            self._maybe_compact()
+        with self._kv_lock:
+            self._check_open()
+            fresh = key not in self._data
+            self._data[key] = value
+            self._n_puts += 1
+            if fresh:
+                insort(self._keys, key)
+            if self._log is not None:
+                self._log.append(_encode(_OP_PUT, key, value))
+                self._log_records += 1
+                self._maybe_compact()
 
     def put_many(self, items: Iterable[tuple[bytes, bytes]]) -> int:
         """Insert or overwrite many keys with one group-committed log
@@ -145,35 +169,37 @@ class KVStore:
         Later occurrences of a duplicate key win, matching sequential
         :meth:`put` semantics.
         """
-        self._check_open()
-        records: list[bytes] = []
-        for key, value in items:
-            if not isinstance(key, bytes) or not isinstance(value, bytes):
-                raise TypeError("kvstore keys and values must be bytes")
-            if key not in self._data:
-                insort(self._keys, key)
-            self._data[key] = value
-            self._n_puts += 1
-            records.append(_encode(_OP_PUT, key, value))
-        if self._log is not None and records:
-            self._log.append_many(records)
-            self._log_records += len(records)
-            self._maybe_compact()
-        return len(records)
+        with self._kv_lock:
+            self._check_open()
+            records: list[bytes] = []
+            for key, value in items:
+                if not isinstance(key, bytes) or not isinstance(value, bytes):
+                    raise TypeError("kvstore keys and values must be bytes")
+                if key not in self._data:
+                    insort(self._keys, key)
+                self._data[key] = value
+                self._n_puts += 1
+                records.append(_encode(_OP_PUT, key, value))
+            if self._log is not None and records:
+                self._log.append_many(records)
+                self._log_records += len(records)
+                self._maybe_compact()
+            return len(records)
 
     def delete(self, key: bytes) -> None:
         """Remove *key*; raises :class:`KeyNotFound` if absent."""
-        self._check_open()
-        if key not in self._data:
-            raise KeyNotFound(repr(key))
-        del self._data[key]
-        self._n_deletes += 1
-        i = bisect_left(self._keys, key)
-        del self._keys[i]
-        if self._log is not None:
-            self._log.append(_encode(_OP_DELETE, key))
-            self._log_records += 1
-            self._maybe_compact()
+        with self._kv_lock:
+            self._check_open()
+            if key not in self._data:
+                raise KeyNotFound(repr(key))
+            del self._data[key]
+            self._n_deletes += 1
+            i = bisect_left(self._keys, key)
+            del self._keys[i]
+            if self._log is not None:
+                self._log.append(_encode(_OP_DELETE, key))
+                self._log_records += 1
+                self._maybe_compact()
 
     def discard(self, key: bytes) -> bool:
         """Remove *key* if present; returns whether it was."""
@@ -219,14 +245,15 @@ class KVStore:
         The iteration works over a snapshot of the key set taken at call
         time, so mutating the store during iteration is safe.
         """
-        self._check_open()
-        lo = 0 if start is None else bisect_left(self._keys, start)
-        keys = self._keys[lo:]
-        if end is not None:
-            hi = bisect_left(keys, end)
-            keys = keys[:hi]
-        else:
-            keys = list(keys)
+        with self._kv_lock:
+            self._check_open()
+            lo = 0 if start is None else bisect_left(self._keys, start)
+            keys = self._keys[lo:]
+            if end is not None:
+                hi = bisect_left(keys, end)
+                keys = keys[:hi]
+        # Iterate outside the lock: the snapshot is ours, and per-key
+        # value reads are single dict lookups.
         for key in keys:
             value = self._data.get(key)
             if value is not None:
@@ -237,7 +264,7 @@ class KVStore:
         if not prefix:
             yield from self.cursor()
             return
-        end = prefix[:-1] + bytes([prefix[-1] + 1]) if prefix[-1] < 0xFF else None
+        end = prefix_successor(prefix)
         for key, value in self.cursor(start=prefix, end=end):
             if not key.startswith(prefix):
                 break
@@ -245,8 +272,9 @@ class KVStore:
 
     def keys(self) -> list[bytes]:
         """All live keys in sorted order (copy)."""
-        self._check_open()
-        return list(self._keys)
+        with self._kv_lock:
+            self._check_open()
+            return list(self._keys)
 
     # -- maintenance -----------------------------------------------------------------
 
@@ -261,23 +289,25 @@ class KVStore:
 
     def compact(self) -> None:
         """Rewrite the log to contain exactly the live entries."""
-        self._check_open()
-        if self._log is None:
-            return
-        self._log.rewrite(
-            _encode(_OP_PUT, key, self._data[key]) for key in self._keys
-        )
-        self._log_records = len(self._data)
-        self._n_compactions += 1
+        with self._kv_lock:
+            self._check_open()
+            if self._log is None:
+                return
+            self._log.rewrite(
+                _encode(_OP_PUT, key, self._data[key]) for key in self._keys
+            )
+            self._log_records = len(self._data)
+            self._n_compactions += 1
 
     def stats(self) -> dict[str, int]:
         """Operational counters: live keys, log records, log bytes."""
-        self._check_open()
-        return {
-            "live_keys": len(self._data),
-            "log_records": self._log_records,
-            "log_bytes": self._log.size_bytes() if self._log is not None else 0,
-        }
+        with self._kv_lock:
+            self._check_open()
+            return {
+                "live_keys": len(self._data),
+                "log_records": self._log_records,
+                "log_bytes": self._log.size_bytes() if self._log is not None else 0,
+            }
 
 
 class Namespace:

@@ -18,7 +18,9 @@ match what Memex's servlets and daemons rely on.
 from __future__ import annotations
 
 import json
+import threading
 from bisect import bisect_left, bisect_right, insort
+from contextlib import ExitStack
 from collections.abc import Callable, Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -31,6 +33,7 @@ from ..errors import (
     SchemaError,
     TransactionError,
 )
+from ..locks import RWLock
 from ..obs import MetricsRegistry, current_traceparent, null_registry
 from .wal import WriteAheadLog
 
@@ -153,6 +156,12 @@ class Table:
 
     def __init__(self, schema: TableSchema) -> None:
         self.schema = schema
+        # Per-table readers-writer lock (rank "relational" in
+        # repro.locks.LOCK_ORDER).  Reads snapshot row copies under the
+        # read side and filter/sort outside it, so user predicates never
+        # run while the lock is held; commits take the write side of every
+        # involved table in sorted-name order (the "table group").
+        self._rw = RWLock()
         self._rows: dict[Any, Row] = {}
         self._hash: dict[str, dict[Any, set[Any]]] = {
             col: {} for col in {*schema.indexes, *schema.unique}
@@ -220,19 +229,23 @@ class Table:
 
     def get(self, pk: Any) -> Row | None:
         """Primary-key point lookup; returns a copy or None."""
-        row = self._rows.get(pk)
-        return dict(row) if row is not None else None
+        with self._rw.read():
+            row = self._rows.get(pk)
+            return dict(row) if row is not None else None
 
     def __len__(self) -> int:
-        return len(self._rows)
+        with self._rw.read():
+            return len(self._rows)
 
     def __contains__(self, pk: Any) -> bool:
-        return pk in self._rows
+        with self._rw.read():
+            return pk in self._rows
 
     def scan(self) -> Iterator[Row]:
-        """Full scan; yields row copies."""
-        for row in list(self._rows.values()):
-            yield dict(row)
+        """Full scan; yields row copies (a snapshot taken at first next())."""
+        with self._rw.read():
+            snapshot = [dict(row) for row in self._rows.values()]
+        yield from snapshot
 
     def select(
         self,
@@ -247,19 +260,20 @@ class Table:
         *where* is either a dict of equality constraints (index-accelerated
         when a constrained column is indexed) or an arbitrary predicate.
         """
-        rows = self._candidates(where)
+        # Copy the candidates under the read lock, then filter and sort
+        # outside it so arbitrary predicates can themselves query tables.
+        with self._rw.read():
+            rows = [dict(r) for r in self._candidates(where)]
         if isinstance(where, dict):
             rows = [r for r in rows if all(r.get(k) == v for k, v in where.items())]
         elif callable(where):
             rows = [r for r in rows if where(r)]
-        else:
-            rows = list(rows)
         if order_by is not None:
             self.schema.column(order_by)
             rows.sort(key=lambda r: (r[order_by] is None, r[order_by]), reverse=descending)
         if limit is not None:
             rows = rows[:limit]
-        return [dict(r) for r in rows]
+        return rows
 
     def _candidates(self, where: Row | Callable[[Row], bool] | None) -> list[Row]:
         if isinstance(where, dict):
@@ -276,21 +290,22 @@ class Table:
 
     def range(self, column: str, lo: Any = None, hi: Any = None) -> list[Row]:
         """Index range scan over ``lo <= column <= hi`` (inclusive bounds)."""
-        if column not in self._ordered:
-            self.schema.column(column)
-            rows = [
-                r for r in self._rows.values()
-                if r[column] is not None
-                and (lo is None or r[column] >= lo)
-                and (hi is None or r[column] <= hi)
-            ]
-            rows.sort(key=lambda r: r[column])
-            return [dict(r) for r in rows]
-        return [dict(self._rows[pk]) for pk in self._ordered[column].range(lo, hi)]
+        with self._rw.read():
+            if column not in self._ordered:
+                self.schema.column(column)
+                rows = [
+                    dict(r) for r in self._rows.values()
+                    if r[column] is not None
+                    and (lo is None or r[column] >= lo)
+                    and (hi is None or r[column] <= hi)
+                ]
+                rows.sort(key=lambda r: r[column])
+                return rows
+            return [dict(self._rows[pk]) for pk in self._ordered[column].range(lo, hi)]
 
     def count(self, where: Row | Callable[[Row], bool] | None = None) -> int:
         if where is None:
-            return len(self._rows)
+            return len(self)
         return len(self.select(where))
 
     def aggregate(
@@ -415,6 +430,10 @@ class Database:
         self._log: WriteAheadLog | None = None
         self._next_txn = 1
         self._recovering = False
+        # Guards the table catalog and the transaction-id sequence; same
+        # "relational" rank as the per-table _rw locks (never nested with
+        # them held).
+        self._catalog_lock = threading.RLock()
         m = metrics if metrics is not None else null_registry()
         self._n_commits = 0
         m.counter_func("storage.relational.commits", lambda: self._n_commits)
@@ -436,24 +455,25 @@ class Database:
     ) -> Table:
         """Create a table.  Columns may be Column objects, (name, type)
         tuples, or bare names (defaulting to type ``str``)."""
-        if name in self._tables:
-            if if_not_exists:
-                return self._tables[name]
-            raise SchemaError(f"table {name!r} already exists")
-        cols = [self._as_column(c) for c in columns]
-        schema = TableSchema(name, cols, primary_key, tuple(indexes), tuple(unique))
-        self._tables[name] = Table(schema)
-        self._log_ddl(
-            "create_table",
-            {
-                "name": name,
-                "columns": [(c.name, c.type, c.nullable) for c in cols],
-                "primary_key": primary_key,
-                "indexes": list(indexes),
-                "unique": list(unique),
-            },
-        )
-        return self._tables[name]
+        with self._catalog_lock:
+            if name in self._tables:
+                if if_not_exists:
+                    return self._tables[name]
+                raise SchemaError(f"table {name!r} already exists")
+            cols = [self._as_column(c) for c in columns]
+            schema = TableSchema(name, cols, primary_key, tuple(indexes), tuple(unique))
+            self._tables[name] = Table(schema)
+            self._log_ddl(
+                "create_table",
+                {
+                    "name": name,
+                    "columns": [(c.name, c.type, c.nullable) for c in cols],
+                    "primary_key": primary_key,
+                    "indexes": list(indexes),
+                    "unique": list(unique),
+                },
+            )
+            return self._tables[name]
 
     @staticmethod
     def _as_column(spec: Column | tuple[str, str] | str) -> Column:
@@ -464,9 +484,10 @@ class Database:
         return Column(spec)
 
     def drop_table(self, name: str) -> None:
-        self._table(name)
-        del self._tables[name]
-        self._log_ddl("drop_table", {"name": name})
+        with self._catalog_lock:
+            self._table(name)
+            del self._tables[name]
+            self._log_ddl("drop_table", {"name": name})
 
     def table(self, name: str) -> Table:
         """Read handle on a table."""
@@ -479,16 +500,29 @@ class Database:
             raise NoSuchTable(name) from None
 
     def tables(self) -> list[str]:
-        return sorted(self._tables)
+        with self._catalog_lock:
+            return sorted(self._tables)
 
     # -- transactions ------------------------------------------------------------
 
     def begin(self) -> Transaction:
-        txn = Transaction(self, self._next_txn)
-        self._next_txn += 1
-        return txn
+        with self._catalog_lock:
+            txn_id = self._next_txn
+            self._next_txn += 1
+        return Transaction(self, txn_id)
 
     def _commit(self, txn: Transaction) -> None:
+        # Serialize commits per table-group: take the write lock of every
+        # involved table in sorted-name order (deadlock-free by global
+        # ordering); commits on disjoint table groups run concurrently
+        # with each other and with readers of other tables.
+        involved = sorted({tname for _, tname, _, _ in txn._ops})
+        with ExitStack() as stack:
+            for tname in involved:
+                stack.enter_context(self._table(tname)._rw.write())
+            self._apply_ops(txn)
+
+    def _apply_ops(self, txn: Transaction) -> None:
         # Apply with rollback-on-failure so a constraint violation midway
         # leaves the database unchanged (atomicity).
         applied: list[tuple[str, str, Any, Row | None]] = []
@@ -563,14 +597,20 @@ class Database:
             txn.delete(table, pk)
 
     def upsert(self, table: str, row: Row) -> None:
-        """Insert, or update in place when the primary key already exists."""
+        """Insert, or update in place when the primary key already exists.
+
+        Atomic under concurrency: the existence check and the write happen
+        under the table's write lock (the nested commit re-enters it), so
+        two racing upserts of a fresh key cannot both choose insert.
+        """
         t = self._table(table)
-        pk = row.get(t.schema.primary_key)
-        if pk is not None and pk in t:
-            changes = {k: v for k, v in row.items() if k != t.schema.primary_key}
-            self.update(table, pk, changes)
-        else:
-            self.insert(table, row)
+        with t._rw.write():
+            pk = row.get(t.schema.primary_key)
+            if pk is not None and pk in t._rows:
+                changes = {k: v for k, v in row.items() if k != t.schema.primary_key}
+                self.update(table, pk, changes)
+            else:
+                self.insert(table, row)
 
     # -- joins ------------------------------------------------------------------------
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 import time
 from collections import deque
 from pathlib import Path
@@ -72,21 +73,27 @@ class Sequence:
         self._key = name.encode("utf-8")
         raw = ns.get(self._key)
         self._next = int(raw) if raw is not None else 1
+        # Allocation is a read-increment-persist compound; its own lock
+        # keeps handed-out ids unique even when a handle escapes the
+        # repository lock.
+        self._lock = threading.Lock()
 
     def next(self) -> int:
-        value = self._next
-        self._next += 1
-        self._ns.put(self._key, str(self._next).encode("utf-8"))
+        with self._lock:
+            value = self._next
+            self._next += 1
+            self._ns.put(self._key, str(self._next).encode("utf-8"))
         return value
 
     def take(self, n: int) -> range:
         """Allocate *n* consecutive ids with a single store write."""
         if n < 0:
             raise ValueError("cannot allocate a negative id count")
-        start = self._next
-        if n:
-            self._next += n
-            self._ns.put(self._key, str(self._next).encode("utf-8"))
+        with self._lock:
+            start = self._next
+            if n:
+                self._next += n
+                self._ns.put(self._key, str(self._next).encode("utf-8"))
         return range(start, start + n)
 
     def peek(self) -> int:
@@ -154,6 +161,13 @@ class MemexRepository:
         #: Monotone per-table change counters (see :class:`ChangeStamps`);
         #: the read-path caches' signal for writes versioning doesn't cover.
         self.stamps = ChangeStamps()
+        # Repository lock ("repository" rank in repro.locks.LOCK_ORDER,
+        # above the storage-engine locks it nests over): serializes the
+        # façade's compound write paths — check-then-act upserts, id
+        # allocation + row insertion, stamp/counter bumps, the bounded
+        # visit-origin table — so each façade mutation is atomic.  Reads
+        # go straight to the underlying stores, which lock themselves.
+        self._repo_lock = threading.RLock()
         # Hot-path counts are plain ints pulled by the registry at read
         # time (zero per-event instrument cost).
         self._n_page_reads = 0
@@ -181,9 +195,10 @@ class MemexRepository:
     # -- id allocation ------------------------------------------------------------
 
     def sequence(self, name: str) -> Sequence:
-        if name not in self._sequences:
-            self._sequences[name] = Sequence(self._seq_ns, name)
-        return self._sequences[name]
+        with self._repo_lock:
+            if name not in self._sequences:
+                self._sequences[name] = Sequence(self._seq_ns, name)
+            return self._sequences[name]
 
     # -- users -----------------------------------------------------------------------
 
@@ -198,14 +213,15 @@ class MemexRepository:
     ) -> None:
         if archive_mode not in ARCHIVE_MODES:
             raise SchemaError(f"unknown archive mode {archive_mode!r}")
-        self.db.insert("users", {
-            "user_id": user_id,
-            "name": name or user_id,
-            "community": community,
-            "archive_mode": archive_mode,
-            "created_at": now if now is not None else self.clock(),
-        })
-        self.stamps.users += 1
+        with self._repo_lock:
+            self.db.insert("users", {
+                "user_id": user_id,
+                "name": name or user_id,
+                "community": community,
+                "archive_mode": archive_mode,
+                "created_at": now if now is not None else self.clock(),
+            })
+            self.stamps.users += 1
 
     def get_user(self, user_id: str) -> Row | None:
         return self.db.table("users").get(user_id)
@@ -213,8 +229,9 @@ class MemexRepository:
     def set_archive_mode(self, user_id: str, mode: str) -> None:
         if mode not in ARCHIVE_MODES:
             raise SchemaError(f"unknown archive mode {mode!r}")
-        self.db.update("users", user_id, {"archive_mode": mode})
-        self.stamps.users += 1
+        with self._repo_lock:
+            self.db.update("users", user_id, {"archive_mode": mode})
+            self.stamps.users += 1
 
     def community_users(self, community: str | None = None) -> list[Row]:
         if community is None:
@@ -238,11 +255,29 @@ class MemexRepository:
         Raw text is stashed in the KV store (``rawtext`` namespace) keyed by
         URL, so term-level consumers never round-trip through the RDBMS.
         """
-        pages = self.db.table("pages")
-        existing = pages.get(url)
         content_hash = (
             hashlib.sha1(text.encode("utf-8")).hexdigest() if text is not None else None
         )
+        with self._repo_lock:
+            return self._upsert_page_locked(
+                url, title=title, text=text, front_page=front_page,
+                now=now, produced_version=produced_version,
+                content_hash=content_hash,
+            )
+
+    def _upsert_page_locked(
+        self,
+        url: str,
+        *,
+        title: str | None,
+        text: str | None,
+        front_page: bool,
+        now: float,
+        produced_version: int | None,
+        content_hash: str | None,
+    ) -> bool:
+        pages = self.db.table("pages")
+        existing = pages.get(url)
         if existing is None:
             self.db.insert("pages", {
                 "url": url,
@@ -279,12 +314,13 @@ class MemexRepository:
         return raw.decode("utf-8") if raw is not None else None
 
     def add_link(self, src: str, dst: str, *, now: float) -> int:
-        link_id = self.sequence("links").next()
-        self.db.insert("links", {
-            "link_id": link_id, "src": src, "dst": dst, "discovered_at": now,
-        })
-        self.stamps.links += 1
-        return link_id
+        with self._repo_lock:
+            link_id = self.sequence("links").next()
+            self.db.insert("links", {
+                "link_id": link_id, "src": src, "dst": dst, "discovered_at": now,
+            })
+            self.stamps.links += 1
+            return link_id
 
     def out_links(self, url: str) -> list[str]:
         return [r["dst"] for r in self.db.table("links").select({"src": url})]
@@ -322,21 +358,22 @@ class MemexRepository:
         origin: str | None = None,
     ) -> int:
         with self.tracer.child_span("storage.record_visit"):
-            visit_id = self.sequence("visits").next()
-            self.db.insert("visits", {
-                "visit_id": visit_id,
-                "user_id": user_id,
-                "url": url,
-                "at": at,
-                "session_id": session_id,
-                "referrer": referrer,
-                "archive_mode": archive_mode,
-                "topic_folder": None,
-                "topic_confidence": None,
-            })
-        self._remember_origin(visit_id, origin)
-        self._n_visit_writes += 1
-        self.stamps.visits += 1
+            with self._repo_lock:
+                visit_id = self.sequence("visits").next()
+                self.db.insert("visits", {
+                    "visit_id": visit_id,
+                    "user_id": user_id,
+                    "url": url,
+                    "at": at,
+                    "session_id": session_id,
+                    "referrer": referrer,
+                    "archive_mode": archive_mode,
+                    "topic_folder": None,
+                    "topic_confidence": None,
+                })
+                self._remember_origin(visit_id, origin)
+                self._n_visit_writes += 1
+                self.stamps.visits += 1
         return visit_id
 
     def record_visit_batch(self, items: list[dict[str, Any]]) -> list[int]:
@@ -369,9 +406,10 @@ class MemexRepository:
         with self.tracer.child_span(
             "storage.record_visit_batch", items=len(items),
         ):
-            visit_ids = self._record_visit_batch(items)
-        for item, visit_id in zip(items, visit_ids):
-            self._remember_origin(visit_id, item.get("origin"))
+            with self._repo_lock:
+                visit_ids = self._record_visit_batch(items)
+                for item, visit_id in zip(items, visit_ids):
+                    self._remember_origin(visit_id, item.get("origin"))
         return visit_ids
 
     def _record_visit_batch(self, items: list[dict[str, Any]]) -> list[int]:
@@ -426,10 +464,11 @@ class MemexRepository:
     def classify_visit(self, visit_id: int, folder_id: str, confidence: float) -> None:
         """Annotate one visit row with the classifier's (folder,
         confidence) decision — the write behind Figure 1's '?' guesses."""
-        self.db.update("visits", visit_id, {
-            "topic_folder": folder_id, "topic_confidence": confidence,
-        })
-        self.stamps.classifications += 1
+        with self._repo_lock:
+            self.db.update("visits", visit_id, {
+                "topic_folder": folder_id, "topic_confidence": confidence,
+            })
+            self.stamps.classifications += 1
 
     def user_visits(
         self,
@@ -469,21 +508,23 @@ class MemexRepository:
         *,
         now: float,
     ) -> None:
-        self.db.insert("folders", {
-            "folder_id": folder_id, "owner": owner, "name": name,
-            "parent": parent, "created_at": now,
-        })
-        self.stamps.folders += 1
+        with self._repo_lock:
+            self.db.insert("folders", {
+                "folder_id": folder_id, "owner": owner, "name": name,
+                "parent": parent, "created_at": now,
+            })
+            self.stamps.folders += 1
 
     def user_folders(self, owner: str) -> list[Row]:
         return self.db.table("folders").select({"owner": owner})
 
     def remove_folder(self, folder_id: str) -> None:
-        for assoc in self.db.table("folder_pages").select({"folder_id": folder_id}):
-            self.db.delete("folder_pages", assoc["assoc_id"])
-            self.stamps.assocs += 1
-        self.db.delete("folders", folder_id)
-        self.stamps.folders += 1
+        with self._repo_lock:
+            for assoc in self.db.table("folder_pages").select({"folder_id": folder_id}):
+                self.db.delete("folder_pages", assoc["assoc_id"])
+                self.stamps.assocs += 1
+            self.db.delete("folders", folder_id)
+            self.stamps.folders += 1
 
     def associate(
         self,
@@ -496,18 +537,19 @@ class MemexRepository:
     ) -> int:
         if source not in ASSOC_SOURCES:
             raise SchemaError(f"unknown association source {source!r}")
-        assoc_id = self.sequence("assocs").next()
-        self.db.insert("folder_pages", {
-            "assoc_id": assoc_id,
-            "folder_id": folder_id,
-            "url": url,
-            "source": source,
-            "confidence": confidence,
-            "at": now,
-        })
-        self._n_assoc_writes += 1
-        self.stamps.assocs += 1
-        return assoc_id
+        with self._repo_lock:
+            assoc_id = self.sequence("assocs").next()
+            self.db.insert("folder_pages", {
+                "assoc_id": assoc_id,
+                "folder_id": folder_id,
+                "url": url,
+                "source": source,
+                "confidence": confidence,
+                "at": now,
+            })
+            self._n_assoc_writes += 1
+            self.stamps.assocs += 1
+            return assoc_id
 
     def folder_pages(self, folder_id: str, *, sources: tuple[str, ...] | None = None) -> list[Row]:
         rows = self.db.table("folder_pages").select({"folder_id": folder_id})
@@ -521,11 +563,12 @@ class MemexRepository:
     def dissociate(self, folder_id: str, url: str, *, sources: tuple[str, ...] | None = None) -> int:
         """Remove folder-page associations; returns how many were removed."""
         removed = 0
-        for row in self.folder_pages(folder_id, sources=sources):
-            if row["url"] == url:
-                self.db.delete("folder_pages", row["assoc_id"])
-                removed += 1
-        self.stamps.assocs += removed
+        with self._repo_lock:
+            for row in self.folder_pages(folder_id, sources=sources):
+                if row["url"] == url:
+                    self.db.delete("folder_pages", row["assoc_id"])
+                    removed += 1
+            self.stamps.assocs += removed
         return removed
 
     # -- model blobs -------------------------------------------------------------------------------

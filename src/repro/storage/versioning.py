@@ -27,6 +27,7 @@ immediately, while mined results catch up asynchronously.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 from typing import Any
@@ -56,6 +57,12 @@ class VersionCoordinator:
         metrics: MetricsRegistry | None = None,
         log: Logger | None = None,
     ) -> None:
+        # One lock ("versioning" rank in repro.locks.LOCK_ORDER) over
+        # all coordinator state: version maps, watermarks, the open
+        # version, and the GC floor move together, so producer publishes,
+        # consumer polls/acks, and gc serialize here.  Reentrant because
+        # produce() composes the locked primitives.
+        self._versions_lock = threading.RLock()
         self._versions: dict[int, _Version] = {}
         self._open: _Version | None = None
         self.log = log if log is not None else null_logger("versioning")
@@ -80,21 +87,24 @@ class VersionCoordinator:
         self._ack_counters: dict[str, Any] = {}
 
     def _update_lag(self, name: str) -> None:
-        self._lag_gauges[name].set(self._published_high - self._consumers[name])
+        with self._versions_lock:
+            self._lag_gauges[name].set(
+                self._published_high - self._consumers[name])
 
     # -- producer side -----------------------------------------------------------
 
     def open_version(self) -> int:
         """Begin a new version; only one may be open at a time."""
-        if self._open is not None:
-            raise VersioningError(
-                f"version {self._open.number} is still open (single producer)"
-            )
-        v = _Version(self._next_number)
-        self._next_number += 1
-        self._versions[v.number] = v
-        self._open = v
-        return v.number
+        with self._versions_lock:
+            if self._open is not None:
+                raise VersioningError(
+                    f"version {self._open.number} is still open (single producer)"
+                )
+            v = _Version(self._next_number)
+            self._next_number += 1
+            self._versions[v.number] = v
+            self._open = v
+            return v.number
 
     def add_item(self, item: Any, *, origin: str | None = None) -> None:
         """Attach an item to the currently open version.
@@ -103,52 +113,57 @@ class VersionCoordinator:
         produced the item; consumers read it back via :meth:`origin` to
         link their spans to the originating trace.
         """
-        if self._open is None:
-            raise VersioningError("no version is open")
-        self._open.items.append(item)
-        if origin is not None:
-            self._origins[item] = origin
-        self._m_items.inc()
+        with self._versions_lock:
+            if self._open is None:
+                raise VersioningError("no version is open")
+            self._open.items.append(item)
+            if origin is not None:
+                self._origins[item] = origin
+            self._m_items.inc()
 
     def publish(self) -> int:
         """Publish the open version, making it visible to consumers."""
-        if self._open is None:
-            raise VersioningError("no version is open")
-        self._open.published = True
-        number = self._open.number
-        items = len(self._open.items)
-        self._published_high = number
-        self._open = None
-        self._m_publishes.inc()
-        self._g_live.set(len(self._versions))
-        for name in self._consumers:
-            self._update_lag(name)
-        self.log.info("version_published", version=number, items=items)
-        return number
+        with self._versions_lock:
+            if self._open is None:
+                raise VersioningError("no version is open")
+            self._open.published = True
+            number = self._open.number
+            items = len(self._open.items)
+            self._published_high = number
+            self._open = None
+            self._m_publishes.inc()
+            self._g_live.set(len(self._versions))
+            for name in self._consumers:
+                self._update_lag(name)
+            self.log.info("version_published", version=number, items=items)
+            return number
 
     def abort_version(self) -> None:
         """Discard the open version (producer crash / error path)."""
-        if self._open is None:
-            raise VersioningError("no version is open")
-        for item in self._open.items:
-            self._origins.pop(item, None)
-        number = self._open.number
-        del self._versions[self._open.number]
-        self._open = None
-        self._m_aborts.inc()
-        self._g_live.set(len(self._versions))
-        self.log.warn("version_aborted", version=number)
+        with self._versions_lock:
+            if self._open is None:
+                raise VersioningError("no version is open")
+            for item in self._open.items:
+                self._origins.pop(item, None)
+            number = self._open.number
+            del self._versions[self._open.number]
+            self._open = None
+            self._m_aborts.inc()
+            self._g_live.set(len(self._versions))
+            self.log.warn("version_aborted", version=number)
 
     def origin(self, item: Any) -> str | None:
         """The origin traceparent stamped on *item*, if still retained."""
-        return self._origins.get(item)
+        with self._versions_lock:
+            return self._origins.get(item)
 
     def produce(self, items: Iterable[Any]) -> int:
         """Convenience: open, fill, and publish a version in one call."""
-        self.open_version()
-        for item in items:
-            self.add_item(item)
-        return self.publish()
+        with self._versions_lock:
+            self.open_version()
+            for item in items:
+                self.add_item(item)
+            return self.publish()
 
     # -- consumer side ---------------------------------------------------------------
 
@@ -158,19 +173,20 @@ class VersionCoordinator:
         Registering an existing consumer is a no-op, so daemons can call
         this idempotently on startup.
         """
-        if name not in self._consumers:
-            self._consumers[name] = self._gc_floor
-        if name not in self._lag_gauges:
-            self._lag_gauges[name] = self._metrics.gauge(
-                "storage.versioning.lag", consumer=name,
-            )
-            self._poll_counters[name] = self._metrics.counter(
-                "storage.versioning.polls", consumer=name,
-            )
-            self._ack_counters[name] = self._metrics.counter(
-                "storage.versioning.acks", consumer=name,
-            )
-            self._update_lag(name)
+        with self._versions_lock:
+            if name not in self._consumers:
+                self._consumers[name] = self._gc_floor
+            if name not in self._lag_gauges:
+                self._lag_gauges[name] = self._metrics.gauge(
+                    "storage.versioning.lag", consumer=name,
+                )
+                self._poll_counters[name] = self._metrics.counter(
+                    "storage.versioning.polls", consumer=name,
+                )
+                self._ack_counters[name] = self._metrics.counter(
+                    "storage.versioning.acks", consumer=name,
+                )
+                self._update_lag(name)
 
     def poll(self, name: str) -> tuple[int, list[Any]]:
         """Return ``(watermark, items)`` newly published since the
@@ -180,55 +196,58 @@ class VersionCoordinator:
         marks everything up to it processed.  An empty poll returns the
         consumer's current watermark and no items.
         """
-        if name not in self._consumers:
-            raise VersioningError(f"unknown consumer {name!r}")
-        acked = self._consumers[name]
-        if acked < self._gc_floor:
-            raise StaleSnapshot(
-                f"consumer {name!r} acked {acked} but GC floor is {self._gc_floor}"
-            )
-        items: list[Any] = []
-        for number in range(acked + 1, self._published_high + 1):
-            v = self._versions.get(number)
-            if v is not None and v.published:
-                items.extend(v.items)
-        self._poll_counters[name].inc()
-        return self._published_high, items
+        with self._versions_lock:
+            if name not in self._consumers:
+                raise VersioningError(f"unknown consumer {name!r}")
+            acked = self._consumers[name]
+            if acked < self._gc_floor:
+                raise StaleSnapshot(
+                    f"consumer {name!r} acked {acked} but GC floor is {self._gc_floor}"
+                )
+            items: list[Any] = []
+            for number in range(acked + 1, self._published_high + 1):
+                v = self._versions.get(number)
+                if v is not None and v.published:
+                    items.extend(v.items)
+            self._poll_counters[name].inc()
+            return self._published_high, items
 
     def ack(self, name: str, watermark: int) -> None:
         """Acknowledge processing of everything up to *watermark*."""
-        if name not in self._consumers:
-            raise VersioningError(f"unknown consumer {name!r}")
-        if watermark > self._published_high:
-            raise VersioningError(
-                f"cannot ack {watermark}: only {self._published_high} published"
-            )
-        if watermark < self._consumers[name]:
-            raise VersioningError("watermark may not move backwards")
-        self._consumers[name] = watermark
-        self._ack_counters[name].inc()
-        self._update_lag(name)
+        with self._versions_lock:
+            if name not in self._consumers:
+                raise VersioningError(f"unknown consumer {name!r}")
+            if watermark > self._published_high:
+                raise VersioningError(
+                    f"cannot ack {watermark}: only {self._published_high} published"
+                )
+            if watermark < self._consumers[name]:
+                raise VersioningError("watermark may not move backwards")
+            self._consumers[name] = watermark
+            self._ack_counters[name].inc()
+            self._update_lag(name)
 
     # -- reclamation --------------------------------------------------------------------
 
     def gc(self) -> int:
         """Reclaim versions every consumer has acked; returns #reclaimed."""
-        if not self._consumers:
-            return 0
-        floor = min(self._consumers.values())
-        reclaimed = 0
-        for number in list(self._versions):
-            v = self._versions[number]
-            if v.published and number <= floor:
-                for item in v.items:
-                    self._origins.pop(item, None)
-                del self._versions[number]
-                reclaimed += 1
-        self._gc_floor = max(self._gc_floor, floor)
-        if reclaimed:
-            self._m_gc_reclaimed.inc(reclaimed)
-        self._g_live.set(len(self._versions))
-        return reclaimed
+        with self._versions_lock:
+            if not self._consumers:
+                return 0
+            floor = min(self._consumers.values())
+            reclaimed = 0
+            for number in list(self._versions):
+                v = self._versions[number]
+                if v.published and number <= floor:
+                    for item in v.items:
+                        self._origins.pop(item, None)
+                    del self._versions[number]
+                    reclaimed += 1
+            self._gc_floor = max(self._gc_floor, floor)
+            if reclaimed:
+                self._m_gc_reclaimed.inc(reclaimed)
+            self._g_live.set(len(self._versions))
+            return reclaimed
 
     # -- introspection ---------------------------------------------------------------------
 
@@ -251,25 +270,29 @@ class VersionCoordinator:
         VersioningError
             If *name* was never registered.
         """
-        if name not in self._consumers:
-            raise VersioningError(f"unknown consumer {name!r}")
-        return self._consumers[name]
+        with self._versions_lock:
+            if name not in self._consumers:
+                raise VersioningError(f"unknown consumer {name!r}")
+            return self._consumers[name]
 
     def staleness(self, name: str) -> int:
         """How many published versions the consumer is behind."""
-        if name not in self._consumers:
-            raise VersioningError(f"unknown consumer {name!r}")
-        return self._published_high - self._consumers[name]
+        with self._versions_lock:
+            if name not in self._consumers:
+                raise VersioningError(f"unknown consumer {name!r}")
+            return self._published_high - self._consumers[name]
 
     def consumers(self) -> dict[str, int]:
-        return dict(self._consumers)
+        with self._versions_lock:
+            return dict(self._consumers)
 
     def lags(self) -> dict[str, int]:
         """Per-consumer staleness: published versions not yet acked."""
-        return {
-            name: self._published_high - acked
-            for name, acked in self._consumers.items()
-        }
+        with self._versions_lock:
+            return {
+                name: self._published_high - acked
+                for name, acked in self._consumers.items()
+            }
 
     def live_versions(self) -> int:
         return len(self._versions)

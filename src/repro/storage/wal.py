@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import os
 import struct
+import threading
 import zlib
 from collections.abc import Iterable, Iterator
 from pathlib import Path
@@ -72,6 +73,10 @@ class WriteAheadLog:
         self._recovered_bytes = self._scan_and_truncate()
         self._fh = open(self.path, "ab")
         self._closed = False
+        # Single-writer lock: appends, compaction, and flushes serialize
+        # here so records never interleave mid-frame.  Reentrant because
+        # compaction flushes while already holding it.
+        self._wal_lock = threading.RLock()
 
     # -- recovery -----------------------------------------------------------
 
@@ -104,17 +109,18 @@ class WriteAheadLog:
 
     def append(self, payload: bytes) -> int:
         """Append one record; returns the offset it begins at."""
-        if self._closed:
-            raise StoreClosed(f"log {self.path} is closed")
-        offset = self._fh.tell()
         record = encode_record(payload)
-        self._fh.write(record)
-        self._fh.flush()
-        self._n_appends += 1
-        self._n_bytes += len(record)
-        if self.sync:
-            os.fsync(self._fh.fileno())
-            self._n_fsyncs += 1
+        with self._wal_lock:
+            if self._closed:
+                raise StoreClosed(f"log {self.path} is closed")
+            offset = self._fh.tell()
+            self._fh.write(record)
+            self._fh.flush()
+            self._n_appends += 1
+            self._n_bytes += len(record)
+            if self.sync:
+                os.fsync(self._fh.fileno())
+                self._n_fsyncs += 1
         return offset
 
     def append_many(self, payloads: Iterable[bytes]) -> list[int]:
@@ -126,26 +132,25 @@ class WriteAheadLog:
         a crash mid-batch keeps the batch's unbroken prefix.  Returns the
         starting offset of each record, in order.
         """
-        if self._closed:
-            raise StoreClosed(f"log {self.path} is closed")
-        offsets: list[int] = []
-        chunks: list[bytes] = []
-        offset = self._fh.tell()
-        for payload in payloads:
-            record = encode_record(payload)
-            offsets.append(offset)
-            offset += len(record)
-            chunks.append(record)
-        if not chunks:
-            return offsets
-        buffer = b"".join(chunks)
-        self._fh.write(buffer)
-        self._fh.flush()
-        self._n_appends += len(chunks)
-        self._n_bytes += len(buffer)
-        if self.sync:
-            os.fsync(self._fh.fileno())
-            self._n_fsyncs += 1
+        records = [encode_record(payload) for payload in payloads]
+        with self._wal_lock:
+            if self._closed:
+                raise StoreClosed(f"log {self.path} is closed")
+            offsets: list[int] = []
+            offset = self._fh.tell()
+            for record in records:
+                offsets.append(offset)
+                offset += len(record)
+            if not records:
+                return offsets
+            buffer = b"".join(records)
+            self._fh.write(buffer)
+            self._fh.flush()
+            self._n_appends += len(records)
+            self._n_bytes += len(buffer)
+            if self.sync:
+                os.fsync(self._fh.fileno())
+                self._n_fsyncs += 1
         return offsets
 
     def replay(self) -> Iterator[bytes]:
@@ -154,7 +159,8 @@ class WriteAheadLog:
         Safe to call while the log is open for appending; it reads a
         snapshot of the bytes present when iteration starts.
         """
-        self._fh.flush()
+        with self._wal_lock:
+            self._fh.flush()
         with open(self.path, "rb") as fh:
             while True:
                 header = fh.read(_HEADER.size)
@@ -176,28 +182,31 @@ class WriteAheadLog:
         Writes to a sibling temp file then renames over the original, so a
         crash mid-compaction leaves either the old or the new log intact.
         """
-        if self._closed:
-            raise StoreClosed(f"log {self.path} is closed")
-        tmp = self.path.with_suffix(self.path.suffix + ".compact")
-        with open(tmp, "wb") as fh:
-            for payload in payloads:
-                fh.write(encode_record(payload))
-            fh.flush()
-            os.fsync(fh.fileno())
-        self._fh.close()
-        os.replace(tmp, self.path)
-        self._fh = open(self.path, "ab")
+        with self._wal_lock:
+            if self._closed:
+                raise StoreClosed(f"log {self.path} is closed")
+            tmp = self.path.with_suffix(self.path.suffix + ".compact")
+            with open(tmp, "wb") as fh:
+                for payload in payloads:
+                    fh.write(encode_record(payload))
+                fh.flush()
+                os.fsync(fh.fileno())
+            self._fh.close()
+            os.replace(tmp, self.path)
+            self._fh = open(self.path, "ab")
 
     def size_bytes(self) -> int:
         """Current log size in bytes (including unflushed buffer)."""
-        self._fh.flush()
-        return self.path.stat().st_size
+        with self._wal_lock:
+            self._fh.flush()
+            return self.path.stat().st_size
 
     def close(self) -> None:
-        if not self._closed:
-            self._fh.flush()
-            self._fh.close()
-            self._closed = True
+        with self._wal_lock:
+            if not self._closed:
+                self._fh.flush()
+                self._fh.close()
+                self._closed = True
 
     @property
     def closed(self) -> bool:

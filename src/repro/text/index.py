@@ -10,6 +10,7 @@ the ranked-retrieval code never touches the relational side.
 from __future__ import annotations
 
 import json
+import threading
 from collections.abc import Iterable
 
 from ..errors import IndexError_
@@ -45,6 +46,20 @@ class InvertedIndex:
         self._meta = Namespace(self._kv, prefix + ".meta")
         self._pos = Namespace(self._kv, prefix + ".pos")
         self.store_positions = store_positions
+        # Index lock ("index" rank in ``repro.locks.LOCK_ORDER``, above
+        # the kvstore it writes through).  A document add/remove spans
+        # many posting lists plus the doc-length entry; without one lock
+        # over the whole update a concurrent scorer can see a doc_id in a
+        # posting list before its length record exists.  Reentrant so
+        # :class:`~repro.text.search.SearchEngine` can pin a consistent
+        # view across a whole scoring pass (``with index.lock``) while
+        # the methods it calls re-enter.
+        self._index_lock = threading.RLock()
+
+    @property
+    def lock(self) -> threading.RLock:
+        """Hold this to make several reads one consistent snapshot."""
+        return self._index_lock
 
     # -- documents ------------------------------------------------------------
 
@@ -53,6 +68,10 @@ class InvertedIndex:
 
         Re-adding an existing doc_id replaces its previous content.
         """
+        with self._index_lock:
+            return self._add_document_locked(doc_id, text)
+
+    def _add_document_locked(self, doc_id: str, text: str) -> int:
         if self.has_document(doc_id):
             self.remove_document(doc_id)
         terms = tokenize(text)
@@ -76,6 +95,10 @@ class InvertedIndex:
 
     def remove_document(self, doc_id: str) -> bool:
         """Remove a document from the index; returns whether it existed."""
+        with self._index_lock:
+            return self._remove_document_locked(doc_id)
+
+    def _remove_document_locked(self, doc_id: str) -> bool:
         raw = self._docs.get(doc_id.encode("utf-8"))
         if raw is None:
             return False
@@ -96,9 +119,14 @@ class InvertedIndex:
         return True
 
     def has_document(self, doc_id: str) -> bool:
-        return doc_id.encode("utf-8") in self._docs
+        with self._index_lock:
+            return doc_id.encode("utf-8") in self._docs
 
     def doc_length(self, doc_id: str) -> int:
+        with self._index_lock:
+            return self._doc_length_locked(doc_id)
+
+    def _doc_length_locked(self, doc_id: str) -> int:
         raw = self._docs.get(doc_id.encode("utf-8"))
         if raw is None:
             raise IndexError_(f"document {doc_id!r} not indexed")
@@ -106,31 +134,39 @@ class InvertedIndex:
 
     @property
     def num_docs(self) -> int:
-        return len(self._docs)
+        with self._index_lock:
+            return len(self._docs)
 
     def avg_doc_length(self) -> float:
-        lengths = [int(v) for _, v in self._docs.items()]
+        with self._index_lock:
+            lengths = [int(v) for _, v in self._docs.items()]
         if not lengths:
             return 0.0
         return sum(lengths) / len(lengths)
 
     def document_ids(self) -> list[str]:
-        return [k.decode("utf-8") for k, _ in self._docs.items()]
+        with self._index_lock:
+            return [k.decode("utf-8") for k, _ in self._docs.items()]
 
     # -- terms ------------------------------------------------------------------
 
     def postings(self, term: str) -> dict[str, int]:
         """``{doc_id: term frequency}`` for one (already-stemmed) term."""
-        return self._load_postings(term)
+        with self._index_lock:
+            return self._load_postings(term)
 
     def doc_freq(self, term: str) -> int:
-        return len(self._load_postings(term))
+        with self._index_lock:
+            return len(self._load_postings(term))
 
     def vocabulary_size(self) -> int:
-        return sum(1 for _ in self._post.items())
+        with self._index_lock:
+            return sum(1 for _ in self._post.items())
 
     def terms(self) -> Iterable[str]:
-        for key, _ in self._post.items():
+        with self._index_lock:
+            keys = [key for key, _ in self._post.items()]
+        for key in keys:
             yield key.decode("utf-8")
 
     # -- internals ------------------------------------------------------------------
@@ -152,7 +188,8 @@ class InvertedIndex:
 
     def positions(self, term: str) -> dict[str, list[int]]:
         """``{doc_id: [token positions]}`` (empty unless store_positions)."""
-        return self._load_positions(term)
+        with self._index_lock:
+            return self._load_positions(term)
 
     def phrase_match(self, terms: list[str]) -> dict[str, int]:
         """Documents containing *terms* consecutively; value = match count.
@@ -163,7 +200,8 @@ class InvertedIndex:
             raise IndexError_("phrase queries need store_positions=True")
         if not terms:
             return {}
-        tables = [self._load_positions(t) for t in terms]
+        with self._index_lock:
+            tables = [self._load_positions(t) for t in terms]
         candidates = set(tables[0])
         for table in tables[1:]:
             candidates &= set(table)

@@ -227,13 +227,16 @@ def ranked_boolean_search(
     Queries with no positive term (pure negations) rank by doc id.
     """
     node = parse_query(query)
-    matches = evaluate(node, engine.index)
-    if not matches:
-        return []
-    terms = positive_terms(node)
-    if not terms:
-        return [SearchHit(doc_id, 0.0) for doc_id in sorted(matches)][:k]
-    hits = engine.search(" ".join(terms), k=len(matches), candidates=matches)
+    # One consistent index view across boolean evaluation and ranking
+    # (the index lock is reentrant; engine.search re-pins it).
+    with engine.index.lock:
+        matches = evaluate(node, engine.index)
+        if not matches:
+            return []
+        terms = positive_terms(node)
+        if not terms:
+            return [SearchHit(doc_id, 0.0) for doc_id in sorted(matches)][:k]
+        hits = engine.search(" ".join(terms), k=len(matches), candidates=matches)
     ranked = {h.doc_id for h in hits}
     # Boolean matches that scored zero (e.g. matched only via OR-branch
     # not in top ranks) still belong in the result set, after ranked ones.

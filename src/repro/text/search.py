@@ -59,12 +59,16 @@ class SearchEngine:
         terms = tokenize(query)
         if not terms:
             return []
-        if method == "bm25":
-            scores = self._bm25(terms, candidates)
-        elif method == "tfidf":
-            scores = self._tfidf_cosine(terms, candidates)
-        else:
-            raise ValueError(f"unknown ranking method {method!r}")
+        # Pin one consistent index view for the whole scoring pass: a
+        # concurrent add_document must not land between reading a posting
+        # list and reading the doc lengths it references.
+        with self.index.lock:
+            if method == "bm25":
+                scores = self._bm25(terms, candidates)
+            elif method == "tfidf":
+                scores = self._tfidf_cosine(terms, candidates)
+            else:
+                raise ValueError(f"unknown ranking method {method!r}")
         ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
         return [SearchHit(doc_id, score) for doc_id, score in ranked[:k]]
 

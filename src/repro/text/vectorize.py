@@ -42,15 +42,25 @@ def tfidf(vocab: Vocabulary, counts: SparseVector) -> SparseVector:
 
 
 def norm(vec: SparseVector) -> float:
-    return math.sqrt(sum(w * w for w in vec.values()))
+    # Scale by the largest magnitude before squaring: weights below
+    # ~1e-154 square into subnormals (or underflow to 0.0 outright) and
+    # the naive sum-of-squares loses all precision.
+    scale = max((abs(w) for w in vec.values()), default=0.0)
+    if scale == 0.0:
+        return 0.0
+    return scale * math.sqrt(sum((w / scale) ** 2 for w in vec.values()))
 
 
 def normalize(vec: SparseVector) -> SparseVector:
     """Unit-length copy of *vec* (empty vectors come back empty)."""
-    n = norm(vec)
-    if n == 0.0:
+    scale = max((abs(w) for w in vec.values()), default=0.0)
+    if scale == 0.0:
         return {}
-    return {tid: w / n for tid, w in vec.items()}
+    # Pre-divide by the max magnitude so the norm of the scaled vector
+    # is computed in a well-conditioned range (see ``norm``).
+    scaled = {tid: w / scale for tid, w in vec.items()}
+    n = math.sqrt(sum(w * w for w in scaled.values()))
+    return {tid: w / n for tid, w in scaled.items()}
 
 
 def dot(a: SparseVector, b: SparseVector) -> float:
@@ -61,10 +71,12 @@ def dot(a: SparseVector, b: SparseVector) -> float:
 
 def cosine(a: SparseVector, b: SparseVector) -> float:
     """Cosine similarity in [0, 1] for non-negative vectors."""
-    na, nb = norm(a), norm(b)
-    if na == 0.0 or nb == 0.0:
+    ua, ub = normalize(a), normalize(b)
+    if not ua or not ub:
         return 0.0
-    return dot(a, b) / (na * nb)
+    # Dot of unit vectors: ``dot(a, b) / (norm(a) * norm(b))`` would
+    # underflow the denominator to 0.0 when both vectors are tiny.
+    return min(dot(ua, ub), 1.0)
 
 
 def add(a: SparseVector, b: SparseVector, *, scale: float = 1.0) -> SparseVector:

@@ -8,6 +8,7 @@ under an injected daemon quarantine.
 """
 
 import json
+import threading
 
 import pytest
 
@@ -42,7 +43,7 @@ def test_log_hub_ring_buffer_and_shape():
     assert records[0]["event"] == "e2"
     assert records[-1] == {
         "ts": 42.0, "level": "info", "component": "comp",
-        "event": "e5", "n": 5,
+        "event": "e5", "n": 5, "thread": threading.get_ident(),
     }
 
 

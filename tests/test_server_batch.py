@@ -351,6 +351,58 @@ def test_transport_request_batch_roundtrip():
     assert transport.request_batch("bob", []) == []
 
 
+# -- envelope-failure replication must deep-copy ------------------------------
+#
+# Regression: replicating a failed batch envelope into per-item slots with
+# shallow `dict(envelope)` copies shared any nested mutable values (e.g. an
+# error `detail` dict) between every slot — annotating one response
+# corrupted its siblings.
+
+def test_replicate_envelope_failure_slots_are_independent():
+    from repro.server.transport import replicate_envelope_failure
+
+    envelope = {
+        "status": "error",
+        "error": "backend unavailable",
+        "error_code": "internal",
+        "retryable": True,
+        "detail": {"attempts": [], "hint": "original"},
+    }
+    slots = replicate_envelope_failure(envelope, 3)
+    assert slots == [envelope] * 3
+    slots[0]["detail"]["hint"] = "mutated"
+    slots[0]["detail"]["attempts"].append("retry-1")
+    # Siblings and the source envelope are untouched.
+    assert slots[1]["detail"] == {"attempts": [], "hint": "original"}
+    assert slots[2]["detail"] == {"attempts": [], "hint": "original"}
+    assert envelope["detail"] == {"attempts": [], "hint": "original"}
+
+
+def test_request_batch_envelope_failure_responses_are_independent():
+    class BrokenBackendRegistry(ServletRegistry):
+        """Every dispatch fails at the envelope level with nested detail."""
+
+        def dispatch(self, request):
+            return {
+                "status": "error",
+                "error": "backend unavailable",
+                "error_code": "internal",
+                "retryable": True,
+                "detail": {"attempts": []},
+            }
+
+    transport = HttpTunnelTransport(BrokenBackendRegistry())
+    transport.set_key("bob", b"bobs-key")
+    out = transport.request_batch(
+        "bob", [{"servlet": "visit"}, {"servlet": "visit"}])
+    assert len(out) == 2
+    assert all(r["status"] == "error" for r in out)
+    # A caller annotating slot 0 (e.g. a retry loop recording attempts)
+    # must not see the annotation bleed into slot 1.
+    out[0]["detail"]["attempts"].append("retry-1")
+    assert out[1]["detail"]["attempts"] == []
+
+
 # -- applet buffering ---------------------------------------------------------
 
 def test_applet_buffers_and_flushes_on_size():
@@ -509,3 +561,26 @@ def test_search_rejects_negative_pagination(search_system):
     applet = search_system.connect("u")
     with pytest.raises(MemexError):
         applet.search_page("text", limit=-1)
+
+
+def test_search_pagination_offset_exactly_at_end(search_system):
+    applet = search_system.connect("u")
+    page = applet.search_page("text", limit=10, offset=25)
+    assert page["hits"] == []
+    assert page["has_more"] is False
+    assert page["total"] == 25
+    assert page["offset"] == 25
+
+
+def test_search_pagination_zero_limit_probes_total(search_system):
+    # limit=0 is a count probe: no hits shipped, but total is reported and
+    # has_more is True whenever matches exist past the offset.
+    applet = search_system.connect("u")
+    probe = applet.search_page("text", limit=0, offset=0)
+    assert probe["hits"] == []
+    assert probe["total"] == 25
+    assert probe["has_more"] is True
+    # ... and False once the offset has consumed every match.
+    done = applet.search_page("text", limit=0, offset=25)
+    assert done["hits"] == []
+    assert done["has_more"] is False

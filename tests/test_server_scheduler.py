@@ -205,3 +205,130 @@ def test_scheduler_transitions_recorded_as_metrics():
     # Every attempt (success or failure) lands in the latency histogram.
     h = metrics.histogram("server.scheduler.run_latency", daemon="flaky")
     assert h.count == 4
+
+
+# -- concurrency: parole-then-run is one atomic scheduling decision ----------
+
+def test_concurrent_ticks_exactly_once_per_round():
+    """Racing tick() calls must (a) never lose a round (`_now` advances
+    exactly once per round), (b) fire the one due parole exactly once,
+    and (c) claim a period-1 daemon at most once per round with
+    consistent bookkeeping."""
+    import sys
+    import threading
+
+    from repro.obs import MetricsRegistry
+
+    metrics = MetricsRegistry()
+    sched = DaemonScheduler(
+        max_consecutive_failures=1, parole_after=1, metrics=metrics,
+    )
+
+    observed_rounds = []
+
+    class RoundRecorder:
+        name = "recorder"
+
+        def __init__(self):
+            self.calls = 0
+
+        def run_once(self):
+            self.calls += 1
+            if self.calls == 1:
+                raise RuntimeError("first call fails -> quarantine")
+            observed_rounds.append(sched._now)
+            return 1
+
+    daemon = RoundRecorder()
+    sched.register(daemon, period=1)
+    sched.tick()        # fails -> quarantined, parole_at = now + 1
+    assert sched.quarantined()
+
+    n_threads, rounds_each = 8, 400
+    barrier = threading.Barrier(n_threads)
+
+    def hammer():
+        barrier.wait()
+        for _ in range(rounds_each):
+            sched.tick()
+
+    old_interval = sys.getswitchinterval()
+    sys.setswitchinterval(1e-6)
+    try:
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    finally:
+        sys.setswitchinterval(old_interval)
+
+    total_rounds = n_threads * rounds_each
+    # (a) no lost round counters
+    assert sched._now == 1 + total_rounds
+    # (b) the one parole fired exactly once
+    assert metrics.counter_value(
+        "server.scheduler.paroles", daemon="recorder") == 1
+    # (c) at most one claim per round, bookkeeping consistent
+    runs = sched.stats()["recorder"]["runs"]
+    assert runs <= total_rounds
+    assert runs == len(observed_rounds)
+
+
+def test_concurrent_parole_is_a_single_decision(monkeypatch):
+    """Two ticks racing a due parole must produce exactly one parole and
+    one run.  The parole body is slowed down (deterministically widening
+    the check-then-act window) so a second tick arriving mid-parole sees
+    the stale ``quarantined`` flag unless the scheduler makes the whole
+    parole-then-run choice one atomic decision."""
+    import threading
+    import time
+
+    from repro.obs import MetricsRegistry
+
+    metrics = MetricsRegistry()
+    sched = DaemonScheduler(
+        max_consecutive_failures=1, parole_after=1, metrics=metrics,
+    )
+
+    class FailsOnce:
+        name = "flaky"
+
+        def __init__(self):
+            self.calls = 0
+            self.runs = 0
+
+        def run_once(self):
+            self.calls += 1
+            if self.calls == 1:
+                raise RuntimeError("first call fails -> quarantine")
+            self.runs += 1
+            return 1
+
+    daemon = FailsOnce()
+    sched.register(daemon, period=100)   # long period: at most one due run
+    sched.tick()                         # fails -> quarantined, parole_at = 1
+    assert list(sched.quarantined()) == ["flaky"]
+
+    in_parole = threading.Event()
+    real_parole = DaemonScheduler._parole
+
+    def slow_parole(self, entry):
+        in_parole.set()
+        time.sleep(0.05)
+        real_parole(self, entry)
+
+    monkeypatch.setattr(DaemonScheduler, "_parole", slow_parole)
+
+    first = threading.Thread(target=sched.tick)
+    first.start()
+    # Arrive mid-parole: the first tick is asleep inside _parole with the
+    # entry still flagged quarantined.
+    assert in_parole.wait(timeout=5.0)
+    sched.tick()
+    first.join()
+
+    assert metrics.counter_value(
+        "server.scheduler.paroles", daemon="flaky") == 1
+    assert daemon.runs == 1
+    assert sched.stats()["flaky"]["runs"] == 1

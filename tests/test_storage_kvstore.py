@@ -186,3 +186,90 @@ def test_keys_sorted_after_interleaved_ops(store):
             store.put(key, b"v")
             reference[key] = b"v"
     assert store.keys() == sorted(reference)
+
+
+# -- prefix successor (regression: 0xFF-suffixed prefixes) -------------------
+
+def test_prefix_successor_carries_into_preceding_byte():
+    from repro.storage.kvstore import prefix_successor
+    assert prefix_successor(b"ab") == b"ac"
+    assert prefix_successor(b"a\xff") == b"b"          # carry over 0xFF
+    assert prefix_successor(b"a\xff\xff") == b"b"      # carry across a run
+    assert prefix_successor(b"\xff") is None           # no successor exists
+    assert prefix_successor(b"\xff\xff") is None
+    assert prefix_successor(b"") is None
+
+
+def test_prefix_ff_suffix_bounds_the_cursor(store, monkeypatch):
+    """A prefix ending in 0xFF must still produce a finite cursor upper
+    bound (carried into the preceding byte), not fall back to an
+    unbounded scan of the entire key tail."""
+    store.put(b"a\xff1", b"1")
+    store.put(b"a\xff2", b"2")
+    store.put(b"b0", b"beyond-carry")
+    store.put(b"zz-far-tail", b"walked-only-when-unbounded")
+
+    seen = {}
+    real = KVStore.cursor
+
+    def spy(self, start=None, end=None):
+        seen["end"] = end
+        return real(self, start=start, end=end)
+
+    monkeypatch.setattr(KVStore, "cursor", spy)
+    assert [k for k, _ in store.prefix(b"a\xff")] == [b"a\xff1", b"a\xff2"]
+    assert seen["end"] == b"b"
+
+
+def test_prefix_all_ff_scans_to_end(store):
+    store.put(b"\xff\xff1", b"1")
+    store.put(b"\xff\xff\xff", b"2")
+    store.put(b"a", b"other")
+    assert [k for k, _ in store.prefix(b"\xff\xff")] == [
+        b"\xff\xff1", b"\xff\xff\xff",
+    ]
+
+
+# -- compaction floor --------------------------------------------------------
+
+def test_maybe_compact_floor_blocks_tiny_stores(tmp_path):
+    """dead <= 16 never auto-compacts, even at 100% garbage."""
+    kv = KVStore(tmp_path / "tiny.log", compact_garbage_ratio=0.5)
+    for i in range(8):
+        kv.put(b"k%d" % i, b"v")
+    for i in range(8):
+        kv.delete(b"k%d" % i)
+    stats = kv.stats()
+    assert stats["live_keys"] == 0
+    assert stats["log_records"] == 16    # 16 dead records kept: under floor
+    kv.close()
+
+
+def test_explicit_compact_works_below_floor(tmp_path):
+    kv = KVStore(tmp_path / "tiny2.log", compact_garbage_ratio=0.5)
+    for i in range(8):
+        kv.put(b"k%d" % i, b"v")
+    for i in range(6):
+        kv.delete(b"k%d" % i)
+    assert kv.stats()["log_records"] == 14
+    kv.compact()
+    stats = kv.stats()
+    assert stats["log_records"] == 2
+    assert stats["live_keys"] == 2
+    kv.close()
+    # Compaction preserved exactly the live keys.
+    kv2 = KVStore(tmp_path / "tiny2.log")
+    assert kv2.keys() == [b"k6", b"k7"]
+    kv2.close()
+
+
+def test_auto_compact_above_floor(tmp_path):
+    kv = KVStore(tmp_path / "big.log", compact_garbage_ratio=0.5)
+    for i in range(20):
+        kv.put(b"k%02d" % i, b"v")
+    for i in range(18):
+        kv.delete(b"k%02d" % i)
+    # dead > 16 and ratio > 0.5: auto-compaction fired along the way.
+    assert kv.stats()["log_records"] < 38
+    assert kv.keys() == [b"k18", b"k19"]
+    kv.close()
