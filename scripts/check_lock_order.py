@@ -29,6 +29,14 @@ in a caller while a callee acquires a shallower one is invisible here —
 rule 2 in ``repro.locks`` ("never hold a lock across user code") is what
 keeps that safe, and the race-stress harness is what tests it.
 
+**Shard-layer coverage:** the router and supervisor sit *outside* every
+server-core lock ("router" and "supervisor" are the outermost
+LOCK_ORDER levels), so an unranked lock there is a hole in the order,
+not a leaf.  Inside ``src/repro/shard`` every
+``self.<name> = threading.Lock()/RLock()`` whose attribute is not in
+``LOCK_ATTRIBUTES`` (or the explicit leaf allowlist below) fails the
+lint.
+
 Exit status 0 when clean, 1 otherwise (one ``file:line`` per inversion).
 """
 
@@ -47,6 +55,14 @@ from repro.locks import LOCK_ORDER, LOCK_ATTRIBUTES  # noqa: E402
 
 #: ``.lock`` property bases -> level (see module docstring).
 LOCK_PROPERTY_BASES = {"index": "index", "shard": "cache"}
+
+#: Package whose lock attributes must all be ranked (no silent leaves).
+SHARD_ROOT = SRC_ROOT / "shard"
+
+#: Shard-package locks allowed to stay unranked (genuinely private to
+#: one object and never nested around ranked locks).  Empty on purpose:
+#: grow it only with a comment justifying each entry.
+SHARD_LEAF_LOCKS: frozenset[str] = frozenset()
 
 
 def _base_name(node: ast.expr) -> str | None:
@@ -131,11 +147,46 @@ def lint_function(
         linter.visit(child)
 
 
+def _is_lock_constructor(value: ast.expr) -> bool:
+    """True for ``threading.Lock()`` / ``threading.RLock()`` (and any
+    ``<module>.Lock()/RLock()`` spelling)."""
+    return (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Attribute)
+        and value.func.attr in ("Lock", "RLock")
+    )
+
+
+def lint_shard_lock_coverage(
+    tree: ast.AST, path: Path, problems: list[str]
+) -> None:
+    """Every lock the shard package creates must have a ranked name."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not _is_lock_constructor(node.value):
+            continue
+        for target in node.targets:
+            if not isinstance(target, ast.Attribute):
+                continue
+            attr = target.attr
+            if attr in LOCK_ATTRIBUTES or attr in SHARD_LEAF_LOCKS:
+                continue
+            rel = path.relative_to(REPO_ROOT)
+            problems.append(
+                f"{rel}:{node.lineno}: shard-layer lock {attr!r} is not "
+                "in repro.locks.LOCK_ATTRIBUTES — rank it (or allowlist "
+                "it in SHARD_LEAF_LOCKS with a justification)"
+            )
+
+
 def lint_file(path: Path, problems: list[str]) -> None:
     tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
     for node in ast.walk(tree):
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             lint_function(node, path, problems)
+    if SHARD_ROOT in path.parents:
+        lint_shard_lock_coverage(tree, path, problems)
 
 
 def main() -> int:

@@ -198,28 +198,106 @@ EXPERIMENTS = [
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve over TCP: one process by default, a sharded cluster with
+    ``--shards N``.  SIGTERM (and Ctrl-C) drains end to end — in-flight
+    responses land, workers flush and save, then everything closes."""
+    import signal
+    import threading
     import time
 
-    _workload, system = _replayed_system(args)
-    server = system.server
-    server.process_background_work()
-    net = server.listen(host=args.host, port=args.port, workers=args.workers)
-    host, port = net.address
-    print(f"serving on {host}:{port}  (workers={args.workers})")
-    if args.duration is None:
-        print("press Ctrl-C to stop")
-    deadline = (
-        None if args.duration is None
-        else time.monotonic() + args.duration
+    stop = threading.Event()
+    previous = signal.signal(signal.SIGTERM, lambda signum, frame: stop.set())
+    try:
+        if args.shards > 1:
+            return _serve_cluster(args, stop)
+
+        workload = _build(args)
+        kwargs = {"root": args.data_dir} if args.data_dir else {}
+        system = MemexSystem.from_workload(workload, **kwargs)
+        print(f"replaying {len(workload.events)} events ...", file=sys.stderr)
+        system.replay(workload.events)
+        server = system.server
+        server.process_background_work()
+        net = server.listen(
+            host=args.host, port=args.port, workers=args.workers,
+        )
+        host, port = net.address
+        print(f"serving on {host}:{port}  (workers={args.workers})")
+        if args.duration is None:
+            print("press Ctrl-C to stop (SIGTERM drains)")
+        deadline = (
+            None if args.duration is None
+            else time.monotonic() + args.duration
+        )
+        try:
+            while not stop.is_set() and (
+                deadline is None or time.monotonic() < deadline
+            ):
+                server.scheduler.tick()
+                time.sleep(0.1)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            net.close(drain=True)
+        print("stopped")
+        return 0
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
+def _serve_cluster(args: argparse.Namespace, stop) -> int:
+    """The ``--shards N`` leg of ``serve``: supervisor + router + replay."""
+    import time
+
+    from .core.api import corpus_fetcher
+    from .core.memex import MemexServer
+    from .shard import MemexCluster
+
+    workload = _build(args)
+    fetch = corpus_fetcher(workload.corpus)
+
+    def factory(shard_id: int, root: str | None):
+        return MemexServer(fetch, root=root)
+
+    cluster = MemexCluster(
+        factory, args.shards,
+        data_dir=args.data_dir,
+        host=args.host, port=args.port,
+        # Client connections are per-user and each parks a router worker
+        # thread, so the front pool must cover the simulated population.
+        router_workers=max(args.workers, len(workload.profiles) + 2),
     )
     try:
-        while deadline is None or time.monotonic() < deadline:
-            server.scheduler.tick()
-            time.sleep(0.1)
-    except KeyboardInterrupt:
-        pass
+        for profile in workload.profiles:
+            cluster.register_user(profile.user_id, community=workload.name)
+        print(
+            f"replaying {len(workload.events)} events across "
+            f"{args.shards} shards ...", file=sys.stderr,
+        )
+        cluster.replay(workload.events)
+        host, port = cluster.address
+        layout = args.data_dir or "(in-memory)"
+        print(
+            f"serving on {host}:{port}  "
+            f"(shards={args.shards}, data={layout})"
+        )
+        if args.duration is None:
+            print("press Ctrl-C to stop (SIGTERM drains)")
+        deadline = (
+            None if args.duration is None
+            else time.monotonic() + args.duration
+        )
+        try:
+            while not stop.is_set() and (
+                deadline is None or time.monotonic() < deadline
+            ):
+                time.sleep(0.1)
+        except KeyboardInterrupt:
+            pass
     finally:
-        net.close()
+        # Drain end-to-end: router front-end first (in-flight responses
+        # land), then each worker drains its own listener and saves.
+        cluster.close(drain=True)
     print("stopped")
     return 0
 
@@ -274,6 +352,11 @@ def main(argv: list[str] | None = None) -> int:
                    help="TCP port (0 picks a free one)")
     p.add_argument("--workers", type=int, default=4,
                    help="connection worker threads")
+    p.add_argument("--shards", type=int, default=1,
+                   help="run N shard worker processes behind a router "
+                        "(1 = single process)")
+    p.add_argument("--data-dir", default=None,
+                   help="persistent root; shards use <dir>/shard-NN")
     p.add_argument("--duration", type=float, default=None,
                    help="stop after this many seconds (default: run until ^C)")
     p.set_defaults(func=cmd_serve)

@@ -32,6 +32,7 @@ from ..server.scheduler import DaemonScheduler
 from ..server.servlets import ServletRegistry
 from ..server.netserver import MemexSocketServer
 from ..server.transport import HttpTunnelTransport
+from ..shard.gather import LocalBackend, ShardDispatcher
 from ..storage.repository import MemexRepository
 from ..storage.schema import (
     ARCHIVE_COMMUNITY,
@@ -168,7 +169,17 @@ class MemexServer:
             slow_request_threshold=slow_request_threshold,
         )
         self._register_servlets()
-        self.transport = HttpTunnelTransport(self.registry)
+        # Single-process mode is literally a one-shard cluster: every
+        # request (tunnel or socket) routes through the same
+        # ShardDispatcher the router uses, over one in-process backend.
+        # With one healthy backend every merge is the identity, so this
+        # is bit-identical to direct registry dispatch.
+        self.dispatcher = ShardDispatcher(
+            [LocalBackend(self.registry)], metrics=self.metrics,
+        )
+        self.transport = HttpTunnelTransport(
+            self.registry, dispatcher=self.dispatcher,
+        )
 
         # Health and SLO engine: liveness/readiness checks over the
         # components above, plus per-servlet burn-rate SLOs lazily bound
@@ -1059,7 +1070,7 @@ class MemexServer:
         caller owns the server's lifecycle (``close()`` drains it).
         """
         return MemexSocketServer(
-            self.registry,
+            self.dispatcher,
             host=host,
             port=port,
             workers=workers,

@@ -26,6 +26,7 @@ CODE_UNKNOWN_USER = "unknown_user"
 CODE_BAD_REQUEST = "bad_request"
 CODE_UNSUPPORTED_VERSION = "unsupported_version"
 CODE_TIMEOUT = "timeout"
+CODE_UNAVAILABLE = "unavailable"
 CODE_INTERNAL = "internal"
 
 #: The canonical registry: code -> (retryable, client-facing description).
@@ -57,6 +58,13 @@ CODE_REGISTRY: dict[str, tuple[bool, str]] = {
         "The peer took too long: the server gave up waiting for the rest "
         "of a frame (read timeout), or the client gave up waiting for a "
         "response. The request may be retried on a fresh connection.",
+    ),
+    CODE_UNAVAILABLE: (
+        True,
+        "The shard that owns this request is down or restarting (or the "
+        "client is backing off from a dead backend). The request may be "
+        "retried after a short delay; the supervisor restarts dead "
+        "shards automatically.",
     ),
     CODE_INTERNAL: (
         True,

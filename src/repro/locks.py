@@ -33,6 +33,8 @@ import threading
 #: level is strictly deeper (greater index) than every lock it already
 #: holds.  ``scripts/check_lock_order.py`` enforces this syntactically.
 LOCK_ORDER: tuple[str, ...] = (
+    "router",        # ShardRouter._router_lock (shard availability view)
+    "supervisor",    # ShardSupervisor._supervisor_lock (worker lifecycle)
     "scheduler",     # DaemonScheduler._sched_lock
     "registry",      # ServletRegistry._registry_lock
     "server",        # MemexServer._server_lock (clock, profiles, folders)
@@ -49,6 +51,8 @@ LOCK_ORDER: tuple[str, ...] = (
 #: Canonical lock attribute name -> level.  New locks must register here
 #: (and use the attribute name) so the lint can rank them.
 LOCK_ATTRIBUTES: dict[str, str] = {
+    "_router_lock": "router",
+    "_supervisor_lock": "supervisor",
     "_sched_lock": "scheduler",
     "_registry_lock": "registry",
     "_server_lock": "server",

@@ -50,12 +50,18 @@ from .protocol import (
     frame_length,
     recv_exact,
 )
-from .servlets import ServletRegistry
 
 #: Reserved payload key that opens a connection and names its user.
 HELLO_KEY = "hello"
 
 _POOL_SENTINEL = object()
+
+
+class Dispatcher(Protocol):
+    """Anything that can answer a decoded request (a servlet registry,
+    a shard dispatcher, or a shard router)."""
+
+    def dispatch(self, request: dict[str, Any]) -> dict[str, Any]: ...
 
 
 class KeySource(Protocol):
@@ -64,7 +70,7 @@ class KeySource(Protocol):
     def key_for(self, user_id: str) -> bytes | None: ...
 
 
-class _DictKeys:
+class DictKeySource:
     """Self-contained key store for servers run without a transport."""
 
     def __init__(self) -> None:
@@ -80,12 +86,25 @@ class _DictKeys:
         return self._keys.get(user_id)
 
 
+#: Backwards-compatible alias (pre-sharding name).
+_DictKeys = DictKeySource
+
+
 class MemexSocketServer:
-    """Serve a :class:`ServletRegistry` over TCP with a worker pool."""
+    """Serve a :class:`Dispatcher` over TCP with a worker pool.
+
+    ``registry`` is any object with a ``dispatch(request) -> response``
+    method — a servlet registry, a shard dispatcher, or a shard router;
+    the socket layer is identical in front of all three.  With
+    ``authoritative_user`` set, the hello-bound user is stamped onto
+    every forwarded request's ``user_id``, so a routed payload cannot
+    claim a different user than its connection authenticated (the
+    router relies on this to keep ring placement honest).
+    """
 
     def __init__(
         self,
-        registry: ServletRegistry,
+        registry: Dispatcher,
         *,
         host: str = "127.0.0.1",
         port: int = 0,
@@ -94,6 +113,7 @@ class MemexSocketServer:
         idle_timeout: float = 30.0,
         read_timeout: float = 5.0,
         drain_timeout: float = 5.0,
+        authoritative_user: bool = False,
         key_source: KeySource | None = None,
         metrics: MetricsRegistry | None = None,
         log: Logger | None = None,
@@ -102,10 +122,11 @@ class MemexSocketServer:
             raise ValueError("workers must be >= 1")
         self.registry = registry
         self.workers = workers
+        self.authoritative_user = authoritative_user
         self.idle_timeout = idle_timeout
         self.read_timeout = read_timeout
         self.drain_timeout = drain_timeout
-        self.keys = key_source if key_source is not None else _DictKeys()
+        self.keys = key_source if key_source is not None else DictKeySource()
         self.metrics = metrics if metrics is not None else null_registry()
         self.log = log if log is not None else null_logger("netserver")
 
@@ -333,6 +354,8 @@ class MemexSocketServer:
                     # Decode errors leave framing intact: reply and go on.
                     self._try_send_error(conn, exc, key)
                     continue
+                if self.authoritative_user and isinstance(request, dict):
+                    request = {**request, "user_id": user_id}
                 response = self.registry.dispatch(request)
                 try:
                     self._send(conn, response, key)

@@ -17,12 +17,14 @@ user, since a connection's cipher key is bound at hello time).
 from __future__ import annotations
 
 import copy
+import random
 import socket
 import threading
+import time
 from typing import Any, Protocol, runtime_checkable
 
-from ..errors import CODE_TIMEOUT, ProtocolError, error_payload
-from .netserver import HELLO_KEY
+from ..errors import CODE_TIMEOUT, CODE_UNAVAILABLE, ProtocolError, error_payload
+from .netserver import Dispatcher, HELLO_KEY
 from .protocol import decode_message, encode_message, recv_frame
 from .servlets import BATCH_SERVLET, ServletRegistry
 
@@ -59,10 +61,25 @@ class HttpTunnelTransport:
 
     Per-user cipher keys are registered out of band (account setup); a
     request from a user with a key on file MUST be encrypted with it.
+
+    ``dispatcher`` overrides where decoded requests land: the single-
+    process server passes its :class:`~repro.shard.gather.
+    ShardDispatcher` (over one local backend) so in-process dispatch and
+    the shard router share one routing code path.  Without it, requests
+    go straight to the registry (the pre-sharding behaviour).
     """
 
-    def __init__(self, registry: ServletRegistry) -> None:
+    def __init__(
+        self,
+        registry: ServletRegistry,
+        *,
+        dispatcher: Dispatcher | None = None,
+    ) -> None:
         self.registry = registry
+        self._dispatch = (
+            dispatcher.dispatch if dispatcher is not None
+            else registry.dispatch
+        )
         self._keys: dict[str, bytes] = {}
         self.bytes_in = 0
         self.bytes_out = 0
@@ -124,7 +141,7 @@ class HttpTunnelTransport:
             request = decode_message(wire, key=key)
         except ProtocolError as exc:
             return encode_message(error_payload(exc), key=key)
-        response = self.registry.dispatch(request)
+        response = self._dispatch(request)
         return encode_message(response, key=key)
 
 
@@ -150,6 +167,29 @@ class SocketTransport:
     A broken or timed-out connection is dropped from the pool and the
     failure surfaces as a retryable typed :class:`ProtocolError`; the
     next request for that user reconnects.
+
+    **Reconnect backoff.**  When the backend itself is down, every
+    request used to burn a fresh TCP connect attempt — a tight reconnect
+    loop that hammers a restarting server.  Connect *failures* (refused,
+    unreachable, connect timeout) now arm a capped exponential backoff
+    with jitter, shared across users (it is the same dead endpoint):
+    until it expires, requests fail fast with a retryable
+    ``unavailable`` error and **no** connection attempt.  A successful
+    TCP connect disarms it.  Mid-request connection breaks do NOT arm
+    backoff — the endpoint accepted the connection, so the immediate
+    reconnect-on-next-request behaviour is preserved.
+
+    **Multiplex mode** (``multiplex=N``, internal hops only).  The
+    per-user connection exists to bind a cipher key at hello time; on a
+    trusted *cleartext* hop — the router's links to its shard workers —
+    it only wastes server worker threads, which are held one per open
+    connection.  With ``multiplex=N`` the transport instead keeps at
+    most N connections, hello-bound to synthetic slot users
+    (``__mux__0``..), and round-robins requests across them; every
+    payload still carries the real ``user_id``, which the shard worker
+    trusts because it does not run with ``authoritative_user``.  Do NOT
+    multiplex a client-facing transport: per-user cipher keys are
+    ignored on the hop.
     """
 
     def __init__(
@@ -159,14 +199,30 @@ class SocketTransport:
         *,
         connect_timeout: float = 5.0,
         response_timeout: float = 30.0,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        backoff_rng: random.Random | None = None,
+        multiplex: int = 0,
+        multiplex_label: str = "__mux__",
     ) -> None:
+        if multiplex < 0:
+            raise ValueError("multiplex must be >= 0")
         self.host = host
         self.port = port
+        self.multiplex = multiplex
+        self.multiplex_label = multiplex_label
+        self._mux_next = 0
         self.connect_timeout = connect_timeout
         self.response_timeout = response_timeout
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._backoff_rng = backoff_rng if backoff_rng is not None else random.Random()
+        self._backoff_failures = 0
+        self._backoff_until = 0.0     # monotonic deadline; 0 = disarmed
         self._keys: dict[str, bytes] = {}
         self._conns: dict[str, _Connection] = {}
-        self._pool_lock = threading.Lock()   # guards _conns and _keys
+        # Guards _conns, _keys, and the backoff state.
+        self._pool_lock = threading.Lock()
         self.bytes_in = 0
         self.bytes_out = 0
         self._obs_lock = threading.Lock()
@@ -190,6 +246,26 @@ class SocketTransport:
 
     def close(self) -> None:
         with self._pool_lock:
+            conns = list(self._conns.values())
+            self._conns.clear()
+        for conn in conns:
+            self._discard(conn)
+
+    def reset_backoff(self) -> None:
+        """Disarm the reconnect backoff (e.g. the supervisor knows the
+        backend just restarted and is accepting again)."""
+        with self._pool_lock:
+            self._backoff_failures = 0
+            self._backoff_until = 0.0
+
+    def set_address(self, host: str, port: int) -> None:
+        """Re-point this transport at a (re)started backend: drops every
+        pooled connection and disarms the backoff."""
+        with self._pool_lock:
+            self.host = host
+            self.port = port
+            self._backoff_failures = 0
+            self._backoff_until = 0.0
             conns = list(self._conns.values())
             self._conns.clear()
         for conn in conns:
@@ -235,15 +311,36 @@ class SocketTransport:
         return conn
 
     def _open(self, user_id: str, key: bytes | None) -> _Connection:
+        with self._pool_lock:
+            suppressed_until = self._backoff_until
+        if self._backoff_failures and time.monotonic() < suppressed_until:
+            # Fail fast without touching the socket: the endpoint was
+            # down moments ago and the backoff window has not expired.
+            raise ProtocolError(
+                f"backend {self.host}:{self.port} is down; retrying after "
+                "backoff",
+                code=CODE_UNAVAILABLE,
+            )
         try:
             sock = socket.create_connection(
                 (self.host, self.port), timeout=self.connect_timeout,
             )
         except OSError as exc:
+            with self._pool_lock:
+                self._backoff_failures += 1
+                delay = min(
+                    self.backoff_cap,
+                    self.backoff_base * 2 ** (self._backoff_failures - 1),
+                ) * (0.5 + 0.5 * self._backoff_rng.random())
+                self._backoff_until = time.monotonic() + delay
             raise ProtocolError(
                 f"cannot connect to {self.host}:{self.port}: {exc}",
                 code=CODE_TIMEOUT,
             ) from exc
+        with self._pool_lock:
+            # The endpoint is accepting again: disarm the backoff.
+            self._backoff_failures = 0
+            self._backoff_until = 0.0
         sock.settimeout(self.response_timeout)
         try:
             hello = encode_message({HELLO_KEY: user_id})
@@ -272,6 +369,16 @@ class SocketTransport:
         self._discard(conn)
 
     # -- request path --------------------------------------------------------
+
+    def _conn_user(self, user_id: str) -> str:
+        """The hello identity a request travels under: the user itself,
+        or (multiplex mode) the next round-robin slot user."""
+        if not self.multiplex:
+            return user_id
+        with self._pool_lock:
+            slot = self._mux_next
+            self._mux_next = (slot + 1) % self.multiplex
+        return f"{self.multiplex_label}{slot}"
 
     def _exchange(
         self, user_id: str, payload: dict[str, Any],
@@ -307,7 +414,8 @@ class SocketTransport:
 
     def request(self, user_id: str, payload: dict[str, Any]) -> dict[str, Any]:
         """Send one request as *user_id*; returns the decoded response."""
-        return self._exchange(user_id, {**payload, "user_id": user_id})
+        return self._exchange(self._conn_user(user_id),
+                              {**payload, "user_id": user_id})
 
     def request_batch(
         self, user_id: str, payloads: list[dict[str, Any]],
@@ -316,7 +424,7 @@ class SocketTransport:
         per payload, envelope-level failures replicated per slot."""
         if not payloads:
             return []
-        envelope = self._exchange(user_id, {
+        envelope = self._exchange(self._conn_user(user_id), {
             "servlet": BATCH_SERVLET,
             "user_id": user_id,
             "requests": payloads,

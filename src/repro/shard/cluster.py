@@ -1,0 +1,235 @@
+"""MemexCluster: supervisor + router + client plumbing in one object.
+
+The sharded analogue of :class:`~repro.core.api.MemexSystem`::
+
+    cluster = MemexCluster(factory, n_shards=4, data_dir="/var/memex")
+    cluster.register_user("user00")
+    applet = cluster.connect("user00")
+    applet.record_visit("http://example/")
+    cluster.quiesce()
+    cluster.close()
+
+``factory(shard_id, root)`` builds one shard-local
+:class:`~repro.core.memex.MemexServer`; it runs inside the forked
+worker, so closures over an in-memory corpus work.  The cluster starts
+the supervisor (which forks and health-checks the workers), then the
+router over the supervisor's per-shard transports and availability
+view, and exposes one client :class:`~repro.server.transport.
+SocketTransport` pointed at the router — every applet, replay, and test
+speaks to the cluster exactly the way it would speak to a single
+server.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable
+from typing import Any, Callable
+
+from ..client.applet import MemexApplet
+from ..errors import ProtocolError
+from ..obs import LogHub, MetricsRegistry
+from ..server.transport import SocketTransport
+from .ring import HashRing
+from .router import ShardRouter
+from .supervisor import ShardSupervisor
+from .worker import WorkerSpec
+
+
+class MemexCluster:
+    """A sharded Memex deployment behind one router address."""
+
+    def __init__(
+        self,
+        factory: Callable[[int, str | None], Any],
+        n_shards: int,
+        *,
+        data_dir: str | os.PathLike[str] | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        router_workers: int = 16,
+        net_workers: int = 4,
+        tick_interval: float | None = 0.05,
+        health_interval: float = 0.25,
+        monitor: bool = True,
+        auto_restart: bool = True,
+        start_timeout: float = 30.0,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.logs = LogHub(clock=self.metrics.clock)
+        self.ring = HashRing(n_shards)
+        spec = WorkerSpec(
+            factory=factory,
+            net_workers=net_workers,
+            tick_interval=tick_interval,
+        )
+        self.supervisor = ShardSupervisor(
+            spec, n_shards,
+            data_dir=data_dir, host=host,
+            health_interval=health_interval,
+            start_timeout=start_timeout,
+            auto_restart=auto_restart,
+            metrics=self.metrics,
+            log=self.logs.logger("supervisor"),
+        )
+        self.router: ShardRouter | None = None
+        self.transport: SocketTransport | None = None
+        try:
+            self.supervisor.start()
+            self.router = ShardRouter(
+                self.supervisor.transports(),
+                ring=self.ring,
+                available=self.supervisor.available,
+                host=host, port=port, workers=router_workers,
+                metrics=self.metrics,
+                log=self.logs.logger("router"),
+            )
+            if monitor:
+                self.supervisor.start_monitor()
+            self.transport = SocketTransport(*self.router.address)
+        except BaseException:
+            self.close(drain=False)
+            raise
+        self._applets: dict[str, MemexApplet] = {}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        assert self.router is not None
+        return self.router.address
+
+    @property
+    def n_shards(self) -> int:
+        return self.supervisor.n_shards
+
+    def close(self, *, drain: bool = True) -> None:
+        """Drain the router first (in-flight responses land), then stop
+        the worker fleet (each worker drains its own listener)."""
+        if self.transport is not None:
+            self.transport.close()
+            self.transport = None
+        if self.router is not None:
+            self.router.close(drain=drain)
+            self.router = None
+        self.supervisor.stop(drain=drain)
+
+    def __enter__(self) -> "MemexCluster":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- accounts / clients ---------------------------------------------------
+
+    def register_user(
+        self,
+        user_id: str,
+        *,
+        community: str | None = None,
+        archive_mode: str = "community",
+        cipher_key: bytes | None = None,
+    ) -> MemexApplet:
+        """Create the account on every shard; returns a connected applet."""
+        assert self.router is not None and self.transport is not None
+        if cipher_key is not None:
+            self.router.set_key(user_id, cipher_key)
+            self.transport.set_key(user_id, cipher_key)
+        response = self.transport.request(user_id, {
+            "servlet": "register_user",
+            "community": community,
+            "archive_mode": archive_mode,
+        })
+        if response.get("status") != "ok":
+            raise ProtocolError(
+                f"register_user failed: {response.get('error', response)}"
+            )
+        return self.connect(user_id)
+
+    def connect(self, user_id: str) -> MemexApplet:
+        """An applet session over the router (cached per user)."""
+        assert self.transport is not None
+        if user_id not in self._applets:
+            self._applets[user_id] = MemexApplet(self.transport, user_id)
+        return self._applets[user_id]
+
+    def request(self, user_id: str, payload: dict[str, Any]) -> dict[str, Any]:
+        assert self.transport is not None
+        return self.transport.request(user_id, payload)
+
+    # -- operations -----------------------------------------------------------
+
+    def quiesce(self) -> int:
+        """Run every shard's daemons until idle (deterministic tests)."""
+        return self.supervisor.quiesce()
+
+    def stats(self, user_id: str) -> dict[str, Any]:
+        """Cluster-wide stats as *user_id* (the ``stats`` servlet
+        authenticates): the scatter-merged per-shard counters plus the
+        router's own routing table."""
+        assert self.router is not None
+        merged = self.request(user_id, {"servlet": "stats"})
+        merged["router"] = self.router.stats()
+        merged["shard_status"] = {
+            str(k): v for k, v in self.supervisor.statuses().items()
+        }
+        return merged
+
+    # -- replay ---------------------------------------------------------------
+
+    def replay(
+        self,
+        events: Iterable[Any],
+        *,
+        batch_size: int = 32,
+        quiesce: bool = True,
+    ) -> dict[str, int]:
+        """Feed simulated surf events through applets over the router —
+        the sharded mirror of :meth:`repro.core.api.MemexSystem.replay`
+        (same batching and flush rules; daemons tick inside the workers
+        instead of between batches)."""
+        from ..server.events import (
+            ArchiveModeEvent,
+            BookmarkEvent,
+            FolderCreateEvent,
+            FolderMoveEvent,
+            VisitEvent,
+        )
+
+        counts = {"visit": 0, "bookmark": 0, "folder": 0, "move": 0, "mode": 0}
+        active: MemexApplet | None = None
+        for event in events:
+            applet = self.connect(event.user_id)
+            applet.batch_size = batch_size
+            if active is not None and active is not applet:
+                active.flush()
+            active = applet
+            if isinstance(event, VisitEvent):
+                applet.record_visit(
+                    event.url, at=event.at,
+                    referrer=event.referrer, session_id=event.session_id,
+                )
+                counts["visit"] += 1
+            elif isinstance(event, BookmarkEvent):
+                applet.bookmark(event.url, event.folder_path, at=event.at)
+                counts["bookmark"] += 1
+            elif isinstance(event, FolderCreateEvent):
+                applet.create_folder(event.folder_path, at=event.at)
+                counts["folder"] += 1
+            elif isinstance(event, FolderMoveEvent):
+                applet.move_bookmark(
+                    event.url, event.from_folder, event.to_folder, at=event.at,
+                )
+                counts["move"] += 1
+            elif isinstance(event, ArchiveModeEvent):
+                applet.set_archive_mode(event.mode)
+                counts["mode"] += 1
+        if active is not None:
+            active.flush()
+        for applet in self._applets.values():
+            applet.flush()
+            applet.batch_size = 0
+        if quiesce:
+            self.quiesce()
+        return counts

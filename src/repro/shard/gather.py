@@ -1,0 +1,479 @@
+"""Shard dispatch and cross-shard scatter-gather.
+
+:class:`ShardDispatcher` is the one routing code path for both
+deployment shapes:
+
+* **Single process** — :class:`~repro.core.memex.MemexServer` builds a
+  dispatcher over one :class:`LocalBackend` wrapping its own servlet
+  registry.  Every in-process request (the HTTP tunnel, and through it
+  every test and example) flows through here, so "single-process mode"
+  is literally a one-shard cluster.  With one healthy backend every
+  merge is the identity, so responses are bit-identical to direct
+  registry dispatch.
+* **Sharded** — :class:`~repro.shard.router.ShardRouter` builds a
+  dispatcher over one :class:`~repro.server.transport.SocketTransport`
+  per shard worker, with the supervisor's availability view plugged in.
+
+Routing classes (by servlet name):
+
+* **Owner** (default) — everything about one user's own archive (visit,
+  bookmark, search, trail, ...) goes to the shard the consistent-hash
+  ring assigns their ``user_id``.
+* **Broadcast** (:data:`BROADCAST_SERVLETS`) — account writes go to
+  *every* shard, owner first, because each shard authenticates
+  requests against its local ``users`` table during scatter.  A
+  broadcast needs the full cluster up; otherwise it fails with a
+  retryable ``unavailable`` error rather than leave a shard without
+  the user row.
+* **Scatter** (:data:`SCATTER_SERVLETS`) — community-mining reads fan
+  to every shard concurrently and merge deterministically (documented
+  per merger below).  A down shard degrades the answer instead of
+  failing it: the merged response carries ``partial: true`` plus the
+  failed shard ids.  Multi-shard merges always stamp ``shards`` (the
+  fan-out width) so callers can tell a merged answer from a
+  single-shard one.
+
+Batch envelopes route to the owner shard whole (preserving the group
+commit) unless they contain broadcast/scatter items, in which case the
+envelope is decomposed in order: runs of plain items still ship as
+sub-envelopes, special items dispatch individually.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Protocol
+
+from ..errors import CODE_UNAVAILABLE, ProtocolError, error_payload
+from ..obs.metrics import MetricsRegistry, null_registry
+from ..server.servlets import BATCH_SERVLET, ServletRegistry
+from .ring import HashRing
+
+#: Community-mining reads that fan out to every shard and merge.
+SCATTER_SERVLETS = frozenset({
+    "themes_get",
+    "resources",
+    "profile_similar",
+    "interest_mates",
+    "recommend",
+    "popular_near_trail",
+    "stats",
+    "health",
+})
+
+#: Account writes replicated to every shard (shard-local authentication).
+BROADCAST_SERVLETS = frozenset({"register_user", "set_archive_mode"})
+
+
+class Backend(Protocol):
+    """One shard's request channel (a transport or an in-process wrapper)."""
+
+    def request(self, user_id: str, payload: dict[str, Any]) -> dict[str, Any]: ...
+
+
+class LocalBackend:
+    """In-process backend: dispatch straight into a servlet registry."""
+
+    def __init__(self, registry: ServletRegistry) -> None:
+        self.registry = registry
+
+    def request(self, user_id: str, payload: dict[str, Any]) -> dict[str, Any]:
+        return self.registry.dispatch(payload)
+
+
+def _unavailable(detail: str) -> dict[str, Any]:
+    return error_payload(ProtocolError(detail, code=CODE_UNAVAILABLE))
+
+
+def _ranked_merge(
+    rows_by_shard: list[tuple[int, list[dict[str, Any]]]],
+    *,
+    id_field: str,
+    score_field: str,
+    k: int,
+    combine: Callable[[dict[str, Any], dict[str, Any]], dict[str, Any]] | None = None,
+) -> list[dict[str, Any]]:
+    """Deterministic union of per-shard ranked lists.
+
+    Duplicates (same ``id_field``) keep the higher-scoring row (ties:
+    lower shard id, since shards merge in ascending order); *combine*
+    may fold fields from the losing duplicate into the winner.  The
+    union re-sorts by ``(-score, id)`` and truncates to *k*.
+    """
+    best: dict[Any, dict[str, Any]] = {}
+    for _shard, rows in rows_by_shard:
+        for row in rows:
+            key = row.get(id_field)
+            seen = best.get(key)
+            if seen is None:
+                best[key] = dict(row)
+            else:
+                if row.get(score_field, 0.0) > seen.get(score_field, 0.0):
+                    merged = dict(row)
+                    if combine is not None:
+                        merged = combine(merged, seen)
+                    best[key] = merged
+                elif combine is not None:
+                    best[key] = combine(dict(seen), row)
+    ranked = sorted(
+        best.values(),
+        key=lambda r: (-r.get(score_field, 0.0), str(r.get(id_field))),
+    )
+    return ranked[:k] if k >= 0 else ranked
+
+
+def _owner_first(
+    oks: list[tuple[int, dict[str, Any]]], owner: int,
+) -> dict[str, Any] | None:
+    """The owner shard's response if it answered, else the first."""
+    for shard, response in oks:
+        if shard == owner:
+            return response
+    return oks[0][1] if oks else None
+
+
+def _namespace_theme(theme: dict[str, Any], shard: int) -> dict[str, Any]:
+    """Prefix theme ids with the shard so merged taxonomies never collide."""
+    out = dict(theme)
+    out["theme_id"] = f"s{shard}/{theme['theme_id']}"
+    out["children"] = [_namespace_theme(c, shard) for c in theme.get("children", [])]
+    return out
+
+
+def _merge_themes(request, oks, failed, owner):
+    roots: list[dict[str, Any]] = []
+    for shard, response in oks:
+        roots.extend(_namespace_theme(t, shard) for t in response.get("themes", []))
+    roots.sort(key=lambda t: (-t.get("weight", 0.0), t["theme_id"]))
+    return {"themes": roots}
+
+
+def _merge_resources(request, oks, failed, owner):
+    k = int(request.get("k", 10))
+    rows = [(s, r.get("resources", [])) for s, r in oks]
+    merged = _ranked_merge(rows, id_field="url", score_field="score", k=k)
+    head = _owner_first(oks, owner) or {}
+    if head.get("theme") is None:
+        # Owner shard matched no theme; borrow the first shard that did.
+        for _s, r in oks:
+            if r.get("theme") is not None:
+                head = r
+                break
+    return {
+        "resources": merged,
+        "theme": head.get("theme"),
+        **({"theme_label": head["theme_label"]} if "theme_label" in head else {}),
+    }
+
+
+def _merge_users(score_field: str, default_k: int):
+    def merge(request, oks, failed, owner):
+        k = int(request.get("k", default_k))
+        rows = [(s, r.get("users", [])) for s, r in oks]
+        merged = _ranked_merge(
+            rows, id_field="user_id", score_field=score_field, k=k,
+        )
+        out: dict[str, Any] = {"users": merged}
+        head = _owner_first(oks, owner) or {}
+        if "theme" in head:
+            out["theme"] = head.get("theme")
+        if "theme_label" in head:
+            out["theme_label"] = head.get("theme_label")
+        return out
+    return merge
+
+
+def _merge_pages(request, oks, failed, owner):
+    k = int(request.get("k", 10))
+    rows = [(s, r.get("pages", [])) for s, r in oks]
+
+    def combine(winner, loser):
+        if winner.get("in_trail") or loser.get("in_trail"):
+            winner = {**winner, "in_trail": True}
+        return winner
+
+    has_in_trail = any(
+        "in_trail" in row for _s, page_rows in rows for row in page_rows
+    )
+    merged = _ranked_merge(
+        rows, id_field="url", score_field="score", k=k,
+        combine=combine if has_in_trail else None,
+    )
+    return {"pages": merged}
+
+
+#: Catalog counters summed across shards in the ``stats`` merge.
+_STATS_SUMMED = ("pages", "visits", "links", "indexed", "crawl_backlog")
+
+
+def _merge_stats(request, oks, failed, owner):
+    out: dict[str, Any] = {key: 0 for key in _STATS_SUMMED}
+    by_shard: dict[str, dict[str, Any]] = {}
+    for shard, response in oks:
+        for key in _STATS_SUMMED:
+            out[key] += int(response.get(key, 0))
+        by_shard[str(shard)] = response
+    out["by_shard"] = by_shard
+    return out
+
+
+def _merge_health(request, oks, failed, owner):
+    checks: dict[str, Any] = {}
+    slos: dict[str, Any] = {}
+    ready = not failed
+    for shard, response in oks:
+        if response.get("health") != "ready":
+            ready = False
+        for name, check in response.get("checks", {}).items():
+            checks[f"s{shard}.{name}"] = check
+        for name, slo in response.get("slos", {}).items():
+            slos[f"s{shard}.{name}"] = slo
+    for shard in failed:
+        checks[f"s{shard}.shard"] = {"ok": False, "detail": "shard down"}
+    return {
+        "live": all(r.get("live") for _s, r in oks) and not failed,
+        "health": "ready" if ready else "degraded",
+        "checks": checks,
+        "slos": slos,
+    }
+
+
+#: servlet -> deterministic multi-shard merge (single-shard answers skip
+#: merging entirely and pass through unchanged).
+MERGERS: dict[str, Callable[..., dict[str, Any]]] = {
+    "themes_get": _merge_themes,
+    "resources": _merge_resources,
+    "profile_similar": _merge_users("similarity", 5),
+    "interest_mates": _merge_users("interest", 5),
+    "recommend": _merge_pages,
+    "popular_near_trail": _merge_pages,
+    "stats": _merge_stats,
+    "health": _merge_health,
+}
+
+
+class ShardDispatcher:
+    """Route requests across shard backends (see module docstring).
+
+    Parameters
+    ----------
+    backends:
+        One :class:`Backend` per shard, indexed by shard id.
+    ring:
+        User -> shard map; defaults to a fresh :class:`HashRing` over
+        ``len(backends)`` shards (the only correct choice unless the
+        caller shares one ring between router and supervisor).
+    available:
+        Liveness predicate ``shard_id -> bool`` (the supervisor's view).
+        Unavailable shards are skipped without a connection attempt.
+    """
+
+    def __init__(
+        self,
+        backends: list[Backend],
+        *,
+        ring: HashRing | None = None,
+        available: Callable[[int], bool] | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if not backends:
+            raise ValueError("at least one backend is required")
+        self.backends = list(backends)
+        self.ring = ring if ring is not None else HashRing(len(backends))
+        if self.ring.n_shards != len(self.backends):
+            raise ValueError("ring size must match backend count")
+        self._available = available
+        m = metrics if metrics is not None else null_registry()
+        self.forwarded_total = m.counter("shard.forwarded_total")
+        self.scatter_total = m.counter("shard.scatter_total")
+        self.partial_total = m.counter("shard.partial_total")
+        self.unavailable_total = m.counter("shard.unavailable_total")
+        # Scatter fan-out pool, only needed beyond one shard; one request
+        # occupies at most len(backends) slots for its own fan-out.
+        self._pool: ThreadPoolExecutor | None = None
+        if len(self.backends) > 1:
+            self._pool = ThreadPoolExecutor(
+                max_workers=max(4, 2 * len(self.backends)),
+                thread_name_prefix="memex-scatter",
+            )
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.backends)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+
+    # -- routing -------------------------------------------------------------
+
+    def shard_for(self, user_id: str) -> int:
+        return self.ring.shard_for(user_id)
+
+    def is_available(self, shard: int) -> bool:
+        return self._available is None or bool(self._available(shard))
+
+    def dispatch(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Route one decoded request; never raises (errors become typed
+        wire payloads, exactly like ``ServletRegistry.dispatch``)."""
+        if not isinstance(request, dict):
+            request = {}
+        servlet = request.get("servlet")
+        user_raw = request.get("user_id")
+        user = user_raw if isinstance(user_raw, str) else ""
+        try:
+            if servlet == BATCH_SERVLET:
+                return self._dispatch_batch(user, request)
+            if servlet in BROADCAST_SERVLETS:
+                return self._broadcast(user, request)
+            if servlet in SCATTER_SERVLETS:
+                return self._scatter(user, request)
+            return self._forward(user, request)
+        except Exception as exc:  # noqa: BLE001 - routing must never raise
+            return error_payload(exc)
+
+    # -- owner-shard forwarding ----------------------------------------------
+
+    def _call(self, shard: int, user: str, request: dict[str, Any]) -> dict[str, Any]:
+        """One backend call with unavailability short-circuit; raises
+        whatever the backend raises (callers decide how to degrade)."""
+        if not self.is_available(shard):
+            raise ProtocolError(
+                f"shard {shard} is down or restarting", code=CODE_UNAVAILABLE,
+            )
+        return self.backends[shard].request(user, request)
+
+    def _forward(self, user: str, request: dict[str, Any]) -> dict[str, Any]:
+        shard = self.ring.shard_for(user)
+        self.forwarded_total.inc()
+        try:
+            return self._call(shard, user, request)
+        except ProtocolError as exc:
+            if exc.code == CODE_UNAVAILABLE:
+                self.unavailable_total.inc()
+            return error_payload(exc)
+
+    # -- broadcast -------------------------------------------------------------
+
+    def _broadcast(self, user: str, request: dict[str, Any]) -> dict[str, Any]:
+        """Account write to every shard, owner first.  All-or-error: a
+        shard missing the user row would reject that user's requests
+        forever, so a partial broadcast surfaces as retryable."""
+        owner = self.ring.shard_for(user)
+        order = [owner] + [s for s in range(self.n_shards) if s != owner]
+        if len(order) == 1:
+            return self._forward(user, request)
+        responses: dict[int, dict[str, Any]] = {}
+        for shard in order:
+            try:
+                response = self._call(shard, user, request)
+            except Exception as exc:  # noqa: BLE001 - degrade to typed error
+                self.unavailable_total.inc()
+                return _unavailable(
+                    f"broadcast {request.get('servlet')!r} failed on shard "
+                    f"{shard}: {exc}"
+                )
+            if response.get("status") != "ok":
+                return response
+            responses[shard] = response
+        merged = dict(responses[owner])
+        if request.get("servlet") == "register_user":
+            merged["created"] = any(
+                bool(r.get("created")) for r in responses.values()
+            )
+        merged["shards"] = self.n_shards
+        return merged
+
+    # -- scatter-gather --------------------------------------------------------
+
+    def _scatter(self, user: str, request: dict[str, Any]) -> dict[str, Any]:
+        servlet = request.get("servlet")
+        owner = self.ring.shard_for(user)
+        self.scatter_total.inc()
+        if self.n_shards == 1:
+            # Identity path: one shard's answer IS the merged answer.
+            return self._forward(user, request)
+
+        def ask(shard: int) -> dict[str, Any] | None:
+            try:
+                return self._call(shard, user, request)
+            except Exception:  # noqa: BLE001 - a dead shard degrades, not fails
+                return None
+
+        assert self._pool is not None
+        futures = [
+            (shard, self._pool.submit(ask, shard))
+            for shard in range(self.n_shards)
+        ]
+        results = [(shard, future.result()) for shard, future in futures]
+
+        oks = [
+            (shard, response)
+            for shard, response in results
+            if response is not None and response.get("status") == "ok"
+        ]
+        failed = sorted(set(range(self.n_shards)) - {s for s, _ in oks})
+        if not oks:
+            self.unavailable_total.inc()
+            return _unavailable(
+                f"scatter {servlet!r} failed on every shard "
+                f"({self.n_shards} down or erroring)"
+            )
+        merger = MERGERS.get(servlet or "")
+        if merger is None:  # pragma: no cover - SCATTER keys all have mergers
+            merged = dict(_owner_first(oks, owner) or {})
+        else:
+            merged = merger(request, oks, failed, owner)
+        merged["status"] = "ok"
+        merged["shards"] = self.n_shards
+        merged["partial"] = bool(failed)
+        if failed:
+            self.partial_total.inc()
+            merged["shards_failed"] = failed
+        return merged
+
+    # -- batch envelopes -------------------------------------------------------
+
+    def _dispatch_batch(self, user: str, envelope: dict[str, Any]) -> dict[str, Any]:
+        items = envelope.get("requests")
+        if not isinstance(items, list) or not any(
+            isinstance(item, dict)
+            and item.get("servlet") in SCATTER_SERVLETS | BROADCAST_SERVLETS
+            for item in items
+        ):
+            # Pure owner-shard batch (the hot path): ship the envelope
+            # whole so the shard's group commit stays one WAL fsync.
+            return self._forward(user, envelope)
+        # Mixed envelope: decompose in order.  Runs of plain items still
+        # ship as sub-envelopes; broadcast/scatter items route one by one.
+        responses: list[dict[str, Any]] = []
+        run: list[Any] = []
+
+        def flush_run() -> None:
+            if not run:
+                return
+            sub = {**envelope, "requests": list(run)}
+            result = self._forward(user, sub)
+            if result.get("status") == "ok" and isinstance(
+                result.get("responses"), list,
+            ):
+                responses.extend(result["responses"])
+            else:
+                from ..server.transport import replicate_envelope_failure
+
+                responses.extend(replicate_envelope_failure(result, len(run)))
+            run.clear()
+
+        for item in items:
+            special = (
+                isinstance(item, dict)
+                and item.get("servlet") in SCATTER_SERVLETS | BROADCAST_SERVLETS
+            )
+            if special:
+                flush_run()
+                stamped = {**item, "user_id": user} if user else dict(item)
+                responses.append(self.dispatch(stamped))
+            else:
+                run.append(item)
+        flush_run()
+        return {"status": "ok", "responses": responses}

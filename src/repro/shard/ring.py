@@ -1,0 +1,63 @@
+"""Consistent-hash ring mapping users to shards.
+
+The partition key is the user who owns each surf trail: every servlet a
+user calls about *their own* archive lands on one shard, so shard-local
+state (visits, folders, classifier models, index) never crosses the
+ring.  The hash is :mod:`hashlib`-based — NOT the builtin ``hash()``,
+which is salted per process — so the router, every worker, and every
+test agree on the placement of a user without coordination.
+
+Virtual nodes smooth the split: each shard owns ``vnodes`` points on the
+ring, so with the default 64 the largest shard holds within a few
+percent of ``1/n`` of a uniform key population.  Consistency matters for
+growth (a future resharding moves only the keys between a shard's old
+and new points), but within one cluster generation the map is simply a
+pure deterministic function ``user_id -> shard``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+
+def _point(label: str) -> int:
+    """Position of *label* on the 64-bit ring (stable across processes)."""
+    digest = hashlib.sha1(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Immutable consistent-hash ring over shard ids ``0..n_shards-1``."""
+
+    def __init__(self, n_shards: int, *, vnodes: int = 64) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.n_shards = n_shards
+        self.vnodes = vnodes
+        points: list[tuple[int, int]] = []
+        for shard in range(n_shards):
+            for v in range(vnodes):
+                points.append((_point(f"shard-{shard}#{v}"), shard))
+        points.sort()
+        self._hashes = [p for p, _ in points]
+        self._owners = [s for _, s in points]
+
+    def shard_for(self, user_id: str) -> int:
+        """The shard owning *user_id*: first ring point at or after its hash."""
+        if self.n_shards == 1:
+            return 0
+        h = _point(user_id)
+        i = bisect.bisect_left(self._hashes, h)
+        if i == len(self._hashes):
+            i = 0  # wrap past the last point
+        return self._owners[i]
+
+    def spread(self, user_ids: list[str]) -> dict[int, int]:
+        """Shard -> key count for *user_ids* (balance diagnostics)."""
+        counts = {shard: 0 for shard in range(self.n_shards)}
+        for user_id in user_ids:
+            counts[self.shard_for(user_id)] += 1
+        return counts

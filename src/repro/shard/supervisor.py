@@ -1,0 +1,392 @@
+"""Shard supervisor: spawn, health-check, and restart worker processes.
+
+The supervisor owns the cluster's worker fleet.  Each shard gets a
+forked process running :func:`repro.shard.worker.worker_main`, a control
+pipe, a private data directory (``<data_dir>/shard-NN`` when a data dir
+is given), and one pooled :class:`~repro.server.transport.
+SocketTransport` the router uses as that shard's backend.
+
+Shard lifecycle::
+
+    starting --ready--> probing --health ok--> up
+       ^                                        |
+       |                process died (monitor)  |
+       +----------------- respawn <-------------+ (down)
+
+While a shard is anywhere left of ``up``, the router's availability
+predicate reports it down, so clients see retryable ``unavailable``
+errors instead of connection storms; the transport's reconnect backoff
+(see ``SocketTransport``) bounds the attempts that do slip through.
+
+Restarts reuse the shard's original port (``SO_REUSEADDR`` in the
+worker's listener) so backends keep stable addresses; if rebinding
+races, the worker falls back to an ephemeral port and the supervisor
+re-points the transport.  A restarted shard recovers acknowledged
+writes from its own WAL during storage open — the supervisor only
+gates *traffic* on the health servlet answering ``live``.
+
+``_supervisor_lock`` ("supervisor" rank in ``repro.locks.LOCK_ORDER``)
+guards shard state transitions and control-pipe I/O; health probes run
+over the shard transports outside any pipe operation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+from ..errors import ProtocolError
+from ..obs.logging import Logger, null_logger
+from ..obs.metrics import MetricsRegistry, null_registry
+from ..server.transport import SocketTransport
+from .worker import CMD_QUIESCE, CMD_SAVE, CMD_STOP, WorkerSpec, worker_main
+
+#: Hello user the supervisor's health probes bind their connections to
+#: (the health servlet is unauthenticated by design).
+PROBE_USER = "__supervisor__"
+
+STATUS_STARTING = "starting"
+STATUS_PROBING = "probing"
+STATUS_UP = "up"
+STATUS_DOWN = "down"
+
+
+class _Shard:
+    """Parent-side state for one worker process."""
+
+    __slots__ = (
+        "shard_id", "proc", "conn", "root", "port", "address",
+        "status", "restarts", "spawned_at",
+    )
+
+    def __init__(self, shard_id: int, root: str | None) -> None:
+        self.shard_id = shard_id
+        self.root = root
+        self.proc: Any = None
+        self.conn: Any = None
+        self.port = 0            # 0 until first bind; then pinned
+        self.address: tuple[str, int] | None = None
+        self.status = STATUS_STARTING
+        self.restarts = 0
+        self.spawned_at = 0.0
+
+
+class ShardSupervisor:
+    """Run ``n_shards`` worker processes and keep them healthy."""
+
+    def __init__(
+        self,
+        spec: WorkerSpec,
+        n_shards: int,
+        *,
+        data_dir: str | os.PathLike[str] | None = None,
+        host: str = "127.0.0.1",
+        health_interval: float = 0.25,
+        start_timeout: float = 30.0,
+        auto_restart: bool = True,
+        connect_timeout: float = 2.0,
+        response_timeout: float = 30.0,
+        metrics: MetricsRegistry | None = None,
+        log: Logger | None = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.spec = spec
+        self.host = host
+        self.health_interval = health_interval
+        self.start_timeout = start_timeout
+        self.auto_restart = auto_restart
+        self.connect_timeout = connect_timeout
+        self.response_timeout = response_timeout
+        self.metrics = metrics if metrics is not None else null_registry()
+        self.log = log if log is not None else null_logger("supervisor")
+        self._ctx = multiprocessing.get_context("fork")
+        roots: list[str | None] = [None] * n_shards
+        if data_dir is not None:
+            base = Path(data_dir)
+            roots = [str(base / f"shard-{i:02d}") for i in range(n_shards)]
+        self._shards = [_Shard(i, roots[i]) for i in range(n_shards)]
+        self._transports: list[SocketTransport] = []
+        # Guards shard state transitions and all control-pipe I/O.
+        self._supervisor_lock = threading.RLock()
+        self._monitor: threading.Thread | None = None
+        self._stopping = threading.Event()
+        self._closed = False
+        self.restarts_total = self.metrics.counter("shard.restarts_total")
+        self.metrics.gauge_func(
+            "shard.up",
+            lambda: sum(1 for s in self._shards if s.status == STATUS_UP),
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    def start(self) -> None:
+        """Spawn every worker and block until all are serving and healthy."""
+        with self._supervisor_lock:
+            for shard in self._shards:
+                self._spawn(shard)
+        deadline = time.monotonic() + self.start_timeout
+        for shard in self._shards:
+            self._await_ready(shard, deadline)
+        with self._supervisor_lock:
+            # Backend hops are cleartext and multiplexed: one connection
+            # per end user would park one worker thread each and starve
+            # the shard's pool.  Leave one worker thread free for direct
+            # (non-router) connections.
+            mux = max(1, self.spec.net_workers - 1)
+            self._transports = [
+                SocketTransport(
+                    shard.address[0], shard.address[1],
+                    connect_timeout=self.connect_timeout,
+                    response_timeout=self.response_timeout,
+                    multiplex=mux,
+                )
+                for shard in self._shards
+            ]
+        for shard in self._shards:
+            if not self._probe(shard, deadline=deadline):
+                raise ProtocolError(
+                    f"shard {shard.shard_id} failed its first health check"
+                )
+
+    def stop(self, *, drain: bool = True, timeout: float = 10.0) -> None:
+        """Stop the monitor, drain every worker, and reap the processes."""
+        if self._closed:
+            return
+        self._closed = True
+        self._stopping.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=timeout)
+        with self._supervisor_lock:
+            for shard in self._shards:
+                if shard.proc is not None and shard.proc.is_alive():
+                    try:
+                        shard.conn.send((CMD_STOP, drain))
+                    except (BrokenPipeError, OSError):
+                        pass
+            deadline = time.monotonic() + timeout
+            for shard in self._shards:
+                if shard.proc is None:
+                    continue
+                shard.proc.join(timeout=max(0.1, deadline - time.monotonic()))
+                if shard.proc.is_alive():  # pragma: no cover - wedged worker
+                    shard.proc.terminate()
+                    shard.proc.join(timeout=1.0)
+                shard.status = STATUS_DOWN
+        for transport in self._transports:
+            transport.close()
+        self.log.info("stopped", drained=drain)
+
+    def __enter__(self) -> "ShardSupervisor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # -- spawn / ready / probe ----------------------------------------------
+
+    def _spawn(self, shard: _Shard) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(
+                self.spec, shard.shard_id, self.host, shard.port,
+                shard.root, child_conn,
+            ),
+            name=f"memex-shard-{shard.shard_id}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        shard.proc = proc
+        shard.conn = parent_conn
+        shard.status = STATUS_STARTING
+        shard.spawned_at = time.monotonic()
+        self.log.info("spawned", shard=shard.shard_id, pid=proc.pid,
+                      port=shard.port)
+
+    def _await_ready(self, shard: _Shard, deadline: float) -> None:
+        """Block until *shard* reports its listening address."""
+        while True:
+            timeout = deadline - time.monotonic()
+            if timeout <= 0:
+                raise ProtocolError(
+                    f"shard {shard.shard_id} did not come up within "
+                    f"{self.start_timeout}s"
+                )
+            with self._supervisor_lock:
+                if self._drain_ready_message(shard, wait=min(timeout, 0.2)):
+                    return
+
+    def _drain_ready_message(self, shard: _Shard, *, wait: float = 0.0) -> bool:
+        """Consume a pending child message; True once 'ready' arrived.
+        Caller holds ``_supervisor_lock``."""
+        try:
+            if not shard.conn.poll(wait):
+                return False
+            msg = shard.conn.recv()
+        except (EOFError, OSError):
+            return False
+        if msg[0] == "ready":
+            host, port = msg[1]
+            shard.address = (host, port)
+            if shard.port == 0:
+                shard.port = port
+            shard.status = STATUS_PROBING
+            if len(self._transports) > shard.shard_id:
+                self._transports[shard.shard_id].set_address(host, port)
+            return True
+        if msg[0] == "error":
+            raise ProtocolError(
+                f"shard {shard.shard_id} failed to start: {msg[1]}"
+            )
+        return False
+
+    def _probe(self, shard: _Shard, *, deadline: float | None = None) -> bool:
+        """Health-check *shard* over its transport until live (or deadline)."""
+        transport = self._transports[shard.shard_id]
+        while True:
+            try:
+                report = transport.request(PROBE_USER, {"servlet": "health"})
+                if report.get("status") == "ok" and report.get("live"):
+                    with self._supervisor_lock:
+                        shard.status = STATUS_UP
+                    self.log.info("healthy", shard=shard.shard_id,
+                                  health=report.get("health"))
+                    return True
+            except ProtocolError:
+                pass
+            if deadline is None or time.monotonic() >= deadline:
+                return False
+            time.sleep(0.05)
+
+    # -- monitoring / restart -------------------------------------------------
+
+    def available(self, shard_id: int) -> bool:
+        """Router-facing liveness view (plain attribute read, lock-free)."""
+        return self._shards[shard_id].status == STATUS_UP
+
+    def statuses(self) -> dict[int, str]:
+        return {s.shard_id: s.status for s in self._shards}
+
+    def transports(self) -> list[SocketTransport]:
+        """The per-shard backends (shared with the router's dispatcher)."""
+        return self._transports
+
+    def addresses(self) -> list[tuple[str, int]]:
+        return [s.address for s in self._shards if s.address is not None]
+
+    def poll(self) -> None:
+        """One monitor pass: detect deaths, respawn, re-admit healthy shards."""
+        for shard in self._shards:
+            if shard.status in (STATUS_UP, STATUS_PROBING):
+                if shard.proc is not None and not shard.proc.is_alive():
+                    with self._supervisor_lock:
+                        shard.status = STATUS_DOWN
+                    self.log.info("shard_died", shard=shard.shard_id,
+                                  exitcode=shard.proc.exitcode)
+                    # Stale pooled connections point at a dead socket.
+                    self._transports[shard.shard_id].reset_backoff()
+            if shard.status == STATUS_DOWN and self.auto_restart:
+                with self._supervisor_lock:
+                    self._reap(shard)
+                    self._spawn(shard)
+                    shard.restarts += 1
+                self.restarts_total.inc()
+            if shard.status == STATUS_STARTING:
+                with self._supervisor_lock:
+                    self._drain_ready_message(shard)
+            if shard.status == STATUS_PROBING:
+                self._probe(shard)
+
+    @staticmethod
+    def _reap(shard: _Shard) -> None:
+        if shard.proc is not None:
+            shard.proc.join(timeout=0.5)
+        if shard.conn is not None:
+            try:
+                shard.conn.close()
+            except OSError:
+                pass
+
+    def start_monitor(self) -> None:
+        """Run :meth:`poll` on a background thread every ``health_interval``."""
+        if self._monitor is not None:
+            return
+
+        def loop() -> None:
+            while not self._stopping.wait(self.health_interval):
+                try:
+                    self.poll()
+                except Exception:  # noqa: BLE001 - monitor must survive
+                    self.log.error("monitor_pass_failed")
+
+        self._monitor = threading.Thread(
+            target=loop, name="memex-shard-monitor", daemon=True,
+        )
+        self._monitor.start()
+
+    def kill(self, shard_id: int) -> None:
+        """SIGKILL a worker (crash-recovery tests and chaos drills)."""
+        shard = self._shards[shard_id]
+        if shard.proc is not None and shard.proc.is_alive():
+            os.kill(shard.proc.pid, signal.SIGKILL)
+            shard.proc.join(timeout=5.0)
+        with self._supervisor_lock:
+            shard.status = STATUS_DOWN
+
+    def wait_until_up(self, shard_id: int, *, timeout: float = 30.0) -> bool:
+        """Block until *shard_id* is healthy again (drives :meth:`poll`
+        inline so tests need no monitor thread)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.available(shard_id):
+                return True
+            if self._monitor is None:
+                self.poll()
+            time.sleep(0.05)
+        return self.available(shard_id)
+
+    # -- cluster-wide helpers -------------------------------------------------
+
+    def quiesce(self, *, timeout: float = 60.0) -> int:
+        """Run every shard's daemons until idle; returns total work done."""
+        total = 0
+        with self._supervisor_lock:
+            for shard in self._shards:
+                if shard.status != STATUS_UP:
+                    continue
+                shard.conn.send((CMD_QUIESCE,))
+                deadline = time.monotonic() + timeout
+                while time.monotonic() < deadline:
+                    if shard.conn.poll(0.1):
+                        msg = shard.conn.recv()
+                        if msg[0] == "quiesced":
+                            total += int(msg[1])
+                            break
+                else:
+                    raise ProtocolError(
+                        f"shard {shard.shard_id} did not quiesce in {timeout}s"
+                    )
+        return total
+
+    def save(self, *, timeout: float = 30.0) -> None:
+        """Ask every live shard to persist its mined state."""
+        with self._supervisor_lock:
+            for shard in self._shards:
+                if shard.status != STATUS_UP:
+                    continue
+                shard.conn.send((CMD_SAVE,))
+                deadline = time.monotonic() + timeout
+                while time.monotonic() < deadline:
+                    if shard.conn.poll(0.1) and shard.conn.recv()[0] == "saved":
+                        break

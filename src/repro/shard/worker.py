@@ -1,0 +1,133 @@
+"""Shard worker: one process, one shard-local Memex server.
+
+``worker_main`` is the child-process entry point the supervisor forks.
+It builds the shard's :class:`~repro.core.memex.MemexServer` from the
+:class:`WorkerSpec` factory (its own KVStore/WAL/relational directory
+under ``root``), restores any persisted state (WAL replay happens inside
+the storage layer on open), serves the framed wire protocol on its own
+socket, and then loops: ticking the daemon scheduler between checks of
+the supervisor control pipe.
+
+Control protocol (parent -> child over the pipe)::
+
+    ("stop", drain)   drain the socket server, save state, exit
+    ("quiesce",)      run daemons until idle, reply ("quiesced", done)
+    ("save",)         persist mined state, reply ("saved",)
+
+Child -> parent::
+
+    ("ready", (host, port))   serving; address may differ from the
+                              requested port if rebinding raced
+    ("quiesced", n) / ("saved",) / ("stopped",)
+    ("error", message)        startup or shutdown failed
+
+The spec's ``factory`` runs *in the child*: with the fork start method
+it is inherited by reference, so closures over an in-memory corpus are
+fine, and benchmarks can shim process-global behaviour (e.g. emulated
+commit latency) for the worker only.
+"""
+
+from __future__ import annotations
+
+import signal
+from dataclasses import dataclass
+from typing import Any, Callable
+
+CMD_STOP = "stop"
+CMD_QUIESCE = "quiesce"
+CMD_SAVE = "save"
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """How the supervisor builds each shard worker.
+
+    ``factory(shard_id, root)`` returns the shard's ``MemexServer``;
+    ``root`` is the shard's private data directory (None = in-memory).
+    ``tick_interval`` is the idle delay between scheduler ticks; None
+    disables background ticking (tests drive daemons via ``quiesce``).
+    """
+
+    factory: Callable[[int, str | None], Any]
+    net_workers: int = 4
+    tick_interval: float | None = 0.05
+    idle_timeout: float = 300.0
+    read_timeout: float = 5.0
+
+
+def worker_main(
+    spec: WorkerSpec,
+    shard_id: int,
+    host: str,
+    port: int,
+    root: str | None,
+    conn: Any,
+) -> None:
+    """Child-process body; never returns normally before serving stops."""
+    # The supervisor coordinates shutdown over the pipe; a stray SIGINT
+    # aimed at the parent's process group must not kill workers mid-write.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    server = None
+    net = None
+    try:
+        server = spec.factory(shard_id, root)
+        if root is not None:
+            server.restore_state()
+        try:
+            net = server.listen(
+                host=host, port=port, workers=spec.net_workers,
+                idle_timeout=spec.idle_timeout,
+                read_timeout=spec.read_timeout,
+            )
+        except OSError:
+            # The fixed port is taken (restart raced another binder):
+            # fall back to an ephemeral port and report the real address.
+            net = server.listen(
+                host=host, port=0, workers=spec.net_workers,
+                idle_timeout=spec.idle_timeout,
+                read_timeout=spec.read_timeout,
+            )
+        conn.send(("ready", tuple(net.address)))
+    except Exception as exc:  # noqa: BLE001 - report startup failure
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except OSError:
+            pass
+        raise
+
+    drain = True
+    try:
+        while True:
+            wait = spec.tick_interval if spec.tick_interval else 0.2
+            try:
+                has_msg = conn.poll(wait)
+            except OSError:  # parent's pipe end vanished
+                drain = False
+                break
+            if has_msg:
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    drain = False  # parent died; exit without drain
+                    break
+                cmd = msg[0]
+                if cmd == CMD_STOP:
+                    drain = bool(msg[1]) if len(msg) > 1 else True
+                    break
+                if cmd == CMD_QUIESCE:
+                    done = server.process_background_work()
+                    conn.send(("quiesced", done))
+                elif cmd == CMD_SAVE:
+                    server.save_state()
+                    conn.send(("saved",))
+            elif spec.tick_interval:
+                server.tick()
+    finally:
+        try:
+            net.close(drain=drain)
+            if root is not None:
+                server.save_state()
+            server.close()
+            conn.send(("stopped",))
+        except Exception:  # noqa: BLE001 - best-effort shutdown
+            pass

@@ -59,3 +59,51 @@ def test_module_entry_point():
     )
     assert proc.returncode == 0
     assert "E1" in proc.stdout
+
+
+def test_serve_single_process_runs_for_duration(capsys):
+    assert main([
+        "serve", "--seed", "5", "--users", "2",
+        "--days", "2", "--pages-per-leaf", "3",
+        "--duration", "0.2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "serving on" in out
+    assert "stopped" in out
+
+
+def test_serve_sharded_replays_and_drains(capsys, tmp_path):
+    assert main([
+        "serve", "--seed", "5", "--users", "3",
+        "--days", "2", "--pages-per-leaf", "3",
+        "--shards", "2", "--data-dir", str(tmp_path),
+        "--duration", "0.2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "shards=2" in out
+    assert "stopped" in out
+    # --data-dir lays out one private directory per shard.
+    assert (tmp_path / "shard-00").is_dir()
+    assert (tmp_path / "shard-01").is_dir()
+
+
+def test_serve_drains_on_sigterm(capsys):
+    import os
+    import signal
+    import threading
+
+    # No --duration: the loop runs until the SIGTERM handler fires.
+    timer = threading.Timer(
+        1.0, lambda: os.kill(os.getpid(), signal.SIGTERM))
+    timer.start()
+    try:
+        assert main([
+            "serve", "--seed", "5", "--users", "2",
+            "--days", "2", "--pages-per-leaf", "3",
+            "--shards", "2",
+        ]) == 0
+    finally:
+        timer.cancel()
+    out = capsys.readouterr().out
+    assert "SIGTERM drains" in out
+    assert "stopped" in out

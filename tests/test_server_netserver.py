@@ -239,3 +239,79 @@ def test_applet_over_socket_matches_tunnel():
     assert len(hits) == 5
     # The socket path landed in the same repository as the tunnel would.
     assert len(system.server.repo.user_visits("u")) == 5
+
+
+# -- reconnect backoff -------------------------------------------------------
+
+def test_reconnect_backoff_bounds_connect_attempts(monkeypatch):
+    """A dead backend must not be hammered: connect failures arm a capped
+    exponential backoff, and suppressed requests fail fast with a
+    retryable ``unavailable`` error instead of a fresh TCP attempt."""
+    import random
+
+    from repro.errors import CODE_UNAVAILABLE
+    from repro.server import transport as transport_mod
+
+    attempts = []
+
+    def refuse(address, timeout=None):
+        attempts.append(time.monotonic())
+        raise ConnectionRefusedError("nobody home")
+
+    monkeypatch.setattr(transport_mod.socket, "create_connection", refuse)
+    transport = SocketTransport(
+        "127.0.0.1", 1, backoff_rng=random.Random(7),
+    )
+
+    codes = []
+    deadline = time.monotonic() + 0.3
+    while time.monotonic() < deadline:
+        with pytest.raises(ProtocolError) as err:
+            transport.request("alice", {"servlet": "whoami"})
+        codes.append(err.value.code)
+        time.sleep(0.002)
+
+    # Many requests, few real connection attempts.
+    assert len(codes) > 20
+    assert len(attempts) <= 8
+    # The attempt that failed reports a timeout; the suppressed requests
+    # in between report the backend unavailable — both retryable.
+    assert codes[0] == CODE_TIMEOUT
+    assert CODE_UNAVAILABLE in codes
+    # Per-second rate stays bounded even at exponential-phase start.
+    assert len(attempts) / 0.3 < 30
+
+
+def test_backoff_disarms_once_the_backend_accepts_again():
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+
+    transport = SocketTransport(
+        "127.0.0.1", port, connect_timeout=0.5,
+        backoff_base=0.01, backoff_cap=0.02,
+    )
+    with pytest.raises(ProtocolError):
+        transport.request("alice", {"servlet": "whoami"})
+    assert transport._backoff_failures == 1
+
+    with MemexSocketServer(_registry(), host="127.0.0.1", port=port,
+                           workers=2, metrics=MetricsRegistry()):
+        time.sleep(0.05)  # let the backoff window expire
+        out = transport.request("alice", {"servlet": "whoami"})
+        assert out["you"] == "alice"
+        assert transport._backoff_failures == 0
+    transport.close()
+
+
+# -- multiplexed backend connections -----------------------------------------
+
+def test_multiplexed_transport_bounds_connections(server):
+    """The router->worker hop carries many users over a fixed set of
+    connections; the worker still sees each request's real user_id."""
+    with _client(server, multiplex=2) as transport:
+        for i in range(10):
+            out = transport.request(f"user{i}", {"servlet": "whoami"})
+            assert out["you"] == f"user{i}"
+    assert server.metrics.counter_value("net.connections_total") <= 2

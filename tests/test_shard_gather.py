@@ -1,0 +1,248 @@
+"""ShardDispatcher routing and merge semantics over fake backends.
+
+No sockets or processes here: each backend is an in-memory stub that
+records what it was asked and answers from a handler, so these tests pin
+the routing contract (owner / broadcast / scatter / batch decomposition)
+and the deterministic merge rules independently of the cluster plumbing.
+"""
+
+import pytest
+
+from repro.errors import CODE_UNAVAILABLE, ProtocolError
+from repro.server.servlets import BATCH_SERVLET
+from repro.shard.gather import (
+    BROADCAST_SERVLETS,
+    SCATTER_SERVLETS,
+    ShardDispatcher,
+)
+from repro.shard.ring import HashRing
+
+
+class FakeBackend:
+    def __init__(self, shard_id, handler=None, fail=False):
+        self.shard_id = shard_id
+        self.handler = handler
+        self.fail = fail
+        self.requests = []
+
+    def request(self, user_id, payload):
+        self.requests.append((user_id, dict(payload)))
+        if self.fail:
+            raise ProtocolError(
+                f"shard {self.shard_id} is gone", code=CODE_UNAVAILABLE,
+            )
+        if self.handler is not None:
+            return self.handler(self.shard_id, payload)
+        return {"status": "ok", "shard": self.shard_id}
+
+
+def make(n, handler=None, fail=(), **kwargs):
+    backends = [
+        FakeBackend(i, handler=handler, fail=(i in fail)) for i in range(n)
+    ]
+    return backends, ShardDispatcher(backends, **kwargs)
+
+
+# -- owner-shard forwarding ---------------------------------------------------
+
+def test_owner_requests_reach_exactly_the_ring_shard():
+    backends, dispatcher = make(3)
+    for user in ("alice", "bob", "carol", "dave"):
+        owner = dispatcher.shard_for(user)
+        out = dispatcher.dispatch({"servlet": "search", "user_id": user})
+        assert out["shard"] == owner
+    touched = [i for i, b in enumerate(backends) if b.requests]
+    for i, backend in enumerate(backends):
+        for user, _ in backend.requests:
+            assert dispatcher.shard_for(user) == i
+    assert touched  # sanity: something was routed
+
+
+def test_unavailable_shard_fails_fast_without_a_backend_call():
+    backends, dispatcher = make(2, available=lambda shard: shard != 1)
+    user = next(
+        u for u in (f"u{i}" for i in range(100))
+        if dispatcher.shard_for(u) == 1
+    )
+    out = dispatcher.dispatch({"servlet": "search", "user_id": user})
+    assert out["status"] == "error"
+    assert out["error_code"] == CODE_UNAVAILABLE
+    assert out["retryable"] is True
+    assert backends[1].requests == []
+
+
+# -- broadcast ----------------------------------------------------------------
+
+def test_broadcast_hits_every_shard_owner_first():
+    order = []
+
+    def handler(shard, payload):
+        order.append(shard)
+        return {"status": "ok", "created": shard == 0}
+
+    backends, dispatcher = make(3, handler=handler)
+    out = dispatcher.dispatch({"servlet": "register_user", "user_id": "alice"})
+    assert out["status"] == "ok"
+    assert out["shards"] == 3
+    assert out["created"] is True  # any shard creating counts
+    assert sorted(order) == [0, 1, 2]
+    assert order[0] == dispatcher.shard_for("alice")
+
+
+def test_broadcast_is_all_or_retryable_error():
+    backends, dispatcher = make(3, fail={2})
+    out = dispatcher.dispatch({"servlet": "register_user", "user_id": "alice"})
+    assert out["status"] == "error"
+    assert out["error_code"] == CODE_UNAVAILABLE
+    assert out["retryable"] is True
+
+
+# -- scatter-gather -----------------------------------------------------------
+
+def test_single_backend_scatter_is_the_identity():
+    sentinel = {"status": "ok", "themes": [{"theme_id": "t1", "weight": 1.0}]}
+    _, dispatcher = make(1, handler=lambda shard, payload: dict(sentinel))
+    out = dispatcher.dispatch({"servlet": "themes_get", "user_id": "alice"})
+    # No merge decoration on the one-shard path: the response is exactly
+    # what the backend produced (in-process mode depends on this).
+    assert out == sentinel
+
+
+def test_theme_merge_namespaces_ids_and_sorts_by_weight():
+    def handler(shard, payload):
+        return {"status": "ok", "themes": [
+            {"theme_id": "root", "weight": 1.0 + shard,
+             "children": [{"theme_id": "leaf", "weight": 0.5, "children": []}]},
+        ]}
+
+    _, dispatcher = make(2, handler=handler)
+    out = dispatcher.dispatch({"servlet": "themes_get", "user_id": "alice"})
+    assert out["status"] == "ok" and out["shards"] == 2
+    assert out["partial"] is False
+    ids = [t["theme_id"] for t in out["themes"]]
+    assert ids == ["s1/root", "s0/root"]  # heavier shard first
+    assert out["themes"][0]["children"][0]["theme_id"] == "s1/leaf"
+
+
+def test_ranked_merge_dedupes_by_id_keeping_the_best_score():
+    def handler(shard, payload):
+        rows = {
+            0: [{"url": "http://a/", "score": 0.9},
+                {"url": "http://b/", "score": 0.2}],
+            1: [{"url": "http://a/", "score": 0.4},
+                {"url": "http://c/", "score": 0.6}],
+        }[shard]
+        return {"status": "ok", "pages": rows}
+
+    _, dispatcher = make(2, handler=handler)
+    out = dispatcher.dispatch(
+        {"servlet": "recommend", "user_id": "alice", "k": 10})
+    urls = [(p["url"], p["score"]) for p in out["pages"]]
+    assert urls == [("http://a/", 0.9), ("http://c/", 0.6), ("http://b/", 0.2)]
+
+
+def test_stats_merge_sums_counters_and_keeps_per_shard_detail():
+    def handler(shard, payload):
+        return {"status": "ok", "pages": 10 * (shard + 1), "visits": 5,
+                "links": 1, "indexed": 2, "crawl_backlog": 0}
+
+    _, dispatcher = make(2, handler=handler)
+    out = dispatcher.dispatch({"servlet": "stats", "user_id": "alice"})
+    assert out["pages"] == 30 and out["visits"] == 10
+    assert set(out["by_shard"]) == {"0", "1"}
+
+
+def test_scatter_degrades_to_partial_when_a_shard_is_down():
+    def handler(shard, payload):
+        return {"status": "ok", "pages": [{"url": f"http://s{shard}/",
+                                           "score": 1.0}]}
+
+    backends, dispatcher = make(3, handler=handler, fail={1})
+    out = dispatcher.dispatch(
+        {"servlet": "popular_near_trail", "user_id": "alice"})
+    assert out["status"] == "ok"
+    assert out["partial"] is True
+    assert out["shards_failed"] == [1]
+    assert {p["url"] for p in out["pages"]} == {"http://s0/", "http://s2/"}
+
+
+def test_scatter_with_every_shard_down_is_a_retryable_error():
+    _, dispatcher = make(2, fail={0, 1})
+    out = dispatcher.dispatch({"servlet": "themes_get", "user_id": "alice"})
+    assert out["status"] == "error"
+    assert out["error_code"] == CODE_UNAVAILABLE
+    assert out["retryable"] is True
+
+
+def test_health_merge_degrades_on_any_failed_shard():
+    def handler(shard, payload):
+        return {"status": "ok", "live": True, "health": "ready",
+                "checks": {"wal": {"ok": True}}, "slos": {}}
+
+    _, dispatcher = make(2, handler=handler, fail={1})
+    out = dispatcher.dispatch({"servlet": "health", "user_id": "alice"})
+    assert out["live"] is False
+    assert out["health"] == "degraded"
+    assert out["checks"]["s1.shard"]["ok"] is False
+    assert out["checks"]["s0.wal"]["ok"] is True
+
+
+# -- batch envelopes ----------------------------------------------------------
+
+def _batch_handler(shard, payload):
+    if payload.get("servlet") == BATCH_SERVLET:
+        return {"status": "ok", "responses": [
+            {"status": "ok", "via": "batch", "shard": shard}
+            for _ in payload["requests"]
+        ]}
+    return {"status": "ok", "via": payload.get("servlet"), "shard": shard}
+
+
+def test_pure_batches_ship_whole_to_the_owner_shard():
+    backends, dispatcher = make(2, handler=_batch_handler)
+    owner = dispatcher.shard_for("alice")
+    out = dispatcher.dispatch({
+        "servlet": BATCH_SERVLET, "user_id": "alice",
+        "requests": [{"servlet": "visit"}, {"servlet": "visit"}],
+    })
+    assert [r["via"] for r in out["responses"]] == ["batch", "batch"]
+    # One envelope, not two item dispatches.
+    assert len(backends[owner].requests) == 1
+    assert backends[owner].requests[0][1]["servlet"] == BATCH_SERVLET
+
+
+def test_mixed_batches_decompose_in_order():
+    backends, dispatcher = make(2, handler=_batch_handler)
+    out = dispatcher.dispatch({
+        "servlet": BATCH_SERVLET, "user_id": "alice",
+        "requests": [
+            {"servlet": "visit"}, {"servlet": "visit"},
+            {"servlet": "stats"},
+            {"servlet": "visit"},
+        ],
+    })
+    vias = [r.get("via") for r in out["responses"]]
+    assert len(out["responses"]) == 4
+    assert vias[0] == vias[1] == "batch"     # leading run as one envelope
+    assert out["responses"][2]["by_shard"]   # the scatter item was merged
+    assert vias[3] == "batch"                # trailing run as its own envelope
+    owner = dispatcher.shard_for("alice")
+    owner_envelopes = [
+        p for _, p in backends[owner].requests
+        if p.get("servlet") == BATCH_SERVLET
+    ]
+    assert [len(e["requests"]) for e in owner_envelopes] == [2, 1]
+
+
+# -- configuration ------------------------------------------------------------
+
+def test_ring_and_backend_count_must_agree():
+    backends = [FakeBackend(0), FakeBackend(1)]
+    with pytest.raises(ValueError):
+        ShardDispatcher(backends, ring=HashRing(3))
+    with pytest.raises(ValueError):
+        ShardDispatcher([])
+
+
+def test_servlet_classes_are_disjoint():
+    assert not (SCATTER_SERVLETS & BROADCAST_SERVLETS)

@@ -1,0 +1,113 @@
+"""Crash recovery: no acknowledged write is lost across a worker restart.
+
+A shard worker runs with ``sync=True`` durability (fsync per commit), so
+any visit the client saw acknowledged must be on disk in the shard's WAL
+before the ack left the server.  The test SIGKILLs the worker while a
+client streams batched visits through the router, restarts it, and
+checks every acknowledged write is present after WAL replay — and that
+the router routes to the shard again once its health check passes.
+"""
+
+import threading
+import time
+
+from repro.core.memex import MemexServer
+from repro.server.daemons import FetchedPage
+from repro.shard import MemexCluster
+
+PAGES = {
+    f"http://p{i:03d}/": FetchedPage(
+        f"http://p{i:03d}/", f"Page {i}", f"gamma text {i}", (),
+    )
+    for i in range(120)
+}
+
+
+def _factory(shard_id, root):
+    # Durability on: a write is only acknowledged after its WAL fsync.
+    return MemexServer(PAGES.get, root=root, sync=True)
+
+
+def test_no_acknowledged_write_lost_across_worker_crash(tmp_path):
+    with MemexCluster(
+        _factory, 2, data_dir=tmp_path,
+        tick_interval=None, monitor=False,
+    ) as cluster:
+        users = [f"user{i:02d}" for i in range(4)]
+        for user in users:
+            cluster.register_user(user)
+        victim_shard = 1
+        victims = [u for u in users
+                   if cluster.ring.shard_for(u) == victim_shard]
+        assert victims, "seeded users must cover the victim shard"
+        writer_user = victims[0]
+
+        acked = []
+        acked_lock = threading.Lock()
+        crashed = threading.Event()
+        applet = cluster.connect(writer_user)
+        # Buffer manually: auto-flush would swallow the per-item
+        # responses the ack accounting below depends on.
+        applet.batch_size = 1000
+
+        def stream_visits():
+            # Batched writes against the victim shard, continuing past
+            # the crash.  A batch only counts as acknowledged when its
+            # per-item responses came back ok; a flush that raises
+            # mid-crash may still have committed server-side, which the
+            # `recovered >= acked` direction of the assertion allows.
+            batch = 0
+            for i in range(120):
+                try:
+                    applet.record_visit(f"http://p{i:03d}/", at=float(i))
+                    if (i + 1) % 8 == 0:
+                        responses = applet.flush()
+                        with acked_lock:
+                            acked.extend(
+                                r for r in responses
+                                if r.get("archived") is True
+                            )
+                        batch += 1
+                except Exception:
+                    applet._pending.clear()
+                    if crashed.is_set() and batch > 2:
+                        return  # streamed well past the crash; done
+
+        writer = threading.Thread(target=stream_visits)
+        writer.start()
+
+        # Let some batches land, then kill the worker mid-stream.
+        deadline = 200
+        while deadline:
+            with acked_lock:
+                if acked:
+                    break
+            deadline -= 1
+            time.sleep(0.01)
+        assert acked, "no batch was acknowledged before the crash"
+        cluster.supervisor.kill(victim_shard)
+        crashed.set()
+        writer.join(timeout=30.0)
+        assert not writer.is_alive()
+        acked_count = len(acked)
+        assert acked_count > 0
+
+        # Restart: the supervisor respawns the worker, storage open
+        # replays the WAL, and the router re-admits the shard only after
+        # its health servlet answers live.
+        assert cluster.supervisor.wait_until_up(victim_shard, timeout=30.0)
+
+        st = cluster.stats(writer_user)
+        recovered = int(st["by_shard"][str(victim_shard)]["visits"])
+        assert recovered >= acked_count, (
+            f"lost acknowledged writes: acked {acked_count}, "
+            f"recovered {recovered}"
+        )
+
+        # The router resumes owner-shard traffic to the restarted worker.
+        out = cluster.request(writer_user,
+                              {"servlet": "search", "query": "gamma"})
+        assert out["status"] == "ok"
+        post = cluster.request(writer_user, {"servlet": "visit",
+                                             "url": "http://p000/"})
+        assert post["status"] == "ok" and post["archived"] is True
