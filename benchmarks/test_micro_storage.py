@@ -8,7 +8,7 @@ substrate baseline to be read against.
 
 import pytest
 
-from repro.storage.kvstore import KVStore
+from repro.storage import KVStore
 from repro.storage.relational import Column, Database
 from repro.storage.wal import WriteAheadLog
 

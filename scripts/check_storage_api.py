@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Lint the StorageEngine API boundary.
+
+``repro.storage.engine`` is the one sanctioned way to obtain a term
+store: code outside ``src/repro/storage`` must go through
+``open_engine`` (or the package-level re-exports) so engines stay
+swappable and every construction site honors the configured engine and
+codec.  This check walks ``src``, ``tests``, ``benchmarks``, and
+``examples`` and fails on:
+
+* any import of ``repro.storage.kvstore``/``repro.storage.lsm`` (or the
+  relative spellings) from outside the storage package — concrete engine
+  modules are package-private;
+* any direct ``KVStore(``/``LSMStore(`` construction outside the storage
+  package and the engine test/bench files allowlisted below.
+
+Exit status 0 when clean, 1 otherwise (one ``file:line`` per offence).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+STORAGE_PACKAGE = REPO_ROOT / "src" / "repro" / "storage"
+SCAN_ROOTS = ("src", "tests", "benchmarks", "examples")
+
+ENGINE_MODULE_IMPORT = re.compile(
+    r"^\s*(?:from|import)\s+(?:repro\.storage\.|\.+)(?:kvstore|lsm)\b"
+)
+DIRECT_CONSTRUCTION = re.compile(r"\b(?:KVStore|LSMStore)\(")
+
+#: Files that may import the concrete engine modules: the engine
+#: internals suites need non-exported pieces (BloomFilter, Segment,
+#: crash hooks).
+IMPORT_ALLOWLIST = {
+    "tests/test_storage_lsm.py",
+    "tests/test_storage_recovery.py",
+}
+
+#: Files outside the package that may construct engines directly: the
+#: engine test suites and microbenchmarks exercise concrete classes on
+#: purpose (internals, crash hooks, tuning knobs).
+CONSTRUCTION_ALLOWLIST = {
+    "tests/test_storage_kvstore.py",
+    "tests/test_storage_lsm.py",
+    "tests/test_storage_recovery.py",
+    "tests/test_server_batch.py",        # KVStore group-commit internals
+    "tests/test_property_stateful.py",   # stateful model vs concrete store
+    "tests/test_failure_injection.py",   # torn-log surgery on the file
+    "benchmarks/test_micro_storage.py",
+}
+
+
+def main() -> int:
+    problems: list[str] = []
+    for root in SCAN_ROOTS:
+        base = REPO_ROOT / root
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*.py")):
+            if STORAGE_PACKAGE in path.parents:
+                continue
+            rel = str(path.relative_to(REPO_ROOT))
+            for lineno, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1
+            ):
+                if (
+                    ENGINE_MODULE_IMPORT.search(line)
+                    and rel not in IMPORT_ALLOWLIST
+                ):
+                    problems.append(
+                        f"{rel}:{lineno}: imports a concrete engine module "
+                        "— use repro.storage.open_engine (or the package "
+                        "re-exports) instead"
+                    )
+                elif (
+                    DIRECT_CONSTRUCTION.search(line)
+                    and rel not in CONSTRUCTION_ALLOWLIST
+                ):
+                    problems.append(
+                        f"{rel}:{lineno}: constructs an engine class "
+                        "directly — use repro.storage.open_engine (or "
+                        "allowlist this file with a justification)"
+                    )
+    if problems:
+        for line in problems:
+            print(line, file=sys.stderr)
+        print(
+            f"\n{len(problems)} storage-API boundary violation(s).",
+            file=sys.stderr,
+        )
+        return 1
+    print("check_storage_api: boundary clean.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

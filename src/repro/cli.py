@@ -39,6 +39,27 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--pages-per-leaf", type=int, default=15)
 
 
+def _add_storage_args(parser: argparse.ArgumentParser) -> None:
+    from .storage import engine_names
+
+    parser.add_argument(
+        "--storage-engine", choices=engine_names(), default="btree",
+        help="term-store engine (btree: in-memory sorted index; "
+             "lsm: memtable + sorted segments with background compaction)",
+    )
+    parser.add_argument(
+        "--codec", choices=("json", "binary"), default="json",
+        help="record codec for stored values",
+    )
+
+
+def _storage_kwargs(args: argparse.Namespace) -> dict:
+    return {
+        "storage_engine": getattr(args, "storage_engine", "btree"),
+        "codec": getattr(args, "codec", None),
+    }
+
+
 def _build(args: argparse.Namespace):
     return build_workload(
         seed=args.seed, num_users=args.users, days=args.days,
@@ -66,7 +87,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 def _replayed_system(args: argparse.Namespace):
     workload = _build(args)
-    system = MemexSystem.from_workload(workload)
+    system = MemexSystem.from_workload(workload, **_storage_kwargs(args))
     print(f"replaying {len(workload.events)} events ...", file=sys.stderr)
     system.replay(workload.events)
     return workload, system
@@ -151,6 +172,11 @@ def cmd_stats(args: argparse.Namespace) -> int:
                 f"{row['misses']:>9}{row['evictions']:>9}"
                 f"{row['invalidations']:>9}{row['hit_rate']:>9.2f}"
             )
+    storage = server.repo.storage_stats()
+    print(f"\nstorage engine ({storage.pop('engine', '?')})")
+    print("----------------------------------------------")
+    for key in sorted(storage):
+        print(f"{key:<20}  {storage[key]}")
     return 0
 
 
@@ -212,7 +238,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
             return _serve_cluster(args, stop)
 
         workload = _build(args)
-        kwargs = {"root": args.data_dir} if args.data_dir else {}
+        kwargs = _storage_kwargs(args)
+        if args.data_dir:
+            kwargs["root"] = args.data_dir
         system = MemexSystem.from_workload(workload, **kwargs)
         print(f"replaying {len(workload.events)} events ...", file=sys.stderr)
         system.replay(workload.events)
@@ -257,7 +285,7 @@ def _serve_cluster(args: argparse.Namespace, stop) -> int:
     fetch = corpus_fetcher(workload.corpus)
 
     def factory(shard_id: int, root: str | None):
-        return MemexServer(fetch, root=root)
+        return MemexServer(fetch, root=root, **_storage_kwargs(args))
 
     cluster = MemexCluster(
         factory, args.shards,
@@ -333,6 +361,7 @@ def main(argv: list[str] | None = None) -> int:
         "stats", help="replay a workload and print the observability report",
     )
     _add_workload_args(p)
+    _add_storage_args(p)
     p.add_argument("--json", action="store_true", help="emit a JSON snapshot")
     p.add_argument(
         "--logs", action="store_true",
@@ -347,6 +376,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve", help="serve a replayed system over TCP (framed protocol)",
     )
     _add_workload_args(p)
+    _add_storage_args(p)
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=0,
                    help="TCP port (0 picks a free one)")

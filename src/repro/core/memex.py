@@ -33,6 +33,7 @@ from ..server.servlets import ServletRegistry
 from ..server.netserver import MemexSocketServer
 from ..server.transport import HttpTunnelTransport
 from ..shard.gather import LocalBackend, ShardDispatcher
+from ..storage.lsm import LSMMaintenanceDaemon
 from ..storage.repository import MemexRepository
 from ..storage.schema import (
     ARCHIVE_COMMUNITY,
@@ -63,6 +64,14 @@ class MemexServer:
         :func:`repro.core.api.corpus_fetcher` for the simulated one).
     root:
         Directory for persistent state; None keeps everything in memory.
+    storage_engine:
+        Term-store engine (``"btree"`` or ``"lsm"``, see
+        :func:`repro.storage.open_engine`).  The LSM engine's
+        flush/compaction daemon is registered with the scheduler
+        automatically.
+    codec:
+        Record codec (``"json"``/``"binary"``) for the term store and
+        the relational WAL.
     theme_discovery:
         Tuning for the theme daemon.
     metrics / tracer / log_hub:
@@ -95,6 +104,8 @@ class MemexServer:
         *,
         root: str | None = None,
         sync: bool = False,
+        storage_engine: str = "btree",
+        codec: str | None = None,
         theme_discovery: ThemeDiscovery | None = None,
         crawler_batch: int = 64,
         metrics: MetricsRegistry | None = None,
@@ -120,6 +131,7 @@ class MemexServer:
         self.repo = MemexRepository(
             root, sync=sync, clock=lambda: self._now, metrics=self.metrics,
             tracer=self.tracer, log_hub=self.logs,
+            storage_engine=storage_engine, codec=codec,
         )
         self.vectorizer = PageVectorizer(self.repo)
         self.index = InvertedIndex(self.repo.kv)
@@ -154,6 +166,11 @@ class MemexServer:
         self.scheduler.register(self.classifier, period=2)
         self.scheduler.register(self.themes, period=8)
         self.scheduler.register(self.discovery, period=8)
+        # The LSM engine needs its flush/compaction cycle driven; the
+        # daemon runs under the same quarantine/parole supervision as
+        # every other background worker.
+        if getattr(self.repo.kv, "engine_name", None) == "lsm":
+            self.scheduler.register(LSMMaintenanceDaemon(self.repo.kv), period=4)
 
         # Read-path caches register as versioning consumers, so the
         # indexer/classifier daemons must exist (and be registered) first.
@@ -1039,6 +1056,7 @@ class MemexServer:
             "versioning_lag": self.repo.versions.lags(),
             "latency": self.registry.latency_summary(),
             "cache": self.caches.stats() if self.caches is not None else {},
+            "storage": self.repo.storage_stats(),
         }
         if request.get("include_metrics"):
             out["metrics"] = self.metrics.snapshot()

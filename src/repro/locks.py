@@ -42,7 +42,7 @@ LOCK_ORDER: tuple[str, ...] = (
     "relational",    # Database per-table RWLocks (alphabetical by table)
     "versioning",    # VersionCoordinator._versions_lock
     "index",         # InvertedIndex._index_lock (whole-scoring-pass atomicity)
-    "kvstore",       # KVStore._kv_lock
+    "kvstore",       # KVStore._kv_lock, LSMStore._lsm_lock (engine level)
     "wal",           # WriteAheadLog._wal_lock
     "cache",         # ShardedLRU shard locks
     "obs",           # metrics/tracer/log-hub internal locks
@@ -61,6 +61,7 @@ LOCK_ATTRIBUTES: dict[str, str] = {
     "_versions_lock": "versioning",
     "_index_lock": "index",
     "_kv_lock": "kvstore",
+    "_lsm_lock": "kvstore",
     "_wal_lock": "wal",
     "_shard_lock": "cache",
     "_obs_lock": "obs",

@@ -1,12 +1,26 @@
-"""Storage substrate: relational engine, key-value store, WAL, versioning.
+"""Storage substrate: relational engine, pluggable KV engines, WAL, versioning.
 
-See DESIGN.md §2-3.  The paper's server (§3) splits state between an RDBMS
-(metadata) and Berkeley DB (term-level statistics), coordinated by a
-loosely-consistent versioning layer; each of those has a module here.
+See DESIGN.md §2-3 and §11.  The paper's server (§3) splits state between
+an RDBMS (metadata) and Berkeley DB (term-level statistics), coordinated
+by a loosely-consistent versioning layer; each of those has a module
+here.  Term-level stores are opened through the :class:`StorageEngine`
+factory (:func:`open_engine`) — ``btree`` is the original in-memory
+sorted-index engine, ``lsm`` the disk-resident log-structured one — and
+serialize records through an injected :class:`Codec`.
 """
 
 from .btree import BTree
-from .kvstore import KVStore, Namespace
+from .codec import BinaryCodec, Codec, JsonCodec, get_codec
+from .engine import (
+    Namespace,
+    StorageEngine,
+    engine_names,
+    engine_store_path,
+    open_engine,
+    prefix_successor,
+)
+from .kvstore import KVStore
+from .lsm import LSMMaintenanceDaemon, LSMStore
 from .relational import Column, Database, Table, TableSchema, Transaction
 from .repository import MemexRepository, Sequence
 from .schema import (
@@ -32,17 +46,28 @@ __all__ = [
     "ASSOC_CORRECTION",
     "ASSOC_GUESS",
     "BTree",
+    "BinaryCodec",
     "COMMUNITY_OWNER",
+    "Codec",
     "Column",
     "Database",
+    "JsonCodec",
     "KVStore",
+    "LSMMaintenanceDaemon",
+    "LSMStore",
     "MemexRepository",
     "Namespace",
     "Sequence",
+    "StorageEngine",
     "Table",
     "TableSchema",
     "Transaction",
     "VersionCoordinator",
     "WriteAheadLog",
     "create_catalog",
+    "engine_names",
+    "engine_store_path",
+    "get_codec",
+    "open_engine",
+    "prefix_successor",
 ]

@@ -27,6 +27,8 @@ from pathlib import Path
 
 from ..errors import CorruptLog, KeyNotFound, StoreClosed
 from ..obs import MetricsRegistry, null_registry
+from .codec import Codec, get_codec
+from .engine import Namespace, prefix_successor  # noqa: F401 - re-exported
 from .wal import WriteAheadLog
 
 _OP_PUT = 0
@@ -36,21 +38,6 @@ _REC = struct.Struct("<BI")  # opcode, key length
 
 def _encode(op: int, key: bytes, value: bytes = b"") -> bytes:
     return _REC.pack(op, len(key)) + key + value
-
-
-def prefix_successor(prefix: bytes) -> bytes | None:
-    """The smallest byte string greater than every key with *prefix*.
-
-    Strips any trailing ``0xFF`` run and increments the last remaining
-    byte (``b"a\\xff"`` → ``b"b"``), so a prefix ending in ``0xFF`` still
-    yields a finite cursor upper bound.  Returns ``None`` only when no
-    successor exists (empty or all-``0xFF`` prefix — every later key is
-    a continuation, so the scan must run to the end).
-    """
-    trimmed = prefix.rstrip(b"\xff")
-    if not trimmed:
-        return None
-    return trimmed[:-1] + bytes([trimmed[-1] + 1])
 
 
 def _decode(payload: bytes) -> tuple[int, bytes, bytes]:
@@ -78,7 +65,15 @@ class KVStore:
         automatic compaction.
     sync:
         Passed through to the write-ahead log.
+    codec:
+        Record codec consumers of this store serialize through (the store
+        itself moves opaque bytes); exposed as :attr:`codec` per the
+        :class:`~repro.storage.engine.StorageEngine` protocol.
     """
+
+    #: Factory name (see :mod:`repro.storage.engine`): the in-memory
+    #: sorted-index engine, historically the Berkeley-DB/B-tree stand-in.
+    engine_name = "btree"
 
     def __init__(
         self,
@@ -87,7 +82,9 @@ class KVStore:
         compact_garbage_ratio: float = 0.5,
         sync: bool = False,
         metrics: MetricsRegistry | None = None,
+        codec: str | Codec | None = None,
     ) -> None:
+        self.codec = get_codec(codec)
         self._data: dict[bytes, bytes] = {}
         self._keys: list[bytes] = []          # sorted view of _data's keys
         self._log: WriteAheadLog | None = None
@@ -270,6 +267,9 @@ class KVStore:
                 break
             yield key, value
 
+    #: Protocol-surface alias (``StorageEngine.scan_prefix``).
+    scan_prefix = prefix
+
     def keys(self) -> list[bytes]:
         """All live keys in sorted order (copy)."""
         with self._kv_lock:
@@ -304,76 +304,8 @@ class KVStore:
         with self._kv_lock:
             self._check_open()
             return {
+                "engine": self.engine_name,
                 "live_keys": len(self._data),
                 "log_records": self._log_records,
                 "log_bytes": self._log.size_bytes() if self._log is not None else 0,
             }
-
-
-class Namespace:
-    """A keyspace slice of a :class:`KVStore`, like a BDB sub-database.
-
-    Keys are transparently prefixed with ``name + 0x00`` so multiple
-    logical tables (term stats, postings, document metadata, ...) can share
-    one physical store, mirroring how Memex packs several indices into
-    Berkeley DB.
-    """
-
-    SEPARATOR = b"\x00"
-
-    def __init__(self, store: KVStore, name: str) -> None:
-        if Namespace.SEPARATOR.decode("latin-1") in name:
-            raise ValueError("namespace name must not contain NUL")
-        self.store = store
-        self.name = name
-        self._prefix = name.encode("utf-8") + Namespace.SEPARATOR
-
-    def _wrap(self, key: bytes) -> bytes:
-        return self._prefix + key
-
-    def put(self, key: bytes, value: bytes) -> None:
-        self.store.put(self._wrap(key), value)
-
-    def put_many(self, items: Iterable[tuple[bytes, bytes]]) -> int:
-        return self.store.put_many(
-            (self._wrap(key), value) for key, value in items
-        )
-
-    def get(self, key: bytes, default: bytes | None = None) -> bytes | None:
-        return self.store.get(self._wrap(key), default)
-
-    def delete(self, key: bytes) -> None:
-        self.store.delete(self._wrap(key))
-
-    def discard(self, key: bytes) -> bool:
-        return self.store.discard(self._wrap(key))
-
-    def __contains__(self, key: bytes) -> bool:
-        return self._wrap(key) in self.store
-
-    def __getitem__(self, key: bytes) -> bytes:
-        return self.store[self._wrap(key)]
-
-    def __setitem__(self, key: bytes, value: bytes) -> None:
-        self.put(key, value)
-
-    def items(self) -> Iterator[tuple[bytes, bytes]]:
-        """All pairs in this namespace, unwrapped, in key order."""
-        plen = len(self._prefix)
-        for key, value in self.store.prefix(self._prefix):
-            yield key[plen:], value
-
-    def prefix(self, prefix: bytes) -> Iterator[tuple[bytes, bytes]]:
-        plen = len(self._prefix)
-        for key, value in self.store.prefix(self._prefix + prefix):
-            yield key[plen:], value
-
-    def clear(self) -> int:
-        """Delete every key in the namespace; returns how many."""
-        doomed = [key for key, _ in self.items()]
-        for key in doomed:
-            self.delete(key)
-        return len(doomed)
-
-    def __len__(self) -> int:
-        return sum(1 for _ in self.items())

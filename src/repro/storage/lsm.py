@@ -1,0 +1,813 @@
+"""LSM-tree storage engine: memtable, sorted segments, background compaction.
+
+The btree engine (:mod:`.kvstore`) replays one log into a fully in-memory
+sorted index — fine per community, but ingest pays an ordered insert into
+an ever-growing key list and reopen pays a full-history replay.  This
+engine is the scale path the roadmap asks for:
+
+* **Memtable** — recent writes live in a plain dict (O(1) per put) backed
+  by the shared write-ahead log for durability; an acked write survives
+  any crash.  Tombstones (``value=None``) record deletions.
+* **Segments** — when the memtable exceeds ``memtable_bytes`` it is
+  sorted once and written as an immutable segment file carrying a sparse
+  index block (one entry every ``sparse_every`` records) and a bloom
+  filter, then the WAL is truncated.  Point reads check the memtable,
+  then segments newest-first; the bloom filter skips segments that
+  cannot contain the key, and the sparse index bounds the scan to one
+  block.  Ordered cursors and prefix scans merge the memtable with every
+  segment, newest-wins per key.
+* **Compaction** — merging every segment into one, dropping tombstones
+  and shadowed versions.  It runs on a scheduler daemon
+  (:class:`LSMMaintenanceDaemon`) under the existing quarantine/parole
+  supervision, and does the merge *outside* the engine lock: readers
+  keep serving from the immutable old segments and the swap is a list
+  assignment.
+
+Crash safety is manifest-based.  ``MANIFEST`` lists the live segment
+files in logical order (oldest first) and is replaced atomically
+(tmp + fsync + rename); segment files are written to a ``.tmp`` sibling
+and renamed in before the manifest mentions them.  Every step of flush
+and compaction therefore leaves the directory in a state recovery
+understands: unlisted segment files are deleted at open, and the WAL is
+only truncated *after* the manifest adopts the flushed segment, so a
+crash between the two merely replays records the segment already holds
+(idempotent).  ``benchmarks/test_bench_storage.py`` and
+``tests/test_storage_recovery.py`` SIGKILL mid-flush and mid-compaction
+to hold this to "zero acked writes lost".
+
+Retired segments (replaced by compaction) are unlinked immediately but
+their descriptors stay open in a bounded graveyard, so an in-flight
+reader that snapshotted them keeps a valid fd; the oldest are closed
+once the graveyard exceeds its cap.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import struct
+import threading
+import zlib
+from bisect import bisect_right
+from collections.abc import Callable, Iterable, Iterator
+from pathlib import Path
+
+from ..errors import CorruptLog, KeyNotFound, StoreClosed
+from ..obs import MetricsRegistry, null_registry
+from .codec import Codec, get_codec
+from .engine import Namespace, prefix_successor  # noqa: F401 - re-exported
+from .kvstore import _OP_DELETE, _OP_PUT, _decode, _encode
+from .wal import WriteAheadLog
+
+SEGMENT_MAGIC = b"MSG1"
+_SEG_REC = struct.Struct("<BII")       # flags, key length, value length
+_IDX_ENT = struct.Struct("<IQ")        # key length, file offset
+_BLOOM_HEAD = struct.Struct("<IH")     # bit count, hash count
+_FOOTER = struct.Struct("<QQQ4s")      # index offset, bloom offset, records, magic
+
+_TOMBSTONE = 0x01                      # record flag: key deleted at this level
+
+#: Readers that snapshotted a segment keep it usable after compaction
+#: retires it; beyond this many retired segments the oldest are closed.
+RETIRED_SEGMENT_CAP = 32
+
+_ABSENT = object()
+
+# Test-only crash injection: the recovery suite installs a hook that
+# SIGKILLs the process at a named point inside flush/compaction.
+_crash_hook: Callable[[str], None] | None = None
+
+
+def set_crash_hook(hook: Callable[[str], None] | None) -> None:
+    """Install (or clear) the crash-injection hook (tests only)."""
+    global _crash_hook
+    _crash_hook = hook
+
+
+def _crashpoint(name: str) -> None:
+    if _crash_hook is not None:
+        _crash_hook(name)
+
+
+class BloomFilter:
+    """Fixed-size bloom filter over byte keys, double-hashed.
+
+    Hashes derive from ``crc32`` and ``adler32`` (both C-speed and
+    deterministic across processes — segment files must verify under any
+    ``PYTHONHASHSEED``), combined as ``h1 + i*h2`` per probe.
+    """
+
+    __slots__ = ("nbits", "nhashes", "bits")
+
+    def __init__(self, nbits: int, nhashes: int, bits: bytearray) -> None:
+        self.nbits = nbits
+        self.nhashes = nhashes
+        self.bits = bits
+
+    @classmethod
+    def for_count(cls, n: int, *, bits_per_key: int = 10) -> "BloomFilter":
+        nbits = max(64, n * bits_per_key)
+        nhashes = max(1, min(16, round(bits_per_key * 0.69)))  # k ≈ m/n · ln2
+        return cls(nbits, nhashes, bytearray((nbits + 7) // 8))
+
+    def _probes(self, key: bytes) -> Iterator[int]:
+        h1 = zlib.crc32(key)
+        h2 = zlib.adler32(key) | 1
+        for i in range(self.nhashes):
+            yield (h1 + i * h2) % self.nbits
+
+    def add(self, key: bytes) -> None:
+        for bit in self._probes(key):
+            self.bits[bit >> 3] |= 1 << (bit & 7)
+
+    def __contains__(self, key: bytes) -> bool:
+        for bit in self._probes(key):
+            if not self.bits[bit >> 3] & (1 << (bit & 7)):
+                return False
+        return True
+
+    def encode(self) -> bytes:
+        return _BLOOM_HEAD.pack(self.nbits, self.nhashes) + bytes(self.bits)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "BloomFilter":
+        nbits, nhashes = _BLOOM_HEAD.unpack_from(data)
+        bits = bytearray(data[_BLOOM_HEAD.size:])
+        if len(bits) != (nbits + 7) // 8:
+            raise CorruptLog("bloom block length disagrees with its header")
+        return cls(nbits, nhashes, bits)
+
+
+def _parse_records(chunk: bytes) -> Iterator[tuple[int, bytes, bytes | None]]:
+    """Yield ``(end_offset, key, value_or_None)`` for each complete record
+    in *chunk*; a partial trailing record is left unconsumed."""
+    pos = 0
+    end = len(chunk)
+    while pos + _SEG_REC.size <= end:
+        flags, klen, vlen = _SEG_REC.unpack_from(chunk, pos)
+        body = pos + _SEG_REC.size
+        if body + klen + vlen > end:
+            break
+        key = chunk[body:body + klen]
+        value = None if flags & _TOMBSTONE else chunk[body + klen:body + klen + vlen]
+        pos = body + klen + vlen
+        yield pos, key, value
+
+
+class Segment:
+    """One immutable sorted segment file (read side).
+
+    Point reads and range iteration use ``os.pread`` on a shared
+    descriptor, so no seek state exists and concurrent readers need no
+    lock.  ``value=None`` in iteration results means a tombstone.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self.fd = os.open(path, os.O_RDONLY)
+        self.retired = False
+        try:
+            size = os.fstat(self.fd).st_size
+            if size < len(SEGMENT_MAGIC) + _FOOTER.size:
+                raise CorruptLog(f"{path}: segment shorter than its framing")
+            footer = os.pread(self.fd, _FOOTER.size, size - _FOOTER.size)
+            index_off, bloom_off, self.count, magic = _FOOTER.unpack(footer)
+            head = os.pread(self.fd, len(SEGMENT_MAGIC), 0)
+            if magic != SEGMENT_MAGIC or head != SEGMENT_MAGIC:
+                raise CorruptLog(f"{path}: bad segment magic")
+            if not (
+                len(SEGMENT_MAGIC) <= index_off <= bloom_off
+                <= size - _FOOTER.size
+            ):
+                raise CorruptLog(f"{path}: segment block offsets out of order")
+            self.data_end = index_off
+            raw = os.pread(self.fd, bloom_off - index_off, index_off)
+            self.index_keys, self.index_offs = self._parse_index(raw, path)
+            raw = os.pread(self.fd, size - _FOOTER.size - bloom_off, bloom_off)
+            self.bloom = BloomFilter.decode(raw)
+        except Exception:
+            os.close(self.fd)
+            raise
+
+    @staticmethod
+    def _parse_index(raw: bytes, path: Path) -> tuple[list[bytes], list[int]]:
+        keys: list[bytes] = []
+        offs: list[int] = []
+        pos = 0
+        while pos < len(raw):
+            if pos + _IDX_ENT.size > len(raw):
+                raise CorruptLog(f"{path}: truncated sparse index")
+            klen, off = _IDX_ENT.unpack_from(raw, pos)
+            pos += _IDX_ENT.size
+            keys.append(raw[pos:pos + klen])
+            offs.append(off)
+            pos += klen
+        return keys, offs
+
+    # -- construction -------------------------------------------------------
+
+    @staticmethod
+    def write(
+        path: Path,
+        items: Iterable[tuple[bytes, bytes | None]],
+        *,
+        sparse_every: int = 16,
+        bloom_bits_per_key: int = 10,
+    ) -> Path:
+        """Write *items* (key-sorted, ``None`` = tombstone) as a segment.
+
+        Writes to a ``.tmp`` sibling, fsyncs, then renames into place, so
+        a crash mid-write never leaves a half-segment under the final
+        name (stray ``.tmp`` files are swept at store open).
+        """
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        keys: list[bytes] = []
+        index: list[tuple[bytes, int]] = []
+        with open(tmp, "wb") as fh:
+            fh.write(SEGMENT_MAGIC)
+            offset = len(SEGMENT_MAGIC)
+            for i, (key, value) in enumerate(items):
+                if i % sparse_every == 0:
+                    index.append((key, offset))
+                keys.append(key)
+                flags = _TOMBSTONE if value is None else 0
+                record = _SEG_REC.pack(flags, len(key), len(value or b""))
+                fh.write(record + key + (value or b""))
+                offset += len(record) + len(key) + len(value or b"")
+            index_off = offset
+            for key, off in index:
+                fh.write(_IDX_ENT.pack(len(key), off) + key)
+                offset += _IDX_ENT.size + len(key)
+            bloom = BloomFilter.for_count(
+                len(keys), bits_per_key=bloom_bits_per_key,
+            )
+            for key in keys:
+                bloom.add(key)
+            fh.write(bloom.encode())
+            fh.write(_FOOTER.pack(index_off, offset, len(keys), SEGMENT_MAGIC))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        return path
+
+    # -- reads --------------------------------------------------------------
+
+    def _block_bounds(self, key: bytes) -> tuple[int, int] | None:
+        """The ``[start, end)`` file span of the block that could hold *key*."""
+        i = bisect_right(self.index_keys, key) - 1
+        if i < 0:
+            return None
+        start = self.index_offs[i]
+        end = self.index_offs[i + 1] if i + 1 < len(self.index_offs) else self.data_end
+        return start, end
+
+    def get(self, key: bytes) -> tuple[bytes | None, bool] | None:
+        """``(value, is_tombstone)`` when this segment has *key*, else None.
+
+        The caller consults the bloom filter first; this does the sparse
+        index seek and the single-block scan.
+        """
+        bounds = self._block_bounds(key)
+        if bounds is None:
+            return None
+        start, end = bounds
+        chunk = os.pread(self.fd, end - start, start)
+        for _, rkey, value in _parse_records(chunk):
+            if rkey == key:
+                return value, value is None
+            if rkey > key:
+                return None
+        return None
+
+    def iter_range(
+        self, start: bytes | None = None, end: bytes | None = None,
+        *, chunk_bytes: int = 1 << 16,
+    ) -> Iterator[tuple[bytes, bytes | None]]:
+        """Yield ``(key, value_or_None)`` in order over ``[start, end)``."""
+        if start is None:
+            offset = len(SEGMENT_MAGIC)
+        else:
+            bounds = self._block_bounds(start)
+            offset = bounds[0] if bounds is not None else len(SEGMENT_MAGIC)
+        carry = b""
+        while offset < self.data_end:
+            chunk = os.pread(
+                self.fd, min(chunk_bytes, self.data_end - offset), offset,
+            )
+            if not chunk:
+                break
+            offset += len(chunk)
+            data = carry + chunk
+            consumed = 0
+            for consumed, key, value in _parse_records(data):
+                if end is not None and key >= end:
+                    return
+                if start is None or key >= start:
+                    yield key, value
+            carry = data[consumed:]
+        # A well-formed segment never leaves a partial record before
+        # data_end; anything left in carry is corruption.
+        if carry:
+            raise CorruptLog(f"{self.path}: trailing partial record")
+
+    def close(self) -> None:
+        if self.fd >= 0:
+            os.close(self.fd)
+            self.fd = -1
+
+
+class LSMStore:
+    """Ordered, persistent key-value store with LSM layout.
+
+    Parameters
+    ----------
+    path:
+        Directory the store lives in (created if missing), or ``None``
+        for a purely in-memory store (memtable only, no WAL/segments).
+    memtable_bytes:
+        Flush threshold: once buffered keys+values exceed this, the
+        memtable becomes a segment.
+    max_segments:
+        :meth:`run_maintenance` compacts once more than this many
+        segments exist.
+    sparse_every / bloom_bits_per_key:
+        Segment tuning: sparse-index granularity and bloom density.
+    sync:
+        fsync the WAL on every commit (ack == durable).
+    codec:
+        Record codec exposed to consumers (see :mod:`.codec`).
+    """
+
+    engine_name = "lsm"
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        *,
+        memtable_bytes: int = 4 * 1024 * 1024,
+        max_segments: int = 8,
+        sparse_every: int = 16,
+        bloom_bits_per_key: int = 10,
+        sync: bool = False,
+        metrics: MetricsRegistry | None = None,
+        codec: str | Codec | None = None,
+    ) -> None:
+        self.codec = get_codec(codec)
+        self.memtable_bytes = memtable_bytes
+        self.max_segments = max_segments
+        self.sparse_every = sparse_every
+        self.bloom_bits_per_key = bloom_bits_per_key
+        self._dir = Path(path) if path is not None else None
+        self._mem: dict[bytes, bytes | None] = {}
+        self._mem_bytes = 0
+        self._segments: list[Segment] = []
+        self._retired: list[Segment] = []
+        self._wal: WriteAheadLog | None = None
+        self._next_seq = 1
+        self._count = 0
+        self._closed = False
+        self._compacting = False
+        # Engine lock ("kvstore" rank in repro.locks.LOCK_ORDER — the
+        # storage-engine level — above the WAL lock it nests over).
+        # Mutations, memtable/segment-list snapshots, and the flush /
+        # compaction swap serialize here; segment file reads and the
+        # compaction merge itself run outside it on immutable state.
+        self._lsm_lock = threading.RLock()
+        m = metrics if metrics is not None else null_registry()
+        self._clock = getattr(m, "clock", None)
+        self._n_puts = 0
+        self._n_deletes = 0
+        self._n_flushes = 0
+        self._n_compactions = 0
+        self._compaction_seconds = 0.0
+        self._bloom_checks = 0
+        self._bloom_skips = 0
+        m.counter_func("storage.lsm.puts", lambda: self._n_puts)
+        m.counter_func("storage.lsm.deletes", lambda: self._n_deletes)
+        m.counter_func("storage.lsm.flushes", lambda: self._n_flushes)
+        m.counter_func("storage.lsm.compactions", lambda: self._n_compactions)
+        m.counter_func("storage.lsm.bloom_checks", lambda: self._bloom_checks)
+        m.counter_func("storage.lsm.bloom_skips", lambda: self._bloom_skips)
+        m.gauge_func("storage.lsm.memtable_bytes", lambda: self._mem_bytes)
+        m.gauge_func("storage.lsm.segments", lambda: len(self._segments))
+        m.gauge_func("storage.lsm.live_keys", lambda: self._count)
+        self._m_compaction_latency = m.histogram("storage.lsm.compaction_seconds")
+        if self._dir is not None:
+            self._dir.mkdir(parents=True, exist_ok=True)
+            self._open_dir(sync=sync, metrics=m)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _open_dir(self, *, sync: bool, metrics) -> None:
+        assert self._dir is not None
+        manifest = self._read_manifest()
+        listed = set(manifest)
+        for stray in sorted(self._dir.glob("seg-*")):
+            if stray.name not in listed:
+                stray.unlink()  # unadopted flush/compaction leftovers
+        for name in manifest:
+            seg = Segment(self._dir / name)
+            self._segments.append(seg)
+            seq = int(name.split("-")[1].split(".")[0])
+            self._next_seq = max(self._next_seq, seq + 1)
+        self._wal = WriteAheadLog(
+            self._dir / "memtable.wal", sync=sync, metrics=metrics,
+        )
+        for payload in self._wal.replay():
+            op, key, value = _decode(payload)
+            if op == _OP_PUT:
+                self._mem[key] = value
+                self._mem_bytes += len(key) + len(value)
+            else:
+                self._mem[key] = None
+                self._mem_bytes += len(key)
+        self._count = sum(1 for _ in self.cursor())
+
+    def _read_manifest(self) -> list[str]:
+        assert self._dir is not None
+        path = self._dir / "MANIFEST"
+        if not path.exists():
+            return []
+        return [line for line in path.read_text().splitlines() if line]
+
+    def _write_manifest(self) -> None:
+        assert self._dir is not None
+        tmp = self._dir / "MANIFEST.tmp"
+        with open(tmp, "w") as fh:
+            fh.write("".join(seg.path.name + "\n" for seg in self._segments))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self._dir / "MANIFEST")
+
+    def close(self) -> None:
+        with self._lsm_lock:
+            if self._closed:
+                return
+            if self._wal is not None:
+                self._wal.close()
+            for seg in self._segments + self._retired:
+                seg.close()
+            self._closed = True
+
+    def __enter__(self) -> "LSMStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreClosed("lsm store is closed")
+
+    # -- mutation -----------------------------------------------------------
+
+    def _segment_value(self, key: bytes, segments: list[Segment]):
+        """Newest segment verdict for *key*: value bytes, ``None`` for a
+        tombstone, or ``_ABSENT``.  Bloom-gated per segment."""
+        for seg in reversed(segments):
+            self._bloom_checks += 1
+            if key not in seg.bloom:
+                self._bloom_skips += 1
+                continue
+            found = seg.get(key)
+            if found is not None:
+                value, tombstone = found
+                return None if tombstone else value
+        return _ABSENT
+
+    def _is_fresh(self, key: bytes) -> bool:
+        """Whether *key* is currently absent (memtable-first, then segments)."""
+        prev = self._mem.get(key, _ABSENT)
+        if prev is not _ABSENT:
+            return prev is None
+        return self._segment_value(key, self._segments) in (None, _ABSENT)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite *key*."""
+        if not isinstance(key, bytes) or not isinstance(value, bytes):
+            raise TypeError("lsm keys and values must be bytes")
+        with self._lsm_lock:
+            self._check_open()
+            fresh = self._is_fresh(key)
+            if self._wal is not None:
+                self._wal.append(_encode(_OP_PUT, key, value))
+            self._mem[key] = value
+            self._mem_bytes += len(key) + len(value)
+            self._n_puts += 1
+            if fresh:
+                self._count += 1
+            self._maybe_flush()
+
+    def put_many(self, items: Iterable[tuple[bytes, bytes]]) -> int:
+        """Insert or overwrite many keys with one group-committed WAL
+        append (one buffered write, at most one fsync); returns the count.
+
+        Later occurrences of a duplicate key win, matching sequential
+        :meth:`put` semantics.
+        """
+        with self._lsm_lock:
+            self._check_open()
+            pairs: list[tuple[bytes, bytes]] = []
+            for key, value in items:
+                if not isinstance(key, bytes) or not isinstance(value, bytes):
+                    raise TypeError("lsm keys and values must be bytes")
+                pairs.append((key, value))
+            if self._wal is not None and pairs:
+                self._wal.append_many(
+                    _encode(_OP_PUT, key, value) for key, value in pairs
+                )
+            for key, value in pairs:
+                if self._is_fresh(key):
+                    self._count += 1
+                self._mem[key] = value
+                self._mem_bytes += len(key) + len(value)
+            self._n_puts += len(pairs)
+            if pairs:
+                self._maybe_flush()
+            return len(pairs)
+
+    def delete(self, key: bytes) -> None:
+        """Remove *key*; raises :class:`KeyNotFound` if absent."""
+        with self._lsm_lock:
+            self._check_open()
+            if self._is_fresh(key):
+                raise KeyNotFound(repr(key))
+            if self._wal is not None:
+                self._wal.append(_encode(_OP_DELETE, key))
+            if self._dir is None:
+                # No segments can shadow: drop the key outright instead
+                # of accumulating tombstones forever.
+                self._mem.pop(key, None)
+            else:
+                self._mem[key] = None
+                self._mem_bytes += len(key)
+            self._count -= 1
+            self._n_deletes += 1
+            self._maybe_flush()
+
+    def discard(self, key: bytes) -> bool:
+        """Remove *key* if present; returns whether it was."""
+        try:
+            self.delete(key)
+            return True
+        except KeyNotFound:
+            return False
+
+    # -- lookup -------------------------------------------------------------
+
+    def get(self, key: bytes, default: bytes | None = None) -> bytes | None:
+        """Return the value for *key*, or *default* when absent."""
+        with self._lsm_lock:
+            self._check_open()
+            value = self._mem.get(key, _ABSENT)
+            if value is not _ABSENT:
+                return default if value is None else value
+            segments = list(self._segments)
+        # Segment files are immutable; reads run outside the lock.
+        found = self._segment_value(key, segments)
+        if found is _ABSENT or found is None:
+            return default
+        return found
+
+    def __getitem__(self, key: bytes) -> bytes:
+        value = self.get(key, _ABSENT)  # type: ignore[arg-type]
+        if value is _ABSENT:
+            raise KeyNotFound(repr(key))
+        return value  # type: ignore[return-value]
+
+    def __setitem__(self, key: bytes, value: bytes) -> None:
+        self.put(key, value)
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get(key, _ABSENT) is not _ABSENT  # type: ignore[arg-type]
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- scans --------------------------------------------------------------
+
+    def cursor(
+        self,
+        start: bytes | None = None,
+        end: bytes | None = None,
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Iterate ``(key, value)`` pairs in key order over ``[start, end)``.
+
+        Iteration merges a snapshot of the memtable with the immutable
+        segments present at call time, newest-wins per key; mutating the
+        store during iteration is safe.
+        """
+        with self._lsm_lock:
+            self._check_open()
+            mem = [
+                (key, self._mem[key])
+                for key in sorted(self._mem)
+                if (start is None or key >= start)
+                and (end is None or key < end)
+            ]
+            segments = list(self._segments)
+        sources: list[Iterator[tuple[bytes, bytes | None]]] = [iter(mem)]
+        for seg in reversed(segments):
+            sources.append(seg.iter_range(start, end))
+        yield from _merge_newest_wins(sources)
+
+    def prefix(self, prefix: bytes) -> Iterator[tuple[bytes, bytes]]:
+        """Iterate all pairs whose key starts with *prefix*, in key order."""
+        if not prefix:
+            yield from self.cursor()
+            return
+        end = prefix_successor(prefix)
+        for key, value in self.cursor(start=prefix, end=end):
+            if not key.startswith(prefix):
+                break
+            yield key, value
+
+    #: Protocol-surface alias (``StorageEngine.scan_prefix``).
+    scan_prefix = prefix
+
+    def keys(self) -> list[bytes]:
+        """All live keys in sorted order."""
+        return [key for key, _ in self.cursor()]
+
+    # -- maintenance --------------------------------------------------------
+
+    def _maybe_flush(self) -> None:
+        if self._dir is not None and self._mem_bytes >= self.memtable_bytes:
+            self._flush_locked()
+
+    def flush(self) -> int:
+        """Freeze the memtable into a new segment; returns records written."""
+        with self._lsm_lock:
+            self._check_open()
+            return self._flush_locked()
+
+    def _flush_locked(self) -> int:
+        if self._dir is None or not self._mem:
+            return 0
+        items = sorted(self._mem.items())
+        path = self._dir / f"seg-{self._next_seq:08d}.seg"
+        self._next_seq += 1
+        Segment.write(
+            path, items,
+            sparse_every=self.sparse_every,
+            bloom_bits_per_key=self.bloom_bits_per_key,
+        )
+        _crashpoint("flush:post-segment")
+        self._segments.append(Segment(path))
+        self._write_manifest()
+        _crashpoint("flush:post-manifest")
+        assert self._wal is not None
+        self._wal.rewrite([])
+        self._mem.clear()
+        self._mem_bytes = 0
+        self._n_flushes += 1
+        return len(items)
+
+    def compact(self) -> None:
+        """Flush, then merge every segment into one, dropping tombstones.
+
+        The merge runs outside the engine lock over the immutable input
+        segments, so concurrent reads and writes proceed; only the final
+        list swap and manifest write re-enter the lock.  Segments flushed
+        *during* the merge stay layered above the merged output.
+        """
+        with self._lsm_lock:
+            self._check_open()
+            self._flush_locked()
+            if self._compacting or len(self._segments) <= 1:
+                return
+            self._compacting = True
+            snapshot = list(self._segments)
+            seq = self._next_seq
+            self._next_seq += 1
+        start_time = self._clock() if self._clock is not None else None
+        try:
+            merged = _merge_newest_wins(
+                [seg.iter_range() for seg in reversed(snapshot)],
+                keep_tombstones=False,
+            )
+            assert self._dir is not None
+            path = self._dir / f"seg-{seq:08d}.seg"
+            Segment.write(
+                path, merged,
+                sparse_every=self.sparse_every,
+                bloom_bits_per_key=self.bloom_bits_per_key,
+            )
+            _crashpoint("compact:post-segment")
+            new_seg = Segment(path)
+            with self._lsm_lock:
+                if self._closed:
+                    new_seg.close()
+                    return
+                # Replace exactly the merged prefix; segments flushed
+                # while merging stay on top (they are newer).
+                self._segments = [new_seg] + self._segments[len(snapshot):]
+                self._write_manifest()
+                _crashpoint("compact:post-manifest")
+                for seg in snapshot:
+                    seg.retired = True
+                    seg.path.unlink(missing_ok=True)
+                self._retired.extend(snapshot)
+                while len(self._retired) > RETIRED_SEGMENT_CAP:
+                    self._retired.pop(0).close()
+                self._n_compactions += 1
+        finally:
+            with self._lsm_lock:
+                self._compacting = False
+            if start_time is not None:
+                elapsed = self._clock() - start_time
+                self._compaction_seconds += elapsed
+                self._m_compaction_latency.observe(elapsed)
+
+    def run_maintenance(self) -> int:
+        """One bounded background step: flush an oversized memtable,
+        compact an oversized segment stack.  Returns work units done
+        (the scheduler-daemon contract)."""
+        done = 0
+        with self._lsm_lock:
+            self._check_open()
+            if self._dir is not None and self._mem_bytes >= self.memtable_bytes:
+                self._flush_locked()
+                done += 1
+        if len(self._segments) > self.max_segments:
+            self.compact()
+            done += 1
+        return done
+
+    def stats(self) -> dict:
+        """Operational counters (superset of the protocol's stats surface)."""
+        with self._lsm_lock:
+            self._check_open()
+            checks = self._bloom_checks
+            return {
+                "engine": self.engine_name,
+                "live_keys": self._count,
+                "memtable_keys": len(self._mem),
+                "memtable_bytes": self._mem_bytes,
+                "segments": len(self._segments),
+                "segment_records": sum(s.count for s in self._segments),
+                "retired_segments": len(self._retired),
+                "flushes": self._n_flushes,
+                "compactions": self._n_compactions,
+                "compaction_seconds": round(self._compaction_seconds, 6),
+                "bloom_checks": checks,
+                "bloom_skips": self._bloom_skips,
+                "bloom_hit_rate": (
+                    round(self._bloom_skips / checks, 4) if checks else 0.0
+                ),
+                "log_bytes": (
+                    self._wal.size_bytes() if self._wal is not None else 0
+                ),
+            }
+
+
+def _merge_newest_wins(
+    sources: list[Iterator[tuple[bytes, bytes | None]]],
+    *,
+    keep_tombstones: bool = False,
+) -> Iterator[tuple[bytes, bytes]]:
+    """K-way merge of key-ordered iterators; earlier sources win a key.
+
+    Tombstones (``value=None``) suppress the key entirely unless
+    *keep_tombstones* (compactions that must go on shadowing lower,
+    uncompacted levels would pass True; the full-stack compaction this
+    engine does drops them).
+    """
+    heap: list[tuple[bytes, int, bytes | None]] = []
+    iters = [iter(src) for src in sources]
+    for prio, it in enumerate(iters):
+        for key, value in it:
+            heapq.heappush(heap, (key, prio, value))
+            break
+    last_key: bytes | None = None
+    while heap:
+        key, prio, value = heapq.heappop(heap)
+        for nkey, nvalue in iters[prio]:
+            heapq.heappush(heap, (nkey, prio, nvalue))
+            break
+        if key == last_key:
+            continue
+        last_key = key
+        if value is None:
+            if keep_tombstones:
+                yield key, None  # type: ignore[misc]
+            continue
+        yield key, value
+
+
+class LSMMaintenanceDaemon:
+    """Scheduler daemon driving one store's flush/compaction cycle.
+
+    Registered by the server when the LSM engine is selected, it runs
+    under the scheduler's quarantine/parole supervision like every other
+    background worker — a store whose maintenance keeps failing is
+    quarantined and paroled with backoff instead of wedging the server.
+    """
+
+    name = "lsm-maintenance"
+
+    def __init__(self, store: LSMStore) -> None:
+        self.store = store
+
+    def run_once(self) -> int:
+        return self.store.run_maintenance()

@@ -10,14 +10,14 @@ monotone id sequences the catalog tables need.
 from __future__ import annotations
 
 import hashlib
-import json
 import threading
 import time
 from collections import deque
 from pathlib import Path
 from typing import Any
 
-from .kvstore import KVStore, Namespace
+from .codec import Codec
+from .engine import Namespace, engine_store_path, open_engine
 from .relational import Database, Row
 from .schema import (
     ARCHIVE_COMMUNITY,
@@ -70,9 +70,12 @@ class Sequence:
 
     def __init__(self, ns: Namespace, name: str) -> None:
         self._ns = ns
+        self._codec = ns.store.codec
         self._key = name.encode("utf-8")
         raw = ns.get(self._key)
-        self._next = int(raw) if raw is not None else 1
+        # codec.decode reads both historical ascii-int records and
+        # binary-codec records, whichever codec wrote the store.
+        self._next = int(self._codec.decode(raw)) if raw is not None else 1
         # Allocation is a read-increment-persist compound; its own lock
         # keeps handed-out ids unique even when a handle escapes the
         # repository lock.
@@ -82,7 +85,7 @@ class Sequence:
         with self._lock:
             value = self._next
             self._next += 1
-            self._ns.put(self._key, str(self._next).encode("utf-8"))
+            self._ns.put(self._key, self._codec.encode(self._next))
         return value
 
     def take(self, n: int) -> range:
@@ -93,7 +96,7 @@ class Sequence:
             start = self._next
             if n:
                 self._next += n
-                self._ns.put(self._key, str(self._next).encode("utf-8"))
+                self._ns.put(self._key, self._codec.encode(self._next))
         return range(start, start + n)
 
     def peek(self) -> int:
@@ -122,6 +125,12 @@ class MemexRepository:
     log_hub:
         When provided, the version coordinator logs publishes/aborts
         through it (component ``versioning``).
+    storage_engine:
+        Term-store engine name (``"btree"`` or ``"lsm"``), resolved
+        through :func:`repro.storage.open_engine`.
+    codec:
+        Record codec (``"json"``/``"binary"``) injected into both the
+        relational WAL and the term store.
     """
 
     #: Bound on the in-memory visit -> origin-traceparent side table.
@@ -136,6 +145,8 @@ class MemexRepository:
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         log_hub: LogHub | None = None,
+        storage_engine: str = "btree",
+        codec: str | Codec | None = None,
     ) -> None:
         self.root = Path(root) if root is not None else None
         self.clock = clock
@@ -143,11 +154,20 @@ class MemexRepository:
         self.tracer = tracer if tracer is not None else null_tracer()
         if self.root is not None:
             self.root.mkdir(parents=True, exist_ok=True)
-            self.db = Database(self.root / "catalog.wal", sync=sync, metrics=self.metrics)
-            self.kv = KVStore(self.root / "terms.kv", sync=sync, metrics=self.metrics)
+            self.db = Database(
+                self.root / "catalog.wal",
+                sync=sync, metrics=self.metrics, codec=codec,
+            )
+            self.kv = open_engine(
+                storage_engine,
+                engine_store_path(self.root, storage_engine),
+                sync=sync, metrics=self.metrics, codec=codec,
+            )
         else:
-            self.db = Database(metrics=self.metrics)
-            self.kv = KVStore(metrics=self.metrics)
+            self.db = Database(metrics=self.metrics, codec=codec)
+            self.kv = open_engine(
+                storage_engine, metrics=self.metrics, codec=codec,
+            )
         create_catalog(self.db)
         self.versions = VersionCoordinator(
             metrics=self.metrics,
@@ -574,14 +594,20 @@ class MemexRepository:
     # -- model blobs -------------------------------------------------------------------------------
 
     def save_model(self, name: str, payload: dict[str, Any]) -> None:
-        """Persist a mined model (classifier, themes) as JSON in the KV store."""
-        self.models.put(name.encode("utf-8"), json.dumps(payload).encode("utf-8"))
+        """Persist a mined model (classifier, themes) in the KV store,
+        serialized through the store's record codec."""
+        self.models.put(name.encode("utf-8"), self.kv.codec.encode(payload))
 
     def load_model(self, name: str) -> dict[str, Any] | None:
         raw = self.models.get(name.encode("utf-8"))
-        return json.loads(raw.decode("utf-8")) if raw is not None else None
+        return self.kv.codec.decode(raw) if raw is not None else None
 
     # -- lifecycle -----------------------------------------------------------------------------------
+
+    def storage_stats(self) -> dict[str, Any]:
+        """The term store's engine-level operational stats (see
+        ``StorageEngine.stats``), keyed for the stats servlet."""
+        return dict(self.kv.stats())
 
     def close(self) -> None:
         self.db.close()

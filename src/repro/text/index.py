@@ -2,19 +2,20 @@
 
 One posting list per term, keyed by the term string, exactly the
 "fine-grained term-level data" the paper pushes out of the RDBMS into
-Berkeley DB (§3).  Postings are ``doc_id -> term frequency`` maps stored as
-JSON; document lengths and corpus statistics live in sibling namespaces so
-the ranked-retrieval code never touches the relational side.
+Berkeley DB (§3).  Postings are ``doc_id -> term frequency`` maps
+serialized through the backing store's record codec; document lengths and
+corpus statistics live in sibling namespaces so the ranked-retrieval code
+never touches the relational side.
 """
 
 from __future__ import annotations
 
-import json
 import threading
 from collections.abc import Iterable
 
 from ..errors import IndexError_
-from ..storage.kvstore import KVStore, Namespace
+from ..storage.codec import get_codec
+from ..storage.engine import Namespace, StorageEngine, open_engine
 from .tokenize import tokenize
 
 
@@ -24,7 +25,8 @@ class InvertedIndex:
     Parameters
     ----------
     kv:
-        Backing store; a private in-memory one is created when omitted.
+        Backing storage engine; a private in-memory one is opened through
+        the engine factory when omitted.
     prefix:
         Namespace prefix, letting several indices share one store (Memex
         keeps "several text-related indices in Berkeley DB").
@@ -35,12 +37,15 @@ class InvertedIndex:
 
     def __init__(
         self,
-        kv: KVStore | None = None,
+        kv: StorageEngine | None = None,
         *,
         prefix: str = "idx",
         store_positions: bool = False,
     ) -> None:
-        self._kv = kv if kv is not None else KVStore()
+        self._kv = kv if kv is not None else open_engine("btree")
+        # Store-duck-typed backends (e.g. a raw BTree) may not carry a
+        # codec; fall back to the default.
+        self._codec = get_codec(getattr(self._kv, "codec", None))
         self._post = Namespace(self._kv, prefix + ".post")
         self._docs = Namespace(self._kv, prefix + ".docs")   # doc_id -> doc length
         self._meta = Namespace(self._kv, prefix + ".meta")
@@ -90,7 +95,7 @@ class InvertedIndex:
                 table = self._load_positions(term)
                 table[doc_id] = pos
                 self._store_positions(term, table)
-        self._docs.put(doc_id.encode("utf-8"), str(len(terms)).encode("utf-8"))
+        self._docs.put(doc_id.encode("utf-8"), self._codec.encode(len(terms)))
         return len(terms)
 
     def remove_document(self, doc_id: str) -> bool:
@@ -105,13 +110,13 @@ class InvertedIndex:
         # Walk every posting list; laptop-scale corpora make this fine and
         # it avoids a per-document forward index.
         for key, value in list(self._post.items()):
-            postings = json.loads(value.decode("utf-8"))
+            postings = self._codec.decode(value)
             if doc_id in postings:
                 del postings[doc_id]
                 term = key.decode("utf-8")
                 self._store_postings(term, postings)
         for key, value in list(self._pos.items()):
-            table = json.loads(value.decode("utf-8"))
+            table = self._codec.decode(value)
             if doc_id in table:
                 del table[doc_id]
                 self._store_positions(key.decode("utf-8"), table)
@@ -130,7 +135,7 @@ class InvertedIndex:
         raw = self._docs.get(doc_id.encode("utf-8"))
         if raw is None:
             raise IndexError_(f"document {doc_id!r} not indexed")
-        return int(raw)
+        return int(self._codec.decode(raw))
 
     @property
     def num_docs(self) -> int:
@@ -139,7 +144,7 @@ class InvertedIndex:
 
     def avg_doc_length(self) -> float:
         with self._index_lock:
-            lengths = [int(v) for _, v in self._docs.items()]
+            lengths = [int(self._codec.decode(v)) for _, v in self._docs.items()]
         if not lengths:
             return 0.0
         return sum(lengths) / len(lengths)
@@ -175,12 +180,12 @@ class InvertedIndex:
         raw = self._post.get(term.encode("utf-8"))
         if raw is None:
             return {}
-        return json.loads(raw.decode("utf-8"))
+        return self._codec.decode(raw)
 
     def _store_postings(self, term: str, postings: dict[str, int]) -> None:
         key = term.encode("utf-8")
         if postings:
-            self._post.put(key, json.dumps(postings).encode("utf-8"))
+            self._post.put(key, self._codec.encode(postings))
         else:
             self._post.discard(key)
 
@@ -220,11 +225,11 @@ class InvertedIndex:
         raw = self._pos.get(term.encode("utf-8"))
         if raw is None:
             return {}
-        return json.loads(raw.decode("utf-8"))
+        return self._codec.decode(raw)
 
     def _store_positions(self, term: str, table: dict[str, list[int]]) -> None:
         key = term.encode("utf-8")
         if table:
-            self._pos.put(key, json.dumps(table).encode("utf-8"))
+            self._pos.put(key, self._codec.encode(table))
         else:
             self._pos.discard(key)

@@ -12,7 +12,7 @@ from repro.core import MemexSystem
 from repro.core.memex import MemexServer
 from repro.errors import VersioningError
 from repro.server.daemons import CrawlerDaemon, FetchedPage, IndexerDaemon
-from repro.storage.kvstore import KVStore
+from repro.storage import KVStore
 from repro.storage.repository import MemexRepository
 from repro.storage.wal import WriteAheadLog, encode_record
 

@@ -19,7 +19,7 @@ from hypothesis.stateful import (
 
 from repro.errors import DuplicateKey, KeyNotFound, NoSuchFolder
 from repro.folders.tree import FolderTree
-from repro.storage.kvstore import KVStore
+from repro.storage import KVStore
 from repro.storage.relational import Column, Database
 
 keys = st.binary(min_size=1, max_size=6)

@@ -14,7 +14,7 @@ from repro.errors import AuthError, MemexError, ServletError
 from repro.server.daemons import FetchedPage
 from repro.server.servlets import ServletRegistry
 from repro.server.transport import HttpTunnelTransport
-from repro.storage.kvstore import KVStore
+from repro.storage import KVStore
 from repro.storage.repository import MemexRepository
 from repro.storage.wal import WriteAheadLog, encode_record
 
@@ -104,7 +104,7 @@ def test_kvstore_put_many_type_checked():
 
 def test_namespace_put_many():
     store = KVStore()
-    from repro.storage.kvstore import Namespace
+    from repro.storage import Namespace
 
     ns = Namespace(store, "terms")
     ns.put_many([(b"a", b"1"), (b"b", b"2")])

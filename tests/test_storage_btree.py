@@ -213,7 +213,7 @@ def test_btree_matches_dict_model(ops):
 def test_btree_backs_namespace_and_inverted_index(tmp_path):
     """The B+-tree is a drop-in backend for Namespace — and therefore for
     the inverted index — matching the KVStore interface."""
-    from repro.storage.kvstore import Namespace
+    from repro.storage import Namespace
     from repro.text.index import InvertedIndex
     from repro.text.search import SearchEngine
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import KeyNotFound, StoreClosed
-from repro.storage.kvstore import KVStore, Namespace
+from repro.storage import KVStore, Namespace
 
 
 @pytest.fixture(params=["memory", "disk"])
@@ -191,7 +191,7 @@ def test_keys_sorted_after_interleaved_ops(store):
 # -- prefix successor (regression: 0xFF-suffixed prefixes) -------------------
 
 def test_prefix_successor_carries_into_preceding_byte():
-    from repro.storage.kvstore import prefix_successor
+    from repro.storage import prefix_successor
     assert prefix_successor(b"ab") == b"ac"
     assert prefix_successor(b"a\xff") == b"b"          # carry over 0xFF
     assert prefix_successor(b"a\xff\xff") == b"b"      # carry across a run

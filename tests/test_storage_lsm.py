@@ -1,0 +1,199 @@
+"""LSM engine internals: segments, blooms, manifest, compaction, daemon."""
+
+import pytest
+
+from repro.errors import CorruptLog
+from repro.obs import MetricsRegistry
+from repro.storage.lsm import (
+    BloomFilter,
+    LSMMaintenanceDaemon,
+    LSMStore,
+    Segment,
+)
+
+
+@pytest.fixture
+def small_store(tmp_path):
+    """Tiny thresholds so flush/compaction trigger within a test."""
+    s = LSMStore(tmp_path / "t.lsm", memtable_bytes=512, max_segments=3)
+    yield s
+    s.close()
+
+
+# -- bloom filters -------------------------------------------------------------
+
+
+def test_bloom_membership_and_roundtrip():
+    bloom = BloomFilter.for_count(100)
+    keys = [f"key-{i}".encode() for i in range(100)]
+    for k in keys:
+        bloom.add(k)
+    assert all(k in bloom for k in keys)
+    # Deterministic across encode/decode (and hence across processes).
+    again = BloomFilter.decode(bloom.encode())
+    assert all(k in again for k in keys)
+    misses = sum(f"other-{i}".encode() in again for i in range(1000))
+    assert misses < 100  # ~1% expected at 10 bits/key; bound loosely
+
+
+def test_bloom_decode_rejects_truncation():
+    bloom = BloomFilter.for_count(10)
+    with pytest.raises(CorruptLog):
+        BloomFilter.decode(bloom.encode()[:-1])
+
+
+# -- segment files -------------------------------------------------------------
+
+
+def test_segment_write_read_roundtrip(tmp_path):
+    items = [(f"k{i:04d}".encode(), f"v{i}".encode()) for i in range(500)]
+    items[7] = (items[7][0], None)  # a tombstone
+    path = Segment.write(tmp_path / "seg-1.seg", items, sparse_every=8)
+    seg = Segment(path)
+    try:
+        assert seg.count == 500
+        assert seg.get(b"k0003") == (b"v3", False)
+        assert seg.get(b"k0007") == (None, True)
+        assert seg.get(b"nope") is None
+        assert list(seg.iter_range()) == items
+        assert list(seg.iter_range(b"k0100", b"k0105")) == items[100:105]
+    finally:
+        seg.close()
+
+
+def test_segment_rejects_corruption(tmp_path):
+    path = Segment.write(
+        tmp_path / "seg-1.seg", [(b"a", b"1")], sparse_every=4,
+    )
+    data = path.read_bytes()
+    path.write_bytes(data[:-4] + b"XXXX")  # clobber the footer magic
+    with pytest.raises(CorruptLog):
+        Segment(path)
+    path.write_bytes(data[: len(data) // 2])  # truncate mid-file
+    with pytest.raises(CorruptLog):
+        Segment(path)
+
+
+# -- flush / manifest ----------------------------------------------------------
+
+
+def test_flush_moves_memtable_to_segment(small_store):
+    for i in range(10):
+        small_store.put(f"k{i}".encode(), b"x" * 10)
+    n = small_store.flush()
+    assert n == 10
+    stats = small_store.stats()
+    assert stats["memtable_keys"] == 0
+    assert stats["segments"] >= 1
+    assert stats["log_bytes"] == 0  # WAL truncated after adoption
+    assert small_store.get(b"k3") == b"x" * 10
+
+
+def test_unlisted_segment_files_are_swept(tmp_path):
+    with LSMStore(tmp_path / "t.lsm") as s:
+        s.put(b"k", b"v")
+        s.flush()
+    stray = tmp_path / "t.lsm" / "seg-99999999.seg"
+    stray.write_bytes(b"garbage never adopted by the manifest")
+    with LSMStore(tmp_path / "t.lsm") as s:
+        assert s.get(b"k") == b"v"
+    assert not stray.exists()
+
+
+def test_reopen_replays_wal_tail(tmp_path):
+    with LSMStore(tmp_path / "t.lsm") as s:
+        s.put(b"flushed", b"1")
+        s.flush()
+        s.put(b"unflushed", b"2")  # stays in the WAL only
+    with LSMStore(tmp_path / "t.lsm") as s:
+        assert s.get(b"flushed") == b"1"
+        assert s.get(b"unflushed") == b"2"
+        assert len(s) == 2
+
+
+# -- compaction ----------------------------------------------------------------
+
+
+def test_compaction_merges_and_drops_tombstones(small_store):
+    for i in range(60):
+        small_store.put(f"k{i:02d}".encode(), b"x" * 24)
+    for i in range(0, 60, 3):
+        small_store.delete(f"k{i:02d}".encode())
+    assert small_store.stats()["segments"] > 1
+    expected = list(small_store.cursor())
+    small_store.compact()
+    stats = small_store.stats()
+    assert stats["segments"] == 1
+    assert stats["compactions"] == 1
+    assert list(small_store.cursor()) == expected
+    # Tombstones are physically gone: the one segment holds only live keys.
+    assert stats["segment_records"] == len(expected)
+
+
+def test_delete_via_tombstone_shadows_older_segment(small_store):
+    small_store.put(b"doomed", b"v")
+    small_store.flush()
+    small_store.delete(b"doomed")
+    assert b"doomed" not in small_store
+    assert len(small_store) == 0
+    small_store.flush()  # tombstone now lives in a newer segment
+    assert b"doomed" not in small_store
+    assert list(small_store.cursor()) == []
+
+
+def test_retired_segments_keep_live_readers_valid(small_store):
+    for i in range(100):
+        small_store.put(f"k{i:03d}".encode(), b"x" * 16)
+    small_store.flush()
+    cursor = small_store.cursor()
+    first = next(cursor)
+    small_store.compact()  # retires the segment the cursor reads
+    rest = list(cursor)
+    assert [first] + rest == list(small_store.cursor())
+    assert small_store.stats()["retired_segments"] >= 1
+
+
+def test_maintenance_daemon_contract(tmp_path):
+    store = LSMStore(tmp_path / "t.lsm", memtable_bytes=256, max_segments=1)
+    daemon = LSMMaintenanceDaemon(store)
+    assert daemon.name == "lsm-maintenance"
+    assert daemon.run_once() == 0  # nothing to do yet
+    for i in range(40):
+        store.put(f"k{i:02d}".encode(), b"x" * 32)
+    store.flush()
+    store.put(b"extra", b"v")
+    store.flush()
+    assert store.stats()["segments"] > 1
+    assert daemon.run_once() >= 1   # compacts the stack
+    assert store.stats()["segments"] == 1
+    store.close()
+
+
+# -- metrics -------------------------------------------------------------------
+
+
+def test_lsm_metrics_surface(tmp_path):
+    m = MetricsRegistry()
+    with LSMStore(tmp_path / "t.lsm", metrics=m, memtable_bytes=128) as s:
+        for i in range(20):
+            s.put(f"k{i:02d}".encode(), b"x" * 16)
+        s.compact()
+        s.get(b"k00")
+        s.get(b"nope")
+        snap = m.snapshot()
+        assert snap["counters"]["storage.lsm.puts"] == 20
+        assert snap["counters"]["storage.lsm.flushes"] >= 1
+        assert snap["gauges"]["storage.lsm.segments"] >= 1
+        assert "storage.lsm.bloom_checks" in snap["counters"]
+
+
+def test_in_memory_mode_has_no_files(tmp_path):
+    with LSMStore() as s:
+        s.put(b"a", b"1")
+        s.put(b"b", b"2")
+        s.delete(b"a")
+        assert list(s.cursor()) == [(b"b", b"2")]
+        s.flush()      # no-op without a directory
+        s.compact()
+        assert list(s.cursor()) == [(b"b", b"2")]
+    assert list(tmp_path.iterdir()) == []

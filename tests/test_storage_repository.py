@@ -12,9 +12,11 @@ from repro.storage.schema import (
 )
 
 
-@pytest.fixture
-def repo():
-    r = MemexRepository()
+# The whole suite runs once per storage engine — the "same-suite
+# guarantee": both engines must satisfy every repository behavior.
+@pytest.fixture(params=["btree", "lsm"])
+def repo(request):
+    r = MemexRepository(storage_engine=request.param)
     yield r
     r.close()
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import IndexError_
-from repro.storage.kvstore import KVStore
+from repro.storage import open_engine
 from repro.text.index import InvertedIndex
 from repro.text.search import SearchEngine
 
@@ -16,9 +16,11 @@ DOCS = {
 }
 
 
-@pytest.fixture
-def index():
-    idx = InvertedIndex()
+# The index suite runs once per storage engine (same-suite guarantee):
+# the inverted index must behave identically over btree and lsm.
+@pytest.fixture(params=["btree", "lsm"])
+def index(request):
+    idx = InvertedIndex(open_engine(request.param))
     for doc_id, text in DOCS.items():
         idx.add_document(doc_id, text)
     return idx
@@ -68,11 +70,11 @@ def test_empty_posting_lists_are_deleted(index):
 
 
 def test_index_persists_in_kvstore(tmp_path):
-    kv = KVStore(tmp_path / "kv.log")
+    kv = open_engine("btree", tmp_path / "kv.log")
     idx = InvertedIndex(kv)
     idx.add_document("d1", "persistent music")
     kv.close()
-    kv2 = KVStore(tmp_path / "kv.log")
+    kv2 = open_engine("btree", tmp_path / "kv.log")
     idx2 = InvertedIndex(kv2)
     assert idx2.num_docs == 1
     engine = SearchEngine(idx2)
@@ -81,7 +83,7 @@ def test_index_persists_in_kvstore(tmp_path):
 
 
 def test_two_indices_share_a_store():
-    kv = KVStore()
+    kv = open_engine("btree")
     a = InvertedIndex(kv, prefix="a")
     b = InvertedIndex(kv, prefix="b")
     a.add_document("d", "alpha only")
