@@ -1,0 +1,218 @@
+"""M-load — open-loop latency vs offered load, and recovery under chaos.
+
+Unlike the closed-loop benches, this one keeps its own clock: the
+schedule from ``repro.loadgen`` makes requests *due* at fixed instants
+(Zipfian million-user population, diurnal session arrivals, trail-shaped
+request mixes) and latency is measured from the scheduled instant, so
+queueing behind an overloaded server counts against it instead of
+silently slowing the client down.  Each point offers one schedule
+through real TCP (``TransportPool`` -> router -> forked shard workers
+with ``sync=True`` WALs) and records client-observed percentiles per
+request kind plus the server's own SLO view from the health servlet.
+
+Two phases land in ``BENCH_load.json`` at the repo root:
+
+* ``curves`` — per shard count (1/2/4; 1/2 quick), latency percentiles
+  at each offered rate.  Gated at the **rated** (lowest) offered rate:
+  p99 under :data:`GATE_P99_S` and no SLO burning error budget at the
+  fast-burn rate in both windows.
+* ``chaos`` — the rated schedule re-offered while the chaos controller
+  SIGKILLs a shard worker and tears its WAL tail mid-run.  Gated on the
+  recovery contract, not latency: **zero lost acknowledged visits**
+  after WAL replay, every injection fired cleanly, and scatter reads
+  complete (non-partial) again after the supervisor's restart.
+
+Set ``MEMEX_BENCH_QUICK=1`` (CI smoke) for shorter windows and the
+1/2-shard points only, with the same gates.
+"""
+
+import json
+import os
+from pathlib import Path
+from types import SimpleNamespace
+
+from repro.client import TransportPool
+from repro.core.memex import MemexServer
+from repro.loadgen import (
+    ChaosController,
+    OpenLoopRunner,
+    build_report,
+    build_schedule,
+    burn_rate_ok,
+    parse_chaos,
+)
+from repro.server.daemons import FetchedPage
+from repro.shard import MemexCluster
+
+QUICK = bool(os.environ.get("MEMEX_BENCH_QUICK"))
+SHARD_POINTS = (1, 2) if QUICK else (1, 2, 4)
+RATES = (6.0, 12.0) if QUICK else (8.0, 16.0, 32.0)
+WINDOW_S = 4.0 if QUICK else 8.0
+GATE_P99_S = 5.0
+POOL_SIZE = 2
+POOL_CONNS = 8
+SEED = 23
+POPULATION = 1_000_000
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_load.json"
+
+N_TOPICS = 4
+PAGES_PER_TOPIC = 12
+PAGES = {
+    f"http://site{t}/p{p:02d}": FetchedPage(
+        f"http://site{t}/p{p:02d}", f"Topic {t} page {p}",
+        f"epsilon text topic{t} page{p}", (),
+    )
+    for t in range(N_TOPICS)
+    for p in range(PAGES_PER_TOPIC)
+}
+CORPUS = SimpleNamespace(pages={
+    url: SimpleNamespace(topic=f"/Top/T{url[len('http://site')]}")
+    for url in PAGES
+})
+
+
+def _factory(shard_id, root):
+    # sync=True: acks mean fsynced — the chaos phase's zero-lost-acks
+    # assertion is the durability contract, not a best-effort count.
+    return MemexServer(PAGES.get, root=root, sync=True)
+
+
+def _schedule(rate):
+    return build_schedule(
+        CORPUS, seed=SEED, duration=WINDOW_S, rate=rate,
+        population=POPULATION, visits_per_batch=4,
+    )
+
+
+def _offer(cluster, schedule, *, chaos_spec=None):
+    """Offer *schedule* to *cluster* over TCP; returns (report, result,
+    chaos controller or None)."""
+    host, port = cluster.address
+    with TransportPool(host, port, size=POOL_SIZE,
+                       max_pooled=POOL_CONNS) as pool:
+        chaos = None
+        if chaos_spec:
+            chaos = ChaosController(
+                parse_chaos(chaos_spec), cluster=cluster, pool=pool,
+            )
+        runner = OpenLoopRunner(pool, schedule, workers=8)
+        if chaos is not None:
+            chaos.start()
+        try:
+            result = runner.run()
+        finally:
+            if chaos is not None:
+                chaos.stop()
+        if chaos is not None:
+            for shard in range(cluster.n_shards):
+                assert cluster.supervisor.wait_until_up(shard, timeout=30.0)
+        health = pool.request(schedule.users[0], {"servlet": "health"})
+        report = build_report(
+            result,
+            label=f"{cluster.n_shards}sh@{schedule.meta['rate']:g}rps"
+            + ("+chaos" if chaos_spec else ""),
+            offered_rate=schedule.offered_rate,
+            health=health,
+            chaos=chaos.fired if chaos is not None else None,
+        )
+    return report, result, chaos
+
+
+def _cluster(n_shards, data_dir):
+    return MemexCluster(
+        _factory, n_shards, data_dir=data_dir,
+        tick_interval=0.05,
+        router_workers=POOL_SIZE * POOL_CONNS + 4,
+    )
+
+
+def test_latency_vs_offered_load_and_chaos_recovery(tmp_path):
+    curves = []
+    rated_reports = {}
+    for n_shards in SHARD_POINTS:
+        points = []
+        for rate in RATES:
+            schedule = _schedule(rate)
+            with _cluster(n_shards, tmp_path / f"s{n_shards}r{rate:g}") as cl:
+                report, _result, _ = _offer(cl, schedule)
+            points.append(report)
+            if rate == RATES[0]:
+                rated_reports[n_shards] = report
+        curves.append({"shards": n_shards, "points": points})
+
+    # -- chaos phase: rated load, a worker SIGKILLed and its WAL torn
+    # mid-run, plus a client connection drop.
+    chaos_shards = 2
+    schedule = _schedule(RATES[0])
+    mid = WINDOW_S / 2.0
+    spec = f"tear_wal_tail:1@{mid:g},drop_connections@{mid + 1.0:g}"
+    with _cluster(chaos_shards, tmp_path / "chaos") as cluster:
+        chaos_report, chaos_result, chaos = _offer(
+            cluster, schedule, chaos_spec=spec,
+        )
+        st = cluster.stats(schedule.users[0])
+        stored = sum(int(row["visits"]) for row in st["by_shard"].values())
+        chaos_report["recovery"] = {
+            "acked_visits": chaos_result.total_acked,
+            "stored_visits": stored,
+            "partial_after_recovery": st["partial"],
+        }
+
+    payload = {
+        "benchmark": "open_loop_load",
+        "quick": QUICK,
+        "config": {
+            "window_s": WINDOW_S,
+            "rates_rps": list(RATES),
+            "shard_points": list(SHARD_POINTS),
+            "population": POPULATION,
+            "seed": SEED,
+            "pool": {"size": POOL_SIZE, "max_pooled": POOL_CONNS},
+            "schedule_digest": _schedule(RATES[0]).digest(),
+            "model": (
+                "open-loop: requests due at scheduled instants from a "
+                "Zipfian 10^6-user population with diurnal arrivals; "
+                "latency measured from the due instant so backlog wait "
+                "counts. sync=True shard workers over real TCP; 1-core "
+                "container, so rising offered rate buys queueing delay, "
+                "not parallel speedup."
+            ),
+        },
+        "gates": {
+            "rated_p99_s": GATE_P99_S,
+            "rated_burn_ok": True,
+            "chaos_zero_lost_acks": True,
+        },
+        "curves": curves,
+        "chaos": chaos_report,
+    }
+    # Publish before gating: a failed gate still leaves the curve.
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    # -- gates: rated load, every shard count.
+    for n_shards, report in sorted(rated_reports.items()):
+        assert report["shed"] == 0, (n_shards, report["shed"])
+        for kind in ("visit_batch", "search"):
+            p99 = report["latency"][kind]["p99"]
+            assert p99 < GATE_P99_S, (
+                f"{n_shards}-shard rated p99({kind}) {p99:.3f}s "
+                f"exceeds {GATE_P99_S}s"
+            )
+        slos = {"slos": {
+            name: row for name, row in report["server_slos"].items()
+        }}
+        assert burn_rate_ok(slos), (
+            f"{n_shards}-shard rated load burns error budget: "
+            f"{report['server_slos']}"
+        )
+
+    # -- gates: chaos recovery.
+    assert all(rec.get("error") is None for rec in chaos_report["chaos"]), (
+        chaos_report["chaos"]
+    )
+    recovery = chaos_report["recovery"]
+    assert recovery["partial_after_recovery"] is False
+    assert recovery["stored_visits"] >= recovery["acked_visits"], (
+        f"lost acknowledged visits under chaos: {recovery}"
+    )
+    assert recovery["acked_visits"] > 0

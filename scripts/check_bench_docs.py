@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Check that docs/BENCHMARKS.md and the published BENCH_*.json agree.
+
+The registry rule (docs/BENCHMARKS.md is the registry of every
+published benchmark artifact):
+
+* every ``BENCH_*.json`` at the repo root has a ``### BENCH_<name>.json``
+  section in docs/BENCHMARKS.md;
+* every such section names a file that actually exists at the root
+  (no documentation for artifacts that stopped being published);
+* the first ``benchmarks/...py`` path each section mentions exists on
+  disk (the reproduction pointer cannot rot).
+
+Exit status 0 when the registry is consistent, 1 otherwise (one line
+per problem on stderr).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC = REPO_ROOT / "docs" / "BENCHMARKS.md"
+
+HEADING_RE = re.compile(r"^###\s+(BENCH_\w+\.json)\s*$", re.MULTILINE)
+BENCH_FILE_RE = re.compile(r"`(benchmarks/[\w./-]+\.py)`")
+
+
+def main() -> int:
+    problems: list[str] = []
+    if not DOC.exists():
+        print(f"missing {DOC.relative_to(REPO_ROOT)}", file=sys.stderr)
+        return 1
+    text = DOC.read_text(encoding="utf-8")
+
+    published = {p.name for p in REPO_ROOT.glob("BENCH_*.json")}
+    documented = HEADING_RE.findall(text)
+    documented_set = set(documented)
+
+    for name in sorted(published - documented_set):
+        problems.append(
+            f"{name} is published at the repo root but has no "
+            f"'### {name}' section in docs/BENCHMARKS.md"
+        )
+    for name in sorted(documented_set - published):
+        problems.append(
+            f"docs/BENCHMARKS.md documents {name} but no such file is "
+            "published at the repo root"
+        )
+    if documented != sorted(documented):
+        problems.append(
+            "docs/BENCHMARKS.md sections are not in alphabetical order: "
+            + ", ".join(documented)
+        )
+
+    # Each section's reproduction pointer must exist.
+    sections = HEADING_RE.split(text)[1:]  # [name, body, name, body, ...]
+    for name, body in zip(sections[0::2], sections[1::2]):
+        match = BENCH_FILE_RE.search(body)
+        if match is None:
+            problems.append(
+                f"section {name} names no `benchmarks/...py` "
+                "reproduction file"
+            )
+        elif not (REPO_ROOT / match.group(1)).exists():
+            problems.append(
+                f"section {name} points at missing {match.group(1)}"
+            )
+
+    if problems:
+        print("\n".join(problems), file=sys.stderr)
+        print(f"{len(problems)} bench-doc drift problem(s)", file=sys.stderr)
+        return 1
+    print(
+        f"ok: {len(published)} published BENCH files all documented in "
+        "docs/BENCHMARKS.md"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,7 @@ from .applet import (
     MemexApplet,
 )
 from .browser import Browser
+from .pool import TransportPool
 
 __all__ = [
     "ARCHIVE_COMMUNITY",
@@ -14,4 +15,5 @@ __all__ = [
     "ARCHIVE_PRIVATE",
     "Browser",
     "MemexApplet",
+    "TransportPool",
 ]

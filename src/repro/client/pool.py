@@ -1,0 +1,107 @@
+"""A client-side pool of socket transports for many-user load.
+
+One :class:`~repro.server.transport.SocketTransport` serializes every
+user's traffic through one pool of per-user connections; for the
+open-loop harness — hundreds of distinct scheduled users, many worker
+threads — a single transport's pool lock and the server-side
+one-worker-per-connection economics both become the bottleneck.
+
+:class:`TransportPool` spreads users across *size* independent
+``SocketTransport`` instances by a **stable** hash of the user id
+(crc32 — builtin ``hash()`` is salted per process and would re-shuffle
+users every run), each capped to ``max_pooled`` per-user connections
+(LRU; see the transport's docstring).  Total sockets — and therefore
+server worker threads held — are bounded by ``size * max_pooled``
+regardless of how many users the schedule touches.
+
+The pool satisfies the client :class:`~repro.server.transport.Transport`
+protocol, so applets and the load runner use it interchangeably with a
+bare transport.  It also fans the ``drop_connections`` chaos hook out
+to every member, which is what the chaos controller calls.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any
+
+from ..server.transport import SocketTransport
+
+
+class TransportPool:
+    """*size* independent socket transports to one address, user-sharded.
+
+    Extra keyword arguments are forwarded to every member
+    ``SocketTransport`` (timeouts, backoff tuning, ...).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        size: int = 4,
+        max_pooled: int = 32,
+        **transport_kwargs: Any,
+    ) -> None:
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        self.host = host
+        self.port = port
+        self.transports = [
+            SocketTransport(host, port, max_pooled=max_pooled, **transport_kwargs)
+            for _ in range(size)
+        ]
+
+    def _member(self, user_id: str) -> SocketTransport:
+        """The member transport owning *user_id* — stable across
+        processes and runs (crc32, never the salted builtin hash)."""
+        digest = zlib.crc32(user_id.encode("utf-8"))
+        return self.transports[digest % len(self.transports)]
+
+    # -- Transport protocol ---------------------------------------------------
+
+    def request(self, user_id: str, payload: dict[str, Any]) -> dict[str, Any]:
+        return self._member(user_id).request(user_id, payload)
+
+    def request_batch(
+        self, user_id: str, payloads: list[dict[str, Any]],
+    ) -> list[dict[str, Any]]:
+        return self._member(user_id).request_batch(user_id, payloads)
+
+    def set_key(self, user_id: str, key: bytes | None) -> None:
+        self._member(user_id).set_key(user_id, key)
+
+    def key_for(self, user_id: str) -> bytes | None:
+        return self._member(user_id).key_for(user_id)
+
+    # -- lifecycle / chaos ----------------------------------------------------
+
+    def drop_connections(self, *, half_close: bool = False) -> int:
+        """Sever every pooled connection across all members (chaos
+        hook); returns the total number hit."""
+        return sum(
+            t.drop_connections(half_close=half_close) for t in self.transports
+        )
+
+    def reset_backoff(self) -> None:
+        for t in self.transports:
+            t.reset_backoff()
+
+    def close(self) -> None:
+        for t in self.transports:
+            t.close()
+
+    def __enter__(self) -> "TransportPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    @property
+    def bytes_in(self) -> int:
+        return sum(t.bytes_in for t in self.transports)
+
+    @property
+    def bytes_out(self) -> int:
+        return sum(t.bytes_out for t in self.transports)

@@ -1,0 +1,54 @@
+"""Open-loop load generation and chaos injection for the Memex server.
+
+The macro-scale harness ROADMAP item 5 calls for: a Zipfian population
+scaled toward 10^6 sparse-activity users (``repro.webgen.population``)
+is compiled into a deterministic request schedule (``schedule``),
+offered to a real socket deployment at its own pace (``runner`` —
+open-loop, latency measured from the scheduled instant), optionally
+while faults fire mid-run (``chaos``), and summarised into publishable
+reports with p99 and burn-rate gates (``report``).
+
+Entry points: ``python -m repro loadgen`` (CLI),
+``benchmarks/test_bench_load.py`` (publishes ``BENCH_load.json``), and
+docs/OPERATIONS.md for running it against a live cluster.
+"""
+
+from .chaos import ACTIONS, ChaosController, ChaosEvent, parse_chaos
+from .report import (
+    assert_p99,
+    build_report,
+    burn_rate_ok,
+    burn_rates,
+    latency_summary,
+    render_report,
+)
+from .runner import OpenLoopRunner, RunResult
+from .schedule import (
+    DEFAULT_MIX,
+    KINDS,
+    LoadSchedule,
+    ScheduledRequest,
+    build_schedule,
+    merge_schedules,
+)
+
+__all__ = [
+    "ACTIONS",
+    "ChaosController",
+    "ChaosEvent",
+    "DEFAULT_MIX",
+    "KINDS",
+    "LoadSchedule",
+    "OpenLoopRunner",
+    "RunResult",
+    "ScheduledRequest",
+    "assert_p99",
+    "build_report",
+    "build_schedule",
+    "burn_rate_ok",
+    "burn_rates",
+    "latency_summary",
+    "merge_schedules",
+    "parse_chaos",
+    "render_report",
+]

@@ -1,0 +1,194 @@
+"""Fault injection scheduled against a running cluster.
+
+A chaos plan is a list of :class:`ChaosEvent`, each naming an *action*
+and the run-relative instant it fires.  The controller either runs on
+its own thread against the wall clock (:meth:`ChaosController.start`)
+or is driven manually (:meth:`ChaosController.step`) so tests can prove
+events fire exactly where configured without sleeping.
+
+Built-in actions (the registry is extensible via *handlers*):
+
+``kill_shard``
+    SIGKILL one shard worker through
+    :meth:`~repro.shard.supervisor.ShardSupervisor.kill`.  The
+    supervisor's monitor restarts it with backoff; scatter reads in the
+    window come back ``partial: true``, owner writes fail retryable.
+
+``tear_wal_tail``
+    Kill the worker, then append a torn (truncated-payload) record to
+    its catalog WAL through
+    :meth:`~repro.shard.supervisor.ShardSupervisor.tear_wal_tail` —
+    simulating a crash mid-write, the torn-tail case the WAL's
+    open-time scan must discard.  Acknowledged writes are fsynced
+    *before* the ack (``sync=True``), so recovery after this action
+    must lose nothing that was acked.
+
+``drop_connections``
+    Drop (or half-close, ``half_close=True``) every pooled client
+    connection via the transport's ``drop_connections`` hook — the
+    mid-request connection-reset path.
+
+Every firing is recorded in :attr:`ChaosController.fired`; each record
+carries the event, the elapsed time it actually fired at, and the
+handler's detail (e.g. how many connections were dropped).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+ACTIONS = ("kill_shard", "tear_wal_tail", "drop_connections")
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scheduled fault: *action* fires *at* seconds into the run.
+    *shard* targets the shard-scoped actions; *half_close* selects the
+    gentler variant of ``drop_connections``."""
+
+    at: float
+    action: str
+    shard: int | None = None
+    half_close: bool = False
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ValueError(
+                f"unknown chaos action {self.action!r}; one of {ACTIONS}"
+            )
+        if self.action in ("kill_shard", "tear_wal_tail") and self.shard is None:
+            raise ValueError(f"{self.action} requires a shard id")
+
+
+def parse_chaos(spec: str) -> list[ChaosEvent]:
+    """Parse a CLI chaos spec: comma-separated ``action[:shard]@at``.
+
+    >>> parse_chaos("kill_shard:1@5,drop_connections@7.5")
+    [ChaosEvent(at=5.0, action='kill_shard', shard=1, half_close=False),\
+ ChaosEvent(at=7.5, action='drop_connections', shard=None, half_close=False)]
+    """
+    events = []
+    for part in filter(None, (p.strip() for p in spec.split(","))):
+        head, sep, when = part.partition("@")
+        if not sep:
+            raise ValueError(f"chaos event {part!r} is missing '@<at>'")
+        action, sep, shard = head.partition(":")
+        events.append(ChaosEvent(
+            at=float(when),
+            action=action,
+            shard=int(shard) if sep else None,
+        ))
+    return sorted(events, key=lambda e: e.at)
+
+
+class ChaosController:
+    """Fire a chaos plan against *cluster* (a
+    :class:`~repro.shard.cluster.MemexCluster`) and/or *pool* (any
+    transport exposing ``drop_connections``).
+
+    Two drive modes, mutually exclusive by convention:
+
+    * wall clock — ``start()`` spawns a thread that sleeps between
+      events and fires them at their due times; ``stop()`` joins it
+      (firing nothing further);
+    * manual — call ``step(elapsed)`` with monotonically increasing
+      elapsed seconds; every not-yet-fired event with ``at <= elapsed``
+      fires, in schedule order.  Deterministic, no sleeping.
+    """
+
+    def __init__(
+        self,
+        events: list[ChaosEvent],
+        *,
+        cluster: Any = None,
+        pool: Any = None,
+        handlers: dict[str, Callable[[ChaosEvent], Any]] | None = None,
+        time_source: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.events = sorted(events, key=lambda e: e.at)
+        self.cluster = cluster
+        self.pool = pool
+        self.fired: list[dict[str, Any]] = []
+        self._next = 0
+        self._clock = time_source
+        self._sleep = sleep
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._handlers: dict[str, Callable[[ChaosEvent], Any]] = {
+            "kill_shard": self._kill_shard,
+            "tear_wal_tail": self._tear_wal_tail,
+            "drop_connections": self._drop_connections,
+        }
+        if handlers:
+            self._handlers.update(handlers)
+
+    # -- built-in actions -----------------------------------------------------
+
+    def _kill_shard(self, event: ChaosEvent) -> Any:
+        self.cluster.supervisor.kill(event.shard)
+        return {"killed": event.shard}
+
+    def _tear_wal_tail(self, event: ChaosEvent) -> Any:
+        self.cluster.supervisor.kill(event.shard)
+        torn = self.cluster.supervisor.tear_wal_tail(event.shard)
+        return {"killed": event.shard, "torn_bytes": torn}
+
+    def _drop_connections(self, event: ChaosEvent) -> Any:
+        dropped = self.pool.drop_connections(half_close=event.half_close)
+        return {"dropped": dropped, "half_close": event.half_close}
+
+    # -- manual drive ---------------------------------------------------------
+
+    def step(self, elapsed: float) -> list[dict[str, Any]]:
+        """Fire every not-yet-fired event due at or before *elapsed*;
+        returns the firing records appended this step."""
+        new: list[dict[str, Any]] = []
+        while self._next < len(self.events):
+            event = self.events[self._next]
+            if event.at > elapsed:
+                break
+            self._next += 1
+            record = {"event": event, "elapsed": elapsed}
+            try:
+                record["detail"] = self._handlers[event.action](event)
+            except Exception as exc:  # a failed injection is data, not a crash
+                record["error"] = f"{type(exc).__name__}: {exc}"
+            self.fired.append(record)
+            new.append(record)
+        return new
+
+    @property
+    def pending(self) -> int:
+        return len(self.events) - self._next
+
+    # -- wall-clock drive -----------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("chaos controller already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="chaos-controller", daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def _run(self) -> None:
+        t0 = self._clock()
+        while self._next < len(self.events) and not self._stop.is_set():
+            due = t0 + self.events[self._next].at
+            delay = due - self._clock()
+            if delay > 0:
+                # Sleep in short slices so stop() is responsive.
+                self._stop.wait(min(delay, 0.05))
+                continue
+            self.step(self._clock() - t0)

@@ -1,0 +1,247 @@
+"""The open-loop runner: offer a schedule at its own pace, not the server's.
+
+Closed-loop clients (every benchmark before this one) wait for each
+response before sending the next request, so an overloaded server
+silently *slows the clients down* and latency looks fine.  Open-loop
+load keeps its own clock: requests become due at their scheduled
+instants regardless of how the previous ones fared, and latency is
+measured **from the scheduled instant** — queueing delay inside the
+harness counts against the server, exactly as a real user's wait would.
+
+Mechanics: a pacing loop sleeps until each request's due time and pushes
+it onto a bounded backlog; a worker pool drains the backlog through the
+transport.  When the server falls behind far enough that the backlog
+fills, further due requests are counted as **shed** rather than
+silently stretching the offered timeline (shed > 0 means the offered
+rate exceeded capacity at that concurrency).  Transient faults — a
+shard restarting under the chaos controller, a dropped connection — are
+retried a bounded number of times when the error is marked retryable;
+what matters for the zero-lost-acks contract is that only *acknowledged*
+visits (``archived: true`` responses) are counted.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import RETRYABLE_CODES, MemexError
+from ..obs.metrics import Histogram, MetricsRegistry
+from .schedule import KINDS, LoadSchedule, ScheduledRequest
+
+#: Histogram buckets for open-loop latency: 1 ms .. 30 s (queue waits
+#: under overload dwarf service times, so the ladder reaches far right).
+LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+def _is_retryable(response: dict[str, Any]) -> bool:
+    return bool(response.get("status") == "error" and response.get("retryable"))
+
+
+@dataclass
+class RunResult:
+    """Everything one run measured, before report shaping."""
+
+    duration: float                       # wall seconds, first due -> last done
+    offered: int                          # scheduled requests
+    sent: int = 0                         # actually offered to the transport
+    shed: int = 0                         # due but dropped: backlog full
+    errors: dict[str, int] = field(default_factory=dict)      # kind -> count
+    retries: int = 0
+    latency: dict[str, Histogram] = field(default_factory=dict)  # kind -> hist
+    acked_visits: dict[str, int] = field(default_factory=dict)   # user -> acks
+    registered: int = 0
+
+    @property
+    def total_acked(self) -> int:
+        return sum(self.acked_visits.values())
+
+    @property
+    def total_errors(self) -> int:
+        return sum(self.errors.values())
+
+    @property
+    def achieved_rate(self) -> float:
+        return self.sent / self.duration if self.duration > 0 else 0.0
+
+
+class OpenLoopRunner:
+    """Offer a :class:`LoadSchedule` through a transport, open-loop.
+
+    *transport* is anything satisfying the client
+    :class:`~repro.server.transport.Transport` protocol — a single
+    :class:`SocketTransport` or a
+    :class:`~repro.client.pool.TransportPool` spreading users over
+    several sockets.  *workers* bounds in-flight concurrency;
+    *max_backlog* bounds how far the harness will queue behind a slow
+    server before shedding.  *retries*/*retry_backoff* bound how long a
+    request survives a chaos window (a shard restart takes ~1-3 s; the
+    default budget rides it out).
+
+    ``time_source``/``sleep`` are injectable for tests; the run is
+    otherwise wall-clock driven.
+    """
+
+    _STOP = object()
+
+    def __init__(
+        self,
+        transport: Any,
+        schedule: LoadSchedule,
+        *,
+        workers: int = 8,
+        max_backlog: int = 512,
+        register_users: bool = True,
+        retries: int = 8,
+        retry_backoff: float = 0.25,
+        time_source: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.transport = transport
+        self.schedule = schedule
+        self.workers = workers
+        self.max_backlog = max_backlog
+        self.register_users = register_users
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self._clock = time_source
+        self._sleep = sleep
+        self._lock = threading.Lock()   # guards the RunResult mutables
+
+    # -- setup ----------------------------------------------------------------
+
+    def _register(self, result: RunResult) -> None:
+        """Register every scheduled user before load starts (unknown
+        users are auth errors, and broadcast registration during the run
+        would distort the measured mix)."""
+        for user in self.schedule.users:
+            response = self.transport.request(
+                user, {"servlet": "register_user"},
+            )
+            if response.get("status") == "error":
+                raise MemexError(
+                    f"cannot register {user!r}: {response.get('error')}"
+                )
+            result.registered += 1
+
+    # -- run ------------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        registry = MetricsRegistry(enabled=True)
+        result = RunResult(
+            duration=0.0,
+            offered=len(self.schedule.requests),
+            errors={kind: 0 for kind in KINDS},
+            latency={
+                kind: registry.histogram(
+                    "loadgen.latency", buckets=LATENCY_BUCKETS, kind=kind,
+                )
+                for kind in KINDS
+            },
+        )
+        if self.register_users:
+            self._register(result)
+
+        backlog: queue.Queue = queue.Queue(maxsize=self.max_backlog)
+        threads = [
+            threading.Thread(
+                target=self._worker, args=(backlog, result), daemon=True,
+                name=f"loadgen-worker-{i}",
+            )
+            for i in range(self.workers)
+        ]
+        for t in threads:
+            t.start()
+
+        t0 = self._clock()
+        try:
+            for req in self.schedule.requests:
+                due = t0 + req.at
+                delay = due - self._clock()
+                if delay > 0:
+                    self._sleep(delay)
+                try:
+                    backlog.put_nowait((due, req))
+                except queue.Full:
+                    with self._lock:
+                        result.shed += 1
+        finally:
+            for _ in threads:
+                backlog.put((0.0, self._STOP))
+            for t in threads:
+                t.join()
+        result.duration = max(self._clock() - t0, 1e-9)
+        return result
+
+    # -- workers --------------------------------------------------------------
+
+    def _worker(self, backlog: queue.Queue, result: RunResult) -> None:
+        while True:
+            due, req = backlog.get()
+            if req is self._STOP:
+                return
+            self._issue(due, req, result)
+
+    def _issue(
+        self, due: float, req: ScheduledRequest, result: RunResult,
+    ) -> None:
+        with self._lock:
+            result.sent += 1
+        ok, acked, retries = self._execute(req)
+        done = self._clock()
+        with self._lock:
+            # Open-loop latency: from the *scheduled* instant, so both
+            # backlog wait and service time count.
+            result.latency[req.kind].observe(max(done - due, 0.0))
+            result.retries += retries
+            if not ok:
+                result.errors[req.kind] = result.errors.get(req.kind, 0) + 1
+            if acked:
+                result.acked_visits[req.user_id] = (
+                    result.acked_visits.get(req.user_id, 0) + acked
+                )
+
+    def _execute(self, req: ScheduledRequest) -> tuple[bool, int, int]:
+        """Returns (succeeded, acked visit count, retries used)."""
+        attempts = 0
+        while True:
+            try:
+                if req.kind == "visit_batch":
+                    responses = self.transport.request_batch(
+                        req.user_id, list(req.payload),
+                    )
+                    failed = [r for r in responses if r.get("status") == "error"]
+                    if failed and all(_is_retryable(r) for r in failed):
+                        raise _Retry()
+                    acked = sum(1 for r in responses if r.get("archived"))
+                    return (not failed, acked, attempts)
+                response = self.transport.request(req.user_id, dict(req.payload))
+                if response.get("status") == "error":
+                    if _is_retryable(response):
+                        raise _Retry()
+                    return (False, 0, attempts)
+                return (True, 0, attempts)
+            except _Retry:
+                pass
+            except MemexError as exc:
+                code = getattr(exc, "code", None)
+                if code not in RETRYABLE_CODES:
+                    return (False, 0, attempts)
+            except OSError:
+                pass
+            if attempts >= self.retries:
+                return (False, 0, attempts)
+            attempts += 1
+            self._sleep(self.retry_backoff)
+
+
+class _Retry(Exception):
+    """Internal: the response said try again."""

@@ -1,0 +1,287 @@
+"""Deterministic open-loop request schedules.
+
+A schedule is the *offered load*, fixed before the run starts: every
+request the generator will ever send, stamped with the instant it is due
+(seconds from run start).  Building it up front — instead of deciding
+"what next" inside the send loop — is what makes the harness open-loop
+(arrival times never depend on server latency) and what makes runs
+reproducible (the same seed yields the byte-identical schedule in any
+process; see :meth:`LoadSchedule.digest`).
+
+The shape of the load comes from ``repro.webgen.population``: session
+arrivals follow a diurnal nonhomogeneous Poisson process, the arriving
+user is drawn from a Zipfian population scaled toward 10^6 mostly-idle
+users, and each session expands into the paper's trail-shaped request
+mix — a batch of page visits down one topic's links, then (with
+configured probabilities) a search, a trail replay, and a
+recommendation pull.  A :class:`~repro.webgen.population.FlashCrowd`
+multiplies arrivals inside its window and herds them onto one theme.
+
+Determinism rules (enforced by ``tests/test_loadgen.py``): one
+``random.Random(seed)`` drives every draw in arrival order; no builtin
+``hash()``; no iteration over sets (anything set-built is ``sorted``
+first).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import re
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from ..webgen.population import (
+    DiurnalCurve,
+    FlashCrowd,
+    ZipfPopulation,
+    arrival_times,
+)
+
+#: Request kinds a schedule can contain, in mix order.
+KINDS = ("visit_batch", "search", "trail", "recommend")
+
+#: Default per-session request mix: every session surfs a visit batch;
+#: the read-side follows with these probabilities.
+DEFAULT_MIX: dict[str, float] = {
+    "search": 0.6,
+    "trail": 0.35,
+    "recommend": 0.15,
+}
+
+
+@dataclass(frozen=True)
+class ScheduledRequest:
+    """One due request: *at* seconds after run start, *user_id* issues
+    *kind* with *payload* (a servlet payload dict, or — for
+    ``visit_batch`` — the list of per-visit payloads shipped as one
+    batch envelope so the whole batch lands on one shard as one group
+    commit)."""
+
+    at: float
+    user_id: str
+    kind: str
+    payload: Any
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "at": self.at,
+            "user_id": self.user_id,
+            "kind": self.kind,
+            "payload": self.payload,
+        }
+
+
+@dataclass
+class LoadSchedule:
+    """An immutable-by-convention, time-sorted request schedule."""
+
+    requests: list[ScheduledRequest]
+    duration: float
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def users(self) -> list[str]:
+        """Distinct scheduled users, sorted — the set the runner must
+        register before offering load (unknown users are auth errors)."""
+        return sorted({r.user_id for r in self.requests})
+
+    def counts(self) -> dict[str, int]:
+        """Request count per kind (stable key order)."""
+        out = {kind: 0 for kind in KINDS}
+        for r in self.requests:
+            out[r.kind] = out.get(r.kind, 0) + 1
+        return out
+
+    @property
+    def offered_rate(self) -> float:
+        """Scheduled requests per second over the whole horizon."""
+        return len(self.requests) / self.duration if self.duration else 0.0
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "duration": self.duration,
+            "meta": self.meta,
+            "requests": [r.to_json() for r in self.requests],
+        }
+
+    def digest(self) -> str:
+        """sha256 over the canonical JSON form — two schedules are the
+        same offered load iff their digests match, across processes."""
+        canonical = json.dumps(
+            self.to_json(), sort_keys=True, separators=(",", ":"),
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    @classmethod
+    def from_json(cls, payload: dict[str, Any]) -> "LoadSchedule":
+        return cls(
+            requests=[ScheduledRequest(**r) for r in payload["requests"]],
+            duration=payload["duration"],
+            meta=dict(payload.get("meta", {})),
+        )
+
+
+def _topic_terms(topic: str) -> list[str]:
+    """Query terms for a topic path: its last two alphabetic words."""
+    words = [w.lower() for w in re.findall(r"[A-Za-z]+", topic)]
+    return words[-2:] if words else ["web"]
+
+
+def _pages_by_topic(corpus: Any) -> dict[str, list[str]]:
+    """Topic -> sorted page URLs (sorted: corpus internals may hold
+    sets; the schedule must not inherit their iteration order)."""
+    by_topic: dict[str, list[str]] = {}
+    for url in sorted(corpus.pages):
+        by_topic.setdefault(corpus.pages[url].topic, []).append(url)
+    return by_topic
+
+
+def build_schedule(
+    corpus: Any,
+    *,
+    seed: int,
+    duration: float,
+    rate: float,
+    population: int = 1_000_000,
+    zipf_exponent: float = 1.1,
+    diurnal_amplitude: float = 0.6,
+    diurnal_period: float | None = None,
+    flash: FlashCrowd | None = None,
+    mix: dict[str, float] | None = None,
+    visits_per_batch: int = 8,
+    session_span: float = 2.0,
+    interests_per_user: int = 2,
+    sim_base_at: float = 0.0,
+) -> LoadSchedule:
+    """Build the offered load for one run.
+
+    *rate* is the target offered **requests** per second averaged over
+    *duration*; the session arrival rate is derived from it by dividing
+    out the expected requests per session under *mix*.  *corpus* is a
+    :class:`~repro.webgen.corpus.WebCorpus` (typically
+    ``build_workload(...).corpus``) supplying real archived URLs and
+    topics so visits, searches, and trails hit plausible content.
+    ``diurnal_period`` defaults to the horizon itself so short runs
+    still sweep a full peak/trough cycle; pass ``86_400.0`` for real
+    days.  ``sim_base_at`` offsets the archive timestamps carried by
+    visit payloads (use the replayed workload's end time so new visits
+    land after history).
+    """
+    if duration <= 0:
+        raise ValueError("duration must be > 0")
+    if rate <= 0:
+        raise ValueError("rate must be > 0")
+    mix = dict(DEFAULT_MIX if mix is None else mix)
+    by_topic = _pages_by_topic(corpus)
+    topics = sorted(by_topic)
+    if not topics:
+        raise ValueError("corpus has no pages to surf")
+
+    requests_per_session = 1.0 + sum(mix.get(k, 0.0) for k in KINDS[1:])
+    session_rate = rate / requests_per_session
+    curve = DiurnalCurve(
+        session_rate,
+        amplitude=diurnal_amplitude,
+        period=diurnal_period if diurnal_period is not None else duration,
+    )
+
+    def session_arrival_rate(t: float) -> float:
+        boost = flash.boost(t) if flash is not None else 1.0
+        return curve.rate(t) * boost
+
+    max_rate = curve.max_rate * (flash.multiplier if flash is not None else 1.0)
+
+    pop = ZipfPopulation(population, exponent=zipf_exponent)
+    rng = random.Random(seed)
+    out: list[ScheduledRequest] = []
+    flash_sessions = 0
+
+    for t0 in arrival_times(session_arrival_rate, max_rate, 0.0, duration, rng):
+        user = pop.sample_user(rng)
+        interests = pop.interests(
+            user, topics, k=interests_per_user, seed=seed,
+        )
+        topic = rng.choice(interests)
+        if (
+            flash is not None
+            and flash.active(t0)
+            and flash.topic in by_topic
+            and rng.random() < flash.attraction
+        ):
+            topic = flash.topic
+            flash_sessions += 1
+        urls = by_topic[topic]
+
+        # The session spreads its requests over session_span seconds
+        # (dwell times compressed: wall-clock surfing is simulated in
+        # the visit timestamps, not in the offered schedule).
+        t_batch = t0
+        visits = []
+        for j in range(visits_per_batch):
+            url = urls[rng.randrange(len(urls))]
+            visits.append({
+                "servlet": "visit",
+                "url": url,
+                "at": round(sim_base_at + t0 + j * 30.0, 3),
+                "session_id": 0,
+            })
+        out.append(ScheduledRequest(round(t_batch, 6), user, "visit_batch", visits))
+
+        t = t0
+        for kind in KINDS[1:]:
+            # Draw the coin for every kind unconditionally so the RNG
+            # stream does not depend on which branch was taken.
+            coin = rng.random()
+            t += rng.uniform(0.1, session_span / 2.0)
+            if coin >= mix.get(kind, 0.0) or t >= duration:
+                continue
+            if kind == "search":
+                payload = {
+                    "servlet": "search",
+                    "query": " ".join(_topic_terms(topic)),
+                    "limit": 10,
+                    "offset": 0,
+                }
+            elif kind == "trail":
+                payload = {
+                    "servlet": "trail",
+                    "folder_path": topic,
+                    "window_days": 14.0,
+                }
+            else:
+                payload = {"servlet": "recommend", "k": 10}
+            out.append(ScheduledRequest(round(t, 6), user, kind, payload))
+
+    out.sort(key=lambda r: (r.at, r.user_id, r.kind))
+    meta = {
+        "seed": seed,
+        "rate": rate,
+        "population": population,
+        "zipf_exponent": zipf_exponent,
+        "diurnal_amplitude": diurnal_amplitude,
+        "visits_per_batch": visits_per_batch,
+        "mix": {k: mix.get(k, 0.0) for k in sorted(mix)},
+        "flash_sessions": flash_sessions,
+        "flash_topic": flash.topic if flash is not None else None,
+        "distinct_users": len({r.user_id for r in out}),
+    }
+    return LoadSchedule(requests=out, duration=duration, meta=meta)
+
+
+def merge_schedules(schedules: Iterable[LoadSchedule]) -> LoadSchedule:
+    """Overlay several schedules onto one timeline (e.g. a background
+    load plus a flash-crowd overlay built with different seeds)."""
+    schedules = list(schedules)
+    if not schedules:
+        raise ValueError("nothing to merge")
+    requests = sorted(
+        (r for s in schedules for r in s.requests),
+        key=lambda r: (r.at, r.user_id, r.kind),
+    )
+    return LoadSchedule(
+        requests=requests,
+        duration=max(s.duration for s in schedules),
+        meta={"merged": [s.meta for s in schedules]},
+    )

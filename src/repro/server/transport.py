@@ -179,6 +179,16 @@ class SocketTransport:
     backoff — the endpoint accepted the connection, so the immediate
     reconnect-on-next-request behaviour is preserved.
 
+    **Pool cap** (``max_pooled=N``).  One connection per user is fine
+    for a handful of applets, but an open-loop load generator speaks
+    for hundreds of scheduled users through one transport and would
+    otherwise hold one socket (and one server worker thread) per user
+    ever seen.  With ``max_pooled=N`` the pool becomes an LRU: opening
+    a connection beyond the cap evicts the least-recently-used *idle*
+    connection (one whose per-connection lock is not held — an in-
+    flight request is never cut).  The next request for an evicted user
+    transparently reconnects.
+
     **Multiplex mode** (``multiplex=N``, internal hops only).  The
     per-user connection exists to bind a cipher key at hello time; on a
     trusted *cleartext* hop — the router's links to its shard workers —
@@ -204,9 +214,13 @@ class SocketTransport:
         backoff_rng: random.Random | None = None,
         multiplex: int = 0,
         multiplex_label: str = "__mux__",
+        max_pooled: int = 0,
     ) -> None:
         if multiplex < 0:
             raise ValueError("multiplex must be >= 0")
+        if max_pooled < 0:
+            raise ValueError("max_pooled must be >= 0 (0 = unbounded)")
+        self.max_pooled = max_pooled
         self.host = host
         self.port = port
         self.multiplex = multiplex
@@ -295,9 +309,13 @@ class SocketTransport:
         with self._pool_lock:
             conn = self._conns.get(user_id)
             if conn is not None:
+                if self.max_pooled:
+                    # LRU recency: move the hit to the back of the dict.
+                    self._conns[user_id] = self._conns.pop(user_id)
                 return conn
             key = self._keys.get(user_id)
         conn = self._open(user_id, key)
+        evicted: list[_Connection] = []
         with self._pool_lock:
             existing = self._conns.get(user_id)
             if existing is not None:
@@ -306,9 +324,54 @@ class SocketTransport:
             else:
                 self._conns[user_id] = conn
                 stale = None
+                evicted = self._evict_over_cap(keep=user_id)
         if stale is not None:
             self._discard(stale)
+        for old in evicted:
+            self._discard(old)
         return conn
+
+    def _evict_over_cap(self, *, keep: str) -> list[_Connection]:
+        """Called under ``_pool_lock``: shrink the pool to ``max_pooled``
+        by dropping least-recently-used connections, skipping *keep*
+        (just inserted for the active request) and any connection whose
+        lock is held (a request is in flight on it)."""
+        if not self.max_pooled:
+            return []
+        evicted: list[_Connection] = []
+        for uid in list(self._conns):
+            if len(self._conns) <= self.max_pooled:
+                break
+            if uid == keep:
+                continue
+            conn = self._conns[uid]
+            if conn.lock.locked():
+                continue
+            del self._conns[uid]
+            evicted.append(conn)
+        return evicted
+
+    def drop_connections(self, *, half_close: bool = False) -> int:
+        """Chaos hook: sever every pooled connection, returning how many
+        were hit.  With ``half_close=True`` the sockets' write sides are
+        shut down but the connections stay pooled — the server sees EOF
+        and hangs up, and the next request on each poisoned connection
+        fails retryably and reconnects.  With the default full close the
+        pool is emptied outright (in-flight requests on those sockets
+        surface retryable errors)."""
+        with self._pool_lock:
+            conns = dict(self._conns)
+            if not half_close:
+                self._conns.clear()
+        for conn in conns.values():
+            if half_close:
+                try:
+                    conn.sock.shutdown(socket.SHUT_WR)
+                except OSError:
+                    pass
+            else:
+                self._discard(conn)
+        return len(conns)
 
     def _open(self, user_id: str, key: bytes | None) -> _Connection:
         with self._pool_lock:

@@ -255,6 +255,24 @@ MERGERS: dict[str, Callable[..., dict[str, Any]]] = {
 class ShardDispatcher:
     """Route requests across shard backends (see module docstring).
 
+    **Degraded-read contract.**  Callers distinguish three outcomes by
+    inspecting the response, never by exception type:
+
+    * A merged scatter read always carries ``shards`` (the fan-out
+      width actually attempted).  ``shards`` absent means the answer
+      came from a single owner shard.
+    * If every contacted shard answered, ``partial`` is ``False`` and
+      the merge covers the whole cluster.
+    * If some (but not all) shards were down or failed, the merge
+      still succeeds over the survivors with ``partial: True`` and
+      ``shards_failed`` listing the missing shard ids — the caller
+      sees a *degraded* answer, not an error.  The window in which
+      reads are partial is bounded by the supervisor's restart (see
+      ``tests/test_loadgen_chaos.py``).
+    * Owner-routed and broadcast requests to a down shard fail fast
+      with a retryable ``unavailable`` error payload instead: writes
+      must never be silently degraded.
+
     Parameters
     ----------
     backends:

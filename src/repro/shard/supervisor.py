@@ -35,8 +35,10 @@ from __future__ import annotations
 import multiprocessing
 import os
 import signal
+import struct
 import threading
 import time
+import zlib
 from pathlib import Path
 from typing import Any
 
@@ -343,6 +345,61 @@ class ShardSupervisor:
             shard.proc.join(timeout=5.0)
         with self._supervisor_lock:
             shard.status = STATUS_DOWN
+
+    def wal_paths(self, shard_id: int) -> list[Path]:
+        """The write-ahead logs under *shard_id*'s data directory (the
+        catalog WAL plus, for an LSM term store, the memtable WAL).
+        Empty for an in-memory shard (no data dir)."""
+        shard = self._shards[shard_id]
+        if shard.root is None:
+            return []
+        root = Path(shard.root)
+        if not root.exists():
+            return []
+        return sorted(p for p in root.rglob("*.wal") if p.is_file())
+
+    def tear_wal_tail(self, shard_id: int, *, garbage: bytes = b"\x00") -> int:
+        """Chaos hook: append a **torn record** to *shard_id*'s catalog
+        WAL, simulating a crash mid-write (power cut between the header
+        hitting disk and the payload following it).
+
+        The worker must be dead (see :meth:`kill`) — appending to a WAL
+        another process is writing would corrupt *acknowledged* state,
+        which is not the failure mode being simulated: under the
+        durability contract (``sync=True`` ⇒ ack == fsynced) a real
+        crash can only ever tear the unacknowledged tail.  The record
+        written here claims more payload bytes than follow it, so the
+        storage layer's open-time scan identifies it as torn and
+        discards it; every acked record before it must survive.
+
+        Returns the number of torn bytes appended.  Raises
+        ``ProtocolError`` if the worker is still alive or the shard has
+        no on-disk WAL.
+        """
+        shard = self._shards[shard_id]
+        if shard.proc is not None and shard.proc.is_alive():
+            raise ProtocolError(
+                f"refusing to tear shard {shard_id}'s WAL while its worker "
+                "is alive; kill() it first"
+            )
+        paths = [p for p in self.wal_paths(shard_id) if p.name == "catalog.wal"]
+        if not paths:
+            raise ProtocolError(
+                f"shard {shard_id} has no on-disk catalog WAL to tear"
+            )
+        # A record header promising more payload than is present: the
+        # open-time scan sees the short read and truncates here.
+        payload = garbage * 64
+        header = struct.pack(
+            "<II", zlib.crc32(payload) & 0xFFFFFFFF, len(payload),
+        )
+        torn = header + payload[: len(payload) // 2]
+        with open(paths[0], "ab") as fh:
+            fh.write(torn)
+            fh.flush()
+            os.fsync(fh.fileno())
+        self.log.info("wal_torn", shard=shard_id, bytes=len(torn))
+        return len(torn)
 
     def wait_until_up(self, shard_id: int, *, timeout: float = 30.0) -> bool:
         """Block until *shard_id* is healthy again (drives :meth:`poll`

@@ -29,13 +29,57 @@ commit latency) for the worker only.
 
 from __future__ import annotations
 
+import os
 import signal
+import stat
 from dataclasses import dataclass
 from typing import Any, Callable
 
 CMD_STOP = "stop"
 CMD_QUIESCE = "quiesce"
 CMD_SAVE = "save"
+
+
+def _release_inherited_sockets(keep: set[int]) -> None:
+    """Detach every socket fd the fork copied from the parent.
+
+    A forked worker inherits duplicates of *all* the parent's open
+    sockets: the router's listener and per-client connections, the
+    backend transports, and — when the load generator runs in the same
+    process — every client-pool socket.  Those duplicates keep the
+    kernel connections alive: a peer closing its end never delivers EOF
+    while this child still holds a copy, so router worker threads park
+    forever on connections their clients abandoned (observed as 30 s
+    timeouts after any worker restart under connection churn).
+
+    Each such fd slot is re-pointed at ``/dev/null`` via ``dup2`` rather
+    than closed: inherited Python socket objects still reference these
+    fd *numbers*, and closing them outright would let a later destructor
+    close an unrelated file that reused the number (the shard's own WAL,
+    at worst).  ``dup2`` drops the kernel socket reference immediately
+    — the peer gets its EOF — while leaving the number safely occupied
+    until the object's own close.
+
+    Only sockets are touched (the control pipe in *keep* included —
+    it is an AF_UNIX socketpair); regular files and pipes (e.g. the
+    multiprocessing resource tracker) pass through untouched.
+    """
+    try:
+        fds = [int(name) for name in os.listdir("/proc/self/fd")]
+    except (OSError, ValueError):  # pragma: no cover - non-procfs platform
+        return
+    devnull = os.open(os.devnull, os.O_RDWR)
+    try:
+        for fd in fds:
+            if fd < 3 or fd == devnull or fd in keep:
+                continue
+            try:
+                if stat.S_ISSOCK(os.fstat(fd).st_mode):
+                    os.dup2(devnull, fd)
+            except OSError:
+                continue
+    finally:
+        os.close(devnull)
 
 
 @dataclass(frozen=True)
@@ -67,6 +111,7 @@ def worker_main(
     # The supervisor coordinates shutdown over the pipe; a stray SIGINT
     # aimed at the parent's process group must not kill workers mid-write.
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    _release_inherited_sockets(keep={conn.fileno()})
     server = None
     net = None
     try:

@@ -145,6 +145,21 @@ def open_engine(
     engine_kwargs:
         Engine-specific tuning (e.g. ``compact_garbage_ratio`` for
         btree; ``memtable_bytes``/``max_segments`` for lsm).
+
+    Both engines satisfy the same protocol and the same tests; an
+    in-memory open is enough to exercise the whole surface:
+
+    >>> store = open_engine("btree")
+    >>> store.engine_name
+    'btree'
+    >>> store[b"k1"] = b"v1"
+    >>> store.put_many([(b"k2", b"v2"), (b"k3", b"v3")])
+    2
+    >>> store.get(b"k2"), store.get(b"missing", b"?")
+    (b'v2', b'?')
+    >>> [k for k, _ in store.scan_prefix(b"k")]
+    [b'k1', b'k2', b'k3']
+    >>> store.close()
     """
     # Imported lazily: the engine modules import this module's Namespace
     # and prefix helper, so the registry resolves at call time.

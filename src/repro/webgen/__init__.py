@@ -7,6 +7,12 @@ DESIGN.md §2 for the substitution argument).
 from .corpus import Page, WebCorpus, generate_corpus
 from .graph import generate_links, link_topic_locality
 from .language import TopicLanguageModel
+from .population import (
+    DiurnalCurve,
+    FlashCrowd,
+    ZipfPopulation,
+    arrival_times,
+)
 from .surfer import (
     SimulationResult,
     SurferProfile,
@@ -27,6 +33,8 @@ from .workload import (
 )
 
 __all__ = [
+    "DiurnalCurve",
+    "FlashCrowd",
     "Page",
     "SimulationResult",
     "SurferProfile",
@@ -34,6 +42,8 @@ __all__ = [
     "TopicNode",
     "WebCorpus",
     "Workload",
+    "ZipfPopulation",
+    "arrival_times",
     "bookmark_challenge_workload",
     "build_workload",
     "community_interests",

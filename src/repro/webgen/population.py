@@ -1,0 +1,227 @@
+"""Population-scale user and arrival models for open-loop load generation.
+
+``repro.webgen`` simulates a *community* (tens of surfers, replayed
+faithfully); the load harness (``repro.loadgen``) needs the opposite
+regime: a population scaled toward 10^6 users where almost everyone is
+idle at any instant and a heavy-tailed minority does most of the
+surfing.  This module provides the three statistical primitives that
+regime needs, all seeded and process-independent (no use of builtin
+``hash()``, no set iteration — byte-stable under any PYTHONHASHSEED):
+
+* :class:`ZipfPopulation` — rank-addressed users with Zipfian activity,
+  sampled in O(1) by inverting the continuous CDF (no per-user state is
+  ever materialised, so "a million users" costs nothing until one of
+  them shows up);
+* :class:`DiurnalCurve` — a sinusoidal daily arrival-rate modulation;
+* :class:`FlashCrowd` — a bounded window during which arrivals are
+  multiplied and herded onto a single theme (the "everyone hits the
+  eclipse page" scenario);
+* :func:`arrival_times` — a nonhomogeneous Poisson process sampled by
+  thinning, driven by any ``rate(t)`` function.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from typing import Callable, Iterator, Sequence
+
+DAY = 86_400.0
+
+
+def _stable_seed(*parts: object) -> int:
+    """A 64-bit seed derived from *parts* via sha256 — identical in
+    every process regardless of PYTHONHASHSEED (builtin ``hash()`` is
+    salted per process and must never feed generation)."""
+    text = "\x1f".join(str(p) for p in parts)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class ZipfPopulation:
+    """A rank-addressed population with Zipfian activity.
+
+    User ``rank`` (1-based) has activity proportional to ``rank**-s``;
+    :meth:`sample_rank` draws a rank with that law in O(1) by inverting
+    the *continuous* approximation of the CDF::
+
+        x = (1 + u * (N**(1-s) - 1)) ** (1 / (1-s))
+
+    (for ``s == 1`` the inverse degenerates to ``N**u``).  The
+    approximation error against the discrete law is immaterial for load
+    shaping, and it is what makes a 10^6-user population free: no
+    precomputed table, no per-user state.
+
+    >>> pop = ZipfPopulation(1_000_000, exponent=1.1)
+    >>> rng = random.Random(7)
+    >>> ranks = [pop.sample_rank(rng) for _ in range(1000)]
+    >>> min(ranks) >= 1 and max(ranks) <= 1_000_000
+    True
+    >>> pop.user_id(1)
+    'u0000001'
+    """
+
+    def __init__(self, size: int, *, exponent: float = 1.1) -> None:
+        if size < 1:
+            raise ValueError("population size must be >= 1")
+        if exponent <= 0:
+            raise ValueError("zipf exponent must be > 0")
+        self.size = size
+        self.exponent = exponent
+        # Precompute the inverse-CDF constants once.
+        s = exponent
+        if abs(s - 1.0) < 1e-9:
+            self._log_n = math.log(size)
+            self._span = None
+        else:
+            self._log_n = None
+            self._span = size ** (1.0 - s) - 1.0
+            self._inv_power = 1.0 / (1.0 - s)
+
+    def sample_rank(self, rng: random.Random) -> int:
+        """Draw a 1-based rank; rank 1 is the most active user."""
+        u = rng.random()
+        if self._log_n is not None:
+            x = math.exp(u * self._log_n)
+        else:
+            x = (1.0 + u * self._span) ** self._inv_power
+        return min(self.size, max(1, int(x)))
+
+    def user_id(self, rank: int) -> str:
+        """Stable, sortable identifier for *rank* (``u0000001``...)."""
+        return f"u{rank:07d}"
+
+    def sample_user(self, rng: random.Random) -> str:
+        return self.user_id(self.sample_rank(rng))
+
+    def interests(
+        self,
+        user_id: str,
+        topics: Sequence[str],
+        *,
+        k: int = 2,
+        seed: int = 0,
+    ) -> list[str]:
+        """The user's stable topic interests: *k* distinct topics drawn
+        with a bias toward the front of the (sorted) topic list, from a
+        per-user RNG seeded by ``(seed, user_id)`` — the same user gets
+        the same interests in every process and every run."""
+        ordered = sorted(topics)
+        if not ordered:
+            return []
+        rng = random.Random(_stable_seed("interests", seed, user_id))
+        k = min(k, len(ordered))
+        picks: list[str] = []
+        while len(picks) < k:
+            # Quadratic bias concentrates interest on few topics without
+            # a weight table.
+            idx = min(int(len(ordered) * rng.random() ** 2), len(ordered) - 1)
+            topic = ordered[idx]
+            if topic not in picks:
+                picks.append(topic)
+        return picks
+
+
+class DiurnalCurve:
+    """Sinusoidal daily modulation of a base arrival rate.
+
+    ``rate(t) = base * (1 + amplitude * cos(2*pi*(t/period - peak)))``
+    peaks at ``t = peak * period`` (default: 80% through the day, the
+    evening surf), troughs half a period later, and averages ``base``
+    over a full period.  ``max_rate`` bounds it for thinning.
+    """
+
+    def __init__(
+        self,
+        base_rate: float,
+        *,
+        amplitude: float = 0.6,
+        period: float = DAY,
+        peak: float = 0.8,
+    ) -> None:
+        if base_rate < 0:
+            raise ValueError("base_rate must be >= 0")
+        if not 0.0 <= amplitude < 1.0:
+            raise ValueError("amplitude must be in [0, 1)")
+        if period <= 0:
+            raise ValueError("period must be > 0")
+        self.base_rate = base_rate
+        self.amplitude = amplitude
+        self.period = period
+        self.peak = peak
+
+    def rate(self, t: float) -> float:
+        phase = 2.0 * math.pi * (t / self.period - self.peak)
+        return self.base_rate * (1.0 + self.amplitude * math.cos(phase))
+
+    @property
+    def max_rate(self) -> float:
+        return self.base_rate * (1.0 + self.amplitude)
+
+
+class FlashCrowd:
+    """A bounded arrival surge herded onto one theme.
+
+    Within ``[at, at + duration)`` the arrival rate is multiplied by up
+    to ``multiplier`` (linear ramp up over the first fifth of the
+    window, plateau, linear ramp down over the last fifth) and a
+    ``attraction`` fraction of arriving sessions surf ``topic``
+    regardless of their own interests.
+    """
+
+    def __init__(
+        self,
+        *,
+        at: float,
+        duration: float,
+        multiplier: float = 4.0,
+        topic: str = "",
+        attraction: float = 0.9,
+    ) -> None:
+        if duration <= 0:
+            raise ValueError("duration must be > 0")
+        if multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= attraction <= 1.0:
+            raise ValueError("attraction must be in [0, 1]")
+        self.at = at
+        self.duration = duration
+        self.multiplier = multiplier
+        self.topic = topic
+        self.attraction = attraction
+
+    def active(self, t: float) -> bool:
+        return self.at <= t < self.at + self.duration
+
+    def boost(self, t: float) -> float:
+        """Multiplicative rate factor at *t* (1.0 outside the window)."""
+        if not self.active(t):
+            return 1.0
+        ramp = self.duration / 5.0
+        into = t - self.at
+        left = self.at + self.duration - t
+        frac = min(1.0, into / ramp, left / ramp)
+        return 1.0 + (self.multiplier - 1.0) * frac
+
+
+def arrival_times(
+    rate: Callable[[float], float],
+    max_rate: float,
+    t0: float,
+    t1: float,
+    rng: random.Random,
+) -> Iterator[float]:
+    """Sample a nonhomogeneous Poisson process on ``[t0, t1)`` by
+    thinning (Lewis & Shedler): draw candidate arrivals at the constant
+    envelope ``max_rate`` and accept each with probability
+    ``rate(t) / max_rate``.  ``rate`` must never exceed ``max_rate``."""
+    if max_rate <= 0:
+        return
+    t = t0
+    while True:
+        t += rng.expovariate(max_rate)
+        if t >= t1:
+            return
+        if rng.random() * max_rate <= rate(t):
+            yield t
