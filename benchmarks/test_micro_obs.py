@@ -243,23 +243,172 @@ def test_v2_propagation_and_logging_overhead_under_5_percent():
         request_time = min(request_time, (time.perf_counter() - start) / per)
 
     overhead = obs_delta / request_time
+    assert overhead < 0.05, (
+        f"obs v2 overhead {overhead:.1%} on the servlet request path "
+        f"(per-dispatch delta {obs_delta * 1e9:.0f}ns, "
+        f"request time {request_time * 1e6:.2f}us)"
+    )
+
+
+def test_v3_cluster_observability_overhead_and_publish():
+    """Obs v3 gate, two legs, published to ``BENCH_obs.json``:
+
+    1. *Single process*: the full v3 configuration — metrics, tracer at
+       1-in-8, structured logging, slow-request threshold, the metrics
+       history sampler registered on the scheduler, and a ``metrics_pull``
+       raw snapshot taken mid-run — still adds <5% to the servlet
+       request path (same differential estimator as the v1/v2 gates).
+    2. *Router hop*: a 2-shard dispatcher with the router tracer enabled
+       (traceparent parse + ``router.dispatch`` span + per-hop stamping,
+       1-in-8 requests traced) adds <5% over the identical dispatcher
+       with tracing off.
+
+    The pull path itself (raw snapshot + scatter merge) is reported but
+    not gated: it runs at dashboard cadence (seconds), not per request.
+    """
+    from repro.shard.gather import LocalBackend, ShardDispatcher
+
+    ids = IdSource(seed=9)
+    tp = TraceContext(ids.trace_id(), ids.span_id()).to_traceparent()
+
+    # -- leg 1: single-process, full v3 config ------------------------------
+    hub = LogHub()
+    enabled = ServletRegistry(
+        metrics=MetricsRegistry(), tracer=Tracer(sample_every=8),
+        log=hub.logger("servlets"), slow_request_threshold=60.0,
+    )
+    disabled = ServletRegistry(
+        metrics=MetricsRegistry(enabled=False), tracer=Tracer(enabled=False))
+    for reg in (enabled, disabled):
+        reg.register("echo", lambda req: {"x": 1})
+    from repro.obs import MetricsHistory
+    history = MetricsHistory(enabled.metrics)
+
+    traced = [{"servlet": "echo"} for _ in range(7)] + [
+        {"servlet": "echo", "traceparent": tp}]
+    plain = [{"servlet": "echo"} for _ in range(8)]
+    for reg, requests in ((enabled, traced), (disabled, plain)):
+        _best_cycle_ns(reg, requests, rounds=2, n=500)  # warm caches
+
+    sweeps, n = (6, 800) if QUICK else (15, 2000)
+    best_on = best_off = float("inf")
+    for r in range(sweeps):
+        history.run_once()  # the sampler runs between sweeps, as it would
+        pairs = [(enabled, traced), (disabled, plain)]
+        if r % 2:
+            pairs.reverse()
+        for reg, requests in pairs:
+            t = _best_cycle_ns(reg, requests, rounds=1, n=n)
+            if reg is enabled:
+                best_on = min(best_on, t)
+            else:
+                best_off = min(best_off, t)
+    sp_delta = best_on - best_off
+
+    server = _make_server(enabled=True)
+    _visit_batch(server, 200 if QUICK else 500, 0)
+    per, request_time = 100 if QUICK else 300, float("inf")
+    for r in range(4 if QUICK else 8):
+        base = 200_000 + r * per
+        start = time.perf_counter()
+        _visit_batch(server, per, base)
+        request_time = min(request_time, (time.perf_counter() - start) / per)
+    sp_overhead = sp_delta / request_time
+
+    # The pull path, reported for the record (dashboard cadence).
+    start = time.perf_counter()
+    pull = server.transport.request("u", {"servlet": "metrics_pull"})
+    pull_time = time.perf_counter() - start
+    assert pull["status"] == "ok"
+
+    # -- leg 2: the router hop ----------------------------------------------
+    def _cluster_dispatcher(traced_router):
+        registries = []
+        for _ in range(2):
+            reg = ServletRegistry(metrics=MetricsRegistry())
+            reg.register("echo", lambda req: {"x": 1})
+            reg.register(
+                "metrics_pull",
+                lambda req, m=reg.metrics: {
+                    "metrics": m.raw_snapshot(), "history_len": 0},
+            )
+            registries.append(reg)
+        return ShardDispatcher(
+            [LocalBackend(reg) for reg in registries],
+            tracer=Tracer(sample_every=8) if traced_router else None,
+        )
+
+    router_on = _cluster_dispatcher(True)
+    router_off = _cluster_dispatcher(False)
+    users = [f"user{i:02d}" for i in range(8)]
+    hop_traced = [
+        {"servlet": "echo", "user_id": users[i],
+         **({"traceparent": tp} if i == 0 else {})}
+        for i in range(8)
+    ]
+    hop_plain = [
+        {"servlet": "echo", "user_id": users[i]} for i in range(8)]
+    for disp, requests in ((router_on, hop_traced), (router_off, hop_plain)):
+        _best_cycle_ns(disp, requests, rounds=2, n=500)  # warm caches
+
+    hop_on = hop_off = float("inf")
+    for r in range(sweeps):
+        pairs = [(router_on, hop_traced), (router_off, hop_plain)]
+        if r % 2:
+            pairs.reverse()
+        for disp, requests in pairs:
+            t = _best_cycle_ns(disp, requests, rounds=1, n=n)
+            if disp is router_on:
+                hop_on = min(hop_on, t)
+            else:
+                hop_off = min(hop_off, t)
+    hop_delta = hop_on - hop_off
+    # Denominator: what a routed request costs end to end through the
+    # single-process server above (the router hop rides that same path
+    # in a cluster; LocalBackend dispatch alone would overstate the
+    # relative cost by orders of magnitude).
+    hop_overhead = hop_delta / request_time
+
+    # Scatter + bucket-wise merge cost, reported only.
+    start = time.perf_counter()
+    merged = router_on.dispatch(
+        {"servlet": "metrics_pull", "user_id": users[0]})
+    scatter_time = time.perf_counter() - start
+    assert merged["status"] == "ok" and set(merged["by_shard"]) == {"0", "1"}
+
     payload = {
-        "benchmark": "obs_v2_propagation_logging_overhead",
+        "benchmark": "obs_v3_cluster_observability_overhead",
         "quick": QUICK,
         "config": {
             "tracer_sample_every": 8,
             "traceparent_every": 8,
             "logging": True,
             "slow_request_threshold": 60.0,
+            "history_sampling": True,
+            "router_shards": 2,
         },
-        "per_dispatch_delta_ns": round(obs_delta * 1e9, 1),
-        "request_time_us": round(request_time * 1e6, 2),
-        "overhead_pct": round(overhead * 100, 2),
+        "single_process": {
+            "per_dispatch_delta_ns": round(sp_delta * 1e9, 1),
+            "request_time_us": round(request_time * 1e6, 2),
+            "overhead_pct": round(sp_overhead * 100, 2),
+        },
+        "router_hop": {
+            "per_dispatch_delta_ns": round(hop_delta * 1e9, 1),
+            "request_time_us": round(request_time * 1e6, 2),
+            "overhead_pct": round(hop_overhead * 100, 2),
+        },
+        "pull_path": {
+            "metrics_pull_us": round(pull_time * 1e6, 2),
+            "scatter_merge_us": round(scatter_time * 1e6, 2),
+        },
         "gate_pct": 5.0,
     }
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-    assert overhead < 0.05, (
-        f"obs v2 overhead {overhead:.1%} on the servlet request path "
-        f"(per-dispatch delta {obs_delta * 1e9:.0f}ns, "
-        f"request time {request_time * 1e6:.2f}us)"
+    assert sp_overhead < 0.05, (
+        f"obs v3 single-process overhead {sp_overhead:.1%} "
+        f"(delta {sp_delta * 1e9:.0f}ns, request {request_time * 1e6:.2f}us)"
+    )
+    assert hop_overhead < 0.05, (
+        f"obs v3 router-hop overhead {hop_overhead:.1%} "
+        f"(delta {hop_delta * 1e9:.0f}ns, request {request_time * 1e6:.2f}us)"
     )

@@ -27,6 +27,7 @@ SRC_ROOT = REPO_ROOT / "src" / "repro"
 # Modules whose JOB is writing to stdout (operator-facing rendering).
 WHITELIST = {
     "cli.py",
+    "obs/top.py",  # the `repro top` dashboard refresh loop
 }
 
 

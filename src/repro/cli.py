@@ -25,6 +25,16 @@ Commands
     population, diurnal arrivals, optional flash crowd and chaos plan)
     to a self-contained cluster and report latency/SLO results; see
     docs/OPERATIONS.md.
+``top``
+    Live plain-text dashboard against a running router or server:
+    cluster req/s, exact merged p50/p99 per servlet, shard health and
+    restart counts, cache hit rates, storage activity, SLO burn rates.
+``trace``
+    Reassemble one trace id's cross-shard span tree from the JSONL
+    streams the workers and router ship under ``--data-dir``.
+``logs``
+    Print (or ``--follow``) the merged shipped log streams, optionally
+    filtered to one trace id or a minimum severity.
 """
 
 from __future__ import annotations
@@ -422,6 +432,12 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             host, port, size=args.pool_size, max_pooled=args.pool_conns,
         ) as pool:
             runner = OpenLoopRunner(pool, schedule, workers=args.workers)
+            # Bracket the run with metrics_pull so the report can carry
+            # the server-side delta (work the cluster actually did, not
+            # just what clients observed).  Unauthenticated, like health.
+            metrics_before = pool.request(
+                "__operator__", {"servlet": "metrics_pull"},
+            )
             if args.chaos:
                 chaos = ChaosController(
                     parse_chaos(args.chaos), cluster=cluster, pool=pool,
@@ -435,12 +451,17 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             health = pool.request(
                 schedule.users[0], {"servlet": "health"},
             )
+            metrics_after = pool.request(
+                "__operator__", {"servlet": "metrics_pull"},
+            )
             report = build_report(
                 result,
                 label=f"shards={args.shards} rate={args.rate}",
                 offered_rate=schedule.offered_rate,
                 health=health,
                 chaos=chaos.fired if chaos is not None else None,
+                metrics_before=metrics_before,
+                metrics_after=metrics_after,
             )
     finally:
         if chaos is not None:
@@ -478,6 +499,84 @@ def cmd_experiments(_args: argparse.Namespace) -> int:
         print(f"{exp_id:<4} {path:<44} {desc}")
     print("\nRun them all:  pytest benchmarks/ --benchmark-only")
     return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live cluster dashboard over the wire (see repro.obs.top).
+
+    Points at a running router (or single server) started with
+    ``repro serve``; both wire calls it makes (``metrics_pull``,
+    ``health``) are unauthenticated, so no user registration is needed.
+    """
+    from .obs.top import run_top
+    from .server.transport import SocketTransport
+
+    transport = SocketTransport(args.host, args.port)
+    try:
+        return run_top(
+            lambda payload: transport.request(args.user, payload),
+            interval=args.interval,
+            iterations=args.iterations,
+            clear=not args.no_clear,
+        )
+    finally:
+        transport.close()
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Reassemble one trace's cross-shard span tree from shipped logs."""
+    from .obs.shipping import (
+        build_span_tree,
+        read_shipped_records,
+        render_span_tree,
+    )
+
+    records = read_shipped_records(
+        args.data_dir, kind="span", trace_id=args.trace_id,
+    )
+    if not records:
+        print(
+            f"no spans for trace {args.trace_id} under {args.data_dir}",
+            file=sys.stderr,
+        )
+        return 1
+    shards = sorted({r.get("shard", "?") for r in records})
+    print(
+        f"trace {args.trace_id}: {len(records)} spans "
+        f"across {len(shards)} stream(s) ({', '.join(shards)})"
+    )
+    print(render_span_tree(build_span_tree(records, args.trace_id)))
+    return 0
+
+
+def cmd_logs(args: argparse.Namespace) -> int:
+    """Print (or follow) the cluster's merged shipped JSONL streams."""
+    import json as json_mod
+    import time as time_mod
+
+    from .obs.shipping import read_shipped_records
+
+    kind = None if args.spans else "log"
+    last = -1.0
+    at_last: set[str] = set()
+    while True:
+        records = read_shipped_records(
+            args.data_dir, kind=kind,
+            trace_id=args.trace, level=args.level,
+        )
+        for record in records:
+            ts = float(record.get("wall_ts", 0.0))
+            line = json_mod.dumps(record, sort_keys=True, default=str)
+            if ts < last or (ts == last and line in at_last):
+                continue
+            print(line)
+            if ts > last:
+                last, at_last = ts, {line}
+            else:
+                at_last.add(line)
+        if not args.follow:
+            return 0
+        time_mod.sleep(args.poll)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -584,6 +683,50 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--json", action="store_true",
                    help="emit the run report as JSON")
     p.set_defaults(func=cmd_loadgen)
+
+    p = sub.add_parser(
+        "top", help="live cluster dashboard (metrics_pull + health over TCP)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True,
+                   help="router (or single server) port")
+    p.add_argument("--user", default="__operator__",
+                   help="hello user id (the servlets are unauthenticated; "
+                        "this only names the connection)")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between refreshes")
+    p.add_argument("--iterations", type=int, default=None,
+                   help="stop after N frames (default: run until ^C)")
+    p.add_argument("--no-clear", action="store_true",
+                   help="append frames instead of clearing the screen "
+                        "(for piping to a file)")
+    p.set_defaults(func=cmd_top)
+
+    p = sub.add_parser(
+        "trace",
+        help="reassemble one trace's cross-shard span tree from shipped logs",
+    )
+    p.add_argument("trace_id", help="32-hex trace id (from a traceparent)")
+    p.add_argument("--data-dir", required=True,
+                   help="cluster data root (the serve/loadgen --data-dir)")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "logs", help="print or follow the cluster's shipped JSONL streams",
+    )
+    p.add_argument("--data-dir", required=True,
+                   help="cluster data root (the serve/loadgen --data-dir)")
+    p.add_argument("--follow", action="store_true",
+                   help="keep polling for new records (tail -f)")
+    p.add_argument("--trace", default=None,
+                   help="only records belonging to this trace id")
+    p.add_argument("--level", default=None,
+                   help="minimum log severity (debug/info/warning/error)")
+    p.add_argument("--spans", action="store_true",
+                   help="include span records, not just log lines")
+    p.add_argument("--poll", type=float, default=1.0,
+                   help="follow-mode poll interval in seconds")
+    p.set_defaults(func=cmd_logs)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -18,7 +18,14 @@ from typing import Any
 from ..cache import ReadPathCaches
 from ..errors import AuthError, NotFitted, error_payload
 from ..mining.themes import ThemeDiscovery
-from ..obs import HealthMonitor, LogHub, MetricsRegistry, SloPolicy, Tracer
+from ..obs import (
+    HealthMonitor,
+    LogHub,
+    MetricsHistory,
+    MetricsRegistry,
+    SloPolicy,
+    Tracer,
+)
 from ..server.daemons import (
     ClassifierDaemon,
     CrawlerDaemon,
@@ -171,6 +178,11 @@ class MemexServer:
         # every other background worker.
         if getattr(self.repo.kv, "engine_name", None) == "lsm":
             self.scheduler.register(LSMMaintenanceDaemon(self.repo.kv), period=4)
+        # Metrics time series: sample the registry's mergeable raw
+        # snapshot into a bounded ring; `metrics_pull` exposes it so the
+        # router (and `repro top`) can compute rates without scraping.
+        self.history = MetricsHistory(self.metrics)
+        self.scheduler.register(self.history, period=4)
 
         # Read-path caches register as versioning consumers, so the
         # indexer/classifier daemons must exist (and be registered) first.
@@ -356,6 +368,7 @@ class MemexServer:
             "popular_near_trail": self._sv_popular_near_trail,
             "stats": self._sv_stats,
             "health": self._sv_health,
+            "metrics_pull": self._sv_metrics_pull,
         }
         # Batch handlers group-commit runs of same-servlet items inside a
         # batch envelope (see ServletRegistry.dispatch_batch).
@@ -1037,6 +1050,24 @@ class MemexServer:
             self.health.slo(name, latency, errors)
         return self.health.report()
 
+    def _sv_metrics_pull(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Mergeable raw metrics: bucket counts, not summaries.
+
+        Unauthenticated by design, like ``health``: this is the operator
+        pull path the router scatter-gathers into a cluster registry
+        (``repro top``, loadgen's server-side delta), and a monitoring
+        agent must not need a user row.  ``include_history`` adds the
+        sampled time-series ring (``history_limit`` newest samples).
+        """
+        out: dict[str, Any] = {
+            "metrics": self.metrics.raw_snapshot(),
+            "history_len": len(self.history),
+        }
+        if request.get("include_history"):
+            limit = int(request.get("history_limit", 32))
+            out["history"] = self.history.samples(limit)
+        return out
+
     def _sv_stats(self, request: dict[str, Any]) -> dict[str, Any]:
         """The observability servlet: catalog sizes, daemon and servlet
         counters, per-servlet latency percentiles, per-consumer versioning
@@ -1055,6 +1086,7 @@ class MemexServer:
             "versions": self.repo.versions.consumers(),
             "versioning_lag": self.repo.versions.lags(),
             "latency": self.registry.latency_summary(),
+            "latency_raw": self.registry.latency_raw(),
             "cache": self.caches.stats() if self.caches is not None else {},
             "storage": self.repo.storage_stats(),
         }

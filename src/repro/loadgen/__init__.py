@@ -20,6 +20,7 @@ from .report import (
     burn_rate_ok,
     burn_rates,
     latency_summary,
+    metrics_delta,
     render_report,
 )
 from .runner import OpenLoopRunner, RunResult
@@ -49,6 +50,7 @@ __all__ = [
     "burn_rates",
     "latency_summary",
     "merge_schedules",
+    "metrics_delta",
     "parse_chaos",
     "render_report",
 ]

@@ -23,9 +23,86 @@ from __future__ import annotations
 from typing import Any
 
 from ..obs.health import FAST_BURN
+from ..obs.metrics import diff_snapshots, summarize_histogram_raw
 from .runner import RunResult
 
 PERCENTILE_KEYS = ("p50", "p95", "p99")
+
+#: Counter prefixes worth publishing in the server-side delta (the full
+#: snapshot has hundreds of instruments; the report keeps the ones a
+#: load run actually interrogates).
+_DELTA_PREFIXES = (
+    "server.servlets.",
+    "server.crawler.",
+    "server.indexer.",
+    "storage.relational.commits",
+    "storage.kvstore.",
+    "storage.lsm.",
+    "cache.",
+    "shard.",
+)
+
+
+def metrics_delta(
+    before: dict[str, Any] | None,
+    after: dict[str, Any] | None,
+) -> dict[str, Any] | None:
+    """Server-side work done during the run, from two ``metrics_pull``
+    responses taken before and after.
+
+    Counters are after-minus-before (clamped at zero across restarts);
+    servlet latency histograms are differenced bucket-wise and
+    summarized, so the published p50/p99 covers *only* requests served
+    inside the window — unlike the cumulative ``stats`` view.  Returns
+    ``None`` unless both pulls carry a merged ``metrics`` payload.
+    """
+    if not before or not after:
+        return None
+    b, a = before.get("metrics"), after.get("metrics")
+    if not isinstance(b, dict) or not isinstance(a, dict):
+        return None
+    delta = diff_snapshots(b, a)
+    counters = {
+        name: value
+        for name, value in sorted(delta.get("counters", {}).items())
+        if value and name.startswith(_DELTA_PREFIXES)
+    }
+    latency = {}
+    for name, raw in sorted(delta.get("histograms", {}).items()):
+        if not name.startswith("server.servlets.latency") or not raw["count"]:
+            continue
+        summary = summarize_histogram_raw(raw)
+        latency[name] = {
+            "count": summary["count"],
+            "p50": round(summary["p50"], 6),
+            "p99": round(summary["p99"], 6),
+        }
+    out: dict[str, Any] = {"counters": counters, "latency": latency}
+    by_before = before.get("by_shard") or {}
+    by_after = after.get("by_shard") or {}
+    by_shard: dict[str, Any] = {}
+    for shard in sorted(by_after):
+        b_shard = (by_before.get(shard) or {}).get("metrics")
+        a_shard = (by_after.get(shard) or {}).get("metrics")
+        if not isinstance(a_shard, dict):
+            continue
+        shard_delta = diff_snapshots(
+            b_shard if isinstance(b_shard, dict) else {"counters": {}},
+            a_shard,
+        )
+        by_shard[shard] = {
+            "requests": sum(
+                v for k, v in shard_delta.get("counters", {}).items()
+                if k.startswith("server.servlets.requests")
+            ),
+            "errors": sum(
+                v for k, v in shard_delta.get("counters", {}).items()
+                if k.startswith("server.servlets.errors")
+            ),
+        }
+    if by_shard:
+        out["by_shard"] = by_shard
+    return out
 
 
 def latency_summary(result: RunResult) -> dict[str, dict[str, float]]:
@@ -55,8 +132,15 @@ def build_report(
     offered_rate: float = 0.0,
     health: dict[str, Any] | None = None,
     chaos: list[dict[str, Any]] | None = None,
+    metrics_before: dict[str, Any] | None = None,
+    metrics_after: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
-    """The publishable view of one run."""
+    """The publishable view of one run.
+
+    ``metrics_before``/``metrics_after`` are ``metrics_pull`` responses
+    bracketing the run; when both are given the report carries a
+    ``server_metrics`` delta (see :func:`metrics_delta`).
+    """
     report: dict[str, Any] = {
         "label": label,
         "duration_s": round(result.duration, 3),
@@ -84,6 +168,9 @@ def build_report(
             for name, slo in sorted((health.get("slos") or {}).items())
         }
         report["server_health"] = health.get("health")
+    delta = metrics_delta(metrics_before, metrics_after)
+    if delta is not None:
+        report["server_metrics"] = delta
     if chaos is not None:
         report["chaos"] = [
             {
@@ -166,4 +253,11 @@ def render_report(report: dict[str, Any]) -> str:
         )
     if "server_health" in report:
         lines.append(f"  server health {report['server_health']}")
+    metrics = report.get("server_metrics") or {}
+    for shard in sorted(metrics.get("by_shard", {})):
+        row = metrics["by_shard"][shard]
+        lines.append(
+            f"  shard {shard}: served {row['requests']:.0f} requests, "
+            f"{row['errors']:.0f} errors (server-side delta)"
+        )
     return "\n".join(lines)

@@ -31,6 +31,7 @@ from .health import (
     ServletSlo,
     SloPolicy,
 )
+from .history import MetricsHistory
 from .logging import LEVELS, Logger, LogHub, null_log_hub, null_logger
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
@@ -39,9 +40,22 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     Timer,
+    diff_snapshots,
+    merge_histogram_raw,
+    merge_snapshots,
     null_registry,
     render_name,
+    summarize_histogram_raw,
+    summarize_snapshot,
 )
+from .shipping import (
+    LogShipper,
+    build_span_tree,
+    read_shipped_records,
+    render_span_tree,
+    shard_log_paths,
+)
+from .top import render_dashboard, run_top
 from .tracing import (
     NULL_SPAN,
     IdSource,
@@ -69,8 +83,10 @@ __all__ = [
     "IdSource",
     "LEVELS",
     "LogHub",
+    "LogShipper",
     "Logger",
     "ManualClock",
+    "MetricsHistory",
     "MetricsRegistry",
     "NULL_SPAN",
     "SLOW_BURN",
@@ -82,17 +98,28 @@ __all__ = [
     "TraceContext",
     "TraceParseError",
     "Tracer",
+    "build_span_tree",
     "current_context",
     "current_traceparent",
+    "diff_snapshots",
     "format_traceparent",
     "from_json",
+    "merge_histogram_raw",
+    "merge_snapshots",
     "null_log_hub",
     "null_logger",
     "null_registry",
     "null_tracer",
     "parse_traceparent",
+    "read_shipped_records",
+    "render_dashboard",
     "render_health",
     "render_name",
+    "render_span_tree",
     "render_table",
+    "run_top",
+    "shard_log_paths",
+    "summarize_histogram_raw",
+    "summarize_snapshot",
     "to_json",
 ]

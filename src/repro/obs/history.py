@@ -1,0 +1,99 @@
+"""Bounded in-process metrics time series.
+
+A cluster dashboard needs rates, and rates need *two* points in time.
+:class:`MetricsHistory` is the smallest thing that provides them: a
+daemon (scheduler-driven, so it inherits quarantine/parole like every
+other background job) that samples the registry's raw snapshot into a
+fixed-size ring.  Each sample is mergeable — the same bucket-count
+payloads :func:`repro.obs.metrics.merge_snapshots` consumes — so the
+router can pull per-shard history and diff or merge it cluster-wide.
+
+Sizing: with the default 4-tick period and 240 slots the ring covers
+roughly the last 16 minutes of a busy server, a few hundred KB at
+typical instrument counts.  The ring is in-process state; it is not
+persisted (the shipped JSONL logs are the durable record).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+from .clock import Clock
+from .metrics import MetricsRegistry, diff_snapshots
+
+
+class MetricsHistory:
+    """Daemon sampling raw registry snapshots into a bounded ring."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        *,
+        capacity: int = 240,
+        clock: Clock | None = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("history capacity must be positive")
+        self.name = "metrics_history"
+        self.registry = registry
+        self.capacity = capacity
+        self.clock = clock if clock is not None else registry.clock
+        self._samples: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self._obs_lock = threading.Lock()
+
+    def run_once(self) -> int:
+        """Daemon hook: take one sample.
+
+        Always reports 0 items: sampling is bookkeeping, not drainable
+        work, and a non-zero return would keep ``run_until_idle``
+        (quiesce) spinning forever on a server that is actually idle.
+        """
+        if not self.registry.enabled:
+            return 0
+        sample = {"ts": self.clock(), "metrics": self.registry.raw_snapshot()}
+        with self._obs_lock:
+            self._samples.append(sample)
+        return 0
+
+    def __len__(self) -> int:
+        with self._obs_lock:
+            return len(self._samples)
+
+    def samples(self, limit: int | None = None) -> list[dict[str, Any]]:
+        """Oldest-first samples; ``limit`` keeps only the newest N."""
+        with self._obs_lock:
+            out = list(self._samples)
+        if limit is not None and limit >= 0:
+            out = out[-limit:]
+        return out
+
+    def latest(self) -> dict[str, Any] | None:
+        with self._obs_lock:
+            return self._samples[-1] if self._samples else None
+
+    def rate_window(self) -> dict[str, Any] | None:
+        """Counter deltas between the oldest and newest retained sample.
+
+        Returns ``{"seconds": span, "counters": {name: delta}}`` or
+        ``None`` until two samples exist (or if the clock did not move).
+        """
+        with self._obs_lock:
+            if len(self._samples) < 2:
+                return None
+            first, last = self._samples[0], self._samples[-1]
+        span = float(last["ts"]) - float(first["ts"])
+        if span <= 0:
+            return None
+        delta = diff_snapshots(first["metrics"], last["metrics"])
+        return {"seconds": span, "counters": delta["counters"]}
+
+    def to_payload(self, limit: int | None = None) -> dict[str, Any]:
+        samples = self.samples(limit)
+        return {"capacity": self.capacity, "len": len(samples),
+                "samples": samples}
+
+    def clear(self) -> None:
+        with self._obs_lock:
+            self._samples.clear()

@@ -49,6 +49,37 @@ def render_name(name: str, labels: LabelItems) -> str:
     return f"{name}{{{inner}}}"
 
 
+def _interpolate_percentile(
+    q: float,
+    buckets: tuple[float, ...],
+    counts: list[int],
+    count: int,
+    mn: float,
+    mx: float,
+) -> float:
+    """Percentile from bucket counts; shared by live and merged histograms.
+
+    Interpolates linearly inside the winning bucket and clamps to the
+    observed [mn, mx] range so a sparse bucket cannot report a value no
+    sample reached.  The overflow bucket (index ``len(buckets)``) maps
+    to ``mx``.
+    """
+    rank = q * count
+    cumulative = 0
+    for i, c in enumerate(counts):
+        if c == 0:
+            continue
+        if cumulative + c >= rank:
+            if i == len(buckets):      # overflow bucket
+                return mx
+            lo = buckets[i - 1] if i > 0 else min(mn, buckets[i])
+            hi = buckets[i]
+            frac = (rank - cumulative) / c
+            return max(mn, min(lo + (hi - lo) * frac, mx))
+        cumulative += c
+    return mx
+
+
 class Counter:
     """Monotonically increasing count of events.
 
@@ -208,22 +239,7 @@ class Histogram:
         self, q: float,
         counts: list[int], count: int, mn: float, mx: float,
     ) -> float:
-        rank = q * count
-        cumulative = 0
-        for i, c in enumerate(counts):
-            if c == 0:
-                continue
-            if cumulative + c >= rank:
-                if i == len(self.buckets):      # overflow bucket
-                    return mx
-                lo = self.buckets[i - 1] if i > 0 else min(mn, self.buckets[i])
-                hi = self.buckets[i]
-                frac = (rank - cumulative) / c
-                # Interpolated position, clamped to the observed range so a
-                # sparse bucket cannot report a value no sample reached.
-                return max(mn, min(lo + (hi - lo) * frac, mx))
-            cumulative += c
-        return mx
+        return _interpolate_percentile(q, self.buckets, counts, count, mn, mx)
 
     def percentile(self, q: float) -> float:
         """Value at quantile ``q`` in [0, 1], from the bucket boundaries."""
@@ -249,6 +265,164 @@ class Histogram:
             "min": mn,
             "max": mx,
         }
+
+    def raw(self) -> dict[str, Any]:
+        """Mergeable JSON-safe state: bucket counts, not summaries.
+
+        ``min``/``max`` are ``None`` when empty (the infinities are not
+        JSON-serializable, and this payload crosses the shard wire).
+        """
+        counts, total, count, mn, mx = self._state()
+        return {
+            "buckets": list(self.buckets),
+            "counts": counts,
+            "sum": total,
+            "count": count,
+            "min": mn if count else None,
+            "max": mx if count else None,
+        }
+
+
+# -- mergeable snapshots ---------------------------------------------------------
+#
+# Cluster aggregation works on *raw* snapshots: per-histogram bucket
+# counts rather than precomputed summaries.  Because every registry in
+# the fleet shares the same fixed bucket boundaries, merging is an
+# element-wise count sum — the merged percentiles are exactly what a
+# single registry fed the union of observations would report, not an
+# average of per-shard percentiles.
+
+
+def merge_histogram_raw(
+    a: dict[str, Any] | None, b: dict[str, Any],
+) -> dict[str, Any]:
+    """Bucket-wise merge of two :meth:`Histogram.raw` payloads."""
+    if a is None:
+        return {
+            "buckets": list(b["buckets"]),
+            "counts": list(b["counts"]),
+            "sum": float(b["sum"]),
+            "count": int(b["count"]),
+            "min": b.get("min"),
+            "max": b.get("max"),
+        }
+    if list(a["buckets"]) != list(b["buckets"]):
+        raise ValueError("cannot merge histograms with different buckets")
+    mins = [m for m in (a.get("min"), b.get("min")) if m is not None]
+    maxs = [m for m in (a.get("max"), b.get("max")) if m is not None]
+    return {
+        "buckets": list(a["buckets"]),
+        "counts": [x + y for x, y in zip(a["counts"], b["counts"])],
+        "sum": float(a["sum"]) + float(b["sum"]),
+        "count": int(a["count"]) + int(b["count"]),
+        "min": min(mins) if mins else None,
+        "max": max(maxs) if maxs else None,
+    }
+
+
+def summarize_histogram_raw(raw: dict[str, Any]) -> dict[str, float]:
+    """:meth:`Histogram.summary` computed from a raw (merged) payload.
+
+    Tolerates absent ``min``/``max`` (a diffed payload cannot know them):
+    the fallback bounds come from the populated buckets, so percentiles
+    stay inside the recorded distribution.
+    """
+    count = int(raw.get("count", 0))
+    if count <= 0:
+        return {"count": 0, "sum": 0.0, "mean": 0.0,
+                "p50": 0.0, "p95": 0.0, "p99": 0.0, "min": 0.0, "max": 0.0}
+    buckets = tuple(float(b) for b in raw["buckets"])
+    counts = [int(c) for c in raw["counts"]]
+    total = float(raw.get("sum", 0.0))
+    mn = raw.get("min")
+    mx = raw.get("max")
+    if mn is None:
+        lowest = next((i for i, c in enumerate(counts) if c), 0)
+        mn = 0.0 if lowest == 0 else buckets[lowest - 1]
+    if mx is None:
+        highest = next(
+            (i for i in range(len(counts) - 1, -1, -1) if counts[i]), 0)
+        mx = buckets[min(highest, len(buckets) - 1)]
+    mn, mx = float(mn), float(mx)
+    return {
+        "count": count,
+        "sum": total,
+        "mean": total / count,
+        "p50": _interpolate_percentile(0.50, buckets, counts, count, mn, mx),
+        "p95": _interpolate_percentile(0.95, buckets, counts, count, mn, mx),
+        "p99": _interpolate_percentile(0.99, buckets, counts, count, mn, mx),
+        "min": mn,
+        "max": mx,
+    }
+
+
+def merge_snapshots(snapshots: list[dict[str, Any]]) -> dict[str, Any]:
+    """Merge raw snapshots: counters/gauges sum, histograms bucket-wise.
+
+    Instruments absent on some shards merge what exists; gauges sum
+    because cluster levels (backlogs, cache entries) are additive across
+    a user-partitioned fleet.
+    """
+    out: dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+    for snap in snapshots:
+        if not isinstance(snap, dict):
+            continue
+        for section in ("counters", "gauges"):
+            merged = out[section]
+            for name, value in (snap.get(section) or {}).items():
+                merged[name] = merged.get(name, 0.0) + float(value)
+        histograms = out["histograms"]
+        for name, raw in (snap.get("histograms") or {}).items():
+            histograms[name] = merge_histogram_raw(histograms.get(name), raw)
+    return out
+
+
+def diff_snapshots(
+    before: dict[str, Any], after: dict[str, Any],
+) -> dict[str, Any]:
+    """What happened *between* two raw snapshots of the same registry.
+
+    Counters and histogram bucket counts subtract (clamped at zero —
+    a worker restart resets instruments and must not yield negative
+    deltas); gauges are levels, so the ``after`` value stands.  The
+    delta's true ``min``/``max`` are unknowable, so they are ``None``
+    and :func:`summarize_histogram_raw` falls back to bucket bounds.
+    """
+    out: dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+    before_counters = before.get("counters") or {}
+    for name, value in (after.get("counters") or {}).items():
+        out["counters"][name] = max(
+            0.0, float(value) - float(before_counters.get(name, 0.0)))
+    out["gauges"] = dict(after.get("gauges") or {})
+    before_hists = before.get("histograms") or {}
+    for name, raw in (after.get("histograms") or {}).items():
+        prior = before_hists.get(name)
+        if prior is None or list(prior["buckets"]) != list(raw["buckets"]):
+            out["histograms"][name] = merge_histogram_raw(None, raw)
+            continue
+        counts = [max(0, int(x) - int(y))
+                  for x, y in zip(raw["counts"], prior["counts"])]
+        out["histograms"][name] = {
+            "buckets": list(raw["buckets"]),
+            "counts": counts,
+            "sum": max(0.0, float(raw["sum"]) - float(prior["sum"])),
+            "count": sum(counts),
+            "min": None,
+            "max": None,
+        }
+    return out
+
+
+def summarize_snapshot(raw: dict[str, Any]) -> dict[str, Any]:
+    """Display form of a raw snapshot: histogram summaries, not buckets."""
+    return {
+        "counters": dict(raw.get("counters") or {}),
+        "gauges": dict(raw.get("gauges") or {}),
+        "histograms": {
+            name: summarize_histogram_raw(h)
+            for name, h in (raw.get("histograms") or {}).items()
+        },
+    }
 
 
 class Timer:
@@ -320,6 +494,10 @@ class _NullHistogram:
     def summary(self) -> dict[str, float]:
         return {"count": 0, "sum": 0.0, "mean": 0.0,
                 "p50": 0.0, "p95": 0.0, "p99": 0.0, "min": 0.0, "max": 0.0}
+
+    def raw(self) -> dict[str, Any]:
+        return {"buckets": [], "counts": [], "sum": 0.0, "count": 0,
+                "min": None, "max": None}
 
 
 _NULL_COUNTER = _NullCounter()
@@ -487,6 +665,31 @@ class MetricsRegistry:
             "histograms": {
                 render_name(h.name, h.labels): h.summary()
                 for h in self._histograms.values()
+            },
+        }
+
+    def raw_snapshot(self) -> dict[str, Any]:
+        """Mergeable view: histogram bucket counts instead of summaries.
+
+        This is what the ``metrics_pull`` servlet ships and what
+        :func:`merge_snapshots` consumes to build exact cluster-level
+        percentiles.  Instrument handles are copied under the creation
+        lock; values are read afterwards because pull-model instruments
+        may take component locks that rank above ``obs``.
+        """
+        with self._obs_lock:
+            counters = list(self._counters.values())
+            gauges = list(self._gauges.values())
+            histograms = list(self._histograms.values())
+        return {
+            "counters": {
+                render_name(c.name, c.labels): c.value for c in counters
+            },
+            "gauges": {
+                render_name(g.name, g.labels): g.value for g in gauges
+            },
+            "histograms": {
+                render_name(h.name, h.labels): h.raw() for h in histograms
             },
         }
 

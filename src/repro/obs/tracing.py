@@ -34,12 +34,13 @@ deployments.
 
 from __future__ import annotations
 
+import itertools
 import random
+import re
 import threading
 import time
 from collections import deque
 from contextvars import ContextVar
-from dataclasses import dataclass
 from typing import Any
 
 from .clock import Clock
@@ -56,13 +57,41 @@ class TraceParseError(ValueError):
     """A traceparent string that does not follow the wire format."""
 
 
-@dataclass(frozen=True)
 class TraceContext:
-    """The propagatable identity of a span: what crosses the wire."""
+    """The propagatable identity of a span: what crosses the wire.
 
-    trace_id: str   # 32 lowercase hex chars, not all zero
-    span_id: str    # 16 lowercase hex chars, not all zero
-    sampled: bool = True
+    A hand-rolled value class rather than a frozen dataclass: one is
+    allocated per span (and per routed hop), and the frozen-dataclass
+    ``object.__setattr__`` construction path costs several times a
+    plain ``__init__`` on that hot path.  Treat instances as immutable.
+    """
+
+    __slots__ = ("trace_id", "span_id", "sampled")
+
+    def __init__(
+        self, trace_id: str, span_id: str, sampled: bool = True,
+    ) -> None:
+        self.trace_id = trace_id   # 32 lowercase hex chars, not all zero
+        self.span_id = span_id     # 16 lowercase hex chars, not all zero
+        self.sampled = sampled
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceContext):
+            return NotImplemented
+        return (
+            self.trace_id == other.trace_id
+            and self.span_id == other.span_id
+            and self.sampled == other.sampled
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.trace_id, self.span_id, self.sampled))
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceContext(trace_id={self.trace_id!r}, "
+            f"span_id={self.span_id!r}, sampled={self.sampled!r})"
+        )
 
     def to_traceparent(self) -> str:
         return format_traceparent(self)
@@ -90,6 +119,15 @@ def _require_hex(field: str, value: str, width: int) -> str:
     return value
 
 
+# Well-formed traceparent fast path: one C-level match instead of four
+# per-field validations.  Anything it rejects falls through to the slow
+# path purely to produce the precise per-field error message.
+_TRACEPARENT_RE = re.compile(
+    r"(?!ff)[0-9a-f]{2}-(?!0{32}-)([0-9a-f]{32})-(?!0{16}-)([0-9a-f]{16})"
+    r"-[0-9a-f]{2}\Z"
+)
+
+
 def parse_traceparent(value: Any) -> TraceContext:
     """Parse a traceparent header value into a :class:`TraceContext`.
 
@@ -101,6 +139,10 @@ def parse_traceparent(value: Any) -> TraceContext:
     if not isinstance(value, str):
         raise TraceParseError(
             f"traceparent must be a string, got {type(value).__name__}")
+    if _TRACEPARENT_RE.match(value):
+        return TraceContext(
+            value[3:35], value[36:52], sampled=bool(int(value[53:], 16) & 1),
+        )
     parts = value.split("-")
     if len(parts) != 4:
         raise TraceParseError(
@@ -166,7 +208,8 @@ class Span:
     """
 
     __slots__ = ("trace_id", "span_id", "parent_id", "name", "start", "end",
-                 "attributes", "error", "thread", "_tracer", "_ctx_token")
+                 "attributes", "error", "thread", "_tracer", "_ctx_token",
+                 "_context")
 
     def __init__(
         self,
@@ -191,15 +234,18 @@ class Span:
         self.thread = threading.get_ident()
         self._tracer = tracer
         self._ctx_token: Any = None
+        # Allocated once, shared by __enter__'s ambient publish and every
+        # context() caller (hop stamping reads it on the routed path).
+        self._context = TraceContext(trace_id, span_id, sampled=True)
 
     def context(self) -> TraceContext:
         """This span's propagatable identity (always sampled: the span
         exists precisely because the sampling decision said record)."""
-        return TraceContext(self.trace_id, self.span_id, sampled=True)
+        return self._context
 
     def __enter__(self) -> "Span":
         self._tracer._stack.append(self)
-        self._ctx_token = _ACTIVE_CONTEXT.set(self.context())
+        self._ctx_token = _ACTIVE_CONTEXT.set(self._context)
         return self
 
     def __exit__(self, exc_type: type | None, exc: BaseException | None, tb: object) -> bool:
@@ -219,6 +265,12 @@ class Span:
             except ValueError:
                 pass
         tracer._finished.append(self)
+        if tracer._sinks:
+            for sink in list(tracer._sinks):
+                try:
+                    sink(self)
+                except Exception:  # noqa: BLE001 - a sink never fails a span
+                    pass
         return False
 
     @property
@@ -316,8 +368,11 @@ class Tracer:
         # never parent onto another worker's unrelated request.
         self._local = threading.local()
         self._finished: deque[Span] = deque(maxlen=capacity)
-        self._sample_tick = 0
-        self._obs_lock = threading.Lock()   # guards the sampling tick
+        self._sinks: list[Any] = []   # span-completion consumers
+        # The sampling tick is an itertools.count: next() on it is a
+        # single C-level operation, atomic under the GIL, so the hot
+        # unsampled-root path never takes a lock.
+        self._sample_tick = itertools.count(1)
 
     @property
     def _stack(self) -> list[Span]:
@@ -359,11 +414,8 @@ class Tracer:
         else:
             if self.sample_every > 1:
                 # Head-based sampling decision, made once per root span;
-                # the tick is shared across threads, hence the lock.
-                with self._obs_lock:
-                    self._sample_tick += 1
-                    tick = self._sample_tick
-                if tick % self.sample_every:
+                # the shared tick is atomic (see __init__), no lock.
+                if next(self._sample_tick) % self.sample_every:
                     return _NULL_SPAN_CONTEXT
             trace_id = self.ids.trace_id()
             parent_id = None
@@ -402,6 +454,18 @@ class Tracer:
     def trace(self, trace_id: str) -> list[Span]:
         """All finished spans belonging to *trace_id*, oldest first."""
         return [s for s in self._finished if s.trace_id == trace_id]
+
+    def attach(self, sink: Any) -> None:
+        """Attach a span-completion sink: ``sink(span)`` runs synchronously
+        when a span finishes.  This is how workers ship finished spans to
+        their JSONL log file; the empty-list check keeps the no-sink hot
+        path at one truthiness test."""
+        if sink not in self._sinks:
+            self._sinks.append(sink)
+
+    def detach(self, sink: Any) -> None:
+        if sink in self._sinks:
+            self._sinks.remove(sink)
 
     def clear(self) -> None:
         self._finished.clear()

@@ -450,6 +450,16 @@ class ServletRegistry:
             if instruments[1].count
         }
 
+    def latency_raw(self) -> dict[str, dict[str, Any]]:
+        """Per-servlet raw histogram payloads (bucket counts, mergeable
+        bucket-wise across shards — see ``repro.obs.metrics.
+        merge_histogram_raw``); empty when metrics are disabled."""
+        return {
+            name: instruments[1].raw()
+            for name, instruments in sorted(self._instruments.items())
+            if instruments[1].count
+        }
+
     def servlet_instruments(self) -> dict[str, tuple[Any, Any]]:
         """Per-servlet ``(error_counter, latency_histogram)`` handles for
         servlets that have seen traffic — the SLO layer evaluates these."""

@@ -26,18 +26,30 @@ import os
 from collections.abc import Iterable
 from typing import Any, Callable
 
+from pathlib import Path
+
 from ..client.applet import MemexApplet
 from ..errors import ProtocolError
-from ..obs import LogHub, MetricsRegistry
+from ..obs import HealthMonitor, LogHub, LogShipper, MetricsRegistry, Tracer
 from ..server.transport import SocketTransport
 from .ring import HashRing
 from .router import ShardRouter
-from .supervisor import ShardSupervisor
+from .supervisor import STATUS_UP, ShardSupervisor
 from .worker import WorkerSpec
 
 
 class MemexCluster:
-    """A sharded Memex deployment behind one router address."""
+    """A sharded Memex deployment behind one router address.
+
+    Observability plane: the cluster owns a router-process tracer (the
+    dispatcher joins client traceparents and stamps each backend hop), a
+    :class:`HealthMonitor` with a ``supervisor`` check over the worker
+    fleet, and — when ``data_dir`` is given — a :class:`LogShipper`
+    appending router logs and finished router spans to
+    ``<data_dir>/router/logs/router.jsonl``, alongside the per-worker
+    ``<data_dir>/shard-NN/logs/worker.jsonl`` files the workers write.
+    ``repro trace``/``repro logs`` read those files back.
+    """
 
     def __init__(
         self,
@@ -55,9 +67,12 @@ class MemexCluster:
         auto_restart: bool = True,
         start_timeout: float = 30.0,
         metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.logs = LogHub(clock=self.metrics.clock)
+        self.tracer = tracer if tracer is not None else Tracer(sample_every=8)
+        self.data_dir = Path(data_dir) if data_dir is not None else None
         self.ring = HashRing(n_shards)
         spec = WorkerSpec(
             factory=factory,
@@ -73,8 +88,18 @@ class MemexCluster:
             metrics=self.metrics,
             log=self.logs.logger("supervisor"),
         )
+        self.health = HealthMonitor(clock=self.metrics.clock)
+        self.health.add_check("supervisor", self._check_supervisor)
         self.router: ShardRouter | None = None
         self.transport: SocketTransport | None = None
+        self._shipper: LogShipper | None = None
+        if self.data_dir is not None:
+            self._shipper = LogShipper(
+                self.data_dir / "router" / "logs" / "router.jsonl",
+                shard="router",
+            )
+            self.logs.attach(self._shipper.log_sink)
+            self.tracer.attach(self._shipper.span_sink)
         try:
             self.supervisor.start()
             self.router = ShardRouter(
@@ -84,6 +109,8 @@ class MemexCluster:
                 host=host, port=port, workers=router_workers,
                 metrics=self.metrics,
                 log=self.logs.logger("router"),
+                tracer=self.tracer,
+                shard_info=self.supervisor.health_detail,
             )
             if monitor:
                 self.supervisor.start_monitor()
@@ -114,6 +141,11 @@ class MemexCluster:
             self.router.close(drain=drain)
             self.router = None
         self.supervisor.stop(drain=drain)
+        if self._shipper is not None:
+            self.logs.detach(self._shipper.log_sink)
+            self.tracer.detach(self._shipper.span_sink)
+            self._shipper.close()
+            self._shipper = None
 
     def __enter__(self) -> "MemexCluster":
         return self
@@ -163,6 +195,31 @@ class MemexCluster:
     def quiesce(self) -> int:
         """Run every shard's daemons until idle (deterministic tests)."""
         return self.supervisor.quiesce()
+
+    def _check_supervisor(self) -> tuple[bool, str]:
+        """HealthMonitor check: the whole worker fleet is up."""
+        detail = self.supervisor.health_detail()
+        up = sum(1 for d in detail.values() if d["status"] == STATUS_UP)
+        restarts = sum(d["restarts"] for d in detail.values())
+        down = sorted(
+            str(sid) for sid, d in detail.items() if d["status"] != STATUS_UP)
+        msg = f"{up}/{len(detail)} shards up, {restarts} restarts"
+        if down:
+            msg += f", down: {','.join(down)}"
+        return up == len(detail), msg
+
+    def health_report(self) -> dict[str, Any]:
+        """Router-process health: the cluster monitor's own checks (the
+        supervisor fleet view), complementing the scatter-merged
+        ``health`` servlet the workers answer."""
+        return self.health.report()
+
+    def metrics_pull(self, user_id: str = "__operator__") -> dict[str, Any]:
+        """Cluster-merged raw metrics: the scatter-gathered
+        ``metrics_pull`` response (``metrics`` merged bucket-wise,
+        ``by_shard`` for drill-down; the servlet is unauthenticated,
+        like ``health``)."""
+        return self.request(user_id, {"servlet": "metrics_pull"})
 
     def stats(self, user_id: str) -> dict[str, Any]:
         """Cluster-wide stats as *user_id* (the ``stats`` servlet

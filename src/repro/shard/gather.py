@@ -45,7 +45,20 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Protocol
 
 from ..errors import CODE_UNAVAILABLE, ProtocolError, error_payload
-from ..obs.metrics import MetricsRegistry, null_registry
+from ..obs.metrics import (
+    MetricsRegistry,
+    merge_histogram_raw,
+    merge_snapshots,
+    null_registry,
+    summarize_histogram_raw,
+)
+from ..obs.tracing import (
+    TraceContext,
+    TraceParseError,
+    Tracer,
+    null_tracer,
+    parse_traceparent,
+)
 from ..server.servlets import BATCH_SERVLET, ServletRegistry
 from .ring import HashRing
 
@@ -59,6 +72,7 @@ SCATTER_SERVLETS = frozenset({
     "popular_near_trail",
     "stats",
     "health",
+    "metrics_pull",
 })
 
 #: Account writes replicated to every shard (shard-local authentication).
@@ -206,15 +220,117 @@ def _merge_pages(request, oks, failed, owner):
 _STATS_SUMMED = ("pages", "visits", "links", "indexed", "crawl_backlog")
 
 
+def _sum_numeric(dicts: list[dict[str, Any]]) -> dict[str, Any]:
+    """Element-wise sum of numeric leaves across dicts.
+
+    Nested dicts recurse; strings and booleans keep the first occurrence
+    (e.g. the storage section's ``engine`` name, identical fleet-wide).
+    """
+    out: dict[str, Any] = {}
+    for d in dicts:
+        if not isinstance(d, dict):
+            continue
+        for key, value in d.items():
+            if isinstance(value, bool):
+                out.setdefault(key, value)
+            elif isinstance(value, (int, float)):
+                prior = out.get(key, 0)
+                out[key] = (prior if isinstance(prior, (int, float)) else 0) + value
+            elif isinstance(value, dict):
+                prior = out.get(key)
+                out[key] = _sum_numeric(
+                    ([prior] if isinstance(prior, dict) else []) + [value])
+            else:
+                out.setdefault(key, value)
+    return out
+
+
 def _merge_stats(request, oks, failed, owner):
+    """Cluster ``stats``: sum the catalog counters *and* merge sections.
+
+    * ``servlets`` / ``storage`` — numeric leaves sum across shards.
+    * ``cache`` — counts sum, then each cache's ``hit_rate`` is
+      recomputed from the summed hits/misses (summing rates would be
+      meaningless).
+    * ``versioning_lag`` — the max per consumer (the worst shard is
+      what an operator acts on; summing lags across shards is noise).
+    * ``latency`` — per-servlet raw histograms (``latency_raw``) merge
+      bucket-wise, so the cluster percentiles are exact rather than
+      averaged; the shipped summaries replace the per-shard ones.
+    * ``daemons`` stays per-shard only (quarantine state is not
+      additive); everything remains available under ``by_shard``.
+    """
     out: dict[str, Any] = {key: 0 for key in _STATS_SUMMED}
     by_shard: dict[str, dict[str, Any]] = {}
     for shard, response in oks:
         for key in _STATS_SUMMED:
             out[key] += int(response.get(key, 0))
         by_shard[str(shard)] = response
+    responses = [r for _s, r in oks]
+
+    servlets = [r.get("servlets") for r in responses
+                if isinstance(r.get("servlets"), dict)]
+    if servlets:
+        out["servlets"] = _sum_numeric(servlets)
+
+    caches = [r.get("cache") for r in responses
+              if isinstance(r.get("cache"), dict)]
+    if caches:
+        merged_cache = _sum_numeric(caches)
+        for stats in merged_cache.values():
+            if isinstance(stats, dict) and "hit_rate" in stats:
+                lookups = stats.get("hits", 0) + stats.get("misses", 0)
+                stats["hit_rate"] = (
+                    stats.get("hits", 0) / lookups if lookups else 0.0)
+        out["cache"] = merged_cache
+
+    storages = [r.get("storage") for r in responses
+                if isinstance(r.get("storage"), dict)]
+    if storages:
+        out["storage"] = _sum_numeric(storages)
+
+    lags = [r.get("versioning_lag") for r in responses
+            if isinstance(r.get("versioning_lag"), dict)]
+    if lags:
+        merged_lag: dict[str, Any] = {}
+        for d in lags:
+            for consumer, lag in d.items():
+                merged_lag[consumer] = max(merged_lag.get(consumer, 0), lag)
+        out["versioning_lag"] = merged_lag
+
+    raws = [r.get("latency_raw") for r in responses
+            if isinstance(r.get("latency_raw"), dict)]
+    if raws:
+        merged_raw: dict[str, Any] = {}
+        for d in raws:
+            for name, raw in d.items():
+                try:
+                    merged_raw[name] = merge_histogram_raw(
+                        merged_raw.get(name), raw)
+                except (KeyError, TypeError, ValueError):
+                    continue  # malformed shard payload degrades that entry
+        out["latency"] = {
+            name: summarize_histogram_raw(raw)
+            for name, raw in merged_raw.items()
+        }
+
     out["by_shard"] = by_shard
     return out
+
+
+def _merge_metrics(request, oks, failed, owner):
+    """Cluster ``metrics_pull``: one true cluster-level registry view.
+
+    ``metrics`` is the bucket-wise merge of every shard's raw snapshot
+    (exact cluster percentiles); ``by_shard`` keeps the full per-shard
+    responses for drill-down.
+    """
+    snaps = [r.get("metrics") for _s, r in oks
+             if isinstance(r.get("metrics"), dict)]
+    return {
+        "metrics": merge_snapshots(snaps),
+        "by_shard": {str(s): r for s, r in oks},
+    }
 
 
 def _merge_health(request, oks, failed, owner):
@@ -249,6 +365,7 @@ MERGERS: dict[str, Callable[..., dict[str, Any]]] = {
     "popular_near_trail": _merge_pages,
     "stats": _merge_stats,
     "health": _merge_health,
+    "metrics_pull": _merge_metrics,
 }
 
 
@@ -284,6 +401,18 @@ class ShardDispatcher:
     available:
         Liveness predicate ``shard_id -> bool`` (the supervisor's view).
         Unavailable shards are skipped without a connection attempt.
+    tracer:
+        Router-side tracer.  When enabled, every dispatch opens a
+        ``router.dispatch`` span (joining the client's ``traceparent``
+        when present), the per-shard hops become child spans, and the
+        child context is stamped into the forwarded backend payload so
+        workers join the same trace.  Defaults to the shared null
+        tracer, which leaves request payloads byte-identical to the
+        pre-tracing behaviour.
+    shard_info:
+        Optional supervisor introspection callable returning per-shard
+        lifecycle detail (status, restarts, backoff, last exit); merged
+        ``health`` responses embed it and annotate down-shard checks.
     """
 
     def __init__(
@@ -293,6 +422,8 @@ class ShardDispatcher:
         ring: HashRing | None = None,
         available: Callable[[int], bool] | None = None,
         metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        shard_info: Callable[[], dict[int, dict[str, Any]]] | None = None,
     ) -> None:
         if not backends:
             raise ValueError("at least one backend is required")
@@ -301,6 +432,8 @@ class ShardDispatcher:
         if self.ring.n_shards != len(self.backends):
             raise ValueError("ring size must match backend count")
         self._available = available
+        self.tracer = tracer if tracer is not None else null_tracer()
+        self._shard_info = shard_info
         m = metrics if metrics is not None else null_registry()
         self.forwarded_total = m.counter("shard.forwarded_total")
         self.scatter_total = m.counter("shard.scatter_total")
@@ -339,16 +472,71 @@ class ShardDispatcher:
         servlet = request.get("servlet")
         user_raw = request.get("user_id")
         user = user_raw if isinstance(user_raw, str) else ""
+        # The owner shard is hashed exactly once per dispatch and threaded
+        # through every route: the routing span's attribute and the
+        # forwarding decision must agree, and a second sha1 per request
+        # would be pure overhead on the hot path.
+        owner = self.ring.shard_for(user)
         try:
-            if servlet == BATCH_SERVLET:
-                return self._dispatch_batch(user, request)
-            if servlet in BROADCAST_SERVLETS:
-                return self._broadcast(user, request)
-            if servlet in SCATTER_SERVLETS:
-                return self._scatter(user, request)
-            return self._forward(user, request)
+            if not self.tracer.enabled:
+                return self._route(servlet, user, request, owner)
+            # The routing span joins the client's trace when the request
+            # carries a traceparent; a malformed one is the same typed
+            # bad_request the worker registry would produce.  Batch
+            # envelopes are exempt: the registry ignores envelope-level
+            # traceparents and per-item values error per item instead.
+            parent: TraceContext | None = None
+            raw_parent = request.get("traceparent")
+            if raw_parent is not None and servlet != BATCH_SERVLET:
+                try:
+                    parent = parse_traceparent(raw_parent)
+                except TraceParseError as exc:
+                    return error_payload(exc)
+            with self.tracer.span(
+                "router.dispatch",
+                parent=parent,
+                servlet=servlet if isinstance(servlet, str) else "",
+                user=user,
+                shard=owner,
+            ):
+                return self._route(servlet, user, request, owner)
         except Exception as exc:  # noqa: BLE001 - routing must never raise
             return error_payload(exc)
+
+    def _route(
+        self, servlet: Any, user: str, request: dict[str, Any], owner: int,
+    ) -> dict[str, Any]:
+        if servlet == BATCH_SERVLET:
+            return self._dispatch_batch(user, request, owner)
+        if servlet in BROADCAST_SERVLETS:
+            return self._broadcast(user, request, owner)
+        if servlet in SCATTER_SERVLETS:
+            return self._scatter(user, request, owner)
+        return self._forward(user, request, owner)
+
+    def _stamp(
+        self, request: dict[str, Any], ctx: TraceContext,
+    ) -> dict[str, Any]:
+        """Stamp the hop span's context into the backend payload.
+
+        The worker's registry parses it and parents its servlet span on
+        the router hop, completing client -> router -> shard.  For batch
+        envelopes the context is also stamped *per item* (items without
+        their own client-side traceparent), because the worker re-parents
+        batch items individually and ignores the envelope field.
+        """
+        stamped = {**request, "traceparent": ctx.to_traceparent()}
+        if request.get("servlet") == BATCH_SERVLET and isinstance(
+            request.get("requests"), list,
+        ):
+            tp = ctx.to_traceparent()
+            stamped["requests"] = [
+                {**item, "traceparent": tp}
+                if isinstance(item, dict) and "traceparent" not in item
+                else item
+                for item in request["requests"]
+            ]
+        return stamped
 
     # -- owner-shard forwarding ----------------------------------------------
 
@@ -361,11 +549,16 @@ class ShardDispatcher:
             )
         return self.backends[shard].request(user, request)
 
-    def _forward(self, user: str, request: dict[str, Any]) -> dict[str, Any]:
-        shard = self.ring.shard_for(user)
+    def _forward(
+        self, user: str, request: dict[str, Any], shard: int,
+    ) -> dict[str, Any]:
         self.forwarded_total.inc()
         try:
-            return self._call(shard, user, request)
+            with self.tracer.child_span("router.forward", shard=shard) as hop:
+                ctx = hop.context()
+                if ctx is not None:
+                    request = self._stamp(request, ctx)
+                return self._call(shard, user, request)
         except ProtocolError as exc:
             if exc.code == CODE_UNAVAILABLE:
                 self.unavailable_total.inc()
@@ -373,18 +566,24 @@ class ShardDispatcher:
 
     # -- broadcast -------------------------------------------------------------
 
-    def _broadcast(self, user: str, request: dict[str, Any]) -> dict[str, Any]:
+    def _broadcast(
+        self, user: str, request: dict[str, Any], owner: int,
+    ) -> dict[str, Any]:
         """Account write to every shard, owner first.  All-or-error: a
         shard missing the user row would reject that user's requests
         forever, so a partial broadcast surfaces as retryable."""
-        owner = self.ring.shard_for(user)
         order = [owner] + [s for s in range(self.n_shards) if s != owner]
         if len(order) == 1:
-            return self._forward(user, request)
+            return self._forward(user, request, owner)
         responses: dict[int, dict[str, Any]] = {}
         for shard in order:
             try:
-                response = self._call(shard, user, request)
+                with self.tracer.child_span(
+                    "router.broadcast", shard=shard,
+                ) as hop:
+                    ctx = hop.context()
+                    payload = self._stamp(request, ctx) if ctx else request
+                    response = self._call(shard, user, payload)
             except Exception as exc:  # noqa: BLE001 - degrade to typed error
                 self.unavailable_total.inc()
                 return _unavailable(
@@ -404,16 +603,29 @@ class ShardDispatcher:
 
     # -- scatter-gather --------------------------------------------------------
 
-    def _scatter(self, user: str, request: dict[str, Any]) -> dict[str, Any]:
+    def _scatter(
+        self, user: str, request: dict[str, Any], owner: int,
+    ) -> dict[str, Any]:
         servlet = request.get("servlet")
-        owner = self.ring.shard_for(user)
         self.scatter_total.inc()
         if self.n_shards == 1:
             # Identity path: one shard's answer IS the merged answer.
-            return self._forward(user, request)
+            return self._forward(user, request, owner)
+
+        # Captured on the dispatching thread: the pool workers have empty
+        # span stacks, so each fan-out hop parents on the routing span
+        # explicitly instead of relying on thread-local ambience.
+        rctx = self.tracer.current_context()
 
         def ask(shard: int) -> dict[str, Any] | None:
             try:
+                if rctx is not None:
+                    with self.tracer.span(
+                        "router.scatter", parent=rctx, shard=shard,
+                    ) as hop:
+                        ctx = hop.context()
+                        payload = self._stamp(request, ctx) if ctx else request
+                        return self._call(shard, user, payload)
                 return self._call(shard, user, request)
             except Exception:  # noqa: BLE001 - a dead shard degrades, not fails
                 return None
@@ -442,6 +654,8 @@ class ShardDispatcher:
             merged = dict(_owner_first(oks, owner) or {})
         else:
             merged = merger(request, oks, failed, owner)
+        if servlet == "health":
+            self._enrich_health(merged, failed)
         merged["status"] = "ok"
         merged["shards"] = self.n_shards
         merged["partial"] = bool(failed)
@@ -450,9 +664,40 @@ class ShardDispatcher:
             merged["shards_failed"] = failed
         return merged
 
+    def _enrich_health(
+        self, merged: dict[str, Any], failed: list[int],
+    ) -> None:
+        """Fold supervisor lifecycle state into a merged health report.
+
+        Adds a ``supervisor`` section (per-shard status/restarts/backoff/
+        last exit) and upgrades each down shard's ``{"ok": False}`` check
+        from a bare "shard down" to the *why*: how many restarts so far,
+        the backoff currently applied, and the last exit reason.
+        """
+        if self._shard_info is None:
+            return
+        try:
+            info = self._shard_info()
+        except Exception:  # noqa: BLE001 - health must not fail on detail
+            return
+        if not isinstance(info, dict):
+            return
+        merged["supervisor"] = {str(k): v for k, v in info.items()}
+        checks = merged.get("checks")
+        if not isinstance(checks, dict):
+            return
+        for shard in failed:
+            check = checks.get(f"s{shard}.shard")
+            detail = info.get(shard, info.get(str(shard)))
+            if isinstance(check, dict) and isinstance(detail, dict):
+                check.update(
+                    {k: v for k, v in detail.items() if k != "ok"})
+
     # -- batch envelopes -------------------------------------------------------
 
-    def _dispatch_batch(self, user: str, envelope: dict[str, Any]) -> dict[str, Any]:
+    def _dispatch_batch(
+        self, user: str, envelope: dict[str, Any], owner: int,
+    ) -> dict[str, Any]:
         items = envelope.get("requests")
         if not isinstance(items, list) or not any(
             isinstance(item, dict)
@@ -461,7 +706,7 @@ class ShardDispatcher:
         ):
             # Pure owner-shard batch (the hot path): ship the envelope
             # whole so the shard's group commit stays one WAL fsync.
-            return self._forward(user, envelope)
+            return self._forward(user, envelope, owner)
         # Mixed envelope: decompose in order.  Runs of plain items still
         # ship as sub-envelopes; broadcast/scatter items route one by one.
         responses: list[dict[str, Any]] = []
@@ -471,7 +716,7 @@ class ShardDispatcher:
             if not run:
                 return
             sub = {**envelope, "requests": list(run)}
-            result = self._forward(user, sub)
+            result = self._forward(user, sub, owner)
             if result.get("status") == "ok" and isinstance(
                 result.get("responses"), list,
             ):

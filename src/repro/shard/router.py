@@ -31,13 +31,21 @@ from typing import Any, Callable
 
 from ..obs.logging import Logger, null_logger
 from ..obs.metrics import MetricsRegistry, null_registry
+from ..obs.tracing import Tracer
 from ..server.netserver import DictKeySource, KeySource, MemexSocketServer
 from .gather import Backend, ShardDispatcher
 from .ring import HashRing
 
 
 class ShardRouter:
-    """Front-end socket server + shard dispatcher (see module docstring)."""
+    """Front-end socket server + shard dispatcher (see module docstring).
+
+    Trace hop: when built with a ``tracer``, the dispatcher opens a
+    ``router.dispatch`` span per request (joining the client's
+    ``traceparent``) with per-shard forward/broadcast/scatter child
+    spans, and stamps each hop's context into the backend payload — the
+    one ``trace_id`` survives client -> router -> worker.
+    """
 
     def __init__(
         self,
@@ -54,12 +62,15 @@ class ShardRouter:
         key_source: KeySource | None = None,
         metrics: MetricsRegistry | None = None,
         log: Logger | None = None,
+        tracer: Tracer | None = None,
+        shard_info: Callable[[], dict[int, dict[str, Any]]] | None = None,
     ) -> None:
         self.metrics = metrics if metrics is not None else null_registry()
         self.log = log if log is not None else null_logger("router")
         self.keys = key_source if key_source is not None else DictKeySource()
         self.dispatcher = ShardDispatcher(
             backends, ring=ring, available=available, metrics=self.metrics,
+            tracer=tracer, shard_info=shard_info,
         )
         # Outermost lock: guards the routed-per-shard table below.
         self._router_lock = threading.Lock()

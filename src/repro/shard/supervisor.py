@@ -58,12 +58,26 @@ STATUS_UP = "up"
 STATUS_DOWN = "down"
 
 
+def _describe_exit(exitcode: int | None) -> str | None:
+    """Human-readable worker exit reason (``None`` while unknown)."""
+    if exitcode is None:
+        return None
+    if exitcode < 0:
+        try:
+            name = signal.Signals(-exitcode).name
+        except ValueError:  # pragma: no cover - unnamed signal number
+            name = f"signal {-exitcode}"
+        return f"killed by {name}"
+    return f"exit code {exitcode}"
+
+
 class _Shard:
     """Parent-side state for one worker process."""
 
     __slots__ = (
         "shard_id", "proc", "conn", "root", "port", "address",
         "status", "restarts", "spawned_at",
+        "last_exit", "backoff", "backoff_until", "fail_streak",
     )
 
     def __init__(self, shard_id: int, root: str | None) -> None:
@@ -76,6 +90,10 @@ class _Shard:
         self.status = STATUS_STARTING
         self.restarts = 0
         self.spawned_at = 0.0
+        self.last_exit: str | None = None   # why the last death happened
+        self.backoff = 0.0                  # restart delay currently applied
+        self.backoff_until = 0.0            # monotonic deadline; 0 = disarmed
+        self.fail_streak = 0                # rapid successive deaths
 
 
 class ShardSupervisor:
@@ -93,6 +111,9 @@ class ShardSupervisor:
         auto_restart: bool = True,
         connect_timeout: float = 2.0,
         response_timeout: float = 30.0,
+        restart_backoff: float = 0.05,
+        max_backoff: float = 2.0,
+        backoff_reset_after: float = 30.0,
         metrics: MetricsRegistry | None = None,
         log: Logger | None = None,
     ) -> None:
@@ -105,6 +126,12 @@ class ShardSupervisor:
         self.auto_restart = auto_restart
         self.connect_timeout = connect_timeout
         self.response_timeout = response_timeout
+        # Exponential restart backoff: base * 2^streak, capped, where the
+        # streak counts *rapid* successive deaths (a worker that stayed up
+        # longer than backoff_reset_after before dying restarts at base).
+        self.restart_backoff = restart_backoff
+        self.max_backoff = max_backoff
+        self.backoff_reset_after = backoff_reset_after
         self.metrics = metrics if metrics is not None else null_registry()
         self.log = log if log is not None else null_logger("supervisor")
         self._ctx = multiprocessing.get_context("fork")
@@ -280,6 +307,25 @@ class ShardSupervisor:
     def statuses(self) -> dict[int, str]:
         return {s.shard_id: s.status for s in self._shards}
 
+    def health_detail(self) -> dict[int, dict[str, Any]]:
+        """Per-shard lifecycle detail for merged ``health`` reports:
+        status, restart count, the backoff currently applied, and the
+        last exit reason (``None`` until a shard has died once)."""
+        now = time.monotonic()
+        out: dict[int, dict[str, Any]] = {}
+        for s in self._shards:
+            remaining = max(0.0, s.backoff_until - now) if s.backoff_until else 0.0
+            out[s.shard_id] = {
+                "status": s.status,
+                "restarts": s.restarts,
+                "backoff": round(s.backoff, 4),
+                "backoff_remaining": round(remaining, 4),
+                "last_exit": s.last_exit,
+                "uptime": round(now - s.spawned_at, 3)
+                if s.status == STATUS_UP else 0.0,
+            }
+        return out
+
     def transports(self) -> list[SocketTransport]:
         """The per-shard backends (shared with the router's dispatcher)."""
         return self._transports
@@ -299,10 +345,34 @@ class ShardSupervisor:
                     # Stale pooled connections point at a dead socket.
                     self._transports[shard.shard_id].reset_backoff()
             if shard.status == STATUS_DOWN and self.auto_restart:
+                now = time.monotonic()
+                if shard.backoff_until == 0.0:
+                    # First pass after this death: record why, arm backoff.
+                    with self._supervisor_lock:
+                        if shard.proc is not None:
+                            shard.last_exit = _describe_exit(
+                                shard.proc.exitcode)
+                        uptime = now - shard.spawned_at
+                        if uptime > self.backoff_reset_after:
+                            shard.fail_streak = 0
+                        else:
+                            shard.fail_streak += 1
+                        shard.backoff = min(
+                            self.max_backoff,
+                            self.restart_backoff * (2 ** shard.fail_streak),
+                        )
+                        shard.backoff_until = now + shard.backoff
+                    self.log.info(
+                        "restart_scheduled", shard=shard.shard_id,
+                        backoff=shard.backoff, last_exit=shard.last_exit,
+                    )
+                if now < shard.backoff_until:
+                    continue
                 with self._supervisor_lock:
                     self._reap(shard)
                     self._spawn(shard)
                     shard.restarts += 1
+                    shard.backoff_until = 0.0   # disarm until the next death
                 self.restarts_total.inc()
             if shard.status == STATUS_STARTING:
                 with self._supervisor_lock:

@@ -33,7 +33,10 @@ import os
 import signal
 import stat
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Callable
+
+from ..obs.shipping import LogShipper
 
 CMD_STOP = "stop"
 CMD_QUIESCE = "quiesce"
@@ -114,10 +117,26 @@ def worker_main(
     _release_inherited_sockets(keep={conn.fileno()})
     server = None
     net = None
+    shipper = None
     try:
         server = spec.factory(shard_id, root)
         if root is not None:
             server.restore_state()
+            # Ship this worker's structured logs and finished spans to a
+            # bounded JSONL file under its private data directory; the
+            # parent reads the files back for `repro logs` / `repro
+            # trace`.  In-memory shards (no root) keep ring buffers only.
+            logs = getattr(server, "logs", None)
+            tracer = getattr(server, "tracer", None)
+            if logs is not None or tracer is not None:
+                shipper = LogShipper(
+                    Path(root) / "logs" / "worker.jsonl",
+                    shard=str(shard_id),
+                )
+                if logs is not None:
+                    logs.attach(shipper.log_sink)
+                if tracer is not None:
+                    tracer.attach(shipper.span_sink)
         try:
             net = server.listen(
                 host=host, port=port, workers=spec.net_workers,
@@ -173,6 +192,8 @@ def worker_main(
             if root is not None:
                 server.save_state()
             server.close()
+            if shipper is not None:
+                shipper.close()
             conn.send(("stopped",))
         except Exception:  # noqa: BLE001 - best-effort shutdown
             pass

@@ -107,3 +107,79 @@ def test_serve_drains_on_sigterm(capsys):
     out = capsys.readouterr().out
     assert "SIGTERM drains" in out
     assert "stopped" in out
+
+
+# -- trace / logs readers over shipped JSONL fixtures -------------------------
+
+_TRACE = "ab" * 16
+
+
+def _ship_fixture(root):
+    """A two-stream shipped layout: router span parenting a worker span."""
+    import json
+
+    router = root / "router" / "logs"
+    worker = root / "shard-00" / "logs"
+    router.mkdir(parents=True)
+    worker.mkdir(parents=True)
+    dispatch = {
+        "kind": "span", "trace_id": _TRACE, "span_id": "11" * 8,
+        "parent_id": None, "name": "router.dispatch", "start": 0.0,
+        "end": 0.004, "duration": 0.004, "attributes": {"servlet": "visit"},
+        "error": None, "wall_ts": 100.0, "shard": "router",
+    }
+    servlet = {
+        "kind": "span", "trace_id": _TRACE, "span_id": "22" * 8,
+        "parent_id": "11" * 8, "name": "servlet.visit", "start": 0.001,
+        "end": 0.003, "duration": 0.002, "attributes": {},
+        "error": None, "wall_ts": 100.001, "shard": "0",
+    }
+    log = {
+        "kind": "log", "level": "warning", "logger": "servlets",
+        "event": "slow_request", "trace_id": _TRACE,
+        "wall_ts": 100.002, "shard": "0",
+    }
+    (router / "router.jsonl").write_text(json.dumps(dispatch) + "\n")
+    (worker / "worker.jsonl").write_text(
+        json.dumps(servlet) + "\n" + json.dumps(log) + "\n")
+
+
+def test_trace_cli_reassembles_cross_stream_tree(capsys, tmp_path):
+    _ship_fixture(tmp_path)
+    assert main(["trace", _TRACE, "--data-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "2 spans" in out and "2 stream(s)" in out
+    assert "router.dispatch" in out
+    assert "servlet.visit" in out
+    # The worker span renders as a child (indented under the router hop).
+    dispatch_line, servlet_line = [
+        line for line in out.splitlines()
+        if "router.dispatch" in line or "servlet.visit" in line
+    ]
+    indent = lambda s: len(s) - len(s.lstrip())  # noqa: E731
+    assert indent(servlet_line) > indent(dispatch_line)
+
+
+def test_trace_cli_unknown_trace_fails(capsys, tmp_path):
+    _ship_fixture(tmp_path)
+    assert main(["trace", "cd" * 16, "--data-dir", str(tmp_path)]) == 1
+    assert "no spans" in capsys.readouterr().err
+
+
+def test_logs_cli_filters_by_trace_and_kind(capsys, tmp_path):
+    import json
+
+    _ship_fixture(tmp_path)
+    assert main(["logs", "--data-dir", str(tmp_path),
+                 "--trace", _TRACE]) == 0
+    lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+    # Default: log records only, spans need --spans.
+    assert [r["kind"] for r in lines] == ["log"]
+    assert lines[0]["event"] == "slow_request"
+
+    assert main(["logs", "--data-dir", str(tmp_path), "--spans",
+                 "--trace", _TRACE]) == 0
+    lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+    # Merged across streams in wall-clock order, spans included.
+    assert [r["kind"] for r in lines] == ["span", "span", "log"]
+    assert lines[0]["name"] == "router.dispatch"

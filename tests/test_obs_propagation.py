@@ -307,3 +307,113 @@ def test_untraced_client_produces_no_server_parent_links():
         applet.record_visit("http://m1/", at=1.0)
         [span] = server_tracer.finished("servlet.visit")
         assert span.parent_id is None  # fresh root, old-client behaviour
+
+
+# -- cluster end to end -------------------------------------------------------
+
+TRACE2 = "ef" * 16
+
+
+def _cluster_factory(shard_id, root):
+    # sample_every=1: the cluster test asserts on every span; the remote
+    # parent would force sampling for traced requests anyway.
+    return MemexServer(_fetch, root=root, tracer=Tracer(sample_every=1))
+
+
+def test_cluster_one_trace_across_router_hop(tmp_path):
+    """The cluster acceptance trail, reconstructed from *shipped logs*:
+
+    one client trace id survives client -> router (dispatch + forward
+    spans) -> owner-shard worker (servlet span, WAL txn stamp) -> the
+    daemon origin chain (crawler fetch), across real process boundaries;
+    a traced scatter fans out one child span per shard; a malformed
+    traceparent fails typed at the router hop, and a malformed per-item
+    traceparent inside a batch envelope degrades only its own slot.
+    """
+    from pathlib import Path
+
+    from repro.obs import read_shipped_records
+    from repro.shard import MemexCluster
+
+    client = TraceContext(TRACE, SPAN)
+    cluster = MemexCluster(
+        _cluster_factory, 2, data_dir=str(tmp_path),
+        tick_interval=None, monitor=False,
+        tracer=Tracer(sample_every=1),
+    )
+    try:
+        cluster.register_user("user00")
+        response = cluster.request("user00", {
+            "servlet": "visit", "url": "http://t/", "at": 1.0,
+            "traceparent": client.to_traceparent(),
+        })
+        assert response["status"] == "ok"
+        cluster.quiesce()  # crawler fetch runs inside the worker
+
+        # Scatter fan-out under a second trace: per-shard child spans.
+        scatter = cluster.request("user00", {
+            "servlet": "metrics_pull",
+            "traceparent": TraceContext(TRACE2, SPAN).to_traceparent(),
+        })
+        assert scatter["status"] == "ok"
+        assert set(scatter["by_shard"]) == {"0", "1"}
+
+        # Malformed traceparent dies typed at the router hop.
+        bad = cluster.request("user00", {
+            "servlet": "search", "query": "music",
+            "traceparent": "garbage",
+        })
+        assert bad["status"] == "error"
+        assert bad["error_code"] == CODE_BAD_REQUEST
+
+        # ... and per-item inside a forwarded batch envelope it degrades
+        # only its own slot (the worker's registry parses per item).
+        batch = cluster.request("user00", {
+            "servlet": "batch",
+            "requests": [
+                {"servlet": "visit", "url": "http://m1/", "at": 2.0,
+                 "user_id": "user00"},
+                {"servlet": "visit", "url": "http://m2/", "at": 3.0,
+                 "user_id": "user00", "traceparent": "nope"},
+            ],
+        })
+        assert batch["status"] == "ok"
+        statuses = [r["status"] for r in batch["responses"]]
+        assert statuses == ["ok", "error"]
+        assert batch["responses"][1]["error_code"] == CODE_BAD_REQUEST
+    finally:
+        cluster.close()  # flushes the router and worker shippers
+
+    spans = read_shipped_records(tmp_path, kind="span", trace_id=TRACE)
+    names = [s["name"] for s in spans]
+    for expected in (
+        "router.dispatch", "router.forward",
+        "servlet.visit", "daemon.crawler.fetch",
+    ):
+        assert expected in names, f"missing {expected} in {names}"
+    assert all(s["trace_id"] == TRACE for s in spans)
+
+    # Parent chain across the hop: client span -> router.dispatch ->
+    # router.forward -> the worker's servlet span (different processes).
+    dispatch = next(s for s in spans if s["name"] == "router.dispatch")
+    forward = next(s for s in spans if s["name"] == "router.forward")
+    servlet = next(s for s in spans if s["name"] == "servlet.visit")
+    assert dispatch["parent_id"] == SPAN
+    assert forward["parent_id"] == dispatch["span_id"]
+    assert servlet["parent_id"] == forward["span_id"]
+    assert servlet["shard"] != dispatch["shard"] == "router"
+
+    # The WAL txn on the owner shard is stamped with the same trace.
+    wal_bytes = b"".join(
+        p.read_bytes() for p in Path(tmp_path).rglob("*.wal"))
+    assert TRACE.encode() in wal_bytes
+
+    # Scatter trace: one router.scatter child per shard, each parenting
+    # that shard's servlet span.
+    fan = read_shipped_records(tmp_path, kind="span", trace_id=TRACE2)
+    scatter_spans = [s for s in fan if s["name"] == "router.scatter"]
+    assert sorted(s["attributes"]["shard"] for s in scatter_spans) == [0, 1]
+    pull_spans = [s for s in fan if s["name"] == "servlet.metrics_pull"]
+    assert sorted(s["shard"] for s in pull_spans) == ["0", "1"]
+    assert {s["parent_id"] for s in pull_spans} == {
+        s["span_id"] for s in scatter_spans}
