@@ -241,12 +241,17 @@ class ReadPathCaches:
       trail replay and popular-near-trail.
     * ``trails``   — ``core/trails`` replay payloads per (user, topic
       folder, window).
+    * ``related``  — hybrid related-pages responses per (canonical url,
+      k); present only when a ``dense`` consumer name is given.
 
     Watch sets encode which mining consumer feeds each read path: search
     results change when the **indexer** acks new versions; trails also
     change when the **classifier** does.  Classification posteriors carry
     the model version in their key, so the classify cache only watches
     the producer (a publish may change pages/links the model reads).
+    The related cache additionally watches the **dense** ANN consumer;
+    its co-visitation half is covered by the ``covisits`` change stamp
+    callers fold into ``extra``.
     """
 
     def __init__(
@@ -257,10 +262,12 @@ class ReadPathCaches:
         search_entries: int = 2048,
         classify_entries: int = 16384,
         trail_entries: int = 512,
+        related_entries: int = 1024,
         max_cost: int = 4_000_000,
         shards: int = 8,
         indexer: str = "indexer",
         classifier: str = "classifier",
+        dense: str | None = None,
     ) -> None:
         self.search = VersionedCache(
             "search", versions, watch=(indexer,),
@@ -277,9 +284,22 @@ class ReadPathCaches:
             max_entries=trail_entries, max_cost=max_cost, shards=shards,
             metrics=metrics,
         )
+        # Opt-in (the dense consumer must already be registered, which
+        # MemexServer guarantees by constructing daemons first); direct
+        # ReadPathCaches(versions) constructions in tests and external
+        # callers keep the classic three-cache bundle.
+        self.related = (
+            VersionedCache(
+                "related", versions, watch=(dense,),
+                max_entries=related_entries, max_cost=max_cost,
+                shards=shards, metrics=metrics,
+            )
+            if dense is not None else None
+        )
 
     def all(self) -> tuple[VersionedCache, ...]:
-        return (self.search, self.classify, self.trails)
+        caches = (self.search, self.classify, self.trails, self.related)
+        return tuple(c for c in caches if c is not None)
 
     def sync(self) -> None:
         """Ack every cache consumer up to the published version (called

@@ -120,6 +120,18 @@ def cmd_demo(args: argparse.Namespace) -> int:
     for hit in applet.search(query, k=5):
         print(f"  {hit['score']:6.2f}  {hit['url']}")
 
+    print(f"\n# hybrid search {query!r} (lexical + dense + trail fusion)")
+    hybrid = applet.search(query, k=5, mode="hybrid")
+    for hit in hybrid:
+        print(f"  {hit['score']:6.4f}  {hit['url']}")
+
+    if hybrid:
+        seed = hybrid[0]["url"]
+        print(f"\n# related pages for {seed}")
+        for row in applet.related_pages(seed, k=5):
+            title = row.get("title") or ""
+            print(f"  {row['score']:6.4f}  {row['url']}  {title}")
+
     folder = user.folder_for_topic(top_topic)
     print(f"\n# trail tab for [{folder}]")
     trail = applet.trail_view(folder)["trail"]

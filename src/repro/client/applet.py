@@ -341,6 +341,12 @@ class MemexApplet:
             "offset": response["offset"],
         }
 
+    def related_pages(self, url: str, *, k: int = 10) -> list[dict[str, Any]]:
+        """Pages related to *url* by trail co-visitation and dense textual
+        similarity — "people who read this also read".  Requires a server
+        built with ``retrieval=True`` (the default)."""
+        return self._call("related_pages", url=url, k=k)["related"]
+
     def recall_url(
         self,
         query: str,

@@ -16,7 +16,7 @@ import threading
 from typing import Any
 
 from ..cache import ReadPathCaches
-from ..errors import AuthError, NotFitted, error_payload
+from ..errors import AuthError, NotFitted, ServletError, error_payload
 from ..mining.themes import ThemeDiscovery
 from ..obs import (
     HealthMonitor,
@@ -35,6 +35,9 @@ from ..server.daemons import (
     PageVectorizer,
     ThemeDaemon,
 )
+from ..retrieval.covisit import CoVisitMinerDaemon, covisit_evidence, related_scores
+from ..retrieval.dense import DenseIndexDaemon, DenseVectorIndex
+from ..retrieval.fusion import canonical_url, rrf_fuse
 from ..server.scheduler import DaemonScheduler
 from ..server.servlets import ServletRegistry
 from ..server.netserver import MemexSocketServer
@@ -51,7 +54,7 @@ from ..storage.schema import (
 )
 from ..text.index import InvertedIndex
 from ..text.search import SearchEngine
-from ..text.vectorize import cosine, text_vector
+from ..text.vectorize import cosine, text_vector, tfidf
 from .billing import bill_breakdown
 from .context import context_neighborhood, recall_session
 from .profiles import UserProfile, build_profile, similar_users
@@ -59,6 +62,18 @@ from .recommend import recommend_pages
 from .trails import build_trail_graph, folder_and_descendants
 
 DAY = 86_400.0
+
+#: Reciprocal-rank-fusion weights for hybrid search (DESIGN.md §13):
+#: lexical evidence leads, dense similarity seconds it, trail adjacency
+#: contributes but cannot override a strong text match on its own.
+HYBRID_WEIGHTS = {"lexical": 1.0, "dense": 0.8, "covisit": 0.6}
+#: Depth of the dense/co-visit rankings fed into fusion.
+FUSE_DEPTH = 50
+#: Top lexical hits whose co-visitation neighborhoods seed the trail leg.
+COVISIT_SEEDS = 10
+#: Rocchio beta: how strongly the lexical top hits' dense centroid pulls
+#: the projected query (pseudo-relevance feedback for short queries).
+PRF_FEEDBACK = 0.75
 
 
 class MemexServer:
@@ -123,6 +138,7 @@ class MemexServer:
         versioning_lag_threshold: int = 64,
         caches: ReadPathCaches | None = None,
         cache_reads: bool = True,
+        retrieval: bool = True,
     ) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         # Default tracer samples 1-in-8 top-level spans: full traces for
@@ -150,11 +166,32 @@ class MemexServer:
             tracer=self.tracer, log=self.logs.logger("crawler"),
         )
         self.indexer = IndexerDaemon(
-            self.repo, self.index,
+            self.repo, self.index, vectorizer=self.vectorizer,
             tracer=self.tracer, log=self.logs.logger("indexer"),
         )
+        # Hybrid-retrieval plane (DESIGN.md §13): the dense ANN index and
+        # its consumer daemon, plus the co-visitation miner.  ``retrieval=
+        # False`` reverts to the purely lexical server — the differential
+        # baseline BENCH_retrieval.json compares against.
+        self.retrieval_enabled = retrieval
+        self.dense_index: DenseVectorIndex | None = None
+        self.dense: DenseIndexDaemon | None = None
+        self.covisit: CoVisitMinerDaemon | None = None
+        if retrieval:
+            self.dense_index = DenseVectorIndex(self.repo.kv)
+            self.dense = DenseIndexDaemon(
+                self.repo, self.vectorizer, self.dense_index,
+            )
+            self.covisit = CoVisitMinerDaemon(self.repo, clock=clock)
+        covisit_decay = self.covisit.decay if self.covisit is not None else 0.0
         self.classifier = ClassifierDaemon(
             self.repo, self.vectorizer, clock=clock,
+            covisit_provider=(
+                (lambda urls: covisit_evidence(
+                    self.repo, urls, now=self._now, decay=covisit_decay,
+                ))
+                if retrieval else None
+            ),
             tracer=self.tracer, log=self.logs.logger("classifier"),
         )
         self.themes = ThemeDaemon(
@@ -170,6 +207,10 @@ class MemexServer:
         )
         self.scheduler.register(self.crawler, period=1)
         self.scheduler.register(self.indexer, period=1)
+        if self.dense is not None:
+            self.scheduler.register(self.dense, period=1)
+        if self.covisit is not None:
+            self.scheduler.register(self.covisit, period=2)
         self.scheduler.register(self.classifier, period=2)
         self.scheduler.register(self.themes, period=8)
         self.scheduler.register(self.discovery, period=8)
@@ -185,11 +226,13 @@ class MemexServer:
         self.scheduler.register(self.history, period=4)
 
         # Read-path caches register as versioning consumers, so the
-        # indexer/classifier daemons must exist (and be registered) first.
+        # indexer/classifier/dense daemons must exist (and be registered)
+        # first.
         self.caches: ReadPathCaches | None = None
         if cache_reads:
             self.caches = caches if caches is not None else ReadPathCaches(
                 self.repo.versions, metrics=self.metrics,
+                dense=self.dense.name if self.dense is not None else None,
             )
 
         self.registry = ServletRegistry(
@@ -354,6 +397,7 @@ class MemexServer:
             "folder_move": self._sv_folder_move,
             "folders_get": self._sv_folders_get,
             "search": self._sv_search,
+            "related_pages": self._sv_related_pages,
             "recall": self._sv_recall,
             "trail": self._sv_trail,
             "context": self._sv_context,
@@ -580,10 +624,18 @@ class MemexServer:
         ``has_more``, so clients page through million-hit archives instead
         of shipping unbounded lists.
 
+        ``mode`` selects the ranking: ``ranked`` (BM25; ``lexical`` is a
+        wire alias), ``boolean``, or ``hybrid`` — reciprocal-rank fusion
+        of the lexical, dense-vector, and co-visitation rankings, deduped
+        on canonical URL *before* ``total`` is counted (DESIGN.md §13).
+        ``hybrid`` falls back to ``ranked`` on a server constructed with
+        ``retrieval=False``.
+
         Responses are served from the search cache keyed by the full
         request shape (query, mode, scope, user for ``mine``, limit,
         offset); validity is the indexer's watermark plus the page/visit
-        change stamps the candidate sets read.
+        change stamps the candidate sets read (hybrid entries also fold
+        in the covisits stamp and the dense consumer's watermark).
         """
         user = self._require_user(request)
         query = request["query"]
@@ -594,6 +646,11 @@ class MemexServer:
             raise ValueError("limit and offset must be non-negative")
         scope = request.get("scope", "all")
         mode = request.get("mode", "ranked")
+        if mode == "lexical":
+            # Normalized BEFORE the cache key so both spellings share
+            # one entry (and byte-identical responses).
+            mode = "ranked"
+        hybrid = mode == "hybrid" and self.retrieval_enabled
 
         cache = self.caches.search if self.caches is not None else None
         token = extra = None
@@ -611,6 +668,13 @@ class MemexServer:
                 if scope in ("mine", "community")
                 else (stamps.pages,)
             )
+            if hybrid:
+                # The fused ranking also reads the co-visitation matrix
+                # and the dense ANN index; the dense consumer is not in
+                # this cache's watch set, so its watermark rides the
+                # extra stamp instead.
+                extra = (*extra, stamps.covisits,
+                         self.repo.versions.watermark(self.dense.name))
             cached = cache.get(key, extra=extra)
             if cached is not None:
                 return cached
@@ -634,19 +698,161 @@ class MemexServer:
         else:
             hits = self.search_engine.search(
                 query, k=None, candidates=candidates)
-        total = len(hits)
-        page = hits[offset:offset + limit]
+        if hybrid:
+            fused = self._fuse_hybrid(query, hits, candidates)
+            # Post-dedup accounting: fusion folds URL variants into one
+            # canonical page, so total/has_more count the deduped list —
+            # counting first and deduping later drifts the page window.
+            total = len(fused)
+            page_rows = fused[offset:offset + limit]
+        else:
+            total = len(hits)
+            page_rows = [
+                (h.doc_id, h.score) for h in hits[offset:offset + limit]
+            ]
         payloads = []
-        for hit in page:
-            payload = self._hit_payload(hit.doc_id, hit.score)
-            payload["snippet"] = self._snippet_for(hit.doc_id, query)
+        for url, score in page_rows:
+            payload = self._hit_payload(url, score)
+            payload["snippet"] = self._snippet_for(url, query)
             payloads.append(payload)
         response = {
             "hits": payloads,
             "total": total,
             "offset": offset,
-            "has_more": offset + len(page) < total,
+            "has_more": offset + len(payloads) < total,
         }
+        if cache is not None:
+            cache.put(key, response, token=token, extra=extra)
+        return response
+
+    def _fuse_hybrid(
+        self,
+        query: str,
+        lexical_hits: list[Any],
+        candidates: set[str] | None,
+    ) -> list[tuple[str, float]]:
+        """Fuse the lexical, dense, and co-visitation rankings (RRF)."""
+        assert self.dense_index is not None and self.covisit is not None
+        lexical = [h.doc_id for h in lexical_hits]
+        qvec = tfidf(
+            self.vectorizer.vocab,
+            text_vector(self.vectorizer.vocab, query),
+        )
+        # Dense leg with Rocchio-style pseudo-relevance feedback: a
+        # two-word query projects to a nearly arbitrary direction in the
+        # reduced space, so pull it toward the centroid of the top lexical
+        # hits' document vectors — "more documents like what matched",
+        # not "documents near these two words".
+        qdense = self.dense_index.projector.project(qvec)
+        feedback = [
+            vec for vec in (
+                self.dense_index.vector(url)
+                for url in lexical[:COVISIT_SEEDS]
+            ) if vec is not None
+        ]
+        if feedback:
+            centroid = [sum(col) / len(feedback) for col in zip(*feedback)]
+            qdense = [
+                a + PRF_FEEDBACK * b for a, b in zip(qdense, centroid)
+            ]
+        dense = [
+            url for url, _ in self.dense_index.query(
+                qdense, k=FUSE_DEPTH, candidates=candidates,
+            )
+        ]
+        # Trail leg: aggregate the co-visitation neighborhoods of the top
+        # lexical hits — pages the community surfs *together with* the
+        # textual matches, whether or not their own text matches.
+        cov_scores: dict[str, float] = {}
+        for seed in lexical[:COVISIT_SEEDS]:
+            for other, score in related_scores(
+                self.repo, seed,
+                now=self._now, decay=self.covisit.decay, k=FUSE_DEPTH,
+            ):
+                if candidates is not None and other not in candidates:
+                    continue
+                cov_scores[other] = cov_scores.get(other, 0.0) + score
+        covisit = [
+            url for url, _ in sorted(
+                cov_scores.items(), key=lambda kv: (-kv[1], kv[0]),
+            )[:FUSE_DEPTH]
+        ]
+        return rrf_fuse(
+            [
+                (HYBRID_WEIGHTS["lexical"], lexical),
+                (HYBRID_WEIGHTS["dense"], dense),
+                (HYBRID_WEIGHTS["covisit"], covisit),
+            ],
+            key=canonical_url,
+        )
+
+    def _sv_related_pages(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Pages the community surfs together with ``url`` (DESIGN.md §13).
+
+        Fuses the co-visitation neighborhood (what trails say) with the
+        dense nearest neighbours (what the text says), reciprocal-rank
+        style, deduped on canonical URL.  Returns up to ``k`` rows and the
+        post-dedup neighborhood size as ``total``.  Requires a server
+        constructed with ``retrieval=True``.
+        """
+        self._require_user(request)
+        url = request["url"]
+        k = int(request.get("k", 10))
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        if not self.retrieval_enabled:
+            raise ServletError(
+                "related_pages requires a server with retrieval enabled")
+        assert self.dense_index is not None and self.covisit is not None
+
+        cache = self.caches.related if self.caches is not None else None
+        token = extra = None
+        canon = canonical_url(url)
+        if cache is not None:
+            key = (canon, k)
+            stamps = self.repo.stamps
+            # covisits stamp covers the matrix; pages covers titles.
+            extra = (stamps.covisits, stamps.pages)
+            cached = cache.get(key, extra=extra)
+            if cached is not None:
+                return cached
+            token = cache.token()
+
+        cov_scores: dict[str, float] = {}
+        seeds = {url, canon}
+        for seed in sorted(seeds):
+            for other, score in related_scores(
+                self.repo, seed,
+                now=self._now, decay=self.covisit.decay, k=FUSE_DEPTH,
+            ):
+                cov_scores[other] = max(cov_scores.get(other, 0.0), score)
+        covisit = [
+            u for u, _ in sorted(
+                cov_scores.items(), key=lambda kv: (-kv[1], kv[0]),
+            )[:FUSE_DEPTH]
+        ]
+        dense = [
+            u for u, _ in self.dense_index.neighbors(url, k=FUSE_DEPTH)
+        ]
+        fused = [
+            (u, score) for u, score in rrf_fuse(
+                [
+                    (HYBRID_WEIGHTS["lexical"], covisit),
+                    (HYBRID_WEIGHTS["dense"], dense),
+                ],
+                key=canonical_url,
+            )
+            if canonical_url(u) != canon   # never recommend the page itself
+        ]
+        rows = []
+        for u, score in fused[:k]:
+            page = self.repo.db.table("pages").get(u)
+            rows.append({
+                "url": u,
+                "score": round(score, 6),
+                "title": (page or {}).get("title"),
+            })
+        response = {"url": url, "related": rows, "total": len(fused)}
         if cache is not None:
             cache.put(key, response, token=token, extra=extra)
         return response

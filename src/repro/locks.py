@@ -60,6 +60,7 @@ LOCK_ATTRIBUTES: dict[str, str] = {
     "_rw": "relational",
     "_versions_lock": "versioning",
     "_index_lock": "index",
+    "_ann_lock": "index",
     "_kv_lock": "kvstore",
     "_lsm_lock": "kvstore",
     "_wal_lock": "wal",

@@ -23,6 +23,15 @@ later passes let neighbors' current soft labels reinforce each other
 its co-placed companions are evidence.  This is the channel that rescues
 "functional" bookmarks whose text is unrelated to the folder topic.
 
+**Co-visitation** (optional fourth channel) — pages surfed in the same
+session as this URL vote with their labels, weighted by the decayed
+co-occurrence count from the ``covisits`` matrix
+(:mod:`repro.retrieval.covisit`).  Surfers surf topic-locally, so trail
+adjacency is label evidence even when text and links are silent.  A URL
+with no co-visitation evidence contributes nothing — the channel is
+numerically absent, not a uniform vote — so fits without trail data
+reproduce the three-channel model exactly.
+
 Channel weights and on/off switches are exposed for the E1 ablation.
 """
 
@@ -76,10 +85,12 @@ class EnhancedClassifier:
         use_text: bool = True,
         use_links: bool = True,
         use_folder: bool = True,
+        use_covisit: bool = True,
         text_weight: float = 1.0,
         link_weight: float = 1.5,
         folder_weight: float = 2.0,
         cocitation_weight: float = 0.5,
+        covisit_weight: float = 0.75,
         relaxation_rounds: int = 2,
         smoothing: float = 0.1,
         feature_budget: int | None = None,
@@ -89,10 +100,12 @@ class EnhancedClassifier:
         self.use_text = use_text
         self.use_links = use_links
         self.use_folder = use_folder
+        self.use_covisit = use_covisit
         self.text_weight = text_weight
         self.link_weight = link_weight
         self.folder_weight = folder_weight
         self.cocitation_weight = cocitation_weight
+        self.covisit_weight = covisit_weight
         self.relaxation_rounds = relaxation_rounds
         self._nb = NaiveBayesClassifier(
             smoothing=smoothing, feature_budget=feature_budget,
@@ -102,6 +115,7 @@ class EnhancedClassifier:
         self._graph: nx.DiGraph | None = None
         self._cociters: dict[str, set[str]] = {}
         self._coplacement: dict[str, set[str]] = {}
+        self._covisitation: dict[str, list[tuple[str, float]]] = {}
         self._fitted = False
 
     # -- training --------------------------------------------------------------
@@ -112,6 +126,7 @@ class EnhancedClassifier:
         labels: dict[str, str],
         graph: nx.DiGraph,
         coplacement: dict[str, set[str]] | None = None,
+        covisitation: dict[str, list[tuple[str, float]]] | None = None,
     ) -> "EnhancedClassifier":
         """Train on labeled documents.
 
@@ -119,7 +134,10 @@ class EnhancedClassifier:
         ``graph`` is the hyperlink graph (may contain many more urls);
         ``coplacement`` maps url -> set of urls filed in the same folder by
         any community member (built by
-        :func:`build_coplacement` from folder contents).
+        :func:`build_coplacement` from folder contents);
+        ``covisitation`` maps url -> ``[(co-visited url, decayed count),
+        ...]`` from the co-visitation matrix (the trail channel; omit to
+        train the classic three-channel model).
         """
         if not labels:
             raise NotFitted("no labeled documents")
@@ -132,6 +150,7 @@ class EnhancedClassifier:
         self._classes = self._nb.classes
         self._graph = graph
         self._coplacement = coplacement or {}
+        self._covisitation = covisitation or {}
         self._cociters = _cocitation_map(graph, set(labels)) if self.use_links else {}
         self._fitted = True
         return self
@@ -173,6 +192,16 @@ class EnhancedClassifier:
                 votes[label] += 1.0
         return _vote_distribution(votes, self._classes)
 
+    def _covisit_votes(self, url: str) -> dict[str, float]:
+        """Labeled trail companions vote, log-damped so one heavily
+        reinforced pair cannot drown the rest of the evidence."""
+        votes: dict[str, float] = defaultdict(float)
+        for companion, count in self._covisitation.get(url, ()):
+            label = self._labels.get(companion)
+            if label is not None and count > 0.0:
+                votes[label] += math.log1p(count)
+        return dict(votes)
+
     def _combine(
         self,
         url: str,
@@ -192,6 +221,15 @@ class EnhancedClassifier:
             folder = self._folder_evidence(url)
             for c in combined:
                 combined[c] += self.folder_weight * folder[c]
+        if self.use_covisit and self._covisitation:
+            votes = self._covisit_votes(url)
+            # Only vote when there IS evidence: an empty channel must
+            # leave the three-channel posterior bit-identical, not merely
+            # proportionally equal after a uniform shift.
+            if votes:
+                covisit = _vote_distribution(votes, self._classes)
+                for c in combined:
+                    combined[c] += self.covisit_weight * covisit[c]
         return _log_normalize(combined)
 
     # -- inference -------------------------------------------------------------------
@@ -255,17 +293,23 @@ class EnhancedClassifier:
                 "use_text": self.use_text,
                 "use_links": self.use_links,
                 "use_folder": self.use_folder,
+                "use_covisit": self.use_covisit,
             },
             "weights": {
                 "text": self.text_weight,
                 "link": self.link_weight,
                 "folder": self.folder_weight,
                 "cocitation": self.cocitation_weight,
+                "covisit": self.covisit_weight,
             },
             "relaxation_rounds": self.relaxation_rounds,
             "nb": self._nb.to_dict(),
             "labels": self._labels,
             "coplacement": {u: sorted(vs) for u, vs in self._coplacement.items()},
+            "covisitation": {
+                u: [[v, c] for v, c in pairs]
+                for u, pairs in self._covisitation.items()
+            },
         }
 
     @classmethod
@@ -276,10 +320,14 @@ class EnhancedClassifier:
             use_text=flags["use_text"],
             use_links=flags["use_links"],
             use_folder=flags["use_folder"],
+            # .get defaults keep snapshots from before the co-visitation
+            # channel restorable (restore_models replays old payloads).
+            use_covisit=flags.get("use_covisit", True),
             text_weight=weights["text"],
             link_weight=weights["link"],
             folder_weight=weights["folder"],
             cocitation_weight=weights["cocitation"],
+            covisit_weight=weights.get("covisit", 0.75),
             relaxation_rounds=payload["relaxation_rounds"],
         )
         clf._nb = NaiveBayesClassifier.from_dict(payload["nb"])
@@ -288,6 +336,10 @@ class EnhancedClassifier:
         clf._graph = graph
         clf._coplacement = {
             u: set(vs) for u, vs in payload["coplacement"].items()
+        }
+        clf._covisitation = {
+            u: [(v, float(c)) for v, c in pairs]
+            for u, pairs in payload.get("covisitation", {}).items()
         }
         clf._cociters = (
             _cocitation_map(graph, set(clf._labels)) if clf.use_links else {}

@@ -1,0 +1,162 @@
+"""The co-visitation associative index mined from surf sessions.
+
+"Pages visited in the same session" is the trail-native relevance
+signal the paper's whole premise rests on: a surfer who reaches page B
+two clicks after page A has asserted a relationship no text similarity
+can see.  The miner folds every community-archived session into a
+symmetric pair matrix (the relational ``covisits`` table):
+
+* **symmetric counts** — each unordered pair of distinct URLs seen in
+  one ``(user, session)`` adds one co-occurrence;
+* **exponential decay** — an existing pair's count ages by
+  ``exp(-λ·Δt)`` before reinforcement, with λ from a configurable
+  half-life, so stale associations fade instead of accreting forever;
+* **self-pair exclusion** — revisiting a page inside a session never
+  pairs it with itself;
+* **compaction** — pairs whose decayed count falls under a floor are
+  deleted in bulk every few mining rounds, bounding table growth.
+
+The miner is a plain scheduler daemon (``run_once``), not a versioning
+consumer: visits are UI writes tracked by ``ChangeStamps``, and the
+mined matrix bumps ``stamps.covisits`` so the related-pages cache
+invalidates exactly when new evidence lands.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Callable
+
+from ..storage.schema import ARCHIVE_COMMUNITY
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..storage.repository import MemexRepository
+
+#: Default count half-life: two weeks of simulated time.
+DEFAULT_HALF_LIFE_S = 14 * 86400.0
+#: Decayed pairs below this count are dropped at compaction.
+DEFAULT_COMPACT_FLOOR = 0.05
+#: Compact every N mining rounds that did work.
+COMPACT_EVERY = 16
+#: Most recent distinct URLs per session a new visit pairs against.
+SESSION_TAIL = 32
+#: Concurrently tracked sessions (LRU-bounded; sessions are bursty).
+MAX_OPEN_SESSIONS = 2048
+
+
+def half_life_to_decay(half_life_s: float) -> float:
+    """λ such that a count halves every *half_life_s* seconds."""
+    return math.log(2.0) / half_life_s if half_life_s > 0 else 0.0
+
+
+def related_scores(
+    repo: "MemexRepository",
+    url: str,
+    *,
+    now: float,
+    decay: float,
+    k: int | None = None,
+) -> list[tuple[str, float]]:
+    """Co-visited neighbors of *url*, scored by decayed count, best first.
+
+    Decay is applied at read time too, so a pair reinforced long ago
+    ranks below a fresher one even between compactions.
+    """
+    scored = [
+        (other, count * math.exp(-decay * max(now - last_at, 0.0)))
+        for other, count, last_at in repo.covisits_for(url)
+    ]
+    scored.sort(key=lambda t: (-t[1], t[0]))
+    return scored[:k] if k is not None else scored
+
+
+def covisit_evidence(
+    repo: "MemexRepository",
+    urls: list[str],
+    *,
+    now: float,
+    decay: float,
+    k: int = 20,
+) -> dict[str, list[tuple[str, float]]]:
+    """Per-URL neighbor lists for the classifier's co-visitation channel."""
+    return {
+        url: related_scores(repo, url, now=now, decay=decay, k=k)
+        for url in urls
+    }
+
+
+class CoVisitMinerDaemon:
+    """Scheduler daemon: fold new visits into the co-visitation matrix."""
+
+    name = "covisit"
+
+    def __init__(
+        self,
+        repo: "MemexRepository",
+        *,
+        clock: Callable[[], float] = time.time,
+        half_life_s: float = DEFAULT_HALF_LIFE_S,
+        compact_floor: float = DEFAULT_COMPACT_FLOOR,
+        session_tail: int = SESSION_TAIL,
+    ) -> None:
+        self.repo = repo
+        self.clock = clock
+        self.decay = half_life_to_decay(half_life_s)
+        self.compact_floor = compact_floor
+        self.session_tail = session_tail
+        self._last_visit_id = 0
+        # (user, session) -> recent distinct URLs, oldest first.  Kept
+        # across ticks so a session spanning two mining rounds still
+        # pairs its late visits with its early ones.
+        self._tails: OrderedDict[tuple[str, int], list[str]] = OrderedDict()
+        self._rounds_since_compact = 0
+        self.mined_count = 0
+        self.pruned_count = 0
+        self._m_pairs = repo.metrics.counter("retrieval.covisit.pairs")
+
+    def run_once(self) -> int:
+        last = self._last_visit_id
+        rows = self.repo.db.table("visits").select(
+            lambda r: r["visit_id"] > last
+            and r["archive_mode"] == ARCHIVE_COMMUNITY,
+            order_by="visit_id",
+        )
+        if not rows:
+            return 0
+        increments: dict[tuple[str, str], float] = {}
+        for row in rows:
+            self._last_visit_id = max(self._last_visit_id, row["visit_id"])
+            key = (row["user_id"], row["session_id"])
+            tail = self._tails.get(key)
+            if tail is None:
+                if len(self._tails) >= MAX_OPEN_SESSIONS:
+                    self._tails.popitem(last=False)
+                tail = []
+                self._tails[key] = tail
+            else:
+                self._tails.move_to_end(key)
+            url = row["url"]
+            for other in tail:
+                if other == url:  # self-pair exclusion
+                    continue
+                pair = (url, other) if url < other else (other, url)
+                increments[pair] = increments.get(pair, 0.0) + 1.0
+            if url in tail:
+                tail.remove(url)
+            tail.append(url)
+            del tail[: -self.session_tail]
+        written = self.repo.upsert_covisits(
+            increments, now=self.clock(), decay=self.decay,
+        )
+        self.mined_count += len(rows)
+        if written:
+            self._m_pairs.inc(written)
+        self._rounds_since_compact += 1
+        if self._rounds_since_compact >= COMPACT_EVERY:
+            self._rounds_since_compact = 0
+            self.pruned_count += self.repo.prune_covisits(
+                now=self.clock(), decay=self.decay, floor=self.compact_floor,
+            )
+        return len(rows)

@@ -1,0 +1,273 @@
+"""Dense document vectors and the bucketed-cosine ANN index.
+
+Dense vectors come from a *deterministic random projection* of the
+sparse TF-IDF vectors in :mod:`repro.text.vectorize` — LSA's cheap
+cousin (Johnson–Lindenstrauss): each vocabulary term gets a fixed
+Rademacher basis row (±1/√d, derived from a SHA-1 of the term id, so
+every process agrees without coordination), and a document's dense
+vector is the weighted sum of its terms' rows, L2-normalized.  No
+external models, no training pass — the "offline training" is the
+corpus statistics already folded into the TF-IDF weights.
+
+Serving uses sign-bit locality-sensitive hashing: a handful of fixed
+hyperplanes bucket each vector by the sign pattern of its projections.
+Queries probe their own bucket plus all Hamming-distance-1 neighbors
+and re-rank the survivors by exact cosine; corpora too small for the
+buckets to matter fall back to an exact scan, so recall never degrades
+below brute force at laptop scale.
+
+The index persists vectors through the ``StorageEngine`` API (one
+namespace record per document, via the store's record codec) and is
+maintained by :class:`DenseIndexDaemon`, a versioning *consumer* ticked
+by the scheduler under the usual quarantine/parole supervision.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import threading
+from typing import TYPE_CHECKING
+
+from ..storage.codec import get_codec
+from ..storage.engine import Namespace, StorageEngine
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..server.daemons import PageVectorizer
+    from ..storage.repository import MemexRepository
+
+#: Dense dimensionality — small enough that a cosine is ~100 flops.
+DENSE_DIMS = 128
+#: LSH hyperplane count: 2^12 buckets, probed at Hamming distance ≤ 1.
+DENSE_PLANES = 12
+#: Below this corpus size the exact scan beats bucket probing anyway.
+EXACT_SCAN_THRESHOLD = 256
+
+
+def _rademacher(seed: str, dims: int) -> list[float]:
+    """±1/√dims entries derived from SHA-1 bits of *seed* (stable
+    across processes — Python's own ``hash()`` is salted per run)."""
+    scale = 1.0 / math.sqrt(dims)
+    out: list[float] = []
+    counter = 0
+    bits: int = 0
+    have = 0
+    while len(out) < dims:
+        if have == 0:
+            digest = hashlib.sha1(f"{seed}#{counter}".encode()).digest()
+            bits = int.from_bytes(digest, "big")
+            have = len(digest) * 8
+            counter += 1
+        out.append(scale if bits & 1 else -scale)
+        bits >>= 1
+        have -= 1
+    return out
+
+
+class DenseProjector:
+    """Project sparse term-id vectors into a fixed dense space."""
+
+    def __init__(self, dims: int = DENSE_DIMS) -> None:
+        self.dims = dims
+        self._basis: dict[int, list[float]] = {}
+
+    def _basis_for(self, term_id: int) -> list[float]:
+        row = self._basis.get(term_id)
+        if row is None:
+            row = _rademacher(f"term:{term_id}", self.dims)
+            self._basis[term_id] = row
+        return row
+
+    def project(self, sparse: dict[int, float]) -> list[float]:
+        """Dense, L2-normalized image of a sparse vector (zero stays zero)."""
+        vec = [0.0] * self.dims
+        for term_id, weight in sparse.items():
+            if weight == 0.0:
+                continue
+            row = self._basis_for(term_id)
+            for j in range(self.dims):
+                vec[j] += weight * row[j]
+        norm = math.sqrt(sum(x * x for x in vec))
+        if norm > 0.0:
+            vec = [x / norm for x in vec]
+        return vec
+
+
+def _dot(a: list[float], b: list[float]) -> float:
+    return sum(x * y for x, y in zip(a, b))
+
+
+class DenseVectorIndex:
+    """Bucketed-cosine ANN over dense vectors, persisted through a store.
+
+    Thread-safe: the daemon adds while servlets query.  The internal
+    lock takes the ``index`` rank of ``repro.locks.LOCK_ORDER`` — it
+    nests over the kvstore it persists through, never the reverse.
+    """
+
+    def __init__(
+        self,
+        kv: StorageEngine | None = None,
+        *,
+        dims: int = DENSE_DIMS,
+        n_planes: int = DENSE_PLANES,
+        prefix: str = "dense",
+    ) -> None:
+        self.projector = DenseProjector(dims)
+        self.dims = dims
+        self._planes = [
+            _rademacher(f"plane:{i}", dims) for i in range(n_planes)
+        ]
+        self._ns = Namespace(kv, prefix) if kv is not None else None
+        self._codec = get_codec(getattr(kv, "codec", None)) if kv is not None else None
+        self._vectors: dict[str, list[float]] = {}
+        self._buckets: dict[int, set[str]] = {}
+        self._sigs: dict[str, int] = {}
+        self._ann_lock = threading.RLock()
+        if self._ns is not None:
+            self._load()
+
+    def _load(self) -> None:
+        assert self._ns is not None and self._codec is not None
+        with self._ann_lock:
+            for key, raw in self._ns.items():
+                url = key.decode("utf-8")
+                vec = [float(x) for x in self._codec.decode(raw)["v"]]
+                self._place(url, vec)
+
+    def _signature(self, vec: list[float]) -> int:
+        sig = 0
+        for i, plane in enumerate(self._planes):
+            if _dot(vec, plane) >= 0.0:
+                sig |= 1 << i
+        return sig
+
+    def _place(self, url: str, vec: list[float]) -> None:
+        old = self._sigs.get(url)
+        if old is not None:
+            self._buckets.get(old, set()).discard(url)
+        sig = self._signature(vec)
+        self._vectors[url] = vec
+        self._sigs[url] = sig
+        self._buckets.setdefault(sig, set()).add(url)
+
+    # -- maintenance ----------------------------------------------------------
+
+    def add(self, url: str, sparse: dict[int, float]) -> None:
+        """Project and index one document (idempotent re-add)."""
+        vec = self.projector.project(sparse)
+        with self._ann_lock:
+            self._place(url, vec)
+            if self._ns is not None and self._codec is not None:
+                self._ns.put(url.encode("utf-8"), self._codec.encode({"v": vec}))
+
+    def remove(self, url: str) -> bool:
+        with self._ann_lock:
+            if url not in self._vectors:
+                return False
+            sig = self._sigs.pop(url)
+            self._buckets.get(sig, set()).discard(url)
+            del self._vectors[url]
+            if self._ns is not None:
+                self._ns.discard(url.encode("utf-8"))
+            return True
+
+    def __len__(self) -> int:
+        with self._ann_lock:
+            return len(self._vectors)
+
+    def __contains__(self, url: str) -> bool:
+        with self._ann_lock:
+            return url in self._vectors
+
+    # -- queries --------------------------------------------------------------
+
+    def query_sparse(
+        self,
+        sparse: dict[int, float],
+        *,
+        k: int = 10,
+        candidates: set[str] | None = None,
+    ) -> list[tuple[str, float]]:
+        """Top-*k* ``(url, cosine)`` for a sparse query vector."""
+        return self.query(self.projector.project(sparse), k=k, candidates=candidates)
+
+    def query(
+        self,
+        vec: list[float],
+        *,
+        k: int = 10,
+        candidates: set[str] | None = None,
+    ) -> list[tuple[str, float]]:
+        with self._ann_lock:
+            pool = self._probe(vec, k)
+            scored = [
+                (url, _dot(vec, self._vectors[url]))
+                for url in pool
+                if candidates is None or url in candidates
+            ]
+        scored.sort(key=lambda t: (-t[1], t[0]))
+        return scored[:k]
+
+    def neighbors(self, url: str, *, k: int = 10) -> list[tuple[str, float]]:
+        """Nearest indexed documents to an already-indexed one."""
+        vec = self.vector(url)
+        if vec is None:
+            return []
+        return [(u, s) for u, s in self.query(vec, k=k + 1) if u != url][:k]
+
+    def vector(self, url: str) -> list[float] | None:
+        """The stored unit vector for an indexed document (None if absent)."""
+        with self._ann_lock:
+            return self._vectors.get(url)
+
+    def _probe(self, vec: list[float], k: int) -> set[str]:
+        if len(self._vectors) <= max(EXACT_SCAN_THRESHOLD, 4 * k):
+            return set(self._vectors)
+        sig = self._signature(vec)
+        pool = set(self._buckets.get(sig, ()))
+        for bit in range(len(self._planes)):
+            pool |= self._buckets.get(sig ^ (1 << bit), set())
+        if len(pool) < k:  # sparse buckets: recall beats probe savings
+            return set(self._vectors)
+        return pool
+
+
+class DenseIndexDaemon:
+    """Consumer: keeps the dense ANN index in step with published pages.
+
+    Mirrors ``IndexerDaemon``: registers as a versioning consumer at
+    construction (so read-path caches built later can watch its
+    watermark), polls the published prefix each tick, projects every
+    fetched page's TF-IDF vector, and acks.
+    """
+
+    name = "dense"
+
+    def __init__(
+        self,
+        repo: "MemexRepository",
+        vectorizer: "PageVectorizer",
+        index: DenseVectorIndex,
+    ) -> None:
+        self.repo = repo
+        self.vectorizer = vectorizer
+        self.index = index
+        repo.versions.register_consumer(self.name)
+        self.projected_count = 0
+        self._m_documents = repo.metrics.counter("retrieval.dense.documents")
+
+    def run_once(self) -> int:
+        watermark, urls = self.repo.versions.poll(self.name)
+        done = 0
+        for url in urls:
+            sparse = self.vectorizer.tfidf_vector(url)
+            if not sparse:
+                continue
+            self.index.add(url, sparse)
+            done += 1
+        self.repo.versions.ack(self.name, watermark)
+        self.projected_count += done
+        if done:
+            self._m_documents.inc(done)
+        return done

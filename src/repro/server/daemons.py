@@ -290,11 +290,13 @@ class IndexerDaemon:
         repo: MemexRepository,
         index: InvertedIndex,
         *,
+        vectorizer: "PageVectorizer | None" = None,
         tracer: Tracer | None = None,
         log: Logger | None = None,
     ) -> None:
         self.repo = repo
         self.index = index
+        self.vectorizer = vectorizer
         self.tracer = tracer if tracer is not None else null_tracer()
         self.log = log if log is not None else null_logger("indexer")
         repo.versions.register_consumer(self.name)
@@ -317,6 +319,13 @@ class IndexerDaemon:
                 page = self.repo.db.table("pages").get(url)
                 title = (page or {}).get("title") or ""
                 tokens = self.index.add_document(url, f"{title} {text}")
+                if self.vectorizer is not None:
+                    # Enter the page into the shared mining vocabulary the
+                    # moment it enters the index: document frequencies (and
+                    # so every IDF-weighted similarity downstream) depend
+                    # only on what has been indexed, never on which mining
+                    # daemon happened to touch the page first.
+                    self.vectorizer.vector(url)
                 self._m_postings.inc(tokens)
                 done += 1
         self.repo.versions.ack(self.name, watermark)
@@ -353,6 +362,7 @@ class ClassifierDaemon:
         batch_size: int = 64,
         clock: Callable[[], float] = lambda: 0.0,
         classifier_factory: Callable[[], EnhancedClassifier] = EnhancedClassifier,
+        covisit_provider: Callable[[list[str]], dict[str, list[tuple[str, float]]]] | None = None,
         tracer: Tracer | None = None,
         log: Logger | None = None,
     ) -> None:
@@ -364,6 +374,10 @@ class ClassifierDaemon:
         self.batch_size = batch_size
         self.clock = clock
         self.classifier_factory = classifier_factory
+        # Optional trail channel: maps training urls to their co-visited
+        # neighbors (repro.retrieval.covisit).  None keeps the classic
+        # three-channel fit untouched.
+        self.covisit_provider = covisit_provider
         self.tracer = tracer if tracer is not None else null_tracer()
         self.log = log if log is not None else null_logger("classifier")
         repo.versions.register_consumer(self.name)
@@ -432,8 +446,13 @@ class ClassifierDaemon:
             self._community_folders(user_id)
             + [[u for u, f in usable.items() if f == c] for c in classes]
         )
+        covisitation = (
+            self.covisit_provider(sorted(usable))
+            if self.covisit_provider is not None else None
+        )
         model = self.classifier_factory().fit(
             vectors, usable, self._current_graph(), coplacement,
+            covisitation=covisitation,
         )
         self._m_trainings.inc()
         self._models[user_id] = model

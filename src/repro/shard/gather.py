@@ -59,6 +59,7 @@ from ..obs.tracing import (
     null_tracer,
     parse_traceparent,
 )
+from ..retrieval.fusion import canonical_url
 from ..server.servlets import BATCH_SERVLET, ServletRegistry
 from .ring import HashRing
 
@@ -66,6 +67,7 @@ from .ring import HashRing
 SCATTER_SERVLETS = frozenset({
     "themes_get",
     "resources",
+    "related_pages",
     "profile_similar",
     "interest_mates",
     "recommend",
@@ -77,6 +79,46 @@ SCATTER_SERVLETS = frozenset({
 
 #: Account writes replicated to every shard (shard-local authentication).
 BROADCAST_SERVLETS = frozenset({"register_user", "set_archive_mode"})
+
+
+def _is_scatter(servlet: Any, request: dict[str, Any]) -> bool:
+    """Whether this request fans out to every shard.
+
+    ``search`` is normally owner-routed (one user's archive), but hybrid
+    mode folds in community trail evidence that lives on every shard, so
+    it scatters like the other community-mining reads.
+    """
+    if servlet in SCATTER_SERVLETS:
+        return True
+    return servlet == "search" and request.get("mode") == "hybrid"
+
+
+def _rewrite_search(request: dict[str, Any]) -> dict[str, Any]:
+    """The sub-request each shard answers during a scattered search.
+
+    Pagination must happen *after* the cross-shard merge dedups canonical
+    URLs — a shard that pre-paginates would hide hits the merger later
+    drops as duplicates, drifting ``total``/``has_more``.  So shards are
+    asked for their full ranked window and the merger re-paginates with
+    the caller's original offset/limit.
+
+    Validates the caller's window here, since the shards only ever see
+    the rewritten one: a negative limit/offset raises the same
+    ``ValueError`` (-> typed ``bad_request``) the shard would.
+    """
+    k = int(request.get("k", 10))
+    if int(request.get("limit", k)) < 0 or int(request.get("offset", 0)) < 0:
+        raise ValueError("limit and offset must be non-negative")
+    return {**request, "offset": 0, "limit": 1_000_000}
+
+
+#: servlet -> scattered-sub-request rewrite (identity when absent).
+#: Applied only on the true multi-shard fan-out path; a one-shard
+#: cluster forwards the original request untouched (bit-identical
+#: responses to direct registry dispatch).
+SCATTER_REWRITERS: dict[str, Callable[[dict[str, Any]], dict[str, Any]]] = {
+    "search": _rewrite_search,
+}
 
 
 class Backend(Protocol):
@@ -106,6 +148,7 @@ def _ranked_merge(
     score_field: str,
     k: int,
     combine: Callable[[dict[str, Any], dict[str, Any]], dict[str, Any]] | None = None,
+    canonical: Callable[[Any], Any] | None = None,
 ) -> list[dict[str, Any]]:
     """Deterministic union of per-shard ranked lists.
 
@@ -113,11 +156,19 @@ def _ranked_merge(
     lower shard id, since shards merge in ascending order); *combine*
     may fold fields from the losing duplicate into the winner.  The
     union re-sorts by ``(-score, id)`` and truncates to *k*.
+
+    *canonical* maps ids to their dedup key.  URL-keyed merges pass
+    :func:`repro.retrieval.fusion.canonical_url` here: two shards can
+    hand back the same underlying page under different spellings (a
+    shard-namespaced ``s<shard>/...`` id, host-case or trailing-slash
+    variants), and a raw-string merge would return it twice.
     """
     best: dict[Any, dict[str, Any]] = {}
     for _shard, rows in rows_by_shard:
         for row in rows:
             key = row.get(id_field)
+            if canonical is not None and key is not None:
+                key = canonical(key)
             seen = best.get(key)
             if seen is None:
                 best[key] = dict(row)
@@ -165,7 +216,9 @@ def _merge_themes(request, oks, failed, owner):
 def _merge_resources(request, oks, failed, owner):
     k = int(request.get("k", 10))
     rows = [(s, r.get("resources", [])) for s, r in oks]
-    merged = _ranked_merge(rows, id_field="url", score_field="score", k=k)
+    merged = _ranked_merge(
+        rows, id_field="url", score_field="score", k=k, canonical=canonical_url,
+    )
     head = _owner_first(oks, owner) or {}
     if head.get("theme") is None:
         # Owner shard matched no theme; borrow the first shard that did.
@@ -212,8 +265,53 @@ def _merge_pages(request, oks, failed, owner):
     merged = _ranked_merge(
         rows, id_field="url", score_field="score", k=k,
         combine=combine if has_in_trail else None,
+        canonical=canonical_url,
     )
     return {"pages": merged}
+
+
+def _merge_search(request, oks, failed, owner):
+    """Cluster hybrid search: union, canonical-dedup, then re-paginate.
+
+    Each shard answered the :func:`_rewrite_search` sub-request (its full
+    ranked list), so this merge sees every hit before any page window is
+    applied: ``total`` counts the post-dedup union and ``has_more`` is
+    exact — the satellite-3 contract (count after dedup, never before).
+    """
+    k = int(request.get("k", 10))
+    limit = int(request.get("limit", k))
+    offset = int(request.get("offset", 0))
+    rows = [(s, r.get("hits", [])) for s, r in oks]
+    merged = _ranked_merge(
+        rows, id_field="url", score_field="score", k=-1,
+        canonical=canonical_url,
+    )
+    total = len(merged)
+    page = merged[offset:offset + limit]
+    return {
+        "hits": page,
+        "total": total,
+        "offset": offset,
+        "has_more": offset + len(page) < total,
+    }
+
+
+def _merge_related(request, oks, failed, owner):
+    """Cluster ``related_pages``: canonical-dedup union of the per-shard
+    neighborhoods, truncated to the caller's ``k`` after ``total`` is
+    counted post-dedup."""
+    k = int(request.get("k", 10))
+    rows = [(s, r.get("related", [])) for s, r in oks]
+    merged = _ranked_merge(
+        rows, id_field="url", score_field="score", k=-1,
+        canonical=canonical_url,
+    )
+    head = _owner_first(oks, owner) or {}
+    return {
+        "url": head.get("url", request.get("url")),
+        "related": merged[:k],
+        "total": len(merged),
+    }
 
 
 #: Catalog counters summed across shards in the ``stats`` merge.
@@ -359,6 +457,8 @@ def _merge_health(request, oks, failed, owner):
 MERGERS: dict[str, Callable[..., dict[str, Any]]] = {
     "themes_get": _merge_themes,
     "resources": _merge_resources,
+    "search": _merge_search,
+    "related_pages": _merge_related,
     "profile_similar": _merge_users("similarity", 5),
     "interest_mates": _merge_users("interest", 5),
     "recommend": _merge_pages,
@@ -510,7 +610,7 @@ class ShardDispatcher:
             return self._dispatch_batch(user, request, owner)
         if servlet in BROADCAST_SERVLETS:
             return self._broadcast(user, request, owner)
-        if servlet in SCATTER_SERVLETS:
+        if _is_scatter(servlet, request):
             return self._scatter(user, request, owner)
         return self._forward(user, request, owner)
 
@@ -612,6 +712,12 @@ class ShardDispatcher:
             # Identity path: one shard's answer IS the merged answer.
             return self._forward(user, request, owner)
 
+        # Multi-shard only: widen the sub-request where the merge needs
+        # every shard's full window (the one-shard identity path above
+        # must stay byte-identical to direct dispatch).
+        rewriter = SCATTER_REWRITERS.get(servlet or "")
+        fanout = rewriter(request) if rewriter is not None else request
+
         # Captured on the dispatching thread: the pool workers have empty
         # span stacks, so each fan-out hop parents on the routing span
         # explicitly instead of relying on thread-local ambience.
@@ -624,9 +730,9 @@ class ShardDispatcher:
                         "router.scatter", parent=rctx, shard=shard,
                     ) as hop:
                         ctx = hop.context()
-                        payload = self._stamp(request, ctx) if ctx else request
+                        payload = self._stamp(fanout, ctx) if ctx else fanout
                         return self._call(shard, user, payload)
-                return self._call(shard, user, request)
+                return self._call(shard, user, fanout)
             except Exception:  # noqa: BLE001 - a dead shard degrades, not fails
                 return None
 
@@ -699,10 +805,15 @@ class ShardDispatcher:
         self, user: str, envelope: dict[str, Any], owner: int,
     ) -> dict[str, Any]:
         items = envelope.get("requests")
+
+        def special(item: Any) -> bool:
+            return isinstance(item, dict) and (
+                item.get("servlet") in BROADCAST_SERVLETS
+                or _is_scatter(item.get("servlet"), item)
+            )
+
         if not isinstance(items, list) or not any(
-            isinstance(item, dict)
-            and item.get("servlet") in SCATTER_SERVLETS | BROADCAST_SERVLETS
-            for item in items
+            special(item) for item in items
         ):
             # Pure owner-shard batch (the hot path): ship the envelope
             # whole so the shard's group commit stays one WAL fsync.
@@ -728,11 +839,7 @@ class ShardDispatcher:
             run.clear()
 
         for item in items:
-            special = (
-                isinstance(item, dict)
-                and item.get("servlet") in SCATTER_SERVLETS | BROADCAST_SERVLETS
-            )
-            if special:
+            if special(item):
                 flush_run()
                 stamped = {**item, "user_id": user} if user else dict(item)
                 responses.append(self.dispatch(stamped))

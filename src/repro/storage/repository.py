@@ -10,6 +10,7 @@ monotone id sequences the catalog tables need.
 from __future__ import annotations
 
 import hashlib
+import math
 import threading
 import time
 from collections import deque
@@ -53,7 +54,7 @@ class ChangeStamps:
     """
 
     __slots__ = ("visits", "assocs", "classifications", "folders",
-                 "pages", "links", "users")
+                 "pages", "links", "users", "covisits")
 
     def __init__(self) -> None:
         self.visits = 0
@@ -63,6 +64,7 @@ class ChangeStamps:
         self.pages = 0
         self.links = 0
         self.users = 0
+        self.covisits = 0
 
 
 class Sequence:
@@ -194,6 +196,10 @@ class MemexRepository:
         self._n_page_writes = 0
         self._n_visit_writes = 0
         self._n_assoc_writes = 0
+        self._n_covisit_writes = 0
+        self.metrics.counter_func(
+            "storage.repository.covisit_writes",
+            lambda: self._n_covisit_writes)
         self.metrics.counter_func(
             "storage.repository.page_reads", lambda: self._n_page_reads)
         self.metrics.counter_func(
@@ -516,6 +522,90 @@ class MemexRepository:
                 return False
             return since is None or r["at"] >= since
         return self.db.table("visits").select(pred, order_by="at")
+
+    # -- co-visitation pairs ------------------------------------------------------------
+
+    @staticmethod
+    def covisit_pair_id(url_a: str, url_b: str) -> str:
+        """Stable primary key for the unordered pair (sorted, tab-joined)."""
+        a, b = sorted((url_a, url_b))
+        return f"{a}\t{b}"
+
+    def upsert_covisits(
+        self,
+        increments: dict[tuple[str, str], float],
+        *,
+        now: float,
+        decay: float = 0.0,
+    ) -> int:
+        """Fold a batch of co-visitation increments into the matrix.
+
+        Each key is an unordered URL pair; an existing row's count first
+        decays by ``exp(-decay * (now - last_at))`` (so stale evidence
+        fades at read-compatible rates), then the increment is added.
+        One relational transaction for the whole batch; bumps the
+        ``covisits`` change stamp the related-pages cache watches.
+        """
+        if not increments:
+            return 0
+        with self._repo_lock:
+            table = self.db.table("covisits")
+            inserts: list[Row] = []
+            updates: dict[str, Row] = {}
+            for (url_a, url_b), inc in increments.items():
+                a, b = sorted((url_a, url_b))
+                pair_id = f"{a}\t{b}"
+                row = updates.get(pair_id) or table.get(pair_id)
+                if row is None:
+                    inserts.append({
+                        "pair_id": pair_id, "url_a": a, "url_b": b,
+                        "count": float(inc), "last_at": now,
+                    })
+                else:
+                    aged = row["count"] * math.exp(
+                        -decay * max(now - row["last_at"], 0.0))
+                    updates[pair_id] = {
+                        **row, "count": aged + float(inc), "last_at": now,
+                    }
+            with self.db.begin() as txn:
+                txn.insert_many("covisits", inserts)
+                for pair_id, row in updates.items():
+                    txn.update("covisits", pair_id, {
+                        "count": row["count"], "last_at": row["last_at"],
+                    })
+            self._n_covisit_writes += len(inserts) + len(updates)
+            self.stamps.covisits += 1
+        return len(inserts) + len(updates)
+
+    def covisits_for(self, url: str) -> list[tuple[str, float, float]]:
+        """``(other_url, count, last_at)`` rows touching *url*, best first."""
+        table = self.db.table("covisits")
+        out: list[tuple[str, float, float]] = []
+        for row in table.select({"url_a": url}):
+            out.append((row["url_b"], row["count"], row["last_at"]))
+        for row in table.select({"url_b": url}):
+            out.append((row["url_a"], row["count"], row["last_at"]))
+        out.sort(key=lambda t: (-t[1], t[0]))
+        return out
+
+    def prune_covisits(self, *, now: float, decay: float, floor: float) -> int:
+        """Compaction: drop pairs whose decayed count fell below *floor*."""
+        with self._repo_lock:
+            doomed = [
+                row["pair_id"]
+                for row in self.db.table("covisits").scan()
+                if row["count"] * math.exp(-decay * max(now - row["last_at"], 0.0))
+                < floor
+            ]
+            if doomed:
+                with self.db.begin() as txn:
+                    for pair_id in doomed:
+                        txn.delete("covisits", pair_id)
+                self.stamps.covisits += 1
+        return len(doomed)
+
+    def covisit_pair_count(self) -> int:
+        return self.db.table("covisits").count()
 
     # -- folders and associations ------------------------------------------------------------
 

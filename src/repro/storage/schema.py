@@ -29,6 +29,11 @@ Tables
     corrections (``'correction'``).
 ``themes``
     Discovered community themes with their taxonomy structure.
+``covisits``
+    The co-visitation associative index: one row per unordered page
+    pair seen together inside a surf session (community-archived visits
+    only), carrying the exponentially-decayed co-occurrence count and
+    the time it was last reinforced (DESIGN.md §13).
 """
 
 from __future__ import annotations
@@ -140,6 +145,19 @@ def create_catalog(db: Database) -> None:
         if_not_exists=True,
     )
     db.create_table(
+        "covisits",
+        [
+            Column("pair_id"),
+            Column("url_a"),
+            Column("url_b"),
+            Column("count", "float"),
+            Column("last_at", "float"),
+        ],
+        primary_key="pair_id",
+        indexes=("url_a", "url_b"),
+        if_not_exists=True,
+    )
+    db.create_table(
         "themes",
         [
             Column("theme_id"),
@@ -157,5 +175,6 @@ def create_catalog(db: Database) -> None:
 
 
 CATALOG_TABLES = (
-    "users", "pages", "links", "visits", "folders", "folder_pages", "themes",
+    "users", "pages", "links", "visits", "folders", "folder_pages",
+    "covisits", "themes",
 )

@@ -10,6 +10,7 @@ never touches the relational side.
 
 from __future__ import annotations
 
+import math
 import threading
 from collections.abc import Iterable
 
@@ -50,6 +51,7 @@ class InvertedIndex:
         self._docs = Namespace(self._kv, prefix + ".docs")   # doc_id -> doc length
         self._meta = Namespace(self._kv, prefix + ".meta")
         self._pos = Namespace(self._kv, prefix + ".pos")
+        self._norm = Namespace(self._kv, prefix + ".norm")   # doc_id -> sum (1+ln tf)^2
         self.store_positions = store_positions
         # Index lock ("index" rank in ``repro.locks.LOCK_ORDER``, above
         # the kvstore it writes through).  A document add/remove spans
@@ -96,6 +98,8 @@ class InvertedIndex:
                 table[doc_id] = pos
                 self._store_positions(term, table)
         self._docs.put(doc_id.encode("utf-8"), self._codec.encode(len(terms)))
+        norm_sq = sum((1.0 + math.log(tf)) ** 2 for tf in counts.values())
+        self._norm.put(doc_id.encode("utf-8"), self._codec.encode(norm_sq))
         return len(terms)
 
     def remove_document(self, doc_id: str) -> bool:
@@ -121,6 +125,7 @@ class InvertedIndex:
                 del table[doc_id]
                 self._store_positions(key.decode("utf-8"), table)
         self._docs.delete(doc_id.encode("utf-8"))
+        self._norm.discard(doc_id.encode("utf-8"))
         return True
 
     def has_document(self, doc_id: str) -> bool:
@@ -136,6 +141,20 @@ class InvertedIndex:
         if raw is None:
             raise IndexError_(f"document {doc_id!r} not indexed")
         return int(self._codec.decode(raw))
+
+    def doc_norm(self, doc_id: str) -> float:
+        """Euclidean norm of the document's log-tf weight vector.
+
+        Maintained at indexing time so cosine ranking can normalize by
+        the *true* vector norm.  Stores written before norms existed
+        fall back to the old ``sqrt(doc length)`` proxy rather than
+        failing the scoring pass.
+        """
+        with self._index_lock:
+            raw = self._norm.get(doc_id.encode("utf-8"))
+            if raw is None:
+                return math.sqrt(max(self._doc_length_locked(doc_id), 1))
+            return math.sqrt(float(self._codec.decode(raw)))
 
     @property
     def num_docs(self) -> int:

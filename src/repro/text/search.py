@@ -4,8 +4,15 @@ Implements the "standard full-text search over all pages visited" (§2)
 with two ranking functions:
 
 * **BM25** (Robertson/Sparck Jones) — the default;
-* **TF-IDF cosine** — the classic vector-space ranking, kept both as a
-  baseline and because the clustering code shares its weighting.
+* **TF-IDF cosine** — the classic vector-space ranking (SMART lnc.ltc:
+  log-tf document weights, idf on the query side, true cosine
+  normalization), kept both as a baseline and because the clustering
+  code shares its weighting.
+
+Both rankers clamp document frequencies into ``[0, num_docs]`` before
+the idf computation, so degenerate corpora (a single document, or a
+term present in *every* document) rank sanely instead of inverting or
+zeroing the ordering.
 
 Queries go through the same tokenizer/stemmer as documents, so "optimizing
 compilers" matches "compiler optimization".
@@ -86,7 +93,7 @@ class SearchEngine:
             postings = self.index.postings(term)
             if not postings:
                 continue
-            df = len(postings)
+            df = self._clamped_df(len(postings), n)
             idf = math.log(1.0 + (n - df + 0.5) / (df + 0.5))
             for doc_id, tf in postings.items():
                 if candidates is not None and doc_id not in candidates:
@@ -115,19 +122,33 @@ class SearchEngine:
         qnorm = math.sqrt(sum(w * w for w in qvec.values()))
         if qnorm == 0.0:
             return {}
-        # Accumulate dot products; normalize by document length proxy.
+        # Accumulate dot products against log-tf document weights and
+        # normalize by the document's true weight-vector norm (lnc), so
+        # the result is a genuine cosine in [0, 1].  The old code
+        # normalized by a sqrt(doc length) proxy, which let scores
+        # exceed 1 and inverted rankings for short repetitive documents.
         dots: dict[str, float] = {}
         for term, qw in qvec.items():
             for doc_id, tf in self.index.postings(term).items():
                 if candidates is not None and doc_id not in candidates:
                     continue
-                dw = (1.0 + math.log(tf)) * self._idf(self.index.doc_freq(term), n)
-                dots[doc_id] = dots.get(doc_id, 0.0) + qw * dw
+                dots[doc_id] = dots.get(doc_id, 0.0) + qw * (1.0 + math.log(tf))
         return {
-            doc_id: s / (qnorm * math.sqrt(max(self.index.doc_length(doc_id), 1)))
+            doc_id: s / (qnorm * (self.index.doc_norm(doc_id) or 1.0))
             for doc_id, s in dots.items()
         }
 
     @staticmethod
-    def _idf(df: int, n: int) -> float:
+    def _clamped_df(df: int, n: int) -> int:
+        """Document frequency clamped into ``[0, n]``.
+
+        Transient index skew (a posting visible before its doc-length
+        record, or vice versa) and legacy stores can report ``df > n``;
+        an unclamped value drives idf negative and inverts rankings.
+        """
+        return min(max(int(df), 0), n)
+
+    @classmethod
+    def _idf(cls, df: int, n: int) -> float:
+        df = cls._clamped_df(df, n)
         return math.log((1 + n) / (1 + df)) + 1.0

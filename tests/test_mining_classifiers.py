@@ -249,3 +249,85 @@ def test_enhanced_beats_text_only_on_synthetic_web():
     enhanced = acc(EnhancedClassifier())
     assert enhanced > text_only + 0.15
     assert enhanced > 0.8
+
+
+# -- co-visitation (trail) channel --------------------------------------------
+
+def test_covisit_channel_absent_is_bit_identical_to_three_channel():
+    # No trail data: the four-channel classifier must produce EXACTLY the
+    # same posteriors as use_covisit=False — the channel may not even add
+    # a uniform shift.
+    vectors, labels, graph, cop = _toy_world()
+    train = {u: vectors[u] for u in labels}
+    with_flag = EnhancedClassifier().fit(train, labels, graph, cop)
+    without = EnhancedClassifier(use_covisit=False).fit(
+        train, labels, graph, cop,
+    )
+    for url in ("xA", "xB", "d0", "d3"):
+        assert with_flag.log_posteriors(url, vectors[url]) == \
+            without.log_posteriors(url, vectors[url])
+
+
+def test_covisit_evidence_shifts_classification():
+    # "xN" is textual noise with no links or folder placement — only the
+    # trail ties it to class-B companions.
+    vectors, labels, graph, cop = _toy_world()
+    vectors["xN"] = {9: 1.0}
+    graph.add_node("xN")
+    train = {u: vectors[u] for u in labels}
+    covis = {"xN": [("d3", 4.0), ("d5", 2.0)]}
+    base = EnhancedClassifier().fit(train, labels, graph, cop)
+    trail = EnhancedClassifier().fit(
+        train, labels, graph, cop, covisitation=covis,
+    )
+    assert trail.predict("xN", vectors["xN"])[0] == "B"
+    # And the B-posterior strictly improves over the no-trail model.
+    assert trail.log_posteriors("xN", vectors["xN"])["B"] > \
+        base.log_posteriors("xN", vectors["xN"])["B"]
+
+
+def test_covisit_votes_ignore_unlabeled_and_nonpositive_companions():
+    vectors, labels, graph, cop = _toy_world()
+    vectors["xN"] = {9: 1.0}
+    graph.add_node("xN")
+    train = {u: vectors[u] for u in labels}
+    covis = {"xN": [("nobody", 9.0), ("d0", 0.0), ("d3", -1.0)]}
+    clf = EnhancedClassifier().fit(
+        train, labels, graph, cop, covisitation=covis,
+    )
+    plain = EnhancedClassifier().fit(train, labels, graph, cop)
+    # Unlabeled / zero / negative counts cast no votes: bit-identical.
+    assert clf.log_posteriors("xN", vectors["xN"]) == \
+        plain.log_posteriors("xN", vectors["xN"])
+
+
+def test_enhanced_serialization_roundtrips_covisitation():
+    vectors, labels, graph, cop = _toy_world()
+    vectors["xN"] = {9: 1.0}
+    graph.add_node("xN")
+    train = {u: vectors[u] for u in labels}
+    covis = {"xN": [("d3", 4.0), ("d5", 2.0)]}
+    clf = EnhancedClassifier(covisit_weight=1.25).fit(
+        train, labels, graph, cop, covisitation=covis,
+    )
+    clone = EnhancedClassifier.from_dict(clf.to_dict(), graph)
+    assert clone.covisit_weight == 1.25
+    for url in ("xA", "xB", "xN"):
+        assert clone.log_posteriors(url, vectors[url]) == \
+            clf.log_posteriors(url, vectors[url])
+
+
+def test_enhanced_from_dict_accepts_pre_covisit_snapshots():
+    # Snapshots serialized before the trail channel existed lack the
+    # covisit keys entirely; they must restore with defaults.
+    vectors, labels, graph, cop = _toy_world()
+    train = {u: vectors[u] for u in labels}
+    clf = EnhancedClassifier().fit(train, labels, graph, cop)
+    payload = clf.to_dict()
+    del payload["flags"]["use_covisit"]
+    del payload["weights"]["covisit"]
+    del payload["covisitation"]
+    clone = EnhancedClassifier.from_dict(payload, graph)
+    assert clone.use_covisit is True
+    assert clone.covisit_weight == 0.75
+    assert clone.predict("xA", vectors["xA"])[0] == "A"

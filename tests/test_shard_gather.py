@@ -246,3 +246,144 @@ def test_ring_and_backend_count_must_agree():
 
 def test_servlet_classes_are_disjoint():
     assert not (SCATTER_SERVLETS & BROADCAST_SERVLETS)
+
+
+# -- hybrid retrieval routing and canonical dedup -----------------------------
+
+def _search_handler(hits_by_shard):
+    """Shard answers a search/related_pages with canned ranked rows."""
+
+    def handler(shard, payload):
+        rows = list(hits_by_shard.get(shard, []))
+        offset = int(payload.get("offset", 0))
+        limit = int(payload.get("limit", payload.get("k", 10)))
+        page = rows[offset:offset + limit]
+        if payload.get("servlet") == "related_pages":
+            return {"status": "ok", "related": rows, "total": len(rows)}
+        return {
+            "status": "ok",
+            "hits": page,
+            "total": len(rows),
+            "offset": offset,
+            "has_more": offset + len(page) < len(rows),
+        }
+
+    return handler
+
+
+def test_cross_shard_duplicates_dedup_on_canonical_url():
+    # The same underlying page comes back from two shards under
+    # different spellings: a shard-namespaced id and a host-case /
+    # trailing-slash variant.  The merge must keep ONE row (the
+    # higher-scoring spelling), not both.
+    hits = {
+        0: [{"url": "http://A.com/x/", "score": 0.9}],
+        1: [{"url": "s1/http://a.com/x", "score": 0.7},
+            {"url": "http://b.com/y", "score": 0.5}],
+    }
+    _backends, dispatcher = make(2, handler=_search_handler(hits))
+    out = dispatcher.dispatch({
+        "servlet": "search", "user_id": "alice",
+        "query": "q", "mode": "hybrid",
+    })
+    assert out["status"] == "ok"
+    assert out["shards"] == 2
+    urls = [h["url"] for h in out["hits"]]
+    assert urls == ["http://A.com/x/", "http://b.com/y"]
+    assert out["total"] == 2
+
+
+def test_hybrid_search_scatters_with_full_window_rewrite():
+    hits = {
+        0: [{"url": f"http://s0.com/{i}", "score": 1.0 - i / 10} for i in range(4)],
+        1: [{"url": f"http://s1.com/{i}", "score": 0.95 - i / 10} for i in range(4)],
+    }
+    backends, dispatcher = make(2, handler=_search_handler(hits))
+    out = dispatcher.dispatch({
+        "servlet": "search", "user_id": "alice",
+        "query": "q", "mode": "hybrid", "limit": 3, "offset": 2,
+    })
+    # Every shard was asked for its FULL ranked list; the router
+    # re-paginates after the canonical-dedup merge.
+    for backend in backends:
+        assert len(backend.requests) == 1
+        _, payload = backend.requests[0]
+        assert payload["offset"] == 0
+        assert payload["limit"] == 1_000_000
+    assert out["total"] == 8
+    assert len(out["hits"]) == 3
+    assert out["offset"] == 2
+    assert out["has_more"] is True
+    # Page window is over the merged order, not any single shard's.
+    assert [h["url"] for h in out["hits"]] == [
+        "http://s0.com/1", "http://s1.com/1", "http://s0.com/2",
+    ]
+
+
+def test_lexical_search_stays_owner_routed():
+    backends, dispatcher = make(3, handler=_search_handler({}))
+    owner = dispatcher.shard_for("alice")
+    for mode in (None, "ranked", "lexical", "boolean"):
+        request = {"servlet": "search", "user_id": "alice", "query": "q"}
+        if mode is not None:
+            request["mode"] = mode
+        out = dispatcher.dispatch(request)
+        assert out["status"] == "ok"
+        assert "shards" not in out   # single-shard answer, no merge stamp
+    touched = {i for i, b in enumerate(backends) if b.requests}
+    assert touched == {owner}
+
+
+def test_hybrid_search_negative_window_is_bad_request():
+    _backends, dispatcher = make(2, handler=_search_handler({}))
+    out = dispatcher.dispatch({
+        "servlet": "search", "user_id": "alice",
+        "query": "q", "mode": "hybrid", "limit": -1,
+    })
+    assert out["status"] == "error"
+    assert out["error_code"] == "bad_request"
+
+
+def test_related_pages_scatter_merges_neighborhoods():
+    related = {
+        0: [{"url": "http://a.com/x", "score": 0.8, "title": "x"}],
+        1: [{"url": "http://a.com/x/", "score": 0.6, "title": "x"},
+            {"url": "http://c.com/z", "score": 0.4, "title": "z"}],
+    }
+    _backends, dispatcher = make(2, handler=_search_handler(related))
+    out = dispatcher.dispatch({
+        "servlet": "related_pages", "user_id": "alice",
+        "url": "http://seed.com/", "k": 10,
+    })
+    assert out["status"] == "ok"
+    assert out["shards"] == 2
+    assert [r["url"] for r in out["related"]] == [
+        "http://a.com/x", "http://c.com/z",
+    ]
+    assert out["total"] == 2
+
+
+def test_batch_envelope_decomposes_hybrid_search_items():
+    def handler(shard, payload):
+        if payload.get("servlet") == BATCH_SERVLET:
+            return {"status": "ok", "responses": [
+                {"status": "ok", "via": "batch"} for _ in payload["requests"]
+            ]}
+        return _search_handler({shard: [
+            {"url": f"http://s{shard}.com/", "score": 1.0},
+        ]})(shard, payload)
+
+    _backends, dispatcher = make(2, handler=handler)
+    out = dispatcher.dispatch({
+        "servlet": BATCH_SERVLET, "user_id": "alice",
+        "requests": [
+            {"servlet": "visit"},
+            {"servlet": "search", "query": "q", "mode": "hybrid"},
+            {"servlet": "visit"},
+        ],
+    })
+    assert len(out["responses"]) == 3
+    assert out["responses"][0]["via"] == "batch"
+    assert out["responses"][1]["shards"] == 2      # scattered, merged
+    assert out["responses"][1]["total"] == 2
+    assert out["responses"][2]["via"] == "batch"
